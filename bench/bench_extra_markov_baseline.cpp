@@ -1,0 +1,60 @@
+// Extra ablation (not in the paper): how far do pure sequence statistics get
+// without attention? An order-k Markov chain needs no domain knowledge (like
+// CPT-GPT) but has k-bounded memory. Sweeping k quantifies how much of
+// CPT-GPT's semantic correctness comes from long-range context: low orders
+// violate the state machine measurably; no order recovers the per-UE
+// flow-length diversity that attention-over-the-whole-stream captures.
+#include <cstdio>
+
+#include "common.hpp"
+#include "metrics/fidelity.hpp"
+#include "smm/markov.hpp"
+#include "util/ascii.hpp"
+
+int main(int argc, char** argv) {
+    using namespace cpt;
+    const util::Options opt(argc, argv);
+    const auto env = bench::BenchEnv::from_options(opt);
+    constexpr int kHour = 10;
+    const auto device = trace::DeviceType::kPhone;
+
+    std::puts("=== Extra ablation: order-k Markov baseline vs SMM-1 vs CPT-GPT (phones) ===");
+    const auto train = bench::train_world(device, kHour, env);
+    const auto real = bench::test_world(device, kHour, env);
+
+    util::TextTable t({"generator", "event viol", "stream viol", "sojourn CONN", "sojourn IDLE",
+                       "flow length", "max breakdown diff"});
+    auto add = [&](const std::string& name, const trace::Dataset& synth) {
+        const auto r = metrics::evaluate_fidelity(synth, real);
+        t.add_row({name, util::fmt_pct(r.event_violation_fraction, 2),
+                   util::fmt_pct(r.stream_violation_fraction, 1),
+                   util::fmt_pct(r.maxy_sojourn_connected, 1),
+                   util::fmt_pct(r.maxy_sojourn_idle, 1),
+                   util::fmt_pct(r.maxy_flow_length_all, 1),
+                   util::fmt_pct(r.max_breakdown_diff(), 2)});
+    };
+
+    for (const std::size_t order : {1, 2, 3}) {
+        smm::MarkovGenerator::Config cfg;
+        cfg.order = order;
+        const auto model = smm::MarkovGenerator::fit(train, cfg);
+        util::Rng rng(1200 + order);
+        add("Markov-" + std::to_string(order), model.generate(env.gen_streams, rng));
+    }
+    {
+        const auto model = smm::fit_smm1(train);
+        util::Rng rng(1210);
+        add("SMM-1", model.generate(env.gen_streams, rng));
+    }
+    {
+        const auto gpt = bench::get_cptgpt(device, kHour, env);
+        add("CPT-GPT", bench::sample_cptgpt(gpt, device, kHour, env.gen_streams, 1211));
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nReading: the order-1 chain violates the state machine (one event does not");
+    std::puts("determine the UE state); order >= 2 is near-clean on this machine because two");
+    std::puts("events almost always pin the state down. But NO Markov order recovers the");
+    std::puts("per-UE diversity (flow-length column) that attention over the whole stream");
+    std::puts("captures — bounded memory pools all UEs, like SMM-1.");
+    return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 2: CDFs of the per-UE average CONNECTED-state sojourn time for the
+// real dataset and each generator (phone UEs), rendered as an ASCII plot plus
+// quantile rows and max-y distances.
+#include <cstdio>
+
+#include "common.hpp"
+#include "metrics/fidelity.hpp"
+#include "util/ascii.hpp"
+
+int main(int argc, char** argv) {
+    using namespace cpt;
+    const util::Options opt(argc, argv);
+    const auto env = bench::BenchEnv::from_options(opt);
+    constexpr int kHour = 10;
+    const auto device = trace::DeviceType::kPhone;
+
+    std::puts("=== Figure 2: per-UE mean CONNECTED sojourn CDF (phones) ===");
+    const auto train = bench::train_world(device, kHour, env);
+    const auto real = bench::test_world(device, kHour, env);
+
+    std::vector<std::pair<std::string, util::Ecdf>> curves;
+    auto add_curve = [&](const std::string& name, const trace::Dataset& ds) {
+        const auto s = metrics::collect_sojourns(ds);
+        curves.emplace_back(name, util::Ecdf(s.per_ue_mean_connected));
+    };
+    add_curve("real", real);
+    {
+        const auto model = smm::fit_smm1(train);
+        util::Rng rng(921);
+        add_curve("SMM-1", model.generate(env.gen_streams, rng));
+    }
+    {
+        util::Rng krng(91);
+        const auto ensemble = smm::SmmEnsemble::fit(train, env.smm_clusters, krng);
+        util::Rng rng(922);
+        add_curve("SMM-20k", ensemble.generate(env.gen_streams, rng));
+    }
+    {
+        const auto ns = bench::get_netshare(device, kHour, env);
+        util::Rng rng(923);
+        add_curve("NetShare", ns.generator->generate(env.gen_streams, rng, device));
+    }
+    {
+        const auto gpt = bench::get_cptgpt(device, kHour, env);
+        add_curve("CPT-GPT", bench::sample_cptgpt(gpt, device, kHour, env.gen_streams, 924));
+    }
+
+    std::fputs(util::render_cdf_plot(curves, 76, 18, true).c_str(), stdout);
+
+    std::puts("\nquantiles of per-UE mean CONNECTED sojourn (seconds):");
+    util::TextTable t({"generator", "p10", "p25", "p50", "p75", "p90", "max-y vs real"});
+    for (const auto& [name, cdf] : curves) {
+        if (cdf.empty()) continue;
+        t.add_row({name, util::fmt(cdf.quantile(0.10), 1), util::fmt(cdf.quantile(0.25), 1),
+                   util::fmt(cdf.quantile(0.50), 1), util::fmt(cdf.quantile(0.75), 1),
+                   util::fmt(cdf.quantile(0.90), 1),
+                   util::fmt_pct(util::max_cdf_y_distance(curves[0].second, cdf), 1)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nPaper: real phone mass concentrated in 5-50 s; NetShare spreads 2-100 s");
+    std::puts("(max-y 27.9%), CPT-GPT tracks the real CDF closely (max-y 6.4%).");
+    return 0;
+}

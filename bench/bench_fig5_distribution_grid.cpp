@@ -1,0 +1,92 @@
+// Figure 5: the 5x3 grid of fidelity-metric distributions — sojourn time
+// (CONNECTED, IDLE) and flow length (all / SRV_REQ / S1_CONN_REL) for each
+// device type, comparing real vs all four generators. Rendered as quantile
+// tables per cell (the terminal equivalent of the paper's CDF grid).
+#include <cstdio>
+
+#include "common.hpp"
+#include "metrics/fidelity.hpp"
+#include "util/ascii.hpp"
+
+namespace {
+
+using cpt::util::Ecdf;
+
+std::vector<double> metric_samples(const cpt::trace::Dataset& ds, int metric) {
+    using namespace cpt;
+    switch (metric) {
+        case 0: return metrics::collect_sojourns(ds).per_ue_mean_connected;
+        case 1: return metrics::collect_sojourns(ds).per_ue_mean_idle;
+        case 2: return ds.flow_lengths();
+        case 3: return ds.flow_lengths(cellular::lte::kSrvReq);
+        default: return ds.flow_lengths(cellular::lte::kS1ConnRel);
+    }
+}
+
+constexpr const char* kMetricNames[] = {"sojourn CONNECTED (s)", "sojourn IDLE (s)",
+                                        "flow length (all events)", "flow length (SRV_REQ)",
+                                        "flow length (S1_CONN_REL)"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace cpt;
+    const util::Options opt(argc, argv);
+    const auto env = bench::BenchEnv::from_options(opt);
+    constexpr int kHour = 10;
+
+    std::puts("=== Figure 5: distribution grid (quantiles per generator) ===");
+    for (std::size_t d = 0; d < trace::kNumDeviceTypes; ++d) {
+        const auto device = static_cast<trace::DeviceType>(d);
+        const auto train = bench::train_world(device, kHour, env);
+        const auto real = bench::test_world(device, kHour, env);
+
+        std::vector<std::pair<std::string, trace::Dataset>> gens;
+        gens.emplace_back("real", real);
+        {
+            const auto model = smm::fit_smm1(train);
+            util::Rng rng(1001 + d);
+            gens.emplace_back("SMM-1", model.generate(env.gen_streams, rng));
+        }
+        {
+            util::Rng krng(101 + d);
+            const auto ensemble = smm::SmmEnsemble::fit(train, env.smm_clusters, krng);
+            util::Rng rng(1002 + d);
+            gens.emplace_back("SMM-20k", ensemble.generate(env.gen_streams, rng));
+        }
+        {
+            const auto ns = bench::get_netshare(device, kHour, env);
+            util::Rng rng(1003 + d);
+            gens.emplace_back("NetShare", ns.generator->generate(env.gen_streams, rng, device));
+        }
+        {
+            const auto gpt = bench::get_cptgpt(device, kHour, env);
+            gens.emplace_back("CPT-GPT",
+                              bench::sample_cptgpt(gpt, device, kHour, env.gen_streams, 1004 + d));
+        }
+
+        std::printf("\n########## %s ##########\n", bench::device_name(device));
+        for (int m = 0; m < 5; ++m) {
+            std::printf("\n--- %s ---\n", kMetricNames[m]);
+            Ecdf real_cdf(metric_samples(real, m));
+            util::TextTable t({"generator", "p10", "p25", "p50", "p75", "p90", "p99",
+                               "max-y vs real"});
+            for (const auto& [name, ds] : gens) {
+                const Ecdf cdf(metric_samples(ds, m));
+                if (cdf.empty()) {
+                    t.add_row({name, "-", "-", "-", "-", "-", "-", "-"});
+                    continue;
+                }
+                t.add_row({name, util::fmt(cdf.quantile(0.10), 1), util::fmt(cdf.quantile(0.25), 1),
+                           util::fmt(cdf.quantile(0.50), 1), util::fmt(cdf.quantile(0.75), 1),
+                           util::fmt(cdf.quantile(0.90), 1), util::fmt(cdf.quantile(0.99), 1),
+                           util::fmt_pct(util::max_cdf_y_distance(real_cdf, cdf), 1)});
+            }
+            std::fputs(t.render().c_str(), stdout);
+        }
+    }
+    std::puts("\nShape to reproduce (paper Fig. 5): CPT-GPT and SMM-20k track the real");
+    std::puts("distributions most closely; SMM-1 collapses flow-length diversity; NetShare");
+    std::puts("is good on flow length but misses CONNECTED sojourns.");
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 6: scalability of generation — fidelity metrics of synthesized
+// datasets of increasing size, each compared against an equally-sized random
+// subset of the held-out real dataset. The paper's shape: fidelity is flat in
+// the population size (10k..160k UEs there; a scaled sweep here).
+#include <cstdio>
+
+#include "common.hpp"
+#include "metrics/fidelity.hpp"
+#include "util/ascii.hpp"
+
+int main(int argc, char** argv) {
+    using namespace cpt;
+    const util::Options opt(argc, argv);
+    const auto env = bench::BenchEnv::from_options(opt);
+    constexpr int kHour = 10;
+    const auto device = trace::DeviceType::kPhone;
+
+    std::puts("=== Figure 6: fidelity vs synthesized population size (phones) ===");
+    const auto gpt = bench::get_cptgpt(device, kHour, env);
+
+    // Large reference pool to subsample from (the paper uses the 380k-UE test
+    // set; we scale down proportionally).
+    trace::SyntheticWorldConfig ref_cfg;
+    const std::size_t pool = env.full ? 20000 : 2000;
+    ref_cfg.population = {pool, 0, 0};
+    ref_cfg.hour_of_day = kHour;
+    ref_cfg.seed = 990002;
+    const auto reference = trace::SyntheticWorldGenerator(ref_cfg).generate();
+
+    std::vector<std::size_t> sizes;
+    for (std::size_t s = env.full ? 1000 : 100; s <= pool / 2; s *= 2) sizes.push_back(s);
+
+    util::TextTable t({"UEs", "ev viol", "stream viol", "sojourn CONN", "sojourn IDLE",
+                       "flow len", "breakdown max diff"});
+    util::Rng sub_rng(55);
+    for (const std::size_t n : sizes) {
+        const auto synth = bench::sample_cptgpt(gpt, device, kHour, n, 1100 + n);
+        // Equally sized random subset of the reference.
+        trace::Dataset subset;
+        subset.generation = reference.generation;
+        std::vector<std::size_t> idx(reference.streams.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+        sub_rng.shuffle(idx);
+        for (std::size_t i = 0; i < n && i < idx.size(); ++i) {
+            subset.streams.push_back(reference.streams[idx[i]]);
+        }
+        const auto r = metrics::evaluate_fidelity(synth, subset);
+        t.add_row({std::to_string(n), util::fmt_pct(r.event_violation_fraction, 3),
+                   util::fmt_pct(r.stream_violation_fraction, 1),
+                   util::fmt_pct(r.maxy_sojourn_connected, 1),
+                   util::fmt_pct(r.maxy_sojourn_idle, 1),
+                   util::fmt_pct(r.maxy_flow_length_all, 1),
+                   util::fmt_pct(r.max_breakdown_diff(), 2)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nShape to reproduce: every column stays flat as the synthesized population");
+    std::puts("grows -> CPT-GPT generates arbitrarily large datasets at constant fidelity.");
+    return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 7 (Appendix B): interarrival-time distribution for phone UEs, raw
+// (long-tailed) and after the log transform CPT-GPT applies during
+// tokenization (approximately uniformized) — the justification for Design 1's
+// log scaling.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/ascii.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+    using namespace cpt;
+    const util::Options opt(argc, argv);
+    const auto env = bench::BenchEnv::from_options(opt);
+    const auto real = bench::train_world(trace::DeviceType::kPhone, 10, env);
+    const auto ia = real.all_interarrivals();
+
+    std::puts("=== Figure 7: interarrival time distribution (phones) ===");
+    const auto s = util::summarize(ia);
+    std::printf("samples %zu  mean %.1fs  stddev %.1fs  min %.2fs  max %.1fs  p50 %.1fs  p99 %.1fs\n\n",
+                s.count, s.mean, s.stddev, s.min, s.max, util::quantile(ia, 0.5),
+                util::quantile(ia, 0.99));
+
+    std::puts("--- raw interarrival t (seconds): long-tailed ---");
+    std::fputs(util::render_histogram(util::make_histogram(ia, 16, false)).c_str(), stdout);
+
+    std::puts("\n--- log10(t + 1): flattened by the tokenizer's log scaling ---");
+    std::fputs(util::render_histogram(util::make_histogram(ia, 16, true)).c_str(), stdout);
+
+    std::puts("\nShape to reproduce: the raw histogram concentrates in the smallest bins with");
+    std::puts("a tail to hundreds of seconds; the log-scaled view spreads mass across bins.");
+    return 0;
+}

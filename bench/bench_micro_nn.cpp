@@ -1,0 +1,89 @@
+// Microbenchmarks for the nn substrate (google-benchmark): the kernels that
+// dominate CPT-GPT training and inference time.
+#include <benchmark/benchmark.h>
+
+#include "core/model.hpp"
+#include "core/tokenizer.hpp"
+#include "nn/modules.hpp"
+
+namespace {
+
+using namespace cpt;
+
+void BM_MatmulForward(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(1);
+    nn::Var a = nn::make_var(nn::Tensor::randn(rng, {n, n}));
+    nn::Var b = nn::make_var(nn::Tensor::randn(rng, {n, n}));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(nn::matmul(a, b)->value.data().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatmulForward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AttentionForwardBackward(benchmark::State& state) {
+    const auto t = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(2);
+    nn::MultiHeadSelfAttention attn(64, 4, rng);
+    for (auto _ : state) {
+        nn::Var x = nn::make_param(nn::Tensor::randn(rng, {4, t, 64}, 0.5f));
+        nn::Var loss = nn::mean_all(attn.forward(x));
+        nn::backward(loss);
+        benchmark::DoNotOptimize(x->grad.data().data());
+    }
+}
+BENCHMARK(BM_AttentionForwardBackward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransformerTrainStep(benchmark::State& state) {
+    util::Rng rng(3);
+    nn::TransformerConfig cfg;
+    cfg.d_token = 9;
+    cfg.d_model = 64;
+    cfg.heads = 4;
+    cfg.mlp_hidden = 256;
+    cfg.blocks = 2;
+    cfg.max_seq_len = 128;
+    nn::Transformer model(cfg, rng);
+    auto params = model.parameters();
+    for (auto _ : state) {
+        nn::Var x = nn::make_var(nn::Tensor::randn(rng, {8, 64, 9}, 0.5f));
+        nn::Var loss = nn::mean_all(model.forward(x));
+        nn::zero_grad(params);
+        nn::backward(loss);
+        benchmark::DoNotOptimize(params.front()->grad.data().data());
+    }
+}
+BENCHMARK(BM_TransformerTrainStep);
+
+void BM_LstmStep(benchmark::State& state) {
+    util::Rng rng(4);
+    nn::LstmStack lstm(18, 48, 1, rng);
+    auto st = lstm.zero_state(32);
+    nn::Var x = nn::make_var(nn::Tensor::randn(rng, {32, 18}, 0.5f));
+    for (auto _ : state) {
+        auto [h, next] = lstm.step(x, st);
+        benchmark::DoNotOptimize(h->value.data().data());
+    }
+}
+BENCHMARK(BM_LstmStep);
+
+void BM_CptGptSampleToken(benchmark::State& state) {
+    // Cost of one autoregressive forward at context length T.
+    const auto t = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(5);
+    const core::Tokenizer tok(cellular::Generation::kLte4G, 0.0, 8.0);
+    core::CptGptConfig cfg;
+    cfg.max_seq_len = 256;
+    const core::CptGpt model(tok, cfg, rng);
+    nn::Var x = nn::make_var(nn::Tensor::randn(rng, {1, t, tok.d_token()}, 0.5f));
+    for (auto _ : state) {
+        const auto out = model.forward(x);
+        benchmark::DoNotOptimize(out.event_logits->value.data().data());
+    }
+}
+BENCHMARK(BM_CptGptSampleToken)->Arg(16)->Arg(64)->Arg(192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

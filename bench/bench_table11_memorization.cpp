@@ -1,0 +1,41 @@
+// Table 11: data memorization — the percentage of n-grams in the CPT-GPT
+// generated dataset that repeat from the training dataset, for n in {5,10,20}
+// and interarrival tolerance eps in {10%, 20%} (phones).
+#include <cstdio>
+
+#include "common.hpp"
+#include "trace/ngram.hpp"
+#include "util/ascii.hpp"
+
+int main(int argc, char** argv) {
+    using namespace cpt;
+    const util::Options opt(argc, argv);
+    const auto env = bench::BenchEnv::from_options(opt);
+    constexpr int kHour = 10;
+    const auto device = trace::DeviceType::kPhone;
+
+    std::puts("=== Table 11: n-gram repetition from the training set (phones) ===");
+    const auto train = bench::train_world(device, kHour, env);
+    const auto gpt = bench::get_cptgpt(device, kHour, env);
+    const auto generated = bench::sample_cptgpt(gpt, device, kHour, env.gen_streams, 901);
+    std::printf("training: %zu streams; generated: %zu streams\n\n", train.streams.size(),
+                generated.streams.size());
+
+    const char* paper[3][2] = {{"57.879%", "80.305%"}, {"0.003%", "0.287%"}, {"0.000%", "0.000%"}};
+    const std::size_t ns[3] = {5, 10, 20};
+
+    util::TextTable t({"n", "eps=10% (paper/ours)", "eps=20% (paper/ours)"});
+    for (int i = 0; i < 3; ++i) {
+        const trace::NgramIndex index(train, ns[i]);
+        const double r10 = trace::repeated_ngram_fraction(generated, index, 0.10);
+        const double r20 = trace::repeated_ngram_fraction(generated, index, 0.20);
+        t.add_row({"n=" + std::to_string(ns[i]),
+                   std::string(paper[i][0]) + " / " + util::fmt_pct(r10, 3),
+                   std::string(paper[i][1]) + " / " + util::fmt_pct(r20, 3)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nShape to reproduce: short n-grams repeat heavily (protocol-constrained");
+    std::puts("patterns like SRV_REQ/S1_CONN_REL alternation), but long sub-sequences");
+    std::puts("(n >= 20) essentially never repeat -> the model generalizes, not memorizes.");
+    return 0;
+}

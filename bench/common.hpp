@@ -1,0 +1,78 @@
+// Shared harness for the evaluation benches (one binary per paper table /
+// figure). Provides:
+//   * BenchEnv — size knobs, overridable via --flags or CPT_* env vars, with
+//     a FULL mode (--full / CPT_FULL=1) approximating paper scale;
+//   * deterministic train/test world slices per device type & hour;
+//   * trained-model caching: CPT-GPT and NetShare checkpoints are stored in
+//     an artifact directory keyed by their configuration, so the bench suite
+//     trains each model once and every binary after that loads it.
+//
+// All benches print the corresponding paper values next to measured ones.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/model.hpp"
+#include "core/sampler.hpp"
+#include "core/trainer.hpp"
+#include "gan/netshare.hpp"
+#include "smm/ensemble.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cli.hpp"
+
+namespace cpt::bench {
+
+struct BenchEnv {
+    std::size_t train_ues = 600;    // training population per device type
+    std::size_t gen_streams = 250;  // synthesized streams per fidelity eval
+    int epochs = 20;                // CPT-GPT max epochs
+    int gan_epochs = 36;            // NetShare max epochs
+    std::size_t window = 128;       // CPT-GPT training window
+    std::size_t smm_clusters = 24;  // SMM-20k clusters per device type
+    bool full = false;
+    std::string artifact_dir = "bench_artifacts";
+
+    static BenchEnv from_options(const util::Options& opt);
+};
+
+// Model configuration used by every bench (CPU-sized; FULL mode widens it).
+core::CptGptConfig bench_model_config(const BenchEnv& env);
+gan::NetShareConfig bench_gan_config(const BenchEnv& env);
+
+// Deterministic world slices. Train and test use disjoint seeds (the paper
+// trains on June data and tests on August data, §5.1).
+trace::Dataset train_world(trace::DeviceType d, int hour, const BenchEnv& env);
+trace::Dataset test_world(trace::DeviceType d, int hour, const BenchEnv& env);
+
+struct TrainedCptGpt {
+    std::unique_ptr<core::CptGpt> model;
+    core::Tokenizer tokenizer;
+    std::vector<double> initial_dist;
+    double train_seconds = 0.0;  // 0 when loaded from cache
+    bool from_cache = false;
+};
+
+// Returns the per-device CPT-GPT, training (and caching) on first use. As in
+// the paper (§5.1), the phone model is trained from scratch and the car and
+// tablet models are derived from it via transfer learning.
+TrainedCptGpt get_cptgpt(trace::DeviceType d, int hour, const BenchEnv& env);
+
+struct TrainedNetShare {
+    std::unique_ptr<gan::NetShareGenerator> generator;
+    core::Tokenizer tokenizer;
+    double train_seconds = 0.0;
+    bool from_cache = false;
+};
+
+TrainedNetShare get_netshare(trace::DeviceType d, int hour, const BenchEnv& env);
+
+// Generates a fidelity-eval dataset from a trained CPT-GPT. `top_p` = 1.0 is
+// the paper-faithful raw sampling; < 1 applies nucleus truncation.
+trace::Dataset sample_cptgpt(const TrainedCptGpt& m, trace::DeviceType d, int hour,
+                             std::size_t n, std::uint64_t seed, double top_p = 1.0);
+
+const char* device_name(trace::DeviceType d);
+
+}  // namespace cpt::bench

@@ -1,0 +1,81 @@
+// Hourly adaptation (paper Design 3): train a base CPT-GPT on one hour of
+// traffic, then track diurnal drift by fine-tuning the model to each
+// subsequent hour, and show that (1) fine-tuning is much cheaper than
+// retraining and (2) the adapted model tracks each hour's distribution better
+// than the stale base model.
+#include <cstdio>
+
+#include "core/model.hpp"
+#include "core/sampler.hpp"
+#include "core/trainer.hpp"
+#include "metrics/fidelity.hpp"
+#include "trace/synthetic.hpp"
+#include "util/ascii.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace cpt;
+
+trace::Dataset hour_slice(std::size_t ues, int hour, std::uint64_t seed) {
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {ues, 0, 0};
+    cfg.hour_of_day = hour;
+    cfg.seed = seed;
+    return trace::SyntheticWorldGenerator(cfg).generate();
+}
+
+double flow_len_distance(const core::CptGpt& model, const core::Tokenizer& tok,
+                         const trace::Dataset& hour_data, int hour, std::uint64_t seed) {
+    core::SamplerConfig scfg;
+    scfg.device = trace::DeviceType::kPhone;
+    scfg.hour_of_day = hour;
+    const core::Sampler sampler(model, tok, hour_data.initial_event_distribution(), scfg);
+    util::Rng rng(seed);
+    const auto synth = sampler.generate(150, rng);
+    return metrics::evaluate_fidelity(synth, hour_data).maxy_flow_length_all;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Options opt(argc, argv);
+    const auto ues = static_cast<std::size_t>(opt.get_int("ues", 300));
+    const int epochs = static_cast<int>(opt.get_int("epochs", 10));
+    const int hours = static_cast<int>(opt.get_int("hours", 4));
+    constexpr int kBaseHour = 2;  // start at night; drift to the morning peak
+
+    std::puts("=== Hourly adaptation via transfer learning ===");
+    const auto base_data = hour_slice(ues, kBaseHour, 900);
+    const auto tok = core::Tokenizer::fit(base_data);
+    core::CptGptConfig mcfg;
+    util::Rng rng(5);
+    core::CptGpt adapted(tok, mcfg, rng);
+    util::Rng rng2(5);
+    core::CptGpt stale(tok, mcfg, rng2);  // same init; trained once, never adapted
+
+    core::TrainConfig tcfg;
+    tcfg.max_epochs = epochs;
+    tcfg.w_event = 3.0f;
+    core::Trainer adapted_trainer(adapted, tok, tcfg);
+    core::Trainer stale_trainer(stale, tok, tcfg);
+    const double base_secs = adapted_trainer.train(base_data).seconds;
+    stale_trainer.train(base_data);
+    std::printf("base model trained on hour %d in %.1f s\n\n", kBaseHour, base_secs);
+
+    util::TextTable t({"hour", "finetune time", "flow-len max-y (stale base)",
+                       "flow-len max-y (adapted)"});
+    for (int h = 1; h <= hours; ++h) {
+        const int hour = (kBaseHour + h) % 24;
+        const auto data = hour_slice(ues, hour, 900 + static_cast<std::uint64_t>(h));
+        const auto ft = adapted_trainer.fine_tune(data);
+        const double d_stale = flow_len_distance(stale, tok, data, hour, 100 + h);
+        const double d_adapt = flow_len_distance(adapted, tok, data, hour, 200 + h);
+        t.add_row({std::to_string(hour), util::fmt(ft.seconds, 1) + " s",
+                   util::fmt_pct(d_stale, 1), util::fmt_pct(d_adapt, 1)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nThe adapted model tracks each hour's drifted distribution; fine-tuning per");
+    std::puts("hour costs a fraction of the base training time (paper Design 3 / Table 9).");
+    return 0;
+}

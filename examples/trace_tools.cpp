@@ -1,0 +1,94 @@
+// Trace toolbox: generate / load / validate / summarize control-plane traces
+// on the command line — the utility an operator or MCN researcher would use
+// around the generator library.
+//
+//   trace_tools --mode=generate --out=trace.csv --ues=300 --hour=9
+//   trace_tools --mode=validate --in=trace.csv
+//   trace_tools --mode=summary  --in=trace.csv
+#include <cstdio>
+#include <string>
+
+#include "metrics/fidelity.hpp"
+#include "trace/io.hpp"
+#include "trace/synthetic.hpp"
+#include "util/ascii.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cpt;
+
+int do_generate(const util::Options& opt) {
+    trace::SyntheticWorldConfig cfg;
+    const auto total = static_cast<std::size_t>(opt.get_int("ues", 300));
+    // Keep the paper's device mix (~65% phones, ~26% cars, ~9% tablets).
+    cfg.population = {total * 65 / 100, total * 26 / 100,
+                      total - total * 65 / 100 - total * 26 / 100};
+    cfg.hour_of_day = static_cast<int>(opt.get_int("hour", 9));
+    cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+    const auto ds = trace::SyntheticWorldGenerator(cfg).generate();
+    const std::string out = opt.get("out", "trace.csv");
+    trace::write_csv_file(out, ds);
+    std::printf("wrote %zu streams / %zu events to %s\n", ds.streams.size(), ds.total_events(),
+                out.c_str());
+    return 0;
+}
+
+int do_validate(const util::Options& opt) {
+    const auto ds = trace::read_csv_file(opt.get("in", "trace.csv"));
+    const auto v = metrics::semantic_violations(ds);
+    std::printf("streams %zu, counted events %zu\n", v.total_streams, v.counted_events);
+    std::printf("event violations:  %s\n", util::fmt_pct(v.event_fraction(), 3).c_str());
+    std::printf("stream violations: %s\n", util::fmt_pct(v.stream_fraction(), 2).c_str());
+    for (const auto& c : v.top_categories) {
+        std::printf("  (%s, %s): %s of events\n", c.state.c_str(), c.event.c_str(),
+                    util::fmt_pct(c.event_fraction, 3).c_str());
+    }
+    return v.violating_events == 0 ? 0 : 1;
+}
+
+int do_summary(const util::Options& opt) {
+    const auto ds = trace::read_csv_file(opt.get("in", "trace.csv"));
+    const auto& vocab = cellular::vocabulary(ds.generation);
+    std::printf("streams %zu, events %zu\n\n", ds.streams.size(), ds.total_events());
+
+    util::TextTable breakdown({"event", "share"});
+    const auto p = ds.event_type_breakdown();
+    for (std::size_t e = 0; e < p.size(); ++e) {
+        breakdown.add_row({vocab.name(static_cast<cellular::EventId>(e)), util::fmt_pct(p[e], 2)});
+    }
+    std::fputs(breakdown.render().c_str(), stdout);
+
+    const auto lens = ds.flow_lengths();
+    const auto ls = util::summarize(lens);
+    std::printf("\nflow length: mean %.1f  stddev %.1f  max %.0f  p50 %.0f  p99 %.0f\n", ls.mean,
+                ls.stddev, ls.max, util::quantile(lens, 0.5), util::quantile(lens, 0.99));
+
+    const auto s = metrics::collect_sojourns(ds);
+    if (!s.per_ue_mean_connected.empty()) {
+        std::puts("\nper-UE mean CONNECTED sojourn CDF:");
+        std::fputs(util::render_cdf_plot({{"connected", util::Ecdf(s.per_ue_mean_connected)},
+                                          {"idle", util::Ecdf(s.per_ue_mean_idle)}})
+                       .c_str(),
+                   stdout);
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Options opt(argc, argv);
+    const std::string mode = opt.get("mode", "summary");
+    try {
+        if (mode == "generate") return do_generate(opt);
+        if (mode == "validate") return do_validate(opt);
+        if (mode == "summary") return do_summary(opt);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    std::fprintf(stderr, "unknown --mode=%s (generate | validate | summary)\n", mode.c_str());
+    return 2;
+}

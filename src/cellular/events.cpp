@@ -1,0 +1,36 @@
+#include "events.hpp"
+
+#include <stdexcept>
+
+namespace cpt::cellular {
+
+Vocabulary::Vocabulary(Generation gen, std::vector<std::string> names)
+    : gen_(gen), names_(std::move(names)) {}
+
+const std::string& Vocabulary::name(EventId id) const {
+    if (id >= names_.size()) throw std::out_of_range("Vocabulary::name: bad event id");
+    return names_[id];
+}
+
+std::optional<EventId> Vocabulary::id(std::string_view name) const {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name) return static_cast<EventId>(i);
+    }
+    return std::nullopt;
+}
+
+const Vocabulary& vocabulary(Generation gen) {
+    static const Vocabulary lte_vocab(Generation::kLte4G,
+                                      {"ATCH", "DTCH", "SRV_REQ", "S1_CONN_REL", "HO", "TAU"});
+    static const Vocabulary nr_vocab(Generation::kNr5G,
+                                     {"REGISTER", "DEREGISTER", "SRV_REQ", "AN_REL", "HO"});
+    switch (gen) {
+        case Generation::kLte4G:
+            return lte_vocab;
+        case Generation::kNr5G:
+            return nr_vocab;
+    }
+    throw std::invalid_argument("vocabulary: unknown generation");
+}
+
+}  // namespace cpt::cellular

@@ -1,0 +1,73 @@
+// Control-plane event vocabularies for 4G (LTE) and 5G (NR), following
+// Table 1 of the paper. Events are identified by small integer ids that index
+// into a per-generation Vocabulary; all higher layers (tokenizer, SMM, GAN)
+// work on these ids and therefore carry zero 3GPP-specific logic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpt::cellular {
+
+// Cellular technology generation. The paper evaluates on LTE; the 5G machine
+// is implemented as well (Fig. 1b) to demonstrate that only this module — the
+// "domain knowledge" — changes between generations.
+enum class Generation : std::uint8_t {
+    kLte4G,
+    kNr5G,
+};
+
+using EventId = std::uint8_t;
+
+// 4G event ids (stable, also used as token one-hot positions).
+namespace lte {
+inline constexpr EventId kAtch = 0;        // ATCH: register UE with the MCN
+inline constexpr EventId kDtch = 1;        // DTCH: de-register UE
+inline constexpr EventId kSrvReq = 2;      // SRV_REQ: create signaling connection
+inline constexpr EventId kS1ConnRel = 3;   // S1_CONN_REL: release signaling connection
+inline constexpr EventId kHo = 4;          // HO: handover to another cell
+inline constexpr EventId kTau = 5;         // TAU: tracking area update
+inline constexpr std::size_t kNumEvents = 6;
+}  // namespace lte
+
+// 5G event ids. TAU does not exist in 5G (paper §2.1).
+namespace nr {
+inline constexpr EventId kRegister = 0;
+inline constexpr EventId kDeregister = 1;
+inline constexpr EventId kSrvReq = 2;
+inline constexpr EventId kAnRel = 3;
+inline constexpr EventId kHo = 4;
+inline constexpr std::size_t kNumEvents = 5;
+}  // namespace nr
+
+// Name table for a generation's event set.
+class Vocabulary {
+public:
+    Vocabulary(Generation gen, std::vector<std::string> names);
+
+    Generation generation() const { return gen_; }
+    std::size_t size() const { return names_.size(); }
+    const std::string& name(EventId id) const;
+    std::optional<EventId> id(std::string_view name) const;
+
+private:
+    Generation gen_;
+    std::vector<std::string> names_;
+};
+
+// Singleton vocabularies.
+const Vocabulary& vocabulary(Generation gen);
+
+// A single timestamped control-plane event within a stream. Timestamps are
+// seconds relative to the containing stream's start.
+struct ControlEvent {
+    double timestamp = 0.0;
+    EventId type = 0;
+
+    bool operator==(const ControlEvent&) const = default;
+};
+
+}  // namespace cpt::cellular

@@ -1,0 +1,190 @@
+#include "messages.hpp"
+
+#include <stdexcept>
+
+namespace cpt::cellular {
+
+std::string_view to_string(Entity e) {
+    switch (e) {
+        case Entity::kUe: return "UE";
+        case Entity::kRan: return "RAN";
+        case Entity::kMme: return "MME";
+        case Entity::kSgw: return "SGW";
+        case Entity::kHss: return "HSS";
+    }
+    return "?";
+}
+
+namespace {
+
+using enum Entity;
+
+// TS 23.401 §5.3.2 (E-UTRAN initial attach), reduced to MCN-visible messages.
+constexpr Message kAttach[] = {
+    {"Attach Request", kUe, kMme, 140},
+    {"Authentication Information Request", kMme, kHss, 110},
+    {"Authentication Information Answer", kHss, kMme, 180},
+    {"Authentication Request", kMme, kUe, 90},
+    {"Authentication Response", kUe, kMme, 60},
+    {"Security Mode Command", kMme, kUe, 70},
+    {"Security Mode Complete", kUe, kMme, 50},
+    {"Update Location Request", kMme, kHss, 120},
+    {"Update Location Answer", kHss, kMme, 200},
+    {"Create Session Request", kMme, kSgw, 250},
+    {"Create Session Response", kSgw, kMme, 220},
+    {"Initial Context Setup Request / Attach Accept", kMme, kRan, 300},
+    {"Initial Context Setup Response", kRan, kMme, 90},
+    {"Attach Complete", kUe, kMme, 50},
+    {"Modify Bearer Request", kMme, kSgw, 130},
+    {"Modify Bearer Response", kSgw, kMme, 110},
+};
+
+// TS 23.401 §5.3.8 (UE-initiated detach).
+constexpr Message kDetach[] = {
+    {"Detach Request", kUe, kMme, 80},
+    {"Delete Session Request", kMme, kSgw, 110},
+    {"Delete Session Response", kSgw, kMme, 90},
+    {"Detach Accept", kMme, kUe, 50},
+    {"UE Context Release Command", kMme, kRan, 70},
+    {"UE Context Release Complete", kRan, kMme, 60},
+};
+
+// TS 23.401 §5.3.4.1 (UE-triggered service request).
+constexpr Message kServiceRequest[] = {
+    {"Service Request", kUe, kMme, 70},
+    {"Initial Context Setup Request", kMme, kRan, 220},
+    {"Initial Context Setup Response", kRan, kMme, 90},
+    {"Modify Bearer Request", kMme, kSgw, 130},
+    {"Modify Bearer Response", kSgw, kMme, 110},
+};
+
+// TS 23.401 §5.3.5 (S1 release).
+constexpr Message kS1Release[] = {
+    {"UE Context Release Request", kRan, kMme, 70},
+    {"Release Access Bearers Request", kMme, kSgw, 90},
+    {"Release Access Bearers Response", kSgw, kMme, 80},
+    {"UE Context Release Command", kMme, kRan, 70},
+    {"UE Context Release Complete", kRan, kMme, 60},
+};
+
+// TS 23.401 §5.5.1.1 (X2-based handover with S-GW path switch).
+constexpr Message kHandover[] = {
+    {"Path Switch Request", kRan, kMme, 150},
+    {"Modify Bearer Request", kMme, kSgw, 130},
+    {"Modify Bearer Response", kSgw, kMme, 110},
+    {"Path Switch Request Acknowledge", kMme, kRan, 120},
+};
+
+// TS 23.401 §5.3.3 (tracking area update, no S-GW change).
+constexpr Message kTau[] = {
+    {"TAU Request", kUe, kMme, 110},
+    {"TAU Accept", kMme, kUe, 90},
+    {"TAU Complete", kUe, kMme, 40},
+};
+
+// 5G equivalents (TS 23.502): structurally the same procedures with renamed
+// messages; HO has no TAU follow-up.
+constexpr Message kRegister5g[] = {
+    {"Registration Request", kUe, kMme, 150},
+    {"Nudm Authentication Get", kMme, kHss, 120},
+    {"Nudm Authentication Response", kHss, kMme, 190},
+    {"Authentication Request", kMme, kUe, 90},
+    {"Authentication Response", kUe, kMme, 60},
+    {"Security Mode Command", kMme, kUe, 70},
+    {"Security Mode Complete", kUe, kMme, 50},
+    {"Nudm Registration", kMme, kHss, 130},
+    {"Nsmf PDU Session Create", kMme, kSgw, 260},
+    {"Nsmf PDU Session Create Response", kSgw, kMme, 230},
+    {"Initial Context Setup / Registration Accept", kMme, kRan, 310},
+    {"Registration Complete", kUe, kMme, 50},
+};
+
+constexpr Message kDeregister5g[] = {
+    {"Deregistration Request", kUe, kMme, 80},
+    {"Nsmf PDU Session Release", kMme, kSgw, 110},
+    {"Nsmf PDU Session Release Response", kSgw, kMme, 90},
+    {"Deregistration Accept", kMme, kUe, 50},
+    {"UE Context Release Command", kMme, kRan, 70},
+    {"UE Context Release Complete", kRan, kMme, 60},
+};
+
+constexpr Message kServiceRequest5g[] = {
+    {"Service Request", kUe, kMme, 80},
+    {"Initial Context Setup Request", kMme, kRan, 230},
+    {"Initial Context Setup Response", kRan, kMme, 90},
+    {"Nsmf PDU Session Update", kMme, kSgw, 140},
+    {"Nsmf PDU Session Update Response", kSgw, kMme, 120},
+};
+
+constexpr Message kAnRelease5g[] = {
+    {"AN Release Request", kRan, kMme, 70},
+    {"Nsmf PDU Session Deactivate", kMme, kSgw, 100},
+    {"Nsmf PDU Session Deactivate Response", kSgw, kMme, 80},
+    {"UE Context Release Command", kMme, kRan, 70},
+    {"UE Context Release Complete", kRan, kMme, 60},
+};
+
+constexpr Message kHandover5g[] = {
+    {"Path Switch Request", kRan, kMme, 160},
+    {"Nsmf PDU Session Update", kMme, kSgw, 140},
+    {"Nsmf PDU Session Update Response", kSgw, kMme, 120},
+    {"Path Switch Request Acknowledge", kMme, kRan, 120},
+};
+
+}  // namespace
+
+std::span<const Message> messages_for(Generation gen, EventId event) {
+    if (gen == Generation::kLte4G) {
+        switch (event) {
+            case lte::kAtch: return kAttach;
+            case lte::kDtch: return kDetach;
+            case lte::kSrvReq: return kServiceRequest;
+            case lte::kS1ConnRel: return kS1Release;
+            case lte::kHo: return kHandover;
+            case lte::kTau: return kTau;
+            default: break;
+        }
+    } else {
+        switch (event) {
+            case nr::kRegister: return kRegister5g;
+            case nr::kDeregister: return kDeregister5g;
+            case nr::kSrvReq: return kServiceRequest5g;
+            case nr::kAnRel: return kAnRelease5g;
+            case nr::kHo: return kHandover5g;
+            default: break;
+        }
+    }
+    throw std::invalid_argument("messages_for: unknown event id");
+}
+
+std::size_t mcn_message_count(Generation gen, EventId event) {
+    std::size_t n = 0;
+    for (const auto& m : messages_for(gen, event)) {
+        const bool mcn_side = m.from == Entity::kMme || m.to == Entity::kMme ||
+                              m.from == Entity::kSgw || m.to == Entity::kSgw ||
+                              m.from == Entity::kHss || m.to == Entity::kHss;
+        if (mcn_side) ++n;
+    }
+    return n;
+}
+
+std::size_t total_bytes(Generation gen, EventId event) {
+    std::size_t n = 0;
+    for (const auto& m : messages_for(gen, event)) n += m.bytes;
+    return n;
+}
+
+std::vector<TimedMessage> expand(Generation gen, std::span<const ControlEvent> events,
+                                 double per_message_gap_s) {
+    std::vector<TimedMessage> out;
+    for (const auto& ev : events) {
+        double t = ev.timestamp;
+        for (const auto& m : messages_for(gen, ev.type)) {
+            out.push_back({t, m});
+            t += per_message_gap_s;
+        }
+    }
+    return out;
+}
+
+}  // namespace cpt::cellular

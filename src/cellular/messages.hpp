@@ -1,0 +1,65 @@
+// Control-event → control-plane-message expansion.
+//
+// The paper's traffic model stops at control events because "mapping from a
+// control-plane event to messages is fixed as dictated by the 3GPP protocol"
+// (§2.1, note 2). This module is that fixed mapping: each event type expands
+// into the NAS/S1AP message sequence exchanged among UE, RAN (eNodeB) and the
+// MCN entities (MME, S-GW, HSS), so downstream consumers (e.g. the MCN
+// simulator, message-level sizing studies) can work at message granularity.
+//
+// The sequences follow TS 23.401's procedure flows, reduced to the messages
+// that traverse the MCN (RAN-internal RRC signalling is out of scope, as in
+// the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "events.hpp"
+
+namespace cpt::cellular {
+
+// Network elements that originate/receive control messages.
+enum class Entity : std::uint8_t {
+    kUe,
+    kRan,   // eNodeB / gNB
+    kMme,   // MME (4G) / AMF (5G)
+    kSgw,   // S-GW (4G) / SMF+UPF control (5G)
+    kHss,   // HSS (4G) / UDM (5G)
+};
+
+std::string_view to_string(Entity e);
+
+// One control-plane message of a procedure.
+struct Message {
+    std::string_view name;  // 3GPP message name
+    Entity from;
+    Entity to;
+    // Approximate encoded size in bytes (NAS+S1AP), for link-load studies.
+    std::uint32_t bytes;
+};
+
+// The fixed message sequence for one control event. Sequences are defined
+// per generation; ids index into the generation's vocabulary.
+std::span<const Message> messages_for(Generation gen, EventId event);
+
+// Number of messages that transit the MCN (i.e. from or to MME/S-GW/HSS) for
+// one event — the per-event signalling load unit.
+std::size_t mcn_message_count(Generation gen, EventId event);
+
+// Total bytes across the event's message sequence.
+std::size_t total_bytes(Generation gen, EventId event);
+
+// Expands a stream of events into a timestamped message trace. Messages of
+// one event share the event's timestamp plus `per_message_gap_s` increments
+// (serialized procedure steps).
+struct TimedMessage {
+    double timestamp;
+    Message message;
+};
+std::vector<TimedMessage> expand(Generation gen, std::span<const ControlEvent> events,
+                                 double per_message_gap_s = 0.005);
+
+}  // namespace cpt::cellular

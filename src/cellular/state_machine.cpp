@@ -1,0 +1,188 @@
+#include "state_machine.hpp"
+
+#include <stdexcept>
+
+namespace cpt::cellular {
+
+std::string_view to_string(TopState s) {
+    switch (s) {
+        case TopState::kDeregistered: return "DEREGISTERED";
+        case TopState::kConnected: return "CONNECTED";
+        case TopState::kIdle: return "IDLE";
+    }
+    return "?";
+}
+
+std::string_view to_string(SubState s) {
+    switch (s) {
+        case SubState::kDeregistered: return "DEREGISTERED";
+        case SubState::kConnActive: return "CONNECTED";
+        case SubState::kConnAfterHo: return "CONN_HO_S";
+        case SubState::kIdleS1RelS: return "S1_REL_S";
+        case SubState::kIdleTauS: return "TAU_IDLE_S";
+        case SubState::kNumSubStates: break;
+    }
+    return "?";
+}
+
+TopState top_state_of(SubState s) {
+    switch (s) {
+        case SubState::kDeregistered: return TopState::kDeregistered;
+        case SubState::kConnActive:
+        case SubState::kConnAfterHo: return TopState::kConnected;
+        case SubState::kIdleS1RelS:
+        case SubState::kIdleTauS: return TopState::kIdle;
+        case SubState::kNumSubStates: break;
+    }
+    throw std::invalid_argument("top_state_of: bad sub-state");
+}
+
+StateMachine::StateMachine(Generation gen, std::size_t num_events)
+    : gen_(gen),
+      num_events_(num_events),
+      table_(static_cast<std::size_t>(SubState::kNumSubStates) * num_events, -1),
+      bootstrap_(num_events, -1) {}
+
+void StateMachine::add(SubState from, EventId event, SubState to) {
+    table_[static_cast<std::size_t>(from) * num_events_ + event] = static_cast<std::int8_t>(to);
+    transitions_.push_back({from, event, to});
+}
+
+void StateMachine::set_bootstrap(EventId event, SubState to) {
+    bootstrap_[event] = static_cast<std::int8_t>(to);
+}
+
+std::optional<SubState> StateMachine::step(SubState from, EventId event) const {
+    if (event >= num_events_) return std::nullopt;
+    const std::int8_t to = table_[static_cast<std::size_t>(from) * num_events_ + event];
+    if (to < 0) return std::nullopt;
+    return static_cast<SubState>(to);
+}
+
+std::optional<SubState> StateMachine::bootstrap_state(EventId event) const {
+    if (event >= num_events_) return std::nullopt;
+    const std::int8_t to = bootstrap_[event];
+    if (to < 0) return std::nullopt;
+    return static_cast<SubState>(to);
+}
+
+bool StateMachine::event_ever_legal(EventId event) const {
+    for (const auto& t : transitions_) {
+        if (t.event == event) return true;
+    }
+    return false;
+}
+
+const StateMachine& StateMachine::for_generation(Generation gen) {
+    static const StateMachine lte = [] {
+        StateMachine m(Generation::kLte4G, lte::kNumEvents);
+        using enum SubState;
+        // DEREGISTERED: only an attach is legal.
+        m.add(kDeregistered, lte::kAtch, kConnActive);
+        // CONNECTED (active).
+        m.add(kConnActive, lte::kS1ConnRel, kIdleS1RelS);
+        m.add(kConnActive, lte::kHo, kConnAfterHo);
+        m.add(kConnActive, lte::kTau, kConnActive);
+        m.add(kConnActive, lte::kDtch, kDeregistered);
+        // CONNECTED (handover just completed): TAU completes the handover into
+        // the new tracking area; a further HO chains; release/detach are legal.
+        m.add(kConnAfterHo, lte::kTau, kConnActive);
+        m.add(kConnAfterHo, lte::kHo, kConnAfterHo);
+        m.add(kConnAfterHo, lte::kS1ConnRel, kIdleS1RelS);
+        m.add(kConnAfterHo, lte::kDtch, kDeregistered);
+        // IDLE after S1 release (S1_REL_S): re-release and HO are violations.
+        m.add(kIdleS1RelS, lte::kSrvReq, kConnActive);
+        m.add(kIdleS1RelS, lte::kTau, kIdleTauS);
+        m.add(kIdleS1RelS, lte::kDtch, kDeregistered);
+        // IDLE after a TAU-from-idle.
+        m.add(kIdleTauS, lte::kSrvReq, kConnActive);
+        m.add(kIdleTauS, lte::kTau, kIdleTauS);
+        m.add(kIdleTauS, lte::kDtch, kDeregistered);
+        // Bootstrap (§5.2.1): ATCH, DTCH, SRV_REQ, HO have deterministic
+        // destinations regardless of source state.
+        m.set_bootstrap(lte::kAtch, kConnActive);
+        m.set_bootstrap(lte::kDtch, kDeregistered);
+        m.set_bootstrap(lte::kSrvReq, kConnActive);
+        m.set_bootstrap(lte::kHo, kConnAfterHo);
+        return m;
+    }();
+    static const StateMachine nr = [] {
+        StateMachine m(Generation::kNr5G, nr::kNumEvents);
+        using enum SubState;
+        m.add(kDeregistered, nr::kRegister, kConnActive);
+        m.add(kConnActive, nr::kAnRel, kIdleS1RelS);
+        m.add(kConnActive, nr::kHo, kConnActive);  // no TAU in 5G -> no AFTER_HO
+        m.add(kConnActive, nr::kDeregister, kDeregistered);
+        m.add(kIdleS1RelS, nr::kSrvReq, kConnActive);
+        m.add(kIdleS1RelS, nr::kDeregister, kDeregistered);
+        m.set_bootstrap(nr::kRegister, kConnActive);
+        m.set_bootstrap(nr::kDeregister, kDeregistered);
+        m.set_bootstrap(nr::kSrvReq, kConnActive);
+        m.set_bootstrap(nr::kHo, kConnActive);
+        return m;
+    }();
+    switch (gen) {
+        case Generation::kLte4G: return lte;
+        case Generation::kNr5G: return nr;
+    }
+    throw std::invalid_argument("StateMachine::for_generation: unknown generation");
+}
+
+ReplayResult StateMachineReplayer::replay(std::span<const ControlEvent> events) const {
+    const auto& m = *machine_;
+    ReplayResult r;
+    r.violation_by_state_event.assign(
+        static_cast<std::size_t>(SubState::kNumSubStates) * m.num_events(), 0);
+
+    SubState state = SubState::kDeregistered;
+    bool bootstrapped = false;
+    double top_state_entered_at = 0.0;
+    TopState top = TopState::kDeregistered;
+
+    auto record_sojourn = [&](TopState s, double duration) {
+        switch (s) {
+            case TopState::kConnected: r.sojourn_connected.push_back(duration); break;
+            case TopState::kIdle: r.sojourn_idle.push_back(duration); break;
+            case TopState::kDeregistered: r.sojourn_deregistered.push_back(duration); break;
+        }
+    };
+
+    for (const ControlEvent& ev : events) {
+        if (!bootstrapped) {
+            const auto boot = m.bootstrap_state(ev.type);
+            if (!boot) {
+                ++r.pre_bootstrap_events;
+                continue;
+            }
+            bootstrapped = true;
+            state = *boot;
+            top = top_state_of(state);
+            top_state_entered_at = ev.timestamp;
+            // The bootstrap event itself is excluded from violation counting —
+            // it defines the initial state rather than being checked against
+            // one (§5.2.1 counts events "preceding the state machine
+            // bootstrapping" as excluded; the bootstrap event produces the
+            // initial state).
+            continue;
+        }
+        ++r.counted_events;
+        const auto next = m.step(state, ev.type);
+        if (!next) {
+            ++r.violations;
+            ++r.violation_by_state_event[static_cast<std::size_t>(state) * m.num_events() + ev.type];
+            continue;  // violation: stay in the same state (§5.2.1)
+        }
+        const TopState next_top = top_state_of(*next);
+        if (next_top != top) {
+            record_sojourn(top, ev.timestamp - top_state_entered_at);
+            top = next_top;
+            top_state_entered_at = ev.timestamp;
+        }
+        state = *next;
+    }
+    r.bootstrapped = bootstrapped;
+    r.final_state = state;
+    return r;
+}
+
+}  // namespace cpt::cellular

@@ -1,0 +1,122 @@
+#include "model.hpp"
+
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace cpt::core {
+
+namespace {
+
+nn::TransformerConfig backbone_config(const Tokenizer& tokenizer, const CptGptConfig& config) {
+    nn::TransformerConfig bc;
+    bc.d_token = tokenizer.d_token();
+    bc.d_model = config.d_model;
+    bc.heads = config.heads;
+    bc.mlp_hidden = config.mlp_hidden;
+    bc.blocks = config.blocks;
+    bc.max_seq_len = config.max_seq_len;
+    return bc;
+}
+
+}  // namespace
+
+CptGpt::CptGpt(const Tokenizer& tokenizer, const CptGptConfig& config, util::Rng& rng)
+    : config_(config),
+      num_events_(tokenizer.num_event_types()),
+      backbone_(backbone_config(tokenizer, config), rng),
+      event_head_(config.d_model, config.head_hidden, num_events_, rng),
+      ia_head_(config.d_model, config.head_hidden, config.distribution_head ? 2 : 1, rng),
+      stop_head_(config.d_model, config.head_hidden, 2, rng) {}
+
+CptGpt::Output CptGpt::forward(const nn::Var& tokens) const {
+    const auto& ts = tokens->value.shape();
+    if (ts.size() != 3) throw std::invalid_argument("CptGpt::forward: expected [B, T, d_token]");
+    const std::size_t rows = ts[0] * ts[1];
+
+    nn::Var h = backbone_.forward(tokens);             // [B, T, D]
+    nn::Var flat = nn::reshape(h, {rows, config_.d_model});
+
+    Output out;
+    out.event_logits = event_head_.forward(flat);       // [rows, E]
+    nn::Var ia = ia_head_.forward(flat);                // [rows, 2] or [rows, 1]
+    if (config_.distribution_head) {
+        out.ia_mu = nn::reshape(nn::slice_lastdim(ia, 0, 1), {rows});
+        out.ia_logvar = nn::reshape(nn::slice_lastdim(ia, 1, 1), {rows});
+    } else {
+        out.ia_mu = nn::reshape(ia, {rows});
+        out.ia_logvar = nullptr;
+    }
+    out.stop_logits = stop_head_.forward(flat);         // [rows, 2]
+    return out;
+}
+
+nn::TransformerDecoder CptGpt::make_decoder(std::size_t batch) const {
+    return nn::TransformerDecoder(backbone_, batch);
+}
+
+CptGpt::DecodeOutput CptGpt::decode_step(nn::TransformerDecoder& decoder,
+                                         const nn::Tensor& tokens) const {
+    const nn::Tensor hidden = decoder.step(tokens);  // [B, d_model]
+    const std::size_t b = hidden.dim(0);
+    // The heads are small; running them through the autograd modules on a
+    // leaf Var costs nothing measurable and avoids duplicating their math.
+    nn::Var h = nn::make_var(hidden);
+    DecodeOutput out;
+    out.event_logits = event_head_.forward(h)->value;
+    nn::Var ia = ia_head_.forward(h);
+    if (config_.distribution_head) {
+        out.ia_mu = nn::slice_lastdim(ia, 0, 1)->value.reshaped({b});
+        out.ia_logvar = nn::slice_lastdim(ia, 1, 1)->value.reshaped({b});
+    } else {
+        out.ia_mu = ia->value.reshaped({b});
+    }
+    out.stop_logits = stop_head_.forward(h)->value;
+    return out;
+}
+
+void CptGpt::collect(const std::string& prefix, std::vector<nn::NamedParam>& out) const {
+    backbone_.collect(prefix + "backbone.", out);
+    event_head_.collect(prefix + "event_head.", out);
+    ia_head_.collect(prefix + "ia_head.", out);
+    stop_head_.collect(prefix + "stop_head.", out);
+}
+
+void CptGpt::save_package(const std::string& path, const Tokenizer& tokenizer,
+                          const std::vector<double>& initial_event_dist) const {
+    if (initial_event_dist.size() != num_events_) {
+        throw std::invalid_argument("save_package: initial distribution size mismatch");
+    }
+    auto params = named_parameters("cptgpt.");
+    // Pack tokenizer scaling and the bootstrap distribution as extra tensors.
+    std::vector<float> meta{static_cast<float>(tokenizer.min_log_interarrival()),
+                            static_cast<float>(tokenizer.max_log_interarrival())};
+    params.push_back({"meta.ia_scaling", nn::make_var(nn::Tensor::from(meta, {2}))});
+    std::vector<float> dist(initial_event_dist.begin(), initial_event_dist.end());
+    params.push_back(
+        {"meta.initial_event_dist", nn::make_var(nn::Tensor::from(dist, {num_events_}))});
+    nn::save_parameters(path, params);
+}
+
+CptGpt::Package CptGpt::load_package(const std::string& path, cellular::Generation generation,
+                                     const CptGptConfig& config) {
+    // Build a skeleton (weights are overwritten by the checkpoint; the
+    // tokenizer scaling is patched after reading the meta tensors).
+    util::Rng rng(0);
+    Tokenizer placeholder(generation, 0.0, 1.0);
+    auto model = std::make_unique<CptGpt>(placeholder, config, rng);
+    auto params = model->named_parameters("cptgpt.");
+    auto ia_scaling = nn::make_var(nn::Tensor::zeros({2}));
+    auto dist = nn::make_var(nn::Tensor::zeros({model->num_event_types()}));
+    params.push_back({"meta.ia_scaling", ia_scaling});
+    params.push_back({"meta.initial_event_dist", dist});
+    nn::load_parameters(path, params);
+
+    Package pkg{std::move(model),
+                Tokenizer(generation, ia_scaling->value[0], ia_scaling->value[1]),
+                {}};
+    pkg.initial_event_dist.assign(dist->value.data().begin(), dist->value.data().end());
+    return pkg;
+}
+
+}  // namespace cpt::core

@@ -1,0 +1,180 @@
+#include "sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace cpt::core {
+
+Sampler::Sampler(const CptGpt& model, const Tokenizer& tokenizer,
+                 std::vector<double> initial_event_dist, SamplerConfig config)
+    : model_(&model),
+      tokenizer_(&tokenizer),
+      initial_event_dist_(std::move(initial_event_dist)),
+      config_(config) {
+    if (initial_event_dist_.size() != tokenizer.num_event_types()) {
+        throw std::invalid_argument("Sampler: initial distribution size mismatch");
+    }
+    double total = 0.0;
+    for (double p : initial_event_dist_) total += p;
+    if (total <= 0.0) throw std::invalid_argument("Sampler: degenerate initial distribution");
+    if (config_.top_p <= 0.0 || config_.top_p > 1.0) {
+        throw std::invalid_argument("Sampler: top_p must be in (0, 1]");
+    }
+    if (config_.batch == 0) config_.batch = 1;
+    config_.max_stream_len = std::min(config_.max_stream_len, model.config().max_seq_len);
+}
+
+namespace {
+
+// Samples from logits with temperature and nucleus (top-p) truncation.
+std::size_t sample_logits(std::span<const float> logits, double temperature, double top_p,
+                          util::Rng& rng) {
+    std::vector<double> probs(logits.size());
+    double mx = -1e30;
+    for (float l : logits) mx = std::max(mx, static_cast<double>(l));
+    double total = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        probs[i] = std::exp((static_cast<double>(logits[i]) - mx) / std::max(temperature, 1e-3));
+        total += probs[i];
+    }
+    for (double& p : probs) p /= total;
+    if (top_p < 1.0) {
+        // Keep the smallest prefix (by descending probability) whose mass
+        // reaches top_p; zero out the tail.
+        std::vector<std::size_t> order(probs.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return probs[a] > probs[b]; });
+        double mass = 0.0;
+        std::size_t keep = 0;
+        while (keep < order.size() && mass < top_p) {
+            mass += probs[order[keep]];
+            ++keep;
+        }
+        std::vector<double> truncated(probs.size(), 0.0);
+        for (std::size_t i = 0; i < keep; ++i) truncated[order[i]] = probs[order[i]];
+        probs = std::move(truncated);
+    }
+    return rng.categorical(std::span<const double>(probs));
+}
+
+}  // namespace
+
+std::vector<trace::Stream> Sampler::generate_batch(std::size_t batch, util::Rng& rng,
+                                                   const std::string& ue_prefix,
+                                                   std::size_t first_serial) const {
+    const std::size_t d_token = tokenizer_->d_token();
+    const std::size_t num_events = tokenizer_->num_event_types();
+    const bool dist_head = model_->config().distribution_head;
+
+    struct Active {
+        trace::Stream stream;
+        util::Rng rng;
+        std::vector<float> next_token;  // the token to feed on the next step
+        double t = 0.0;
+    };
+    std::vector<Active> active;
+    active.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+        Active a{.stream = {}, .rng = rng.fork(i), .next_token = {}, .t = 0.0};
+        char id[64];
+        std::snprintf(id, sizeof(id), "%s-%06zu", ue_prefix.c_str(), first_serial + i);
+        a.stream.ue_id = id;
+        a.stream.device = config_.device;
+        a.stream.hour_of_day = config_.hour_of_day;
+        // Bootstrap token (§4.5): sampled initial event, interarrival 0, stop 0.
+        const auto first_event = static_cast<cellular::EventId>(
+            a.rng.categorical(std::span<const double>(initial_event_dist_)));
+        a.next_token.resize(d_token, 0.0f);
+        tokenizer_->encode_token(first_event, 0.0, false,
+                                 std::span<float>(a.next_token.data(), d_token));
+        a.stream.events.push_back({0.0, first_event});
+        active.push_back(std::move(a));
+    }
+
+    // Incremental decoding: each step feeds one new token per active stream
+    // into the KV-cached decoder; finished streams are compacted away.
+    nn::TransformerDecoder decoder = model_->make_decoder(batch);
+    std::vector<trace::Stream> done;
+    done.reserve(batch);
+    while (!active.empty() && decoder.length() + 1 < config_.max_stream_len) {
+        const std::size_t b = active.size();
+        nn::Tensor input({b, d_token});
+        {
+            auto dst = input.data();
+            for (std::size_t i = 0; i < b; ++i) {
+                std::copy(active[i].next_token.begin(), active[i].next_token.end(),
+                          dst.begin() + static_cast<std::ptrdiff_t>(i * d_token));
+            }
+        }
+        const auto pred = model_->decode_step(decoder, input);
+
+        std::vector<Active> still_active;
+        std::vector<std::size_t> keep_rows;
+        still_active.reserve(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            Active& a = active[i];
+            const auto ev_logits = pred.event_logits.data().subspan(i * num_events, num_events);
+            const auto event = static_cast<cellular::EventId>(
+                sample_logits(ev_logits, config_.temperature, config_.top_p, a.rng));
+
+            const float mu = pred.ia_mu[i];
+            double scaled;
+            if (dist_head) {
+                const double sigma = std::exp(0.5 * static_cast<double>(pred.ia_logvar[i]));
+                scaled = a.rng.normal(static_cast<double>(mu), sigma);
+            } else {
+                scaled = static_cast<double>(mu);
+            }
+            const double interarrival = tokenizer_->unscale_interarrival(scaled);
+            a.t += interarrival;
+
+            const auto stop_logits = pred.stop_logits.data().subspan(i * 2, 2);
+            const bool stop =
+                sample_logits(stop_logits, config_.temperature, config_.top_p, a.rng) == 1;
+
+            a.stream.events.push_back({a.t, event});
+            if (stop || a.stream.events.size() >= config_.max_stream_len) {
+                done.push_back(std::move(a.stream));
+                continue;
+            }
+            tokenizer_->encode_token(event, interarrival, false,
+                                     std::span<float>(a.next_token.data(), d_token));
+            keep_rows.push_back(i);
+            still_active.push_back(std::move(a));
+        }
+        if (keep_rows.size() != b) decoder.compact(keep_rows);
+        active = std::move(still_active);
+    }
+    for (auto& a : active) done.push_back(std::move(a.stream));  // hit the length cap
+    return done;
+}
+
+trace::Stream Sampler::sample_stream(const std::string& ue_id, util::Rng& rng) const {
+    auto streams = generate_batch(1, rng, "tmp", 0);
+    streams.front().ue_id = ue_id;
+    return streams.front();
+}
+
+trace::Dataset Sampler::generate(std::size_t n, util::Rng& rng,
+                                 const std::string& ue_prefix) const {
+    trace::Dataset ds;
+    ds.generation = tokenizer_->generation();
+    std::size_t serial = 0;
+    while (ds.streams.size() < n) {
+        const std::size_t want = n - ds.streams.size();
+        const std::size_t batch = std::min(config_.batch, want + want / 8 + 1);
+        auto streams = generate_batch(batch, rng, ue_prefix, serial);
+        serial += batch;
+        for (auto& s : streams) {
+            if (s.length() >= 2 && ds.streams.size() < n) ds.streams.push_back(std::move(s));
+        }
+        if (serial > 20 * n + 100) break;  // degenerate model guard
+    }
+    return ds;
+}
+
+}  // namespace cpt::core

@@ -1,0 +1,63 @@
+// Autoregressive CPT-GPT inference (paper §4.5): each stream is bootstrapped
+// by sampling the first event type from the released initial-event-type
+// distribution (interarrival and stop flag fixed to 0), then the model
+// recursively predicts the next token until it emits a stop flag of 1. The
+// event type and the stop flag are sampled from the predicted categorical
+// distributions; the interarrival is sampled from the predicted normal
+// distribution (Design 2), or taken verbatim in the ablation mode.
+//
+// Categorical sampling optionally applies nucleus (top-p) truncation — the
+// standard language-model inference practice of sampling from the smallest
+// probability mass >= top_p. It suppresses the low-probability tail where
+// state-machine-violating events live, at the cost of also suppressing
+// legitimately rare events (ATCH/DTCH are ~0.1% of real traffic), so the
+// default is raw sampling (top_p = 1.0), matching the paper's inference.
+//
+// generate() runs streams in parallel batches: all active streams share the
+// same context length, so one [B, T, d_token] forward serves B streams per
+// step, which is roughly an order of magnitude faster than per-stream loops
+// on CPU.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+#include "trace/stream.hpp"
+
+namespace cpt::core {
+
+struct SamplerConfig {
+    std::size_t max_stream_len = 500;  // hard cap, matching training (§5.1)
+    double temperature = 1.0;          // categorical sampling temperature
+    double top_p = 1.0;                // nucleus truncation; 1.0 disables
+    std::size_t batch = 32;            // streams generated per batched forward
+    trace::DeviceType device = trace::DeviceType::kPhone;  // label for streams
+    int hour_of_day = 0;
+};
+
+class Sampler {
+public:
+    Sampler(const CptGpt& model, const Tokenizer& tokenizer,
+            std::vector<double> initial_event_dist, SamplerConfig config = {});
+
+    // Generates a single stream (convenience; batched internally for n = 1).
+    trace::Stream sample_stream(const std::string& ue_id, util::Rng& rng) const;
+
+    // Generates `n` streams (length >= 2; shorter draws are dropped).
+    trace::Dataset generate(std::size_t n, util::Rng& rng,
+                            const std::string& ue_prefix = "cptgpt") const;
+
+private:
+    std::vector<trace::Stream> generate_batch(std::size_t batch, util::Rng& rng,
+                                              const std::string& ue_prefix,
+                                              std::size_t first_serial) const;
+
+    const CptGpt* model_;
+    const Tokenizer* tokenizer_;
+    std::vector<double> initial_event_dist_;
+    SamplerConfig config_;
+};
+
+}  // namespace cpt::core

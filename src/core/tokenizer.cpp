@@ -1,0 +1,66 @@
+#include "tokenizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cpt::core {
+
+Tokenizer::Tokenizer(cellular::Generation generation, double min_log_ia, double max_log_ia)
+    : generation_(generation),
+      num_events_(cellular::vocabulary(generation).size()),
+      min_log_ia_(min_log_ia),
+      max_log_ia_(std::max(max_log_ia, min_log_ia + 1e-9)) {}
+
+Tokenizer Tokenizer::fit(const trace::Dataset& ds) {
+    if (ds.streams.empty()) throw std::invalid_argument("Tokenizer::fit: empty dataset");
+    double lo = 0.0;  // first-token interarrival is defined 0 -> log(1) = 0
+    double hi = 0.0;
+    for (const auto& s : ds.streams) {
+        for (double ia : s.interarrivals()) {
+            const double l = std::log(ia + 1.0);
+            lo = std::min(lo, l);
+            hi = std::max(hi, l);
+        }
+    }
+    return Tokenizer(ds.generation, lo, hi);
+}
+
+float Tokenizer::scale_interarrival(double seconds) const {
+    const double l = std::log(std::max(seconds, 0.0) + 1.0);
+    const double x = (l - min_log_ia_) / (max_log_ia_ - min_log_ia_);
+    return static_cast<float>(std::clamp(x, 0.0, 1.0));
+}
+
+double Tokenizer::unscale_interarrival(double scaled) const {
+    const double x = std::clamp(scaled, 0.0, 1.0);
+    const double l = min_log_ia_ + x * (max_log_ia_ - min_log_ia_);
+    return std::max(0.0, std::exp(l) - 1.0);
+}
+
+void Tokenizer::encode_token(cellular::EventId event, double interarrival_seconds, bool stop,
+                             std::span<float> dst) const {
+    if (dst.size() != d_token()) {
+        throw std::invalid_argument("Tokenizer::encode_token: bad destination size");
+    }
+    if (event >= num_events_) throw std::invalid_argument("Tokenizer::encode_token: bad event id");
+    std::fill(dst.begin(), dst.end(), 0.0f);
+    dst[event_offset() + event] = 1.0f;
+    dst[interarrival_offset()] = scale_interarrival(interarrival_seconds);
+    dst[stop_offset() + (stop ? 1 : 0)] = 1.0f;
+}
+
+nn::Tensor Tokenizer::encode(const trace::Stream& s, std::size_t max_len) const {
+    const std::size_t t = std::min(s.length(), max_len);
+    nn::Tensor out({t, d_token()});
+    const auto ia = s.interarrivals();
+    auto data = out.data();
+    for (std::size_t k = 0; k < t; ++k) {
+        const bool stop = (k + 1 == s.length());
+        encode_token(s.events[k].type, ia[k], stop,
+                     data.subspan(k * d_token(), d_token()));
+    }
+    return out;
+}
+
+}  // namespace cpt::core

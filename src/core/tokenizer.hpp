@@ -1,0 +1,55 @@
+// CPT-GPT's multi-modal tokenization scheme (paper Design 1, Fig. 3).
+//
+// Each sample becomes the concatenation of three sub-tokens:
+//   [ one-hot event type (E dims) | scaled interarrival (1 dim) | one-hot
+//     stop flag (2 dims) ]
+// The interarrival is log-scaled (x' = log(x + 1)) and linearly mapped to
+// [0, 1] using the min/max of the log-interarrival over the fitted dataset
+// (footnote 3: log scaling flattens the heavy tail, Fig. 7). For 4G this
+// gives d_token = 6 + 1 + 2 = 9, exactly the paper's configuration.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "trace/stream.hpp"
+
+namespace cpt::core {
+
+class Tokenizer {
+public:
+    // Fits the interarrival scaling on a dataset. Throws on an empty dataset.
+    static Tokenizer fit(const trace::Dataset& ds);
+    // Constructs with explicit scaling (used when loading checkpoints).
+    Tokenizer(cellular::Generation generation, double min_log_ia, double max_log_ia);
+
+    cellular::Generation generation() const { return generation_; }
+    std::size_t num_event_types() const { return num_events_; }
+    std::size_t d_token() const { return num_events_ + 1 + 2; }
+
+    std::size_t event_offset() const { return 0; }
+    std::size_t interarrival_offset() const { return num_events_; }
+    std::size_t stop_offset() const { return num_events_ + 1; }
+
+    // Scales a raw interarrival (seconds) into [0, 1] and back. unscale
+    // clamps its input into [0, 1] first, so sampled values are always valid.
+    float scale_interarrival(double seconds) const;
+    double unscale_interarrival(double scaled) const;
+
+    double min_log_interarrival() const { return min_log_ia_; }
+    double max_log_interarrival() const { return max_log_ia_; }
+
+    // Encodes a stream (truncated to max_len tokens) as a [T, d_token] tensor.
+    nn::Tensor encode(const trace::Stream& s, std::size_t max_len = 500) const;
+    // Writes one token in place into `dst` (d_token floats).
+    void encode_token(cellular::EventId event, double interarrival_seconds, bool stop,
+                      std::span<float> dst) const;
+
+private:
+    cellular::Generation generation_;
+    std::size_t num_events_;
+    double min_log_ia_ = 0.0;
+    double max_log_ia_ = 1.0;
+};
+
+}  // namespace cpt::core

@@ -1,0 +1,252 @@
+#include "trainer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "nn/optim.hpp"
+
+namespace cpt::core {
+
+namespace {
+
+// A training window: `length` tokens of one stream starting at `start`, with
+// next-token targets available for positions [0, targets).
+struct Window {
+    std::size_t stream = 0;
+    std::size_t start = 0;
+    std::size_t length = 0;
+    std::size_t targets = 0;
+};
+
+struct EncodedStream {
+    nn::Tensor tokens;                // [len, d_token]
+    std::vector<int> event_ids;      // len
+    std::vector<float> scaled_ia;    // len
+    std::vector<int> stop_flags;     // len
+};
+
+struct Batch {
+    nn::Tensor tokens;               // [B, W, d_token]
+    std::vector<int> event_targets;  // B*W, kIgnoreIndex padded
+    nn::Tensor ia_targets;           // [B*W]
+    std::vector<float> ia_mask;      // B*W
+    std::vector<int> stop_targets;   // B*W
+};
+
+std::vector<EncodedStream> encode_streams(const trace::Dataset& ds, const Tokenizer& tok,
+                                          std::size_t max_len) {
+    std::vector<EncodedStream> out;
+    out.reserve(ds.streams.size());
+    for (const auto& s : ds.streams) {
+        if (s.length() < 2 || s.length() > max_len) continue;
+        EncodedStream e;
+        e.tokens = tok.encode(s, max_len);
+        const auto ia = s.interarrivals();
+        for (std::size_t k = 0; k < s.length(); ++k) {
+            e.event_ids.push_back(s.events[k].type);
+            e.scaled_ia.push_back(tok.scale_interarrival(ia[k]));
+            e.stop_flags.push_back(k + 1 == s.length() ? 1 : 0);
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::vector<Window> make_windows(const std::vector<EncodedStream>& streams, std::size_t window) {
+    std::vector<Window> out;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        const std::size_t len = streams[i].event_ids.size();
+        for (std::size_t start = 0; start + 1 < len; start += window) {
+            Window w;
+            w.stream = i;
+            w.start = start;
+            w.length = std::min(window, len - start);
+            w.targets = std::min(w.length, len - 1 - start);
+            out.push_back(w);
+        }
+    }
+    return out;
+}
+
+Batch build_batch(const std::vector<EncodedStream>& streams, std::span<const Window> windows,
+                  std::size_t window_len, std::size_t d_token) {
+    const std::size_t b = windows.size();
+    Batch batch;
+    batch.tokens = nn::Tensor({b, window_len, d_token});
+    batch.event_targets.assign(b * window_len, nn::kIgnoreIndex);
+    batch.ia_targets = nn::Tensor({b * window_len});
+    batch.ia_mask.assign(b * window_len, 0.0f);
+    batch.stop_targets.assign(b * window_len, nn::kIgnoreIndex);
+
+    auto tokens = batch.tokens.data();
+    auto ia_targets = batch.ia_targets.data();
+    for (std::size_t row = 0; row < b; ++row) {
+        const Window& w = windows[row];
+        const EncodedStream& s = streams[w.stream];
+        const auto src = s.tokens.data();
+        for (std::size_t k = 0; k < w.length; ++k) {
+            for (std::size_t j = 0; j < d_token; ++j) {
+                tokens[(row * window_len + k) * d_token + j] = src[(w.start + k) * d_token + j];
+            }
+        }
+        for (std::size_t k = 0; k < w.targets; ++k) {
+            const std::size_t tgt = w.start + k + 1;
+            const std::size_t flat = row * window_len + k;
+            batch.event_targets[flat] = s.event_ids[tgt];
+            ia_targets[flat] = s.scaled_ia[tgt];
+            batch.ia_mask[flat] = 1.0f;
+            batch.stop_targets[flat] = s.stop_flags[tgt];
+        }
+    }
+    return batch;
+}
+
+}  // namespace
+
+Trainer::Trainer(CptGpt& model, const Tokenizer& tokenizer, TrainConfig config)
+    : model_(&model), tokenizer_(&tokenizer), config_(config) {
+    if (config_.window > model.config().max_seq_len) {
+        config_.window = model.config().max_seq_len;
+    }
+}
+
+TrainResult Trainer::train(const trace::Dataset& data) {
+    const auto t0 = std::chrono::steady_clock::now();
+    util::Rng rng(config_.seed);
+
+    auto streams = encode_streams(data, *tokenizer_, config_.max_stream_len);
+    if (streams.empty()) throw std::invalid_argument("Trainer::train: no trainable streams");
+
+    // Deterministic train/val split at stream granularity.
+    std::vector<std::size_t> order(streams.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    const std::size_t val_count = std::min<std::size_t>(
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      static_cast<double>(streams.size()) * config_.val_fraction)),
+        streams.size() - 1);
+    std::vector<EncodedStream> train_streams;
+    std::vector<EncodedStream> val_streams;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        auto& dst = (i < val_count) ? val_streams : train_streams;
+        dst.push_back(std::move(streams[order[i]]));
+    }
+
+    auto train_windows = make_windows(train_streams, config_.window);
+    const auto val_windows = make_windows(val_streams, config_.window);
+    const std::size_t d_token = tokenizer_->d_token();
+    const bool dist_head = model_->config().distribution_head;
+
+    auto params = model_->parameters();
+    nn::Adam opt(params, config_.lr);
+
+    struct LossParts {
+        double total = 0.0;
+        double event_ce = 0.0;
+        double ia = 0.0;
+        double stop_ce = 0.0;
+    };
+
+    auto batch_loss = [&](const Batch& batch, bool backprop) -> LossParts {
+        nn::Var tokens = nn::make_var(batch.tokens);
+        const auto out = model_->forward(tokens);
+        nn::Var event_ce = nn::cross_entropy(out.event_logits, batch.event_targets);
+        nn::Var ia_loss =
+            dist_head
+                ? nn::gaussian_nll(out.ia_mu, out.ia_logvar, batch.ia_targets, batch.ia_mask)
+                : nn::mse_masked(out.ia_mu, batch.ia_targets, batch.ia_mask);
+        nn::Var stop_ce = nn::cross_entropy(out.stop_logits, batch.stop_targets);
+        nn::Var loss = nn::add(nn::scale(event_ce, config_.w_event),
+                               nn::add(nn::scale(ia_loss, config_.w_interarrival),
+                                       nn::scale(stop_ce, config_.w_stop)));
+        LossParts parts{loss->value[0], event_ce->value[0], ia_loss->value[0],
+                        stop_ce->value[0]};
+        if (backprop) {
+            opt.zero_grad();
+            nn::backward(loss);
+            nn::clip_grad_norm(params, config_.grad_clip);
+            opt.step();
+        }
+        return parts;
+    };
+
+    auto run_epoch = [&](std::vector<Window>& windows, bool backprop,
+                         const std::vector<EncodedStream>& source) -> LossParts {
+        LossParts total;
+        std::size_t batches = 0;
+        for (std::size_t i = 0; i < windows.size(); i += config_.batch_size) {
+            const std::size_t count = std::min(config_.batch_size, windows.size() - i);
+            const Batch batch = build_batch(source, {windows.data() + i, count}, config_.window,
+                                            d_token);
+            const LossParts p = batch_loss(batch, backprop);
+            total.total += p.total;
+            total.event_ce += p.event_ce;
+            total.ia += p.ia;
+            total.stop_ce += p.stop_ce;
+            ++batches;
+        }
+        if (batches) {
+            const auto n = static_cast<double>(batches);
+            total.total /= n;
+            total.event_ce /= n;
+            total.ia /= n;
+            total.stop_ce /= n;
+        }
+        return total;
+    };
+
+    TrainResult result;
+    double best_val = std::numeric_limits<double>::max();
+    int since_best = 0;
+    for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+        if (config_.lr_decay && config_.max_epochs > 1) {
+            // Cosine decay from lr to lr * min_lr_fraction.
+            const double progress = static_cast<double>(epoch) / (config_.max_epochs - 1);
+            const double factor =
+                config_.min_lr_fraction +
+                (1.0 - config_.min_lr_fraction) * 0.5 * (1.0 + std::cos(progress * 3.14159265));
+            opt.set_lr(static_cast<float>(config_.lr * factor));
+        }
+        rng.shuffle(train_windows);
+        const LossParts train_parts = run_epoch(train_windows, true, train_streams);
+        auto vw = val_windows;
+        const LossParts val_parts =
+            vw.empty() ? train_parts : run_epoch(vw, false, val_streams);
+        result.train_loss.push_back(train_parts.total);
+        result.val_loss.push_back(val_parts.total);
+        result.final_event_ce = train_parts.event_ce;
+        result.final_ia_loss = train_parts.ia;
+        result.final_stop_ce = train_parts.stop_ce;
+        ++result.epochs_run;
+        if (config_.verbose) {
+            std::printf("epoch %d  train %.4f (ev %.4f ia %.4f stop %.4f)  val %.4f\n", epoch,
+                        train_parts.total, train_parts.event_ce, train_parts.ia,
+                        train_parts.stop_ce, val_parts.total);
+        }
+        if (val_parts.total < best_val - 1e-4) {
+            best_val = val_parts.total;
+            result.best_epoch = epoch;
+            since_best = 0;
+        } else if (++since_best >= config_.patience) {
+            break;
+        }
+    }
+    result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return result;
+}
+
+TrainResult Trainer::fine_tune(const trace::Dataset& data, double lr_scale, double epoch_scale) {
+    TrainConfig saved = config_;
+    config_.lr = static_cast<float>(config_.lr * lr_scale);
+    config_.max_epochs =
+        std::max(1, static_cast<int>(std::lround(config_.max_epochs * epoch_scale)));
+    config_.patience = std::max(1, config_.patience - 1);
+    TrainResult r = train(data);
+    config_ = saved;
+    return r;
+}
+
+}  // namespace cpt::core

@@ -1,0 +1,51 @@
+#include "replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace cpt::mcn {
+
+TraceReplayer::TraceReplayer(const trace::Dataset& ds) : dataset_(&ds) {
+    timeline_.reserve(ds.total_events());
+    for (const auto& s : ds.streams) {
+        for (const auto& e : s.events) timeline_.push_back({e.timestamp, &s, e});
+    }
+    std::stable_sort(timeline_.begin(), timeline_.end(),
+                     [](const ReplayEvent& a, const ReplayEvent& b) {
+                         return a.timestamp < b.timestamp;
+                     });
+}
+
+void TraceReplayer::replay(const EventConsumer& consumer) const {
+    for (const auto& ev : timeline_) consumer(ev);
+}
+
+void TraceReplayer::replay_messages(const MessageConsumer& consumer,
+                                    double per_message_gap_s) const {
+    const auto gen = dataset_->generation;
+    for (const auto& ev : timeline_) {
+        double t = ev.timestamp;
+        for (const auto& m : cellular::messages_for(gen, ev.event.type)) {
+            consumer(ev, m, t);
+            t += per_message_gap_s;
+        }
+    }
+}
+
+double TraceReplayer::replay_paced(const EventConsumer& consumer, double time_scale) const {
+    if (time_scale <= 0.0) throw std::invalid_argument("replay_paced: time_scale must be > 0");
+    const auto start = std::chrono::steady_clock::now();
+    const double t0 = timeline_.empty() ? 0.0 : timeline_.front().timestamp;
+    for (const auto& ev : timeline_) {
+        const double due_s = (ev.timestamp - t0) / time_scale;
+        const auto due = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                     std::chrono::duration<double>(due_s));
+        std::this_thread::sleep_until(due);
+        consumer(ev);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace cpt::mcn

@@ -1,0 +1,92 @@
+#include "analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace cpt::metrics {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+    if (lag == 0) return 1.0;
+    if (xs.size() < lag + 2) return 0.0;
+    const auto s = util::summarize(xs);
+    if (s.stddev <= 0.0) return 0.0;
+    double acc = 0.0;
+    const std::size_t n = xs.size() - lag;
+    for (std::size_t i = 0; i < n; ++i) acc += (xs[i] - s.mean) * (xs[i + lag] - s.mean);
+    const double var = s.stddev * s.stddev * static_cast<double>(xs.size() - 1);
+    return var > 0.0 ? acc / var : 0.0;
+}
+
+double mean_interarrival_autocorrelation(const trace::Dataset& ds, std::size_t lag) {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const auto& s : ds.streams) {
+        const auto ia = s.interarrivals();
+        if (ia.size() < lag + 3) continue;
+        // Skip the defined-zero first interarrival.
+        total += autocorrelation(std::span<const double>(ia).subspan(1), lag);
+        ++count;
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+}
+
+double index_of_dispersion(const trace::Dataset& ds, double bin_seconds) {
+    if (bin_seconds <= 0.0) throw std::invalid_argument("index_of_dispersion: bad bin size");
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (const auto& s : ds.streams) {
+        if (s.events.size() < 4) continue;
+        const double span = s.events.back().timestamp - s.events.front().timestamp;
+        const auto bins = static_cast<std::size_t>(span / bin_seconds) + 1;
+        if (bins < 3) continue;
+        std::vector<double> counts(bins, 0.0);
+        for (const auto& e : s.events) {
+            auto idx = static_cast<std::size_t>((e.timestamp - s.events.front().timestamp) /
+                                                bin_seconds);
+            idx = std::min(idx, bins - 1);
+            counts[idx] += 1.0;
+        }
+        const auto cs = util::summarize(counts);
+        if (cs.mean > 0.0) {
+            total += cs.stddev * cs.stddev / cs.mean;
+            ++counted;
+        }
+    }
+    return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+double jensen_shannon(std::span<const double> p, std::span<const double> q) {
+    if (p.size() != q.size()) throw std::invalid_argument("jensen_shannon: size mismatch");
+    auto kl = [](std::span<const double> a, const std::vector<double>& m) {
+        double d = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (a[i] > 0.0 && m[i] > 0.0) d += a[i] * std::log(a[i] / m[i]);
+        }
+        return d;
+    };
+    std::vector<double> mid(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) mid[i] = 0.5 * (p[i] + q[i]);
+    return 0.5 * kl(p, mid) + 0.5 * kl(q, mid);
+}
+
+std::vector<double> hourly_volume(const std::vector<trace::Dataset>& hours) {
+    std::vector<double> volume(24, 0.0);
+    for (const auto& ds : hours) {
+        for (const auto& s : ds.streams) {
+            const int h = ((s.hour_of_day % 24) + 24) % 24;
+            volume[static_cast<std::size_t>(h)] += static_cast<double>(s.events.size());
+        }
+    }
+    return volume;
+}
+
+double interarrival_cv(const trace::Dataset& ds) {
+    const auto ia = ds.all_interarrivals();
+    const auto s = util::summarize(ia);
+    return s.mean > 0.0 ? s.stddev / s.mean : 0.0;
+}
+
+}  // namespace cpt::metrics

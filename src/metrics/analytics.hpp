@@ -1,0 +1,39 @@
+// Secondary trace analytics beyond the paper's Table 2 metrics: temporal
+// structure (autocorrelation, burstiness), distributional divergences, and
+// volume profiles. Used by examples and by tests that sanity-check the
+// synthetic world against known traffic phenomenology.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/stream.hpp"
+
+namespace cpt::metrics {
+
+// Lag-k autocorrelation of a scalar series; 0 when undefined (short series or
+// zero variance).
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+// Mean lag-k autocorrelation of per-stream interarrival series across a
+// dataset (streams shorter than lag + 2 are skipped).
+double mean_interarrival_autocorrelation(const trace::Dataset& ds, std::size_t lag);
+
+// Index of dispersion of counts (IDC): Var(N) / E(N) for event counts in
+// fixed bins of `bin_seconds` over each stream's span, averaged over streams.
+// 1 for Poisson arrivals; > 1 indicates burstiness.
+double index_of_dispersion(const trace::Dataset& ds, double bin_seconds);
+
+// Jensen-Shannon divergence (natural log) between two probability vectors of
+// equal length. Symmetric, bounded by ln 2.
+double jensen_shannon(std::span<const double> p, std::span<const double> q);
+
+// Events per hour-of-day across a collection of hourly datasets (index =
+// hour), for visualizing diurnal profiles.
+std::vector<double> hourly_volume(const std::vector<trace::Dataset>& hours);
+
+// Coefficient of variation of the interarrival times pooled over a dataset
+// (sigma/mean); > 1 indicates heavier-than-exponential variability.
+double interarrival_cv(const trace::Dataset& ds);
+
+}  // namespace cpt::metrics

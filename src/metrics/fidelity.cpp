@@ -1,0 +1,127 @@
+#include "fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/ascii.hpp"
+
+namespace cpt::metrics {
+
+using cellular::StateMachine;
+using cellular::StateMachineReplayer;
+
+ViolationStats semantic_violations(const trace::Dataset& ds, std::size_t top_k) {
+    const auto& machine = StateMachine::for_generation(ds.generation);
+    const StateMachineReplayer replayer(machine);
+    const auto& vocab = cellular::vocabulary(ds.generation);
+
+    ViolationStats stats;
+    stats.total_streams = ds.streams.size();
+    std::vector<std::size_t> by_state_event(
+        static_cast<std::size_t>(cellular::SubState::kNumSubStates) * machine.num_events(), 0);
+
+    for (const auto& s : ds.streams) {
+        const auto r = replayer.replay(s.events);
+        stats.counted_events += r.counted_events;
+        stats.violating_events += r.violations;
+        if (r.has_violation()) ++stats.violating_streams;
+        for (std::size_t i = 0; i < by_state_event.size(); ++i) {
+            by_state_event[i] += r.violation_by_state_event[i];
+        }
+    }
+
+    // Top-k (state, event) categories by violating-event count.
+    std::vector<std::size_t> order(by_state_event.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return by_state_event[a] > by_state_event[b];
+    });
+    for (std::size_t rank = 0; rank < top_k && rank < order.size(); ++rank) {
+        const std::size_t key = order[rank];
+        if (by_state_event[key] == 0) break;
+        ViolationCategory cat;
+        cat.state = std::string(
+            to_string(static_cast<cellular::SubState>(key / machine.num_events())));
+        cat.event = vocab.name(static_cast<cellular::EventId>(key % machine.num_events()));
+        cat.event_fraction = stats.counted_events
+                                 ? static_cast<double>(by_state_event[key]) / stats.counted_events
+                                 : 0.0;
+        stats.top_categories.push_back(std::move(cat));
+    }
+    return stats;
+}
+
+SojournSamples collect_sojourns(const trace::Dataset& ds) {
+    const auto& machine = StateMachine::for_generation(ds.generation);
+    const StateMachineReplayer replayer(machine);
+    SojournSamples out;
+    for (const auto& s : ds.streams) {
+        const auto r = replayer.replay(s.events);
+        out.connected.insert(out.connected.end(), r.sojourn_connected.begin(),
+                             r.sojourn_connected.end());
+        out.idle.insert(out.idle.end(), r.sojourn_idle.begin(), r.sojourn_idle.end());
+        if (!r.sojourn_connected.empty()) {
+            out.per_ue_mean_connected.push_back(util::summarize(r.sojourn_connected).mean);
+        }
+        if (!r.sojourn_idle.empty()) {
+            out.per_ue_mean_idle.push_back(util::summarize(r.sojourn_idle).mean);
+        }
+    }
+    return out;
+}
+
+double FidelityReport::max_breakdown_diff() const {
+    double mx = 0.0;
+    for (double d : breakdown_diff) mx = std::max(mx, std::abs(d));
+    return mx;
+}
+
+FidelityReport evaluate_fidelity(const trace::Dataset& synthesized, const trace::Dataset& real) {
+    FidelityReport r;
+    const ViolationStats v = semantic_violations(synthesized);
+    r.event_violation_fraction = v.event_fraction();
+    r.stream_violation_fraction = v.stream_fraction();
+
+    const SojournSamples ss = collect_sojourns(synthesized);
+    const SojournSamples sr = collect_sojourns(real);
+    r.maxy_sojourn_connected =
+        util::max_cdf_y_distance(ss.per_ue_mean_connected, sr.per_ue_mean_connected);
+    r.maxy_sojourn_idle = util::max_cdf_y_distance(ss.per_ue_mean_idle, sr.per_ue_mean_idle);
+
+    r.maxy_flow_length_all = util::max_cdf_y_distance(synthesized.flow_lengths(), real.flow_lengths());
+    r.maxy_flow_length_srv_req = util::max_cdf_y_distance(
+        synthesized.flow_lengths(cellular::lte::kSrvReq), real.flow_lengths(cellular::lte::kSrvReq));
+    r.maxy_flow_length_s1_rel =
+        util::max_cdf_y_distance(synthesized.flow_lengths(cellular::lte::kS1ConnRel),
+                                 real.flow_lengths(cellular::lte::kS1ConnRel));
+
+    const auto ps = synthesized.event_type_breakdown();
+    const auto pr = real.event_type_breakdown();
+    r.breakdown_diff.resize(ps.size(), 0.0);
+    for (std::size_t i = 0; i < ps.size(); ++i) r.breakdown_diff[i] = ps[i] - pr[i];
+    return r;
+}
+
+std::string render_report(const FidelityReport& report, const trace::Dataset& reference) {
+    const auto& vocab = cellular::vocabulary(reference.generation);
+    util::TextTable t({"metric", "value"});
+    t.add_row({"event violations", util::fmt_pct(report.event_violation_fraction, 3)});
+    t.add_row({"stream violations", util::fmt_pct(report.stream_violation_fraction, 2)});
+    t.add_row({"max-y sojourn CONNECTED", util::fmt_pct(report.maxy_sojourn_connected, 1)});
+    t.add_row({"max-y sojourn IDLE", util::fmt_pct(report.maxy_sojourn_idle, 1)});
+    t.add_row({"max-y flow length (all)", util::fmt_pct(report.maxy_flow_length_all, 1)});
+    // Event ids 2 and 3 are SRV_REQ and S1_CONN_REL in 4G, SRV_REQ and AN_REL
+    // in 5G — the two dominant event types in either generation.
+    t.add_row({"max-y flow length (" + vocab.name(cellular::lte::kSrvReq) + ")",
+               util::fmt_pct(report.maxy_flow_length_srv_req, 1)});
+    t.add_row({"max-y flow length (" + vocab.name(cellular::lte::kS1ConnRel) + ")",
+               util::fmt_pct(report.maxy_flow_length_s1_rel, 1)});
+    for (std::size_t i = 0; i < report.breakdown_diff.size(); ++i) {
+        t.add_row({"breakdown diff " + vocab.name(static_cast<cellular::EventId>(i)),
+                   util::fmt_pct(report.breakdown_diff[i], 2)});
+    }
+    return t.render();
+}
+
+}  // namespace cpt::metrics

@@ -1,0 +1,86 @@
+// The paper's fidelity metric suite (Table 2): semantic violations, sojourn
+// time distributions, event-type breakdown, flow-length distributions, and
+// report aggregation used by every evaluation bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cellular/state_machine.hpp"
+#include "trace/stream.hpp"
+#include "util/stats.hpp"
+
+namespace cpt::metrics {
+
+// ---- Semantic violations (evaluates C2) ---------------------------------------
+
+struct ViolationCategory {
+    std::string state;   // sub-state name at the point of violation
+    std::string event;   // violating event name
+    double event_fraction = 0.0;  // share of counted events
+};
+
+struct ViolationStats {
+    std::size_t counted_events = 0;
+    std::size_t violating_events = 0;
+    std::size_t total_streams = 0;
+    std::size_t violating_streams = 0;
+    std::vector<ViolationCategory> top_categories;  // descending
+
+    double event_fraction() const {
+        return counted_events ? static_cast<double>(violating_events) / counted_events : 0.0;
+    }
+    double stream_fraction() const {
+        return total_streams ? static_cast<double>(violating_streams) / total_streams : 0.0;
+    }
+};
+
+// Replays every stream against the generation's state machine (§5.2.1) and
+// aggregates violation statistics. `top_k` bounds top_categories.
+ViolationStats semantic_violations(const trace::Dataset& ds, std::size_t top_k = 3);
+
+// ---- Sojourn times (evaluates C3) ----------------------------------------------
+
+struct SojournSamples {
+    // Completed sojourn intervals pooled over all streams.
+    std::vector<double> connected;
+    std::vector<double> idle;
+    // Per-UE mean sojourn per state (the paper's Fig. 2 metric: "average
+    // sojourn time ... of each UE"); one entry per stream that completed at
+    // least one interval in the state.
+    std::vector<double> per_ue_mean_connected;
+    std::vector<double> per_ue_mean_idle;
+};
+
+SojournSamples collect_sojourns(const trace::Dataset& ds);
+
+// ---- Aggregated report ----------------------------------------------------------
+
+// Max CDF y-distances and breakdown differences between a synthesized dataset
+// and a reference ("real") dataset. All distances use the per-UE mean sojourn
+// CDFs (Fig. 2 / Table 6) and per-stream flow-length CDFs.
+struct FidelityReport {
+    double event_violation_fraction = 0.0;
+    double stream_violation_fraction = 0.0;
+    double maxy_sojourn_connected = 0.0;
+    double maxy_sojourn_idle = 0.0;
+    double maxy_flow_length_all = 0.0;
+    double maxy_flow_length_srv_req = 0.0;
+    double maxy_flow_length_s1_rel = 0.0;
+    // synthesized breakdown minus real breakdown, per event type.
+    std::vector<double> breakdown_diff;
+
+    // Mean over the two sojourn distances (the paper's summary statistic).
+    double mean_sojourn_maxy() const {
+        return (maxy_sojourn_connected + maxy_sojourn_idle) / 2.0;
+    }
+    // Largest absolute breakdown difference.
+    double max_breakdown_diff() const;
+};
+
+FidelityReport evaluate_fidelity(const trace::Dataset& synthesized, const trace::Dataset& real);
+
+// Renders a report as an aligned text block (used by benches/examples).
+std::string render_report(const FidelityReport& report, const trace::Dataset& reference);
+
+}  // namespace cpt::metrics

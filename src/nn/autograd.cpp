@@ -1,0 +1,959 @@
+#include "autograd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cpt::nn {
+
+namespace {
+
+[[noreturn]] void shape_error(const char* op, const Tensor& a) {
+    throw std::invalid_argument(std::string(op) + ": bad shape " + shape_to_string(a.shape()));
+}
+
+[[noreturn]] void shape_error2(const char* op, const Tensor& a, const Tensor& b) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + shape_to_string(a.shape()) +
+                                " vs " + shape_to_string(b.shape()));
+}
+
+// Creates the output node for an op.
+Var make_node(Tensor value, std::vector<Var> parents) {
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    node->requires_grad = false;
+    for (const auto& p : parents) {
+        if (p->requires_grad) node->requires_grad = true;
+    }
+    node->parents = std::move(parents);
+    return node;
+}
+
+// ---- GEMM kernels ------------------------------------------------------------
+// All kernels accumulate into C (callers zero it or rely on fresh tensors).
+
+// C[M,N] += A[M,K] * B[K,N]
+void gemm_nn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+             std::size_t n_dim) {
+    for (std::size_t m = 0; m < m_dim; ++m) {
+        const float* arow = a + m * k_dim;
+        float* crow = c + m * n_dim;
+        for (std::size_t k = 0; k < k_dim; ++k) {
+            const float av = arow[k];
+            if (av == 0.0f) continue;
+            const float* brow = b + k * n_dim;
+            for (std::size_t n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
+        }
+    }
+}
+
+// C[M,N] += A[M,K] * B^T where B is stored [N,K]
+void gemm_nt(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+             std::size_t n_dim) {
+    for (std::size_t m = 0; m < m_dim; ++m) {
+        const float* arow = a + m * k_dim;
+        float* crow = c + m * n_dim;
+        for (std::size_t n = 0; n < n_dim; ++n) {
+            const float* brow = b + n * k_dim;
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < k_dim; ++k) acc += arow[k] * brow[k];
+            crow[n] += acc;
+        }
+    }
+}
+
+// C[M,N] += A^T * B where A is stored [K,M], B is [K,N]
+void gemm_tn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+             std::size_t n_dim) {
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* arow = a + k * m_dim;
+        const float* brow = b + k * n_dim;
+        for (std::size_t m = 0; m < m_dim; ++m) {
+            const float av = arow[m];
+            if (av == 0.0f) continue;
+            float* crow = c + m * n_dim;
+            for (std::size_t n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
+        }
+    }
+}
+
+}  // namespace
+
+Tensor& Node::ensure_grad() {
+    if (grad.numel() != value.numel()) grad = Tensor(value.shape());
+    return grad;
+}
+
+Var make_var(Tensor value) {
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    node->requires_grad = false;
+    return node;
+}
+
+Var make_param(Tensor value) {
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    node->requires_grad = true;
+    return node;
+}
+
+void backward(const Var& root) {
+    if (!root) throw std::invalid_argument("backward: null root");
+    if (root->value.numel() != 1) {
+        throw std::invalid_argument("backward: root must be scalar, got " +
+                                    shape_to_string(root->value.shape()));
+    }
+    // Iterative post-order DFS to build a topological order.
+    std::vector<Node*> topo;
+    std::unordered_set<Node*> visited;
+    struct Frame {
+        Node* node;
+        std::size_t next_parent;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root.get(), 0});
+    visited.insert(root.get());
+    while (!stack.empty()) {
+        Frame& f = stack.back();
+        if (f.next_parent < f.node->parents.size()) {
+            Node* p = f.node->parents[f.next_parent++].get();
+            if (p->requires_grad && !visited.contains(p)) {
+                visited.insert(p);
+                stack.push_back({p, 0});
+            }
+        } else {
+            topo.push_back(f.node);
+            stack.pop_back();
+        }
+    }
+    root->ensure_grad().fill(1.0f);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        Node* n = *it;
+        if (n->backward_fn && n->grad.numel() == n->value.numel()) n->backward_fn();
+    }
+}
+
+void zero_grad(std::span<const Var> params) {
+    for (const auto& p : params) {
+        if (p && p->grad.numel() > 0) p->grad.fill(0.0f);
+    }
+}
+
+// ---- Elementwise binary ops ---------------------------------------------------
+
+Var add(const Var& a, const Var& b) {
+    if (!a->value.same_shape(b->value)) shape_error2("add", a->value, b->value);
+    Tensor out = a->value.clone();
+    out.add_(b->value);
+    Var node = make_node(std::move(out), {a, b});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a, b] {
+        if (a->requires_grad) a->ensure_grad().add_(raw->grad);
+        if (b->requires_grad) b->ensure_grad().add_(raw->grad);
+    };
+    return node;
+}
+
+Var sub(const Var& a, const Var& b) {
+    if (!a->value.same_shape(b->value)) shape_error2("sub", a->value, b->value);
+    Tensor out = a->value.clone();
+    {
+        auto dst = out.data();
+        auto src = b->value.data();
+        for (std::size_t i = 0; i < dst.size(); ++i) dst[i] -= src[i];
+    }
+    Var node = make_node(std::move(out), {a, b});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a, b] {
+        if (a->requires_grad) a->ensure_grad().add_(raw->grad);
+        if (b->requires_grad) {
+            auto dst = b->ensure_grad().data();
+            auto g = raw->grad.data();
+            for (std::size_t i = 0; i < dst.size(); ++i) dst[i] -= g[i];
+        }
+    };
+    return node;
+}
+
+Var mul(const Var& a, const Var& b) {
+    if (!a->value.same_shape(b->value)) shape_error2("mul", a->value, b->value);
+    Tensor out(a->value.shape());
+    {
+        auto dst = out.data();
+        auto xa = a->value.data();
+        auto xb = b->value.data();
+        for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = xa[i] * xb[i];
+    }
+    Var node = make_node(std::move(out), {a, b});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a, b] {
+        auto g = raw->grad.data();
+        if (a->requires_grad) {
+            auto dst = a->ensure_grad().data();
+            auto xb = b->value.data();
+            for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += g[i] * xb[i];
+        }
+        if (b->requires_grad) {
+            auto dst = b->ensure_grad().data();
+            auto xa = a->value.data();
+            for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += g[i] * xa[i];
+        }
+    };
+    return node;
+}
+
+Var scale(const Var& a, float s) {
+    Tensor out = a->value.clone();
+    out.scale_(s);
+    Var node = make_node(std::move(out), {a});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a, s] {
+        auto dst = a->ensure_grad().data();
+        auto g = raw->grad.data();
+        for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += g[i] * s;
+    };
+    return node;
+}
+
+Var add_scalar(const Var& a, float s) {
+    Tensor out = a->value.clone();
+    for (float& x : out.data()) x += s;
+    Var node = make_node(std::move(out), {a});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a] {
+        if (a->requires_grad) a->ensure_grad().add_(raw->grad);
+    };
+    return node;
+}
+
+Var neg(const Var& a) { return scale(a, -1.0f); }
+
+Var add_bias(const Var& x, const Var& bias) {
+    const auto& xs = x->value.shape();
+    if (xs.empty() || bias->value.rank() != 1 || bias->value.dim(0) != xs.back()) {
+        shape_error2("add_bias", x->value, bias->value);
+    }
+    const std::size_t d = xs.back();
+    const std::size_t rows = x->value.numel() / d;
+    Tensor out = x->value.clone();
+    {
+        auto dst = out.data();
+        auto b = bias->value.data();
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t j = 0; j < d; ++j) dst[r * d + j] += b[j];
+        }
+    }
+    Var node = make_node(std::move(out), {x, bias});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, x, bias, rows, d] {
+        auto g = raw->grad.data();
+        if (x->requires_grad) x->ensure_grad().add_(raw->grad);
+        if (bias->requires_grad) {
+            auto dst = bias->ensure_grad().data();
+            for (std::size_t r = 0; r < rows; ++r) {
+                for (std::size_t j = 0; j < d; ++j) dst[j] += g[r * d + j];
+            }
+        }
+    };
+    return node;
+}
+
+// ---- Matmul / transpose / reshape ---------------------------------------------
+
+Var matmul(const Var& a, const Var& b) {
+    const auto& as = a->value.shape();
+    const auto& bs = b->value.shape();
+    if (as.size() < 2 || bs.size() != as.size()) shape_error2("matmul", a->value, b->value);
+    for (std::size_t i = 0; i + 2 < as.size(); ++i) {
+        if (as[i] != bs[i]) shape_error2("matmul", a->value, b->value);
+    }
+    const std::size_t m_dim = as[as.size() - 2];
+    const std::size_t k_dim = as[as.size() - 1];
+    if (bs[bs.size() - 2] != k_dim) shape_error2("matmul", a->value, b->value);
+    const std::size_t n_dim = bs[bs.size() - 1];
+    std::size_t batch = 1;
+    for (std::size_t i = 0; i + 2 < as.size(); ++i) batch *= as[i];
+
+    Shape out_shape(as.begin(), as.end() - 2);
+    out_shape.push_back(m_dim);
+    out_shape.push_back(n_dim);
+    Tensor out(out_shape);
+    {
+        const float* pa = a->value.data().data();
+        const float* pb = b->value.data().data();
+        float* pc = out.data().data();
+        for (std::size_t i = 0; i < batch; ++i) {
+            gemm_nn(pa + i * m_dim * k_dim, pb + i * k_dim * n_dim, pc + i * m_dim * n_dim, m_dim,
+                    k_dim, n_dim);
+        }
+    }
+    Var node = make_node(std::move(out), {a, b});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a, b, batch, m_dim, k_dim, n_dim] {
+        const float* g = raw->grad.data().data();
+        if (a->requires_grad) {
+            float* da = a->ensure_grad().data().data();
+            const float* pb = b->value.data().data();
+            // dA = dC * B^T
+            for (std::size_t i = 0; i < batch; ++i) {
+                gemm_nt(g + i * m_dim * n_dim, pb + i * k_dim * n_dim, da + i * m_dim * k_dim,
+                        m_dim, n_dim, k_dim);
+            }
+        }
+        if (b->requires_grad) {
+            float* db = b->ensure_grad().data().data();
+            const float* pa = a->value.data().data();
+            // dB = A^T * dC
+            for (std::size_t i = 0; i < batch; ++i) {
+                gemm_tn(pa + i * m_dim * k_dim, g + i * m_dim * n_dim, db + i * k_dim * n_dim,
+                        k_dim, m_dim, n_dim);
+            }
+        }
+    };
+    return node;
+}
+
+namespace {
+
+void transpose_copy(const float* src, float* dst, std::size_t batch, std::size_t rows,
+                    std::size_t cols) {
+    for (std::size_t i = 0; i < batch; ++i) {
+        const float* s = src + i * rows * cols;
+        float* d = dst + i * rows * cols;
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) d[c * rows + r] = s[r * cols + c];
+        }
+    }
+}
+
+}  // namespace
+
+Var transpose_last2(const Var& a) {
+    const auto& as = a->value.shape();
+    if (as.size() < 2) shape_error("transpose_last2", a->value);
+    const std::size_t rows = as[as.size() - 2];
+    const std::size_t cols = as[as.size() - 1];
+    std::size_t batch = 1;
+    for (std::size_t i = 0; i + 2 < as.size(); ++i) batch *= as[i];
+    Shape out_shape = as;
+    std::swap(out_shape[out_shape.size() - 2], out_shape[out_shape.size() - 1]);
+    Tensor out(out_shape);
+    transpose_copy(a->value.data().data(), out.data().data(), batch, rows, cols);
+    Var node = make_node(std::move(out), {a});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a, batch, rows, cols] {
+        // Gradient of a transpose is the transpose of the gradient.
+        Tensor tmp(a->value.shape());
+        transpose_copy(raw->grad.data().data(), tmp.data().data(), batch, cols, rows);
+        a->ensure_grad().add_(tmp);
+    };
+    return node;
+}
+
+Var reshape(const Var& a, Shape shape) {
+    Tensor out = a->value.reshaped(std::move(shape));
+    Var node = make_node(std::move(out), {a});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a] { a->ensure_grad().add_(raw->grad); };
+    return node;
+}
+
+// ---- Softmax family -----------------------------------------------------------
+
+namespace {
+
+// In-place stable softmax over contiguous rows of length `len`, restricted to
+// the first `valid` entries; the rest are set to 0.
+void softmax_row(const float* in, float* out, std::size_t len, std::size_t valid) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j < valid; ++j) mx = std::max(mx, in[j]);
+    float total = 0.0f;
+    for (std::size_t j = 0; j < valid; ++j) {
+        out[j] = std::exp(in[j] - mx);
+        total += out[j];
+    }
+    const float inv = total > 0.0f ? 1.0f / total : 0.0f;
+    for (std::size_t j = 0; j < valid; ++j) out[j] *= inv;
+    for (std::size_t j = valid; j < len; ++j) out[j] = 0.0f;
+}
+
+// dL/dx_j = y_j * (g_j - sum_k g_k y_k), restricted to `valid` entries.
+void softmax_backward_row(const float* y, const float* g, float* dx, std::size_t len,
+                          std::size_t valid) {
+    float dot = 0.0f;
+    for (std::size_t j = 0; j < valid; ++j) dot += g[j] * y[j];
+    for (std::size_t j = 0; j < valid; ++j) dx[j] += y[j] * (g[j] - dot);
+    (void)len;
+}
+
+}  // namespace
+
+Var softmax_lastdim(const Var& a) {
+    const auto& as = a->value.shape();
+    if (as.empty()) shape_error("softmax_lastdim", a->value);
+    const std::size_t d = as.back();
+    const std::size_t rows = a->value.numel() / d;
+    Tensor out(as);
+    {
+        const float* in = a->value.data().data();
+        float* o = out.data().data();
+        for (std::size_t r = 0; r < rows; ++r) softmax_row(in + r * d, o + r * d, d, d);
+    }
+    Var node = make_node(std::move(out), {a});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a, rows, d] {
+        const float* y = raw->value.data().data();
+        const float* g = raw->grad.data().data();
+        float* dx = a->ensure_grad().data().data();
+        for (std::size_t r = 0; r < rows; ++r) {
+            softmax_backward_row(y + r * d, g + r * d, dx + r * d, d, d);
+        }
+    };
+    return node;
+}
+
+Var softmax_causal(const Var& scores) {
+    const auto& ss = scores->value.shape();
+    if (ss.size() < 2 || ss[ss.size() - 1] != ss[ss.size() - 2]) {
+        shape_error("softmax_causal", scores->value);
+    }
+    const std::size_t t = ss.back();
+    const std::size_t mats = scores->value.numel() / (t * t);
+    Tensor out(ss);
+    {
+        const float* in = scores->value.data().data();
+        float* o = out.data().data();
+        for (std::size_t m = 0; m < mats; ++m) {
+            for (std::size_t r = 0; r < t; ++r) {
+                const std::size_t off = (m * t + r) * t;
+                softmax_row(in + off, o + off, t, r + 1);
+            }
+        }
+    }
+    Var node = make_node(std::move(out), {scores});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, scores, mats, t] {
+        const float* y = raw->value.data().data();
+        const float* g = raw->grad.data().data();
+        float* dx = scores->ensure_grad().data().data();
+        for (std::size_t m = 0; m < mats; ++m) {
+            for (std::size_t r = 0; r < t; ++r) {
+                const std::size_t off = (m * t + r) * t;
+                softmax_backward_row(y + off, g + off, dx + off, t, r + 1);
+            }
+        }
+    };
+    return node;
+}
+
+// ---- Layer norm ---------------------------------------------------------------
+
+Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
+    const auto& xs = x->value.shape();
+    if (xs.empty()) shape_error("layer_norm", x->value);
+    const std::size_t d = xs.back();
+    if (gain->value.numel() != d || bias->value.numel() != d) {
+        shape_error2("layer_norm(gain/bias)", gain->value, bias->value);
+    }
+    const std::size_t rows = x->value.numel() / d;
+    Tensor out(xs);
+    // Cache per-row mean and inverse stddev for backward.
+    auto stats = std::make_shared<std::vector<float>>(rows * 2);
+    {
+        const float* in = x->value.data().data();
+        const float* gw = gain->value.data().data();
+        const float* bw = bias->value.data().data();
+        float* o = out.data().data();
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float* row = in + r * d;
+            float mean = 0.0f;
+            for (std::size_t j = 0; j < d; ++j) mean += row[j];
+            mean /= static_cast<float>(d);
+            float var = 0.0f;
+            for (std::size_t j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
+            var /= static_cast<float>(d);
+            const float inv = 1.0f / std::sqrt(var + eps);
+            (*stats)[r * 2] = mean;
+            (*stats)[r * 2 + 1] = inv;
+            float* orow = o + r * d;
+            for (std::size_t j = 0; j < d; ++j) orow[j] = (row[j] - mean) * inv * gw[j] + bw[j];
+        }
+    }
+    Var node = make_node(std::move(out), {x, gain, bias});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, x, gain, bias, rows, d, stats] {
+        const float* in = x->value.data().data();
+        const float* gw = gain->value.data().data();
+        const float* g = raw->grad.data().data();
+        float* dgain = gain->requires_grad ? gain->ensure_grad().data().data() : nullptr;
+        float* dbias = bias->requires_grad ? bias->ensure_grad().data().data() : nullptr;
+        float* dx = x->requires_grad ? x->ensure_grad().data().data() : nullptr;
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float mean = (*stats)[r * 2];
+            const float inv = (*stats)[r * 2 + 1];
+            const float* row = in + r * d;
+            const float* grow = g + r * d;
+            // xhat_j = (x_j - mean) * inv
+            if (dgain || dbias) {
+                for (std::size_t j = 0; j < d; ++j) {
+                    const float xhat = (row[j] - mean) * inv;
+                    if (dgain) dgain[j] += grow[j] * xhat;
+                    if (dbias) dbias[j] += grow[j];
+                }
+            }
+            if (dx) {
+                // dL/dx = inv/d * (d*gy - sum(gy) - xhat * sum(gy*xhat)),
+                // where gy_j = g_j * gain_j.
+                float sum_gy = 0.0f;
+                float sum_gy_xhat = 0.0f;
+                for (std::size_t j = 0; j < d; ++j) {
+                    const float gy = grow[j] * gw[j];
+                    const float xhat = (row[j] - mean) * inv;
+                    sum_gy += gy;
+                    sum_gy_xhat += gy * xhat;
+                }
+                float* dxrow = dx + r * d;
+                const float dn = static_cast<float>(d);
+                for (std::size_t j = 0; j < d; ++j) {
+                    const float gy = grow[j] * gw[j];
+                    const float xhat = (row[j] - mean) * inv;
+                    dxrow[j] += inv / dn * (dn * gy - sum_gy - xhat * sum_gy_xhat);
+                }
+            }
+        }
+    };
+    return node;
+}
+
+// ---- Pointwise nonlinearities ---------------------------------------------------
+
+namespace {
+
+// Builds a pointwise op from forward f(x) and derivative df(x, y).
+template <typename F, typename DF>
+Var pointwise(const Var& a, F f, DF df) {
+    Tensor out(a->value.shape());
+    {
+        auto in = a->value.data();
+        auto o = out.data();
+        for (std::size_t i = 0; i < in.size(); ++i) o[i] = f(in[i]);
+    }
+    Var node = make_node(std::move(out), {a});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a, df] {
+        auto in = a->value.data();
+        auto y = raw->value.data();
+        auto g = raw->grad.data();
+        auto dx = a->ensure_grad().data();
+        for (std::size_t i = 0; i < in.size(); ++i) dx[i] += g[i] * df(in[i], y[i]);
+    };
+    return node;
+}
+
+}  // namespace
+
+Var gelu(const Var& a) {
+    // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
+    constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+    constexpr float kA = 0.044715f;
+    return pointwise(
+        a,
+        [](float x) {
+            const float u = kC * (x + kA * x * x * x);
+            return 0.5f * x * (1.0f + std::tanh(u));
+        },
+        [](float x, float /*y*/) {
+            const float u = kC * (x + kA * x * x * x);
+            const float t = std::tanh(u);
+            const float du = kC * (1.0f + 3.0f * kA * x * x);
+            return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+        });
+}
+
+Var relu(const Var& a) {
+    return pointwise(
+        a, [](float x) { return x > 0.0f ? x : 0.0f; },
+        [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Var sigmoid(const Var& a) {
+    return pointwise(
+        a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+        [](float, float y) { return y * (1.0f - y); });
+}
+
+Var tanh_op(const Var& a) {
+    return pointwise(
+        a, [](float x) { return std::tanh(x); }, [](float, float y) { return 1.0f - y * y; });
+}
+
+Var exp_op(const Var& a) {
+    return pointwise(
+        a, [](float x) { return std::exp(x); }, [](float, float y) { return y; });
+}
+
+Var log_op(const Var& a, float eps) {
+    return pointwise(
+        a, [eps](float x) { return std::log(std::max(x, eps)); },
+        [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+// ---- Slicing / concatenation ----------------------------------------------------
+
+Var slice_lastdim(const Var& x, std::size_t start, std::size_t len) {
+    const auto& xs = x->value.shape();
+    if (xs.empty() || start + len > xs.back()) shape_error("slice_lastdim", x->value);
+    const std::size_t d = xs.back();
+    const std::size_t rows = x->value.numel() / d;
+    Shape out_shape = xs;
+    out_shape.back() = len;
+    Tensor out(out_shape);
+    {
+        const float* in = x->value.data().data();
+        float* o = out.data().data();
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t j = 0; j < len; ++j) o[r * len + j] = in[r * d + start + j];
+        }
+    }
+    Var node = make_node(std::move(out), {x});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, x, rows, d, start, len] {
+        const float* g = raw->grad.data().data();
+        float* dx = x->ensure_grad().data().data();
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t j = 0; j < len; ++j) dx[r * d + start + j] += g[r * len + j];
+        }
+    };
+    return node;
+}
+
+Var concat_lastdim(const std::vector<Var>& xs) {
+    if (xs.empty()) throw std::invalid_argument("concat_lastdim: empty input list");
+    const auto& first = xs[0]->value.shape();
+    if (first.empty()) shape_error("concat_lastdim", xs[0]->value);
+    std::size_t total_d = 0;
+    const std::size_t rows = xs[0]->value.numel() / first.back();
+    for (const auto& x : xs) {
+        const auto& s = x->value.shape();
+        if (s.size() != first.size() || x->value.numel() / s.back() != rows) {
+            shape_error2("concat_lastdim", xs[0]->value, x->value);
+        }
+        total_d += s.back();
+    }
+    Shape out_shape = first;
+    out_shape.back() = total_d;
+    Tensor out(out_shape);
+    {
+        float* o = out.data().data();
+        std::size_t offset = 0;
+        for (const auto& x : xs) {
+            const std::size_t d = x->value.shape().back();
+            const float* in = x->value.data().data();
+            for (std::size_t r = 0; r < rows; ++r) {
+                for (std::size_t j = 0; j < d; ++j) o[r * total_d + offset + j] = in[r * d + j];
+            }
+            offset += d;
+        }
+    }
+    Var node = make_node(std::move(out), xs);
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, xs, rows, total_d] {
+        const float* g = raw->grad.data().data();
+        std::size_t offset = 0;
+        for (const auto& x : xs) {
+            const std::size_t d = x->value.shape().back();
+            if (x->requires_grad) {
+                float* dx = x->ensure_grad().data().data();
+                for (std::size_t r = 0; r < rows; ++r) {
+                    for (std::size_t j = 0; j < d; ++j) dx[r * d + j] += g[r * total_d + offset + j];
+                }
+            }
+            offset += d;
+        }
+    };
+    return node;
+}
+
+Var add_position(const Var& x, const Var& pos) {
+    const auto& xs = x->value.shape();
+    const auto& ps = pos->value.shape();
+    if (xs.size() != 3 || ps.size() != 2 || xs[1] > ps[0] || xs[2] != ps[1]) {
+        shape_error2("add_position", x->value, pos->value);
+    }
+    const std::size_t b = xs[0];
+    const std::size_t t = xs[1];
+    const std::size_t d = xs[2];
+    Tensor out = x->value.clone();
+    {
+        float* o = out.data().data();
+        const float* p = pos->value.data().data();
+        for (std::size_t i = 0; i < b; ++i) {
+            for (std::size_t r = 0; r < t; ++r) {
+                for (std::size_t j = 0; j < d; ++j) o[(i * t + r) * d + j] += p[r * d + j];
+            }
+        }
+    }
+    Var node = make_node(std::move(out), {x, pos});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, x, pos, b, t, d] {
+        const float* g = raw->grad.data().data();
+        if (x->requires_grad) x->ensure_grad().add_(raw->grad);
+        if (pos->requires_grad) {
+            float* dp = pos->ensure_grad().data().data();
+            for (std::size_t i = 0; i < b; ++i) {
+                for (std::size_t r = 0; r < t; ++r) {
+                    for (std::size_t j = 0; j < d; ++j) dp[r * d + j] += g[(i * t + r) * d + j];
+                }
+            }
+        }
+    };
+    return node;
+}
+
+namespace {
+
+// [B, T, H, Dh] <-> [B, H, T, Dh] permutation copy.
+void permute_0213(const float* src, float* dst, std::size_t b, std::size_t d1, std::size_t d2,
+                  std::size_t d3) {
+    // src laid out [b, d1, d2, d3]; dst laid out [b, d2, d1, d3].
+    for (std::size_t i = 0; i < b; ++i) {
+        for (std::size_t x = 0; x < d1; ++x) {
+            for (std::size_t y = 0; y < d2; ++y) {
+                const float* s = src + ((i * d1 + x) * d2 + y) * d3;
+                float* o = dst + ((i * d2 + y) * d1 + x) * d3;
+                for (std::size_t j = 0; j < d3; ++j) o[j] = s[j];
+            }
+        }
+    }
+}
+
+}  // namespace
+
+Var split_heads(const Var& x, std::size_t heads) {
+    const auto& xs = x->value.shape();
+    if (xs.size() != 3 || heads == 0 || xs[2] % heads != 0) shape_error("split_heads", x->value);
+    const std::size_t b = xs[0];
+    const std::size_t t = xs[1];
+    const std::size_t dh = xs[2] / heads;
+    Tensor out({b, heads, t, dh});
+    // [B, T, H*Dh] viewed as [B, T, H, Dh]; permute to [B, H, T, Dh].
+    permute_0213(x->value.data().data(), out.data().data(), b, t, heads, dh);
+    Var node = make_node(std::move(out), {x});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, x, b, t, heads, dh] {
+        Tensor tmp(x->value.shape());
+        permute_0213(raw->grad.data().data(), tmp.data().data(), b, heads, t, dh);
+        x->ensure_grad().add_(tmp);
+    };
+    return node;
+}
+
+Var merge_heads(const Var& x) {
+    const auto& xs = x->value.shape();
+    if (xs.size() != 4) shape_error("merge_heads", x->value);
+    const std::size_t b = xs[0];
+    const std::size_t h = xs[1];
+    const std::size_t t = xs[2];
+    const std::size_t dh = xs[3];
+    Tensor out({b, t, h * dh});
+    permute_0213(x->value.data().data(), out.data().data(), b, h, t, dh);
+    Var node = make_node(std::move(out), {x});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, x, b, t, h, dh] {
+        Tensor tmp(x->value.shape());
+        permute_0213(raw->grad.data().data(), tmp.data().data(), b, t, h, dh);
+        x->ensure_grad().add_(tmp);
+    };
+    return node;
+}
+
+// ---- Reductions ------------------------------------------------------------------
+
+Var sum_all(const Var& a) {
+    float total = 0.0f;
+    for (float x : a->value.data()) total += x;
+    Var node = make_node(Tensor::scalar(total), {a});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, a] {
+        const float g = raw->grad[0];
+        auto dx = a->ensure_grad().data();
+        for (float& x : dx) x += g;
+    };
+    return node;
+}
+
+Var mean_all(const Var& a) {
+    const auto n = static_cast<float>(a->value.numel());
+    return scale(sum_all(a), n > 0.0f ? 1.0f / n : 0.0f);
+}
+
+// ---- Losses ------------------------------------------------------------------------
+
+Var cross_entropy(const Var& logits, const std::vector<int>& targets) {
+    const auto& ls = logits->value.shape();
+    if (ls.size() != 2 || ls[0] != targets.size()) shape_error("cross_entropy", logits->value);
+    const std::size_t n = ls[0];
+    const std::size_t c = ls[1];
+    auto probs = std::make_shared<Tensor>(Shape{n, c});
+    std::size_t active = 0;
+    double loss = 0.0;
+    {
+        const float* in = logits->value.data().data();
+        float* p = probs->data().data();
+        for (std::size_t r = 0; r < n; ++r) {
+            softmax_row(in + r * c, p + r * c, c, c);
+            const int tgt = targets[r];
+            if (tgt == kIgnoreIndex) continue;
+            if (tgt < 0 || static_cast<std::size_t>(tgt) >= c) {
+                throw std::invalid_argument("cross_entropy: target out of range");
+            }
+            ++active;
+            loss -= std::log(std::max(p[r * c + static_cast<std::size_t>(tgt)], 1e-12f));
+        }
+    }
+    const float denom = active > 0 ? static_cast<float>(active) : 1.0f;
+    Var node = make_node(Tensor::scalar(static_cast<float>(loss) / denom), {logits});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, logits, targets, probs, n, c, denom] {
+        const float g = raw->grad[0] / denom;
+        const float* p = probs->data().data();
+        float* dx = logits->ensure_grad().data().data();
+        for (std::size_t r = 0; r < n; ++r) {
+            const int tgt = targets[r];
+            if (tgt == kIgnoreIndex) continue;
+            for (std::size_t j = 0; j < c; ++j) {
+                const float onehot = (static_cast<std::size_t>(tgt) == j) ? 1.0f : 0.0f;
+                dx[r * c + j] += g * (p[r * c + j] - onehot);
+            }
+        }
+    };
+    return node;
+}
+
+Var gaussian_nll(const Var& mu, const Var& logvar, const Tensor& target,
+                 const std::vector<float>& mask) {
+    const std::size_t n = target.numel();
+    if (mu->value.numel() != n || logvar->value.numel() != n || mask.size() != n) {
+        shape_error2("gaussian_nll", mu->value, logvar->value);
+    }
+    float active = 0.0f;
+    for (float m : mask) active += (m != 0.0f) ? 1.0f : 0.0f;
+    const float denom = active > 0.0f ? active : 1.0f;
+    double loss = 0.0;
+    {
+        const float* pm = mu->value.data().data();
+        const float* pv = logvar->value.data().data();
+        auto pt = target.data();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (mask[i] == 0.0f) continue;
+            const float diff = pt[i] - pm[i];
+            loss += 0.5 * (pv[i] + diff * diff * std::exp(-pv[i]));
+        }
+    }
+    Var node = make_node(Tensor::scalar(static_cast<float>(loss) / denom), {mu, logvar});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    Tensor target_copy = target.clone();
+    node->backward_fn = [raw, mu, logvar, target_copy, mask, n, denom] {
+        const float g = raw->grad[0] / denom;
+        const float* pm = mu->value.data().data();
+        const float* pv = logvar->value.data().data();
+        auto pt = target_copy.data();
+        float* dmu = mu->requires_grad ? mu->ensure_grad().data().data() : nullptr;
+        float* dlv = logvar->requires_grad ? logvar->ensure_grad().data().data() : nullptr;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (mask[i] == 0.0f) continue;
+            const float inv_var = std::exp(-pv[i]);
+            const float diff = pt[i] - pm[i];
+            if (dmu) dmu[i] += g * (-diff * inv_var);
+            if (dlv) dlv[i] += g * 0.5f * (1.0f - diff * diff * inv_var);
+        }
+    };
+    return node;
+}
+
+Var mse_masked(const Var& pred, const Tensor& target, const std::vector<float>& mask) {
+    const std::size_t n = target.numel();
+    if (pred->value.numel() != n || mask.size() != n) shape_error("mse_masked", pred->value);
+    float active = 0.0f;
+    for (float m : mask) active += (m != 0.0f) ? 1.0f : 0.0f;
+    const float denom = active > 0.0f ? active : 1.0f;
+    double loss = 0.0;
+    {
+        const float* pp = pred->value.data().data();
+        auto pt = target.data();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (mask[i] == 0.0f) continue;
+            const float diff = pp[i] - pt[i];
+            loss += diff * diff;
+        }
+    }
+    Var node = make_node(Tensor::scalar(static_cast<float>(loss) / denom), {pred});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    Tensor target_copy = target.clone();
+    node->backward_fn = [raw, pred, target_copy, mask, n, denom] {
+        const float g = raw->grad[0] / denom;
+        const float* pp = pred->value.data().data();
+        auto pt = target_copy.data();
+        float* dx = pred->ensure_grad().data().data();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (mask[i] == 0.0f) continue;
+            dx[i] += g * 2.0f * (pp[i] - pt[i]);
+        }
+    };
+    return node;
+}
+
+Var bce_with_logits(const Var& logits, const std::vector<float>& targets) {
+    const std::size_t n = logits->value.numel();
+    if (targets.size() != n) shape_error("bce_with_logits", logits->value);
+    double loss = 0.0;
+    {
+        const float* in = logits->value.data().data();
+        for (std::size_t i = 0; i < n; ++i) {
+            // Numerically stable: max(x,0) - x*t + log(1 + exp(-|x|)).
+            const float x = in[i];
+            loss += std::max(x, 0.0f) - x * targets[i] + std::log1p(std::exp(-std::abs(x)));
+        }
+    }
+    const float denom = n > 0 ? static_cast<float>(n) : 1.0f;
+    Var node = make_node(Tensor::scalar(static_cast<float>(loss) / denom), {logits});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, logits, targets, n, denom] {
+        const float g = raw->grad[0] / denom;
+        const float* in = logits->value.data().data();
+        float* dx = logits->ensure_grad().data().data();
+        for (std::size_t i = 0; i < n; ++i) {
+            const float p = 1.0f / (1.0f + std::exp(-in[i]));
+            dx[i] += g * (p - targets[i]);
+        }
+    };
+    return node;
+}
+
+}  // namespace cpt::nn

@@ -1,0 +1,224 @@
+#include "infer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cpt::nn {
+
+namespace {
+
+// y = x W^T + b for row-major x [B, in], W [out, in], b [out].
+void linear_rows(const Linear& fc, const Tensor& x, Tensor& y) {
+    const std::size_t b = x.dim(0);
+    const std::size_t in = fc.in_features();
+    const std::size_t out = fc.out_features();
+    const float* px = x.data().data();
+    const float* pw = fc.weight()->value.data().data();
+    const float* pb = fc.bias()->value.data().data();
+    float* py = y.data().data();
+    for (std::size_t r = 0; r < b; ++r) {
+        const float* xrow = px + r * in;
+        float* yrow = py + r * out;
+        for (std::size_t o = 0; o < out; ++o) {
+            const float* wrow = pw + o * in;
+            float acc = pb[o];
+            for (std::size_t i = 0; i < in; ++i) acc += xrow[i] * wrow[i];
+            yrow[o] = acc;
+        }
+    }
+}
+
+void layer_norm_rows(const LayerNorm& ln, Tensor& x, float eps = 1e-5f) {
+    const std::size_t d = ln.gain()->value.numel();
+    const std::size_t rows = x.numel() / d;
+    const float* gw = ln.gain()->value.data().data();
+    const float* bw = ln.bias()->value.data().data();
+    float* px = x.data().data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        float* row = px + r * d;
+        float mean = 0.0f;
+        for (std::size_t j = 0; j < d; ++j) mean += row[j];
+        mean /= static_cast<float>(d);
+        float var = 0.0f;
+        for (std::size_t j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
+        var /= static_cast<float>(d);
+        const float inv = 1.0f / std::sqrt(var + eps);
+        for (std::size_t j = 0; j < d; ++j) row[j] = (row[j] - mean) * inv * gw[j] + bw[j];
+    }
+}
+
+void gelu_rows(Tensor& x) {
+    constexpr float kC = 0.7978845608028654f;
+    constexpr float kA = 0.044715f;
+    for (float& v : x.data()) {
+        const float u = kC * (v + kA * v * v * v);
+        v = 0.5f * v * (1.0f + std::tanh(u));
+    }
+}
+
+void add_rows(Tensor& dst, const Tensor& src) { dst.add_(src); }
+
+}  // namespace
+
+TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t batch)
+    : model_(&model), batch_(batch) {
+    const auto& cfg = model.config();
+    if (batch == 0) throw std::invalid_argument("TransformerDecoder: batch must be > 0");
+    caches_.resize(cfg.blocks);
+    const std::size_t dh = cfg.d_model / cfg.heads;
+    for (auto& c : caches_) {
+        c.k = Tensor({batch, cfg.heads, cfg.max_seq_len, dh});
+        c.v = Tensor({batch, cfg.heads, cfg.max_seq_len, dh});
+    }
+}
+
+Tensor TransformerDecoder::step(const Tensor& x) {
+    const auto& cfg = model_->config();
+    if (x.rank() != 2 || x.dim(0) != batch_ || x.dim(1) != cfg.d_token) {
+        throw std::invalid_argument("TransformerDecoder::step: expected [B, d_token], got " +
+                                    shape_to_string(x.shape()));
+    }
+    if (len_ >= cfg.max_seq_len) {
+        throw std::logic_error("TransformerDecoder::step: context full");
+    }
+    const std::size_t d = cfg.d_model;
+    const std::size_t h = cfg.heads;
+    const std::size_t dh = d / h;
+    const std::size_t max_t = cfg.max_seq_len;
+    const std::size_t t = len_;  // position of the incoming token
+
+    // Input projection + positional embedding.
+    Tensor hstate({batch_, d});
+    linear_rows(model_->input_proj(), x, hstate);
+    {
+        const float* pos = model_->positions()->value.data().data() + t * d;
+        float* ph = hstate.data().data();
+        for (std::size_t r = 0; r < batch_; ++r) {
+            for (std::size_t j = 0; j < d; ++j) ph[r * d + j] += pos[j];
+        }
+    }
+
+    Tensor q({batch_, d});
+    Tensor attn_out({batch_, d});
+    Tensor mlp_hidden;  // sized per block below
+    Tensor scratch({batch_, d});
+
+    for (std::size_t bi = 0; bi < caches_.size(); ++bi) {
+        const auto& block = *model_->blocks()[bi];
+        BlockCache& cache = caches_[bi];
+
+        // ---- attention branch: ln1 -> qkv -> cached causal attention -> wo
+        scratch = hstate.clone();
+        layer_norm_rows(block.ln1(), scratch);
+        linear_rows(block.attn().wq(), scratch, q);
+        // New K/V rows go straight into the cache at position t.
+        {
+            Tensor kv({batch_, d});
+            linear_rows(block.attn().wk(), scratch, kv);
+            const float* pk = kv.data().data();
+            float* ck = cache.k.data().data();
+            for (std::size_t r = 0; r < batch_; ++r) {
+                for (std::size_t head = 0; head < h; ++head) {
+                    float* dst = ck + ((r * h + head) * max_t + t) * dh;
+                    const float* src = pk + r * d + head * dh;
+                    for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
+                }
+            }
+            linear_rows(block.attn().wv(), scratch, kv);
+            const float* pv = kv.data().data();
+            float* cv = cache.v.data().data();
+            for (std::size_t r = 0; r < batch_; ++r) {
+                for (std::size_t head = 0; head < h; ++head) {
+                    float* dst = cv + ((r * h + head) * max_t + t) * dh;
+                    const float* src = pv + r * d + head * dh;
+                    for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
+                }
+            }
+        }
+        // Per-row, per-head attention over positions [0, t].
+        {
+            const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+            const float* pq = q.data().data();
+            const float* ck = cache.k.data().data();
+            const float* cv = cache.v.data().data();
+            float* ctx = scratch.data().data();  // reuse as context output
+            std::vector<float> scores(t + 1);
+            for (std::size_t r = 0; r < batch_; ++r) {
+                for (std::size_t head = 0; head < h; ++head) {
+                    const float* qrow = pq + r * d + head * dh;
+                    const float* krows = ck + (r * h + head) * max_t * dh;
+                    const float* vrows = cv + (r * h + head) * max_t * dh;
+                    float mx = -1e30f;
+                    for (std::size_t p = 0; p <= t; ++p) {
+                        float acc = 0.0f;
+                        const float* krow = krows + p * dh;
+                        for (std::size_t j = 0; j < dh; ++j) acc += qrow[j] * krow[j];
+                        scores[p] = acc * scale;
+                        mx = std::max(mx, scores[p]);
+                    }
+                    float total = 0.0f;
+                    for (std::size_t p = 0; p <= t; ++p) {
+                        scores[p] = std::exp(scores[p] - mx);
+                        total += scores[p];
+                    }
+                    const float inv = total > 0.0f ? 1.0f / total : 0.0f;
+                    float* crow = ctx + r * d + head * dh;
+                    for (std::size_t j = 0; j < dh; ++j) crow[j] = 0.0f;
+                    for (std::size_t p = 0; p <= t; ++p) {
+                        const float w = scores[p] * inv;
+                        const float* vrow = vrows + p * dh;
+                        for (std::size_t j = 0; j < dh; ++j) crow[j] += w * vrow[j];
+                    }
+                }
+            }
+        }
+        linear_rows(block.attn().wo(), scratch, attn_out);
+        add_rows(hstate, attn_out);
+
+        // ---- MLP branch: ln2 -> fc1 -> gelu -> fc2
+        scratch = hstate.clone();
+        layer_norm_rows(block.ln2(), scratch);
+        const std::size_t hidden = block.mlp().fc1().out_features();
+        if (mlp_hidden.numel() != batch_ * hidden) mlp_hidden = Tensor({batch_, hidden});
+        linear_rows(block.mlp().fc1(), scratch, mlp_hidden);
+        gelu_rows(mlp_hidden);
+        linear_rows(block.mlp().fc2(), mlp_hidden, attn_out);  // reuse as mlp out
+        add_rows(hstate, attn_out);
+    }
+
+    layer_norm_rows(model_->final_ln(), hstate);
+    ++len_;
+    return hstate;
+}
+
+void TransformerDecoder::compact(const std::vector<std::size_t>& keep_rows) {
+    for (std::size_t i = 1; i < keep_rows.size(); ++i) {
+        if (keep_rows[i] <= keep_rows[i - 1]) {
+            throw std::invalid_argument("TransformerDecoder::compact: rows must be ascending");
+        }
+    }
+    if (!keep_rows.empty() && keep_rows.back() >= batch_) {
+        throw std::invalid_argument("TransformerDecoder::compact: row out of range");
+    }
+    const std::size_t new_batch = keep_rows.size();
+    const auto& cfg = model_->config();
+    const std::size_t row_floats = cfg.heads * cfg.max_seq_len * (cfg.d_model / cfg.heads);
+    for (auto& c : caches_) {
+        Tensor nk({new_batch, cfg.heads, cfg.max_seq_len, cfg.d_model / cfg.heads});
+        Tensor nv(nk.shape());
+        const float* sk = c.k.data().data();
+        const float* sv = c.v.data().data();
+        float* dk = nk.data().data();
+        float* dv = nv.data().data();
+        for (std::size_t i = 0; i < new_batch; ++i) {
+            const std::size_t src = keep_rows[i];
+            std::copy_n(sk + src * row_floats, row_floats, dk + i * row_floats);
+            std::copy_n(sv + src * row_floats, row_floats, dv + i * row_floats);
+        }
+        c.k = std::move(nk);
+        c.v = std::move(nv);
+    }
+    batch_ = new_batch;
+}
+
+}  // namespace cpt::nn

@@ -1,0 +1,48 @@
+// Inference-only incremental decoding for the Transformer backbone with a
+// key/value cache. Autoregressive sampling with the autograd forward costs
+// O(T^2) matmuls per generated token (the full prefix is re-encoded each
+// step); this decoder reuses cached per-block K/V so each step costs O(T)
+// attention plus O(1) projections — an order of magnitude faster on CPU.
+//
+// The decoder holds plain tensors (no autograd graph). Numerical equivalence
+// with Transformer::forward() is pinned by tests.
+#pragma once
+
+#include <vector>
+
+#include "modules.hpp"
+
+namespace cpt::nn {
+
+class TransformerDecoder {
+public:
+    // Binds to a trained model; `batch` rows decode in lockstep.
+    TransformerDecoder(const Transformer& model, std::size_t batch);
+
+    // Feeds one token per row (x: [B, d_token]) and returns the final-layer
+    // hidden state for that position ([B, d_model]). Throws when the context
+    // is full (length() == max_seq_len).
+    Tensor step(const Tensor& x);
+
+    // Tokens consumed so far.
+    std::size_t length() const { return len_; }
+    std::size_t batch() const { return batch_; }
+
+    // Keeps only the given rows (ascending, unique); used to drop finished
+    // streams mid-generation.
+    void compact(const std::vector<std::size_t>& keep_rows);
+
+private:
+    struct BlockCache {
+        // K/V laid out [B, H, maxT, Dh] (row-major, preallocated).
+        Tensor k;
+        Tensor v;
+    };
+
+    const Transformer* model_;
+    std::size_t batch_ = 0;
+    std::size_t len_ = 0;
+    std::vector<BlockCache> caches_;
+};
+
+}  // namespace cpt::nn

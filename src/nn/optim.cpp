@@ -1,0 +1,82 @@
+#include "optim.hpp"
+
+#include <cmath>
+
+namespace cpt::nn {
+
+double clip_grad_norm(std::span<const Var> params, double max_norm) {
+    double sq = 0.0;
+    for (const auto& p : params) {
+        if (p->grad.numel() == 0) continue;
+        for (float g : p->grad.data()) sq += static_cast<double>(g) * g;
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > max_norm && norm > 0.0) {
+        const auto factor = static_cast<float>(max_norm / norm);
+        for (const auto& p : params) {
+            if (p->grad.numel() > 0) p->grad.scale_(factor);
+        }
+    }
+    return norm;
+}
+
+void Optimizer::zero_grad() { nn::zero_grad(params_); }
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto& p = params_[i];
+        if (p->grad.numel() == 0) continue;
+        auto w = p->value.data();
+        auto g = p->grad.data();
+        auto v = velocity_[i].data();
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            v[j] = momentum_ * v[j] + g[j];
+            w[j] -= lr_ * v[j];
+        }
+    }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto& p : params_) {
+        m_.emplace_back(p->value.shape());
+        v_.emplace_back(p->value.shape());
+    }
+}
+
+void Adam::step() {
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto& p = params_[i];
+        if (p->grad.numel() == 0) continue;
+        auto w = p->value.data();
+        auto g = p->grad.data();
+        auto m = m_[i].data();
+        auto v = v_[i].data();
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+            const float mhat = m[j] / bc1;
+            const float vhat = v[j] / bc2;
+            w[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[j]);
+        }
+    }
+}
+
+}  // namespace cpt::nn

@@ -1,0 +1,61 @@
+// First-order optimizers over autograd parameters, plus gradient clipping.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "autograd.hpp"
+
+namespace cpt::nn {
+
+// Scales all gradients so their joint L2 norm is at most `max_norm`; returns
+// the pre-clip norm.
+double clip_grad_norm(std::span<const Var> params, double max_norm);
+
+class Optimizer {
+public:
+    virtual ~Optimizer() = default;
+    // Applies one update using the parameters' current gradients.
+    virtual void step() = 0;
+    void zero_grad();
+
+protected:
+    explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+    std::vector<Var> params_;
+};
+
+class Sgd : public Optimizer {
+public:
+    Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
+    void step() override;
+
+private:
+    float lr_;
+    float momentum_;
+    std::vector<Tensor> velocity_;
+};
+
+// Adam with optional decoupled weight decay (AdamW when weight_decay > 0):
+// the decay is applied directly to the weights, not through the moment
+// estimates, per Loshchilov & Hutter.
+class Adam : public Optimizer {
+public:
+    Adam(std::vector<Var> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+         float eps = 1e-8f, float weight_decay = 0.0f);
+    void step() override;
+
+    void set_lr(float lr) { lr_ = lr; }
+    float lr() const { return lr_; }
+
+private:
+    float lr_;
+    float beta1_;
+    float beta2_;
+    float eps_;
+    float weight_decay_;
+    long t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+}  // namespace cpt::nn

@@ -1,0 +1,97 @@
+#include "serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace cpt::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'P', 'T', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+    T value{};
+    in.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in) throw std::runtime_error("checkpoint: truncated file");
+    return value;
+}
+
+}  // namespace
+
+void save_parameters(const std::string& path, const std::vector<NamedParam>& params) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("save_parameters: cannot open '" + path + "'");
+    out.write(kMagic, sizeof(kMagic));
+    write_pod<std::uint32_t>(out, kVersion);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(params.size()));
+    for (const auto& [name, p] : params) {
+        write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+        out.write(name.data(), static_cast<std::streamsize>(name.size()));
+        const auto& shape = p->value.shape();
+        write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(shape.size()));
+        for (std::size_t d : shape) write_pod<std::uint64_t>(out, d);
+        const auto data = p->value.data();
+        out.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size() * sizeof(float)));
+    }
+    if (!out) throw std::runtime_error("save_parameters: write failed for '" + path + "'");
+}
+
+void load_parameters(const std::string& path, const std::vector<NamedParam>& params) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("load_parameters: cannot open '" + path + "'");
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+        throw std::runtime_error("load_parameters: bad magic in '" + path + "'");
+    }
+    const auto version = read_pod<std::uint32_t>(in);
+    if (version != kVersion) throw std::runtime_error("load_parameters: unsupported version");
+    const auto count = read_pod<std::uint32_t>(in);
+
+    std::map<std::string, Var> by_name;
+    for (const auto& [name, p] : params) by_name[name] = p;
+    std::size_t loaded = 0;
+
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const auto name_len = read_pod<std::uint32_t>(in);
+        std::string name(name_len, '\0');
+        in.read(name.data(), name_len);
+        const auto rank = read_pod<std::uint32_t>(in);
+        Shape shape(rank);
+        for (auto& d : shape) d = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+        const std::size_t numel = shape_numel(shape);
+        std::vector<float> data(numel);
+        in.read(reinterpret_cast<char*>(data.data()),
+                static_cast<std::streamsize>(numel * sizeof(float)));
+        if (!in) throw std::runtime_error("load_parameters: truncated tensor data");
+
+        const auto it = by_name.find(name);
+        if (it == by_name.end()) {
+            throw std::runtime_error("load_parameters: unknown parameter '" + name + "'");
+        }
+        if (it->second->value.shape() != shape) {
+            throw std::runtime_error("load_parameters: shape mismatch for '" + name + "': file " +
+                                     shape_to_string(shape) + " vs model " +
+                                     shape_to_string(it->second->value.shape()));
+        }
+        auto dst = it->second->value.data();
+        for (std::size_t j = 0; j < numel; ++j) dst[j] = data[j];
+        ++loaded;
+    }
+    if (loaded != by_name.size()) {
+        throw std::runtime_error("load_parameters: checkpoint covers " + std::to_string(loaded) +
+                                 " of " + std::to_string(by_name.size()) + " parameters");
+    }
+}
+
+}  // namespace cpt::nn

@@ -1,0 +1,107 @@
+#include "tensor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cpt::nn {
+
+std::string shape_to_string(const Shape& s) {
+    std::ostringstream out;
+    out << '[';
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (i) out << ", ";
+        out << s[i];
+    }
+    out << ']';
+    return out.str();
+}
+
+std::size_t shape_numel(const Shape& s) {
+    std::size_t n = 1;
+    for (std::size_t d : s) n *= d;
+    return s.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      storage_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor Tensor::full(Shape shape, float value) {
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor Tensor::randn(util::Rng& rng, Shape shape, float stddev) {
+    Tensor t(std::move(shape));
+    for (float& x : t.data()) x = static_cast<float>(rng.normal()) * stddev;
+    return t;
+}
+
+Tensor Tensor::uniform(util::Rng& rng, Shape shape, float lo, float hi) {
+    Tensor t(std::move(shape));
+    for (float& x : t.data()) x = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+Tensor Tensor::from(std::vector<float> values, Shape shape) {
+    if (values.size() != shape_numel(shape)) {
+        throw std::invalid_argument("Tensor::from: " + std::to_string(values.size()) +
+                                    " values for shape " + shape_to_string(shape));
+    }
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.numel_ = values.size();
+    t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+    return t;
+}
+
+std::span<float> Tensor::data() {
+    if (!storage_) return {};
+    return {storage_->data(), numel_};
+}
+
+std::span<const float> Tensor::data() const {
+    if (!storage_) return {};
+    return {storage_->data(), numel_};
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+    if (shape_numel(shape) != numel_) {
+        throw std::invalid_argument("Tensor::reshaped: numel mismatch: " + shape_to_string(shape_) +
+                                    " -> " + shape_to_string(shape));
+    }
+    Tensor t = *this;
+    t.shape_ = std::move(shape);
+    return t;
+}
+
+Tensor Tensor::clone() const {
+    Tensor t;
+    t.shape_ = shape_;
+    t.numel_ = numel_;
+    t.storage_ = storage_ ? std::make_shared<std::vector<float>>(*storage_)
+                          : nullptr;
+    return t;
+}
+
+void Tensor::fill(float value) {
+    for (float& x : data()) x = value;
+}
+
+void Tensor::add_(const Tensor& other) {
+    if (other.numel_ != numel_) {
+        throw std::invalid_argument("Tensor::add_: numel mismatch " + shape_to_string(shape_) +
+                                    " vs " + shape_to_string(other.shape_));
+    }
+    auto dst = data();
+    auto src = other.data();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+void Tensor::scale_(float s) {
+    for (float& x : data()) x *= s;
+}
+
+}  // namespace cpt::nn

@@ -1,0 +1,73 @@
+// Dense float32 tensor with row-major contiguous storage. This is the value
+// type underneath the autograd graph (autograd.hpp). Storage is shared via
+// shared_ptr so reshapes are O(1) views; all mutating access goes through
+// data(), so aliasing is explicit at call sites.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cpt::nn {
+
+using Shape = std::vector<std::size_t>;
+
+std::string shape_to_string(const Shape& s);
+std::size_t shape_numel(const Shape& s);
+
+class Tensor {
+public:
+    // Empty (rank-0, zero elements) tensor.
+    Tensor() = default;
+
+    // Zero-initialized tensor of the given shape.
+    explicit Tensor(Shape shape);
+
+    static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+    static Tensor full(Shape shape, float value);
+    // i.i.d. N(0, stddev^2) entries.
+    static Tensor randn(util::Rng& rng, Shape shape, float stddev = 1.0f);
+    // i.i.d. U(lo, hi) entries.
+    static Tensor uniform(util::Rng& rng, Shape shape, float lo, float hi);
+    // Takes ownership of `values`; values.size() must equal numel(shape).
+    static Tensor from(std::vector<float> values, Shape shape);
+    static Tensor scalar(float value) { return from({value}, {1}); }
+
+    const Shape& shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t dim(std::size_t i) const { return shape_.at(i); }
+    std::size_t numel() const { return numel_; }
+    bool empty() const { return numel_ == 0; }
+
+    std::span<float> data();
+    std::span<const float> data() const;
+
+    float& operator[](std::size_t flat_index) { return data()[flat_index]; }
+    float operator[](std::size_t flat_index) const { return data()[flat_index]; }
+
+    // O(1) view with a new shape over the same storage. numel must match.
+    Tensor reshaped(Shape shape) const;
+
+    // Deep copy (detaches storage).
+    Tensor clone() const;
+
+    void fill(float value);
+
+    // this += other (same numel; shapes may differ, e.g. grad of a reshape).
+    void add_(const Tensor& other);
+    // this *= s
+    void scale_(float s);
+
+    bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+private:
+    Shape shape_;
+    std::size_t numel_ = 0;
+    std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace cpt::nn

@@ -1,0 +1,128 @@
+#include "cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "cellular/state_machine.hpp"
+#include "util/stats.hpp"
+
+namespace cpt::smm {
+
+FeatureVector stream_features(const trace::Stream& s) {
+    FeatureVector f{};
+    f[0] = std::log(static_cast<double>(std::max<std::size_t>(s.length(), 1)));
+
+    const auto ia = s.interarrivals();
+    double log_ia_sum = 0.0;
+    std::size_t ia_count = 0;
+    for (std::size_t i = 1; i < ia.size(); ++i) {
+        log_ia_sum += std::log(ia[i] + 1.0);
+        ++ia_count;
+    }
+    f[1] = ia_count ? log_ia_sum / static_cast<double>(ia_count) : 0.0;
+
+    std::size_t ho = 0;
+    for (const auto& e : s.events) {
+        if (e.type == cellular::lte::kHo) ++ho;
+    }
+    f[2] = s.length() ? static_cast<double>(ho) / static_cast<double>(s.length()) : 0.0;
+
+    const auto& machine =
+        cellular::StateMachine::for_generation(cellular::Generation::kLte4G);
+    const auto r = cellular::StateMachineReplayer(machine).replay(s.events);
+    f[3] = r.sojourn_connected.empty()
+               ? 0.0
+               : std::log(util::summarize(r.sojourn_connected).mean + 1.0);
+    f[4] = r.sojourn_idle.empty() ? 0.0 : std::log(util::summarize(r.sojourn_idle).mean + 1.0);
+    return f;
+}
+
+namespace {
+
+double sq_distance(const FeatureVector& a, const FeatureVector& b) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < kNumStreamFeatures; ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+    return d;
+}
+
+}  // namespace
+
+Clustering kmeans_streams(const trace::Dataset& ds, std::size_t k, util::Rng& rng,
+                          std::size_t max_iters) {
+    const std::size_t n = ds.streams.size();
+    if (n == 0) throw std::invalid_argument("kmeans_streams: empty dataset");
+    k = std::clamp<std::size_t>(k, 1, n);
+
+    std::vector<FeatureVector> feats(n);
+    for (std::size_t i = 0; i < n; ++i) feats[i] = stream_features(ds.streams[i]);
+
+    Clustering c;
+    // Standardize features so no single scale dominates.
+    for (std::size_t j = 0; j < kNumStreamFeatures; ++j) {
+        std::vector<double> col(n);
+        for (std::size_t i = 0; i < n; ++i) col[i] = feats[i][j];
+        const auto s = util::summarize(col);
+        c.feature_mean[j] = s.mean;
+        c.feature_std[j] = s.stddev > 1e-9 ? s.stddev : 1.0;
+        for (std::size_t i = 0; i < n; ++i) feats[i][j] = (feats[i][j] - s.mean) / c.feature_std[j];
+    }
+
+    // k-means++ seeding.
+    c.centroids.push_back(feats[rng.uniform_index(n)]);
+    std::vector<double> dist2(n, std::numeric_limits<double>::max());
+    while (c.centroids.size() < k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            dist2[i] = std::min(dist2[i], sq_distance(feats[i], c.centroids.back()));
+        }
+        double total = 0.0;
+        for (double d : dist2) total += d;
+        if (total <= 0.0) {
+            c.centroids.push_back(feats[rng.uniform_index(n)]);
+            continue;
+        }
+        c.centroids.push_back(feats[rng.categorical(std::span<const double>(dist2))]);
+    }
+
+    c.assignment.assign(n, 0);
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (std::size_t j = 0; j < c.centroids.size(); ++j) {
+                const double d = sq_distance(feats[i], c.centroids[j]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            if (c.assignment[i] != best) {
+                c.assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        std::vector<FeatureVector> sums(c.centroids.size(), FeatureVector{});
+        std::vector<std::size_t> counts(c.centroids.size(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < kNumStreamFeatures; ++j) {
+                sums[c.assignment[i]][j] += feats[i][j];
+            }
+            ++counts[c.assignment[i]];
+        }
+        for (std::size_t j = 0; j < c.centroids.size(); ++j) {
+            if (counts[j] == 0) continue;  // empty cluster keeps its centroid
+            for (std::size_t f = 0; f < kNumStreamFeatures; ++f) {
+                c.centroids[j][f] = sums[j][f] / static_cast<double>(counts[j]);
+            }
+        }
+        if (!changed) break;
+    }
+    c.sizes.assign(c.centroids.size(), 0);
+    for (std::size_t a : c.assignment) ++c.sizes[a];
+    return c;
+}
+
+}  // namespace cpt::smm

@@ -1,0 +1,35 @@
+// Stream clustering for the SMM-20k ensemble. The SMM paper clusters UEs on
+// domain-specific features (flow length, sojourn variation) and instantiates
+// one model per cluster; we use k-means over five per-stream features.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "trace/stream.hpp"
+#include "util/rng.hpp"
+
+namespace cpt::smm {
+
+inline constexpr std::size_t kNumStreamFeatures = 5;
+using FeatureVector = std::array<double, kNumStreamFeatures>;
+
+// Per-stream features: log flow length, mean log interarrival, handover
+// fraction, mean CONNECTED sojourn (log), mean IDLE sojourn (log).
+FeatureVector stream_features(const trace::Stream& s);
+
+struct Clustering {
+    std::vector<FeatureVector> centroids;      // k centroids (standardized space)
+    std::vector<std::size_t> assignment;       // per input stream
+    std::vector<std::size_t> sizes;            // per cluster
+    // Standardization applied before clustering.
+    FeatureVector feature_mean{};
+    FeatureVector feature_std{};
+};
+
+// Lloyd's k-means with k-means++-style seeding on standardized features.
+// `k` is clamped to the number of streams. Deterministic given `rng`.
+Clustering kmeans_streams(const trace::Dataset& ds, std::size_t k, util::Rng& rng,
+                          std::size_t max_iters = 50);
+
+}  // namespace cpt::smm

@@ -1,0 +1,21 @@
+#include "empirical_cdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpt::smm {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::sample(util::Rng& rng) const {
+    if (sorted_.empty()) throw std::logic_error("EmpiricalCdf::sample: empty CDF");
+    if (sorted_.size() == 1) return sorted_[0];
+    const double u = rng.uniform() * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(u);
+    const double frac = u - static_cast<double>(lo);
+    return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+}  // namespace cpt::smm

@@ -1,0 +1,32 @@
+// Empirical CDF sojourn-time model. The SMM paper found that classic
+// parametric interarrival distributions (Poisson/Pareto/Weibull/TCPlib) do
+// not fit cellular control traffic and instead stores one empirical CDF per
+// SMM transition (paper §3.3); this class is that per-transition CDF model.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cpt::smm {
+
+class EmpiricalCdf {
+public:
+    EmpiricalCdf() = default;
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    bool empty() const { return sorted_.empty(); }
+    std::size_t size() const { return sorted_.size(); }
+
+    // Inverse-transform sampling with linear interpolation between adjacent
+    // order statistics (keeps the support continuous instead of replaying the
+    // exact training values).
+    double sample(util::Rng& rng) const;
+
+    const std::vector<double>& sorted_samples() const { return sorted_; }
+
+private:
+    std::vector<double> sorted_;
+};
+
+}  // namespace cpt::smm

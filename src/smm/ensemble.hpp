@@ -1,0 +1,40 @@
+// SMM generator frontends matching the paper's two baselines:
+//   * SMM-1  — a single semi-Markov model per device type (§5.1);
+//   * SMM-20k — an ensemble of per-cluster models, the scaled-down equivalent
+//     of the paper's 20,216 per-cluster-per-hour models.
+#pragma once
+
+#include <vector>
+
+#include "cluster.hpp"
+#include "semi_markov.hpp"
+
+namespace cpt::smm {
+
+// Fits one SMM on the whole (single-device-type) dataset. Equivalent to the
+// paper's SMM-1 baseline.
+SemiMarkovModel fit_smm1(const trace::Dataset& ds, const SmmConfig& config = {});
+
+// Ensemble of cluster-specialized SMMs with empirical cluster weights.
+class SmmEnsemble {
+public:
+    // Clusters the dataset into (up to) `clusters` groups and fits one SMM
+    // per non-trivial cluster (tiny clusters are merged into the nearest
+    // usable one by falling back to a whole-dataset model).
+    static SmmEnsemble fit(const trace::Dataset& ds, std::size_t clusters, util::Rng& rng,
+                           const SmmConfig& config = {});
+
+    // Picks a cluster by empirical share, then generates from its model.
+    trace::Dataset generate(std::size_t n, util::Rng& rng,
+                            const std::string& ue_prefix = "smm20k") const;
+
+    std::size_t num_models() const { return models_.size(); }
+    // Total empirical sojourn CDFs across the ensemble (paper: 283,024).
+    std::size_t num_cdfs() const;
+
+private:
+    std::vector<SemiMarkovModel> models_;
+    std::vector<double> weights_;
+};
+
+}  // namespace cpt::smm

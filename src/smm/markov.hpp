@@ -1,0 +1,65 @@
+// Order-k Markov baseline over raw event types — a statistical generator that
+// needs NO domain knowledge (unlike the SMM, which embeds the 3GPP state
+// machine). It conditions the next event on the last k events and draws the
+// interarrival from a per-(previous event, next event) empirical CDF.
+//
+// This sits between the paper's two worlds: like CPT-GPT it learns purely
+// from the trace; like the SMM it is a classical statistical model. Its
+// weakness is bounded memory: any dependence longer than k events (e.g. a
+// TAU that is only legal because of a handover several events back, or
+// per-UE activity levels) is lost, which shows up as semantic violations and
+// collapsed per-UE diversity. The ablation bench uses it to quantify how
+// much of CPT-GPT's fidelity comes from long-range attention rather than
+// short-range transition statistics.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "empirical_cdf.hpp"
+#include "trace/stream.hpp"
+#include "util/rng.hpp"
+
+namespace cpt::smm {
+
+struct MarkovConfig {
+    std::size_t order = 2;  // events of context (1..4)
+    double window_seconds = 3600.0;
+    std::size_t max_events_per_stream = 600;
+};
+
+class MarkovGenerator {
+public:
+    using Config = MarkovConfig;
+
+    // Fits transition counts and delay CDFs from the dataset. Throws if the
+    // dataset has no streams of length >= 2 or order is out of range.
+    static MarkovGenerator fit(const trace::Dataset& ds, const Config& config = {});
+
+    trace::Stream generate_stream(const std::string& ue_id, util::Rng& rng) const;
+    trace::Dataset generate(std::size_t n, util::Rng& rng,
+                            const std::string& ue_prefix = "markov") const;
+
+    std::size_t order() const { return config_.order; }
+    std::size_t num_contexts() const { return transitions_.size(); }
+
+private:
+    MarkovGenerator() = default;
+
+    // Packs up to `order` event ids into a context key (6 bits per event,
+    // plus a length marker so shorter prefixes are distinct).
+    std::uint32_t context_key(const std::vector<cellular::EventId>& history) const;
+
+    Config config_;
+    cellular::Generation generation_ = cellular::Generation::kLte4G;
+    std::size_t num_events_ = 0;
+    std::vector<double> initial_counts_;  // first-event distribution
+    // context key -> next-event counts (size num_events_).
+    std::unordered_map<std::uint32_t, std::vector<double>> transitions_;
+    // (prev event * num_events + next event) -> delay CDF; index 0 reserved
+    // for "no previous event".
+    std::vector<EmpiricalCdf> delays_;
+};
+
+}  // namespace cpt::smm

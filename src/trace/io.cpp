@@ -1,0 +1,104 @@
+#include "io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace cpt::trace {
+
+namespace {
+
+std::string_view generation_tag(cellular::Generation g) {
+    return g == cellular::Generation::kLte4G ? "4g" : "5g";
+}
+
+cellular::Generation generation_from_tag(std::string_view tag) {
+    if (tag == "4g") return cellular::Generation::kLte4G;
+    if (tag == "5g") return cellular::Generation::kNr5G;
+    throw std::invalid_argument("trace csv: unknown generation tag '" + std::string(tag) + "'");
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const Dataset& ds) {
+    const auto& vocab = cellular::vocabulary(ds.generation);
+    // Microsecond-resolution timestamps survive the round trip.
+    out.setf(std::ios::fixed);
+    out.precision(6);
+    out << "generation,ue_id,device,hour,timestamp,event\n";
+    for (const auto& s : ds.streams) {
+        for (const auto& e : s.events) {
+            out << generation_tag(ds.generation) << ',' << s.ue_id << ',' << to_string(s.device)
+                << ',' << s.hour_of_day << ',' << e.timestamp << ',' << vocab.name(e.type) << '\n';
+        }
+    }
+}
+
+void write_csv_file(const std::string& path, const Dataset& ds) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_csv_file: cannot open '" + path + "'");
+    write_csv(out, ds);
+}
+
+Dataset read_csv(std::istream& in) {
+    std::string line;
+    if (!std::getline(in, line)) throw std::invalid_argument("trace csv: empty input");
+    if (util::trim(line) != "generation,ue_id,device,hour,timestamp,event") {
+        throw std::invalid_argument("trace csv: unexpected header '" + line + "'");
+    }
+    Dataset ds;
+    bool generation_set = false;
+    Stream* current = nullptr;
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (util::trim(line).empty()) continue;
+        const auto cols = util::split(line, ',');
+        if (cols.size() != 6) {
+            throw std::invalid_argument("trace csv: line " + std::to_string(line_no) +
+                                        ": expected 6 columns");
+        }
+        const auto gen = generation_from_tag(util::trim(cols[0]));
+        if (!generation_set) {
+            ds.generation = gen;
+            generation_set = true;
+        } else if (gen != ds.generation) {
+            throw std::invalid_argument("trace csv: line " + std::to_string(line_no) +
+                                        ": mixed generations in one file");
+        }
+        const std::string ue_id(util::trim(cols[1]));
+        if (current == nullptr || current->ue_id != ue_id) {
+            ds.streams.emplace_back();
+            current = &ds.streams.back();
+            current->ue_id = ue_id;
+            current->device = device_type_from_string(util::trim(cols[2]));
+            current->hour_of_day = static_cast<int>(util::parse_int(cols[3]));
+        }
+        cellular::ControlEvent ev;
+        ev.timestamp = util::parse_double(cols[4]);
+        const auto& vocab = cellular::vocabulary(ds.generation);
+        const auto id = vocab.id(util::trim(cols[5]));
+        if (!id) {
+            throw std::invalid_argument("trace csv: line " + std::to_string(line_no) +
+                                        ": unknown event '" + cols[5] + "'");
+        }
+        ev.type = *id;
+        if (!current->events.empty() && ev.timestamp < current->events.back().timestamp) {
+            throw std::invalid_argument("trace csv: line " + std::to_string(line_no) +
+                                        ": decreasing timestamp within stream " + ue_id);
+        }
+        current->events.push_back(ev);
+    }
+    return ds;
+}
+
+Dataset read_csv_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("read_csv_file: cannot open '" + path + "'");
+    return read_csv(in);
+}
+
+}  // namespace cpt::trace

@@ -1,0 +1,26 @@
+// CSV (de)serialization of trace datasets. Format (one row per event, events
+// of a stream contiguous and time-ordered):
+//
+//   generation,ue_id,device,hour,timestamp,event
+//   4g,ue-000001,phone,9,0.000,SRV_REQ
+//
+// Event names are the generation's vocabulary strings, keeping files
+// self-describing and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stream.hpp"
+
+namespace cpt::trace {
+
+void write_csv(std::ostream& out, const Dataset& ds);
+void write_csv_file(const std::string& path, const Dataset& ds);
+
+// Throws std::invalid_argument on malformed input (bad header, unknown event
+// or device names, decreasing timestamps within a stream).
+Dataset read_csv(std::istream& in);
+Dataset read_csv_file(const std::string& path);
+
+}  // namespace cpt::trace

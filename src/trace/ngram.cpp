@@ -1,0 +1,78 @@
+#include "ngram.hpp"
+
+#include <cmath>
+
+namespace cpt::trace {
+
+namespace {
+
+constexpr double kZeroThreshold = 1e-9;
+
+std::string signature(const std::vector<cellular::EventId>& events) {
+    return std::string(events.begin(), events.end());
+}
+
+}  // namespace
+
+bool interarrival_matches(double generated, double real, double epsilon) {
+    const bool gz = std::abs(generated) < kZeroThreshold;
+    const bool rz = std::abs(real) < kZeroThreshold;
+    if (gz || rz) return gz && rz;
+    const double ratio = generated / real;
+    return ratio > (1.0 - epsilon) && ratio < (1.0 + epsilon);
+}
+
+std::vector<Ngram> extract_ngrams(const Dataset& ds, std::size_t n) {
+    std::vector<Ngram> out;
+    if (n == 0) return out;
+    for (const auto& s : ds.streams) {
+        if (s.events.size() < n) continue;
+        const auto ia = s.interarrivals();
+        for (std::size_t start = 0; start + n <= s.events.size(); ++start) {
+            Ngram g;
+            g.events.reserve(n);
+            g.interarrivals.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                g.events.push_back(s.events[start + i].type);
+                g.interarrivals.push_back(ia[start + i]);
+            }
+            out.push_back(std::move(g));
+        }
+    }
+    return out;
+}
+
+NgramIndex::NgramIndex(const Dataset& training, std::size_t n) : n_(n) {
+    for (auto& g : extract_ngrams(training, n)) {
+        buckets_[signature(g.events)].push_back(std::move(g.interarrivals));
+        ++total_;
+    }
+}
+
+bool NgramIndex::has_match(const Ngram& g, double epsilon) const {
+    const auto it = buckets_.find(signature(g.events));
+    if (it == buckets_.end()) return false;
+    for (const auto& candidate : it->second) {
+        bool all = true;
+        for (std::size_t i = 0; i < n_; ++i) {
+            if (!interarrival_matches(g.interarrivals[i], candidate[i], epsilon)) {
+                all = false;
+                break;
+            }
+        }
+        if (all) return true;
+    }
+    return false;
+}
+
+double repeated_ngram_fraction(const Dataset& generated, const NgramIndex& index, double epsilon) {
+    const auto grams = extract_ngrams(generated, index.n());
+    if (grams.empty()) return 0.0;
+    std::size_t repeats = 0;
+    for (const auto& g : grams) {
+        if (index.has_match(g, epsilon)) ++repeats;
+    }
+    return static_cast<double>(repeats) / static_cast<double>(grams.size());
+}
+
+}  // namespace cpt::trace

@@ -1,0 +1,45 @@
+// Plain-text rendering helpers used by bench binaries and examples to print
+// paper-style tables and figures (CDF plots, histograms) on a terminal.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats.hpp"
+
+namespace cpt::util {
+
+// A simple column-aligned table with a header row.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+    // Renders with column padding and a separator under the header.
+    std::string render() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (no trailing-zero games; predictable
+// widths for tables).
+std::string fmt(double value, int precision = 2);
+// Percentage with a trailing '%'.
+std::string fmt_pct(double fraction, int precision = 2);
+// Per-mille with a trailing char sequence "permil".
+std::string fmt_permille(double fraction, int precision = 2);
+
+// Renders one or more named CDFs as an ASCII line plot. `width`/`height` are
+// character-cell dimensions; x is sampled over the pooled data range
+// (log-scaled when `log_x`).
+std::string render_cdf_plot(const std::vector<std::pair<std::string, Ecdf>>& curves,
+                            std::size_t width = 72, std::size_t height = 16,
+                            bool log_x = true);
+
+// Renders a histogram as horizontal bars.
+std::string render_histogram(const Histogram& h, std::size_t width = 60);
+
+}  // namespace cpt::util

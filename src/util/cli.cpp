@@ -1,0 +1,55 @@
+#include "cli.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "csv.hpp"
+
+namespace cpt::util {
+
+Options::Options(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) continue;
+        arg.erase(0, 2);
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            args_[arg] = "1";  // bare flag
+        } else {
+            args_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        }
+    }
+}
+
+std::optional<std::string> Options::lookup(const std::string& name) const {
+    if (const auto it = args_.find(name); it != args_.end()) return it->second;
+    std::string env = "CPT_";
+    for (char c : name) env.push_back(c == '-' ? '_' : static_cast<char>(std::toupper(c)));
+    if (const char* v = std::getenv(env.c_str())) return std::string(v);
+    return std::nullopt;
+}
+
+bool Options::has(const std::string& name) const { return lookup(name).has_value(); }
+
+std::string Options::get(const std::string& name, const std::string& fallback) const {
+    return lookup(name).value_or(fallback);
+}
+
+long long Options::get_int(const std::string& name, long long fallback) const {
+    const auto v = lookup(name);
+    return v ? parse_int(*v) : fallback;
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+    const auto v = lookup(name);
+    return v ? parse_double(*v) : fallback;
+}
+
+bool Options::get_flag(const std::string& name, bool fallback) const {
+    const auto v = lookup(name);
+    if (!v) return fallback;
+    return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+}  // namespace cpt::util

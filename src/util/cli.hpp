@@ -1,0 +1,31 @@
+// Tiny command-line / environment option reader used by examples and bench
+// binaries. Options come from `--key=value` arguments, with environment
+// variables (upper-cased, prefixed CPT_) as fallback, then the default.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace cpt::util {
+
+class Options {
+public:
+    Options(int argc, const char* const* argv);
+
+    // `name` is the option key, e.g. "ues" for --ues=100 / env CPT_UES.
+    std::string get(const std::string& name, const std::string& fallback) const;
+    long long get_int(const std::string& name, long long fallback) const;
+    double get_double(const std::string& name, double fallback) const;
+    bool get_flag(const std::string& name, bool fallback = false) const;
+
+    bool has(const std::string& name) const;
+
+private:
+    std::optional<std::string> lookup(const std::string& name) const;
+
+    std::unordered_map<std::string, std::string> args_;
+};
+
+}  // namespace cpt::util

@@ -1,0 +1,63 @@
+#include "csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace cpt::util {
+
+std::vector<std::string> split(std::string_view line, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = line.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(line.substr(start));
+            return out;
+        }
+        out.emplace_back(line.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i) out.push_back(sep);
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r' || s.front() == '\n')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r' || s.back() == '\n')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+double parse_double(std::string_view s) {
+    s = trim(s);
+    double value = 0.0;
+    const auto* end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+    if (ec != std::errc{} || ptr != end) {
+        throw std::invalid_argument("parse_double: malformed value '" + std::string(s) + "'");
+    }
+    return value;
+}
+
+long long parse_int(std::string_view s) {
+    s = trim(s);
+    long long value = 0;
+    const auto* end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+    if (ec != std::errc{} || ptr != end) {
+        throw std::invalid_argument("parse_int: malformed value '" + std::string(s) + "'");
+    }
+    return value;
+}
+
+}  // namespace cpt::util

@@ -1,0 +1,23 @@
+// Minimal CSV and string utilities for trace (de)serialization. The trace
+// format uses no quoting or embedded separators, so this is a strict,
+// fast splitter rather than a general RFC-4180 parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpt::util {
+
+std::vector<std::string> split(std::string_view line, char sep);
+std::string join(const std::vector<std::string>& parts, char sep);
+
+// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+// Strict numeric parsing; throws std::invalid_argument with context on
+// malformed input (partial parses are rejected).
+double parse_double(std::string_view s);
+long long parse_int(std::string_view s);
+
+}  // namespace cpt::util

@@ -1,0 +1,137 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cpt::util {
+
+Summary summarize(std::span<const double> xs) {
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty()) return s;
+    double sum = 0.0;
+    s.min = xs[0];
+    s.max = xs[0];
+    for (double x : xs) {
+        sum += x;
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+    double sq = 0.0;
+    for (double x : xs) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = xs.size() > 1 ? std::sqrt(sq / static_cast<double>(xs.size() - 1)) : 0.0;
+    return s;
+}
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+    if (sorted_.empty()) return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+    if (sorted_.empty()) throw std::logic_error("Ecdf::quantile on empty ECDF");
+    q = std::clamp(q, 0.0, 1.0);
+    const auto n = sorted_.size();
+    // Smallest index i with (i+1)/n >= q.
+    auto idx = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) - 1;
+    if (q <= 0.0) idx = 0;
+    idx = std::min(idx, n - 1);
+    return sorted_[idx];
+}
+
+double max_cdf_y_distance(const Ecdf& a, const Ecdf& b) {
+    if (a.empty() && b.empty()) return 0.0;
+    if (a.empty() || b.empty()) return 1.0;
+    const auto& xs = a.sorted_samples();
+    const auto& ys = b.sorted_samples();
+    // Classic two-pointer sweep over the merged sample points.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    double d = 0.0;
+    const double na = static_cast<double>(xs.size());
+    const double nb = static_cast<double>(ys.size());
+    while (i < xs.size() && j < ys.size()) {
+        const double x = std::min(xs[i], ys[j]);
+        while (i < xs.size() && xs[i] <= x) ++i;
+        while (j < ys.size() && ys[j] <= x) ++j;
+        d = std::max(d, std::abs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+    }
+    // After one side is exhausted the difference only shrinks toward 0.
+    return d;
+}
+
+double max_cdf_y_distance(std::span<const double> a, std::span<const double> b) {
+    return max_cdf_y_distance(Ecdf(std::vector<double>(a.begin(), a.end())),
+                              Ecdf(std::vector<double>(b.begin(), b.end())));
+}
+
+double quantile(std::span<const double> xs, double q) {
+    return Ecdf(std::vector<double>(xs.begin(), xs.end())).quantile(q);
+}
+
+Histogram make_histogram(std::span<const double> xs, std::size_t bins, bool log_scale) {
+    if (bins == 0) throw std::invalid_argument("make_histogram: bins must be > 0");
+    Histogram h;
+    h.log_scale = log_scale;
+    h.counts.assign(bins, 0);
+    if (xs.empty()) {
+        h.edges.assign(bins + 1, 0.0);
+        return h;
+    }
+    auto transform = [log_scale](double x) { return log_scale ? std::log10(x + 1.0) : x; };
+    double lo = transform(xs[0]);
+    double hi = lo;
+    for (double x : xs) {
+        const double t = transform(x);
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+    }
+    if (hi <= lo) hi = lo + 1.0;
+    h.edges.resize(bins + 1);
+    for (std::size_t i = 0; i <= bins; ++i) {
+        h.edges[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(bins);
+    }
+    for (double x : xs) {
+        const double t = transform(x);
+        auto idx = static_cast<std::size_t>((t - lo) / (hi - lo) * static_cast<double>(bins));
+        idx = std::min(idx, bins - 1);
+        ++h.counts[idx];
+    }
+    return h;
+}
+
+std::vector<double> normalize(std::span<const double> counts) {
+    double total = 0.0;
+    for (double c : counts) total += c;
+    std::vector<double> p(counts.size(), 0.0);
+    if (total <= 0.0) return p;
+    for (std::size_t i = 0; i < counts.size(); ++i) p[i] = counts[i] / total;
+    return p;
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+    if (p.size() != q.size()) throw std::invalid_argument("total_variation: size mismatch");
+    double d = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) d += std::abs(p[i] - q[i]);
+    return d / 2.0;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size() || xs.empty()) return 0.0;
+    const Summary sx = summarize(xs);
+    const Summary sy = summarize(ys);
+    if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+    double cov = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) cov += (xs[i] - sx.mean) * (ys[i] - sy.mean);
+    cov /= static_cast<double>(xs.size() - 1);
+    return cov / (sx.stddev * sy.stddev);
+}
+
+}  // namespace cpt::util

@@ -1,0 +1,78 @@
+// Statistical primitives used by the fidelity metrics and the synthetic world
+// generator: empirical CDFs, the max-CDF-y-distance ("max y-distance" in the
+// paper, i.e. the two-sample Kolmogorov-Smirnov statistic), quantiles,
+// histograms, and running summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cpt::util {
+
+// Basic moments of a sample.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// Empirical cumulative distribution function over a sample. Immutable after
+// construction; evaluation is O(log n).
+class Ecdf {
+public:
+    Ecdf() = default;
+    explicit Ecdf(std::vector<double> samples);
+
+    // P(X <= x); 0 for an empty ECDF.
+    double operator()(double x) const;
+
+    // q in [0, 1] -> smallest sample value v with ECDF(v) >= q.
+    double quantile(double q) const;
+
+    std::size_t size() const { return sorted_.size(); }
+    bool empty() const { return sorted_.empty(); }
+    const std::vector<double>& sorted_samples() const { return sorted_; }
+
+private:
+    std::vector<double> sorted_;
+};
+
+// Two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)|. This is
+// exactly the "maximum y-distance between the CDFs" metric used throughout
+// the paper's evaluation (Tables 6, 8, 10). Returns 1.0 when exactly one side
+// is empty and 0.0 when both are empty.
+double max_cdf_y_distance(const Ecdf& a, const Ecdf& b);
+double max_cdf_y_distance(std::span<const double> a, std::span<const double> b);
+
+// Quantile of an unsorted sample (copies + sorts; q in [0,1]).
+double quantile(std::span<const double> xs, double q);
+
+// Fixed-bin histogram. `log_scale` buckets on log10(x + 1), reproducing the
+// paper's Figure 7 view of interarrival times.
+struct Histogram {
+    std::vector<double> edges;   // size = bins + 1
+    std::vector<std::size_t> counts;  // size = bins
+    bool log_scale = false;
+};
+
+Histogram make_histogram(std::span<const double> xs, std::size_t bins, bool log_scale);
+
+// Discrete distribution helpers -----------------------------------------------
+
+// Normalizes non-negative counts into a probability vector. Returns a zero
+// vector when the total is zero.
+std::vector<double> normalize(std::span<const double> counts);
+
+// Total variation distance between two probability vectors of equal length.
+double total_variation(std::span<const double> p, std::span<const double> q);
+
+// Pearson correlation of two equal-length samples; 0 if degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace cpt::util

@@ -1,0 +1,122 @@
+// Tests for the secondary trace analytics: autocorrelation, burstiness,
+// Jensen-Shannon divergence, diurnal volume profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/analytics.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace cpt::metrics {
+namespace {
+
+namespace lte = cellular::lte;
+
+TEST(AutocorrelationTest, KnownSeries) {
+    // Perfectly alternating series has lag-1 autocorrelation near -1.
+    std::vector<double> alternating;
+    for (int i = 0; i < 100; ++i) alternating.push_back(i % 2 ? 1.0 : -1.0);
+    EXPECT_NEAR(autocorrelation(alternating, 1), -1.0, 0.05);
+    EXPECT_NEAR(autocorrelation(alternating, 2), 1.0, 0.05);
+    // Lag 0 is 1 by definition; degenerate inputs give 0.
+    EXPECT_DOUBLE_EQ(autocorrelation(alternating, 0), 1.0);
+    const std::vector<double> constant(50, 3.0);
+    EXPECT_DOUBLE_EQ(autocorrelation(constant, 1), 0.0);
+    const std::vector<double> tiny{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(autocorrelation(tiny, 1), 0.0);
+}
+
+TEST(AutocorrelationTest, IidIsNearZero) {
+    util::Rng rng(1);
+    std::vector<double> xs(5000);
+    for (auto& x : xs) x = rng.normal();
+    EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.05);
+    EXPECT_NEAR(autocorrelation(xs, 5), 0.0, 0.05);
+}
+
+TEST(AnalyticsTest, WorldInterarrivalsAreTemporallyCorrelated) {
+    // Per-UE activity scaling induces positive autocorrelation of
+    // interarrival magnitudes within streams — a property of real traffic
+    // that i.i.d. generators cannot show.
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {300, 0, 0};
+    cfg.seed = 2;
+    const auto world = trace::SyntheticWorldGenerator(cfg).generate();
+    EXPECT_GT(mean_interarrival_autocorrelation(world, 2), 0.0);
+}
+
+TEST(AnalyticsTest, IndexOfDispersionDetectsBurstiness) {
+    // Regular arrivals: IDC << 1. Bursty arrivals: IDC > 1.
+    trace::Dataset regular;
+    trace::Dataset bursty;
+    util::Rng rng(3);
+    for (int s = 0; s < 20; ++s) {
+        trace::Stream r;
+        for (int i = 0; i < 200; ++i) {
+            r.events.push_back({static_cast<double>(i) * 5.0, lte::kSrvReq});
+        }
+        regular.streams.push_back(r);
+
+        trace::Stream b;
+        double t = 0.0;
+        for (int burst = 0; burst < 20; ++burst) {
+            for (int i = 0; i < 10; ++i) {
+                b.events.push_back({t, lte::kSrvReq});
+                t += 0.2;
+            }
+            t += 100.0;
+        }
+        bursty.streams.push_back(b);
+    }
+    const double idc_regular = index_of_dispersion(regular, 20.0);
+    const double idc_bursty = index_of_dispersion(bursty, 20.0);
+    EXPECT_LT(idc_regular, 0.5);
+    EXPECT_GT(idc_bursty, 2.0);
+    EXPECT_THROW(index_of_dispersion(regular, 0.0), std::invalid_argument);
+}
+
+TEST(JensenShannonTest, BoundsAndSymmetry) {
+    const std::vector<double> p{0.5, 0.5, 0.0};
+    const std::vector<double> q{0.0, 0.5, 0.5};
+    const std::vector<double> r{0.5, 0.5, 0.0};
+    EXPECT_DOUBLE_EQ(jensen_shannon(p, r), 0.0);
+    const double d = jensen_shannon(p, q);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, std::log(2.0) + 1e-12);
+    EXPECT_DOUBLE_EQ(jensen_shannon(p, q), jensen_shannon(q, p));
+    EXPECT_THROW(jensen_shannon(p, std::vector<double>{0.5, 0.5}), std::invalid_argument);
+    // Disjoint supports hit the ln 2 bound.
+    EXPECT_NEAR(jensen_shannon(std::vector<double>{1.0, 0.0}, std::vector<double>{0.0, 1.0}),
+                std::log(2.0), 1e-12);
+}
+
+TEST(AnalyticsTest, HourlyVolumeShowsDiurnalPeak) {
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {120, 0, 0};
+    cfg.hour_of_day = 0;
+    const auto slices = trace::SyntheticWorldGenerator(cfg).generate_hours(24);
+    const auto volume = hourly_volume(slices);
+    ASSERT_EQ(volume.size(), 24u);
+    // Peak (phones: ~14:00) should comfortably exceed the nightly trough.
+    double peak = 0.0;
+    double trough = 1e18;
+    for (double v : volume) {
+        peak = std::max(peak, v);
+        trough = std::min(trough, v);
+    }
+    EXPECT_GT(peak, trough * 1.2);
+}
+
+TEST(AnalyticsTest, InterarrivalCvShowsHeavyTail) {
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {200, 0, 0};
+    cfg.seed = 5;
+    const auto world = trace::SyntheticWorldGenerator(cfg).generate();
+    // Log-normal mixtures across heterogeneous UEs -> CV well above 1
+    // (exponential would be exactly 1).
+    EXPECT_GT(interarrival_cv(world), 1.2);
+}
+
+}  // namespace
+}  // namespace cpt::metrics

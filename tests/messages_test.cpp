@@ -1,0 +1,87 @@
+// Tests for the event -> 3GPP message expansion.
+#include <gtest/gtest.h>
+
+#include "cellular/messages.hpp"
+
+namespace cpt::cellular {
+namespace {
+
+TEST(MessagesTest, EveryEventHasASequence) {
+    for (const auto gen : {Generation::kLte4G, Generation::kNr5G}) {
+        const auto& vocab = vocabulary(gen);
+        for (std::size_t e = 0; e < vocab.size(); ++e) {
+            const auto msgs = messages_for(gen, static_cast<EventId>(e));
+            EXPECT_FALSE(msgs.empty()) << vocab.name(static_cast<EventId>(e));
+            for (const auto& m : msgs) {
+                EXPECT_FALSE(m.name.empty());
+                EXPECT_GT(m.bytes, 0u);
+                EXPECT_NE(m.from, m.to);
+            }
+        }
+    }
+    EXPECT_THROW(messages_for(Generation::kLte4G, 99), std::invalid_argument);
+}
+
+TEST(MessagesTest, AttachIsTheHeaviestProcedure) {
+    // Attach runs authentication + session establishment: most messages and
+    // bytes of any 4G procedure (this is what justifies the MCN cost model).
+    const auto attach_msgs = messages_for(Generation::kLte4G, lte::kAtch).size();
+    const auto attach_bytes = total_bytes(Generation::kLte4G, lte::kAtch);
+    for (EventId e = 0; e < lte::kNumEvents; ++e) {
+        if (e == lte::kAtch) continue;
+        EXPECT_GE(attach_msgs, messages_for(Generation::kLte4G, e).size());
+        EXPECT_GT(attach_bytes, total_bytes(Generation::kLte4G, e));
+    }
+}
+
+TEST(MessagesTest, ProceduresTouchTheMcn) {
+    // Every sequence includes at least one MCN-side message (RAN-only events
+    // are excluded from the model by construction, paper §2.1 note 1).
+    for (const auto gen : {Generation::kLte4G, Generation::kNr5G}) {
+        const auto& vocab = vocabulary(gen);
+        for (std::size_t e = 0; e < vocab.size(); ++e) {
+            EXPECT_GT(mcn_message_count(gen, static_cast<EventId>(e)), 0u);
+        }
+    }
+}
+
+TEST(MessagesTest, AuthenticationInvolvesHss) {
+    bool hss_seen = false;
+    for (const auto& m : messages_for(Generation::kLte4G, lte::kAtch)) {
+        if (m.from == Entity::kHss || m.to == Entity::kHss) hss_seen = true;
+    }
+    EXPECT_TRUE(hss_seen);
+    // Service request does not touch the HSS (no re-authentication).
+    for (const auto& m : messages_for(Generation::kLte4G, lte::kSrvReq)) {
+        EXPECT_NE(m.from, Entity::kHss);
+        EXPECT_NE(m.to, Entity::kHss);
+    }
+}
+
+TEST(MessagesTest, ExpandPreservesOrderAndSpacing) {
+    const std::vector<ControlEvent> events{{0.0, lte::kSrvReq}, {10.0, lte::kS1ConnRel}};
+    const auto msgs = expand(Generation::kLte4G, events, 0.005);
+    const auto n_srv = messages_for(Generation::kLte4G, lte::kSrvReq).size();
+    const auto n_rel = messages_for(Generation::kLte4G, lte::kS1ConnRel).size();
+    ASSERT_EQ(msgs.size(), n_srv + n_rel);
+    // Monotone timestamps; second procedure starts at its event time.
+    double prev = -1.0;
+    for (const auto& m : msgs) {
+        EXPECT_GE(m.timestamp, prev);
+        prev = m.timestamp;
+    }
+    EXPECT_DOUBLE_EQ(msgs[0].timestamp, 0.0);
+    EXPECT_DOUBLE_EQ(msgs[n_srv].timestamp, 10.0);
+    EXPECT_NEAR(msgs[1].timestamp, 0.005, 1e-12);
+}
+
+TEST(MessagesTest, FiveGHandoverHasNoTauFollowup) {
+    // 5G has no TAU; the HO procedure is self-contained.
+    const auto msgs = messages_for(Generation::kNr5G, nr::kHo);
+    for (const auto& m : msgs) {
+        EXPECT_EQ(m.name.find("TAU"), std::string_view::npos);
+    }
+}
+
+}  // namespace
+}  // namespace cpt::cellular

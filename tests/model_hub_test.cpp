@@ -1,0 +1,87 @@
+// Tests for the ModelHub release registry.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/model_hub.hpp"
+#include "trace/synthetic.hpp"
+
+namespace cpt::core {
+namespace {
+
+CptGptConfig tiny_config() {
+    CptGptConfig cfg;
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.blocks = 1;
+    cfg.max_seq_len = 32;
+    cfg.head_hidden = 16;
+    return cfg;
+}
+
+struct HubFixture : ::testing::Test {
+    void SetUp() override {
+        dir = (std::filesystem::temp_directory_path() / "cpt_hub_test").string();
+        std::filesystem::remove_all(dir);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir); }
+    std::string dir;
+};
+
+TEST_F(HubFixture, PublishLoadRoundTrip) {
+    trace::SyntheticWorldConfig w;
+    w.population = {40, 0, 0};
+    const auto data = trace::SyntheticWorldGenerator(w).generate();
+    const auto tok = Tokenizer::fit(data);
+    util::Rng rng(1);
+    const CptGpt model(tok, tiny_config(), rng);
+
+    ModelHub hub(dir);
+    EXPECT_FALSE(hub.has(trace::DeviceType::kPhone, 9));
+    hub.publish(model, tok, data.initial_event_distribution(), trace::DeviceType::kPhone, 9);
+    EXPECT_TRUE(hub.has(trace::DeviceType::kPhone, 9));
+    EXPECT_FALSE(hub.has(trace::DeviceType::kTablet, 9));
+
+    const auto pkg = hub.load(trace::DeviceType::kPhone, 9, tiny_config());
+    EXPECT_NEAR(pkg.tokenizer.max_log_interarrival(), tok.max_log_interarrival(), 1e-5);
+    EXPECT_THROW(hub.load(trace::DeviceType::kPhone, 10, tiny_config()), std::out_of_range);
+}
+
+TEST_F(HubFixture, ManifestSurvivesReopen) {
+    trace::SyntheticWorldConfig w;
+    w.population = {30, 0, 0};
+    const auto data = trace::SyntheticWorldGenerator(w).generate();
+    const auto tok = Tokenizer::fit(data);
+    util::Rng rng(2);
+    const CptGpt model(tok, tiny_config(), rng);
+    {
+        ModelHub hub(dir);
+        hub.publish(model, tok, data.initial_event_distribution(), trace::DeviceType::kTablet, 3);
+        hub.publish(model, tok, data.initial_event_distribution(), trace::DeviceType::kTablet, 3);
+        EXPECT_EQ(hub.entries().size(), 1u);  // republish replaces
+    }
+    ModelHub reopened(dir);
+    EXPECT_TRUE(reopened.has(trace::DeviceType::kTablet, 3));
+    EXPECT_EQ(reopened.entries().size(), 1u);
+}
+
+TEST_F(HubFixture, NearestHourFallbackIsCyclic) {
+    trace::SyntheticWorldConfig w;
+    w.population = {30, 0, 0};
+    const auto data = trace::SyntheticWorldGenerator(w).generate();
+    const auto tok = Tokenizer::fit(data);
+    util::Rng rng(3);
+    const CptGpt model(tok, tiny_config(), rng);
+    ModelHub hub(dir);
+    hub.publish(model, tok, data.initial_event_distribution(), trace::DeviceType::kPhone, 23);
+
+    // Hour 1 is distance 2 from 23 across midnight: must resolve.
+    const auto pkg = hub.load_nearest(trace::DeviceType::kPhone, 1, tiny_config());
+    EXPECT_TRUE(pkg.has_value());
+    // No releases for cars at all.
+    EXPECT_FALSE(hub.load_nearest(trace::DeviceType::kConnectedCar, 1, tiny_config()).has_value());
+}
+
+}  // namespace
+}  // namespace cpt::core

@@ -1,0 +1,309 @@
+// Finite-difference gradient checks for every differentiable op, plus
+// structural tests of the tape (accumulation, pruning, shape validation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/autograd.hpp"
+
+namespace cpt::nn {
+namespace {
+
+using BuildFn = std::function<Var(const std::vector<Var>&)>;
+
+// Checks d(loss)/d(leaf) for every element of every leaf against central
+// finite differences. Loss must be scalar.
+void check_gradients(const std::vector<Var>& leaves, const BuildFn& build, float h = 1e-2f,
+                     float rel_tol = 6e-2f, float abs_tol = 6e-3f) {
+    Var loss = build(leaves);
+    ASSERT_EQ(loss->value.numel(), 1u);
+    zero_grad(leaves);
+    backward(loss);
+    for (std::size_t li = 0; li < leaves.size(); ++li) {
+        auto& leaf = leaves[li];
+        ASSERT_TRUE(leaf->requires_grad);
+        ASSERT_EQ(leaf->grad.numel(), leaf->value.numel()) << "no grad for leaf " << li;
+        auto w = leaf->value.data();
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            const float orig = w[j];
+            w[j] = orig + h;
+            const float up = build(leaves)->value[0];
+            w[j] = orig - h;
+            const float down = build(leaves)->value[0];
+            w[j] = orig;
+            const float numeric = (up - down) / (2.0f * h);
+            const float analytic = leaf->grad[j];
+            const float tol = abs_tol + rel_tol * std::abs(numeric);
+            EXPECT_NEAR(analytic, numeric, tol) << "leaf " << li << " element " << j;
+        }
+    }
+}
+
+std::vector<Var> leaves_randn(util::Rng& rng, const std::vector<Shape>& shapes,
+                              float stddev = 0.8f) {
+    std::vector<Var> out;
+    for (const auto& s : shapes) out.push_back(make_param(Tensor::randn(rng, s, stddev)));
+    return out;
+}
+
+TEST(AutogradTest, AddSubMulScale) {
+    util::Rng rng(7);
+    auto leaves = leaves_randn(rng, {{3, 4}, {3, 4}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        return mean_all(mul(add(v[0], v[1]), sub(scale(v[0], 1.7f), add_scalar(v[1], 0.3f))));
+    });
+}
+
+TEST(AutogradTest, AddBias) {
+    util::Rng rng(8);
+    auto leaves = leaves_randn(rng, {{2, 3, 4}, {4}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        return mean_all(mul(add_bias(v[0], v[1]), add_bias(v[0], v[1])));
+    });
+}
+
+TEST(AutogradTest, Matmul2D) {
+    util::Rng rng(9);
+    auto leaves = leaves_randn(rng, {{3, 4}, {4, 2}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        return mean_all(matmul(v[0], v[1]));
+    });
+}
+
+TEST(AutogradTest, MatmulBatched) {
+    util::Rng rng(10);
+    auto leaves = leaves_randn(rng, {{2, 3, 3, 4}, {2, 3, 4, 2}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        // Square the output so gradients are input-dependent.
+        Var y = matmul(v[0], v[1]);
+        return mean_all(mul(y, y));
+    });
+}
+
+TEST(AutogradTest, TransposeReshape) {
+    util::Rng rng(11);
+    auto leaves = leaves_randn(rng, {{2, 3, 4}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        Var t = transpose_last2(v[0]);            // [2,4,3]
+        Var r = reshape(t, {4, 6});
+        return mean_all(mul(r, r));
+    });
+}
+
+TEST(AutogradTest, SoftmaxLastdim) {
+    util::Rng rng(12);
+    auto leaves = leaves_randn(rng, {{3, 5}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        Var y = softmax_lastdim(v[0]);
+        return mean_all(mul(y, y));
+    });
+}
+
+TEST(AutogradTest, SoftmaxCausal) {
+    util::Rng rng(13);
+    auto leaves = leaves_randn(rng, {{2, 4, 4}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        Var y = softmax_causal(v[0]);
+        return mean_all(mul(y, y));
+    });
+}
+
+TEST(AutogradTest, SoftmaxCausalMasksUpperTriangle) {
+    util::Rng rng(14);
+    Var x = make_var(Tensor::randn(rng, {1, 3, 3}));
+    Var y = softmax_causal(x);
+    // Row r: entries with col > r must be exactly zero; the rest sum to 1.
+    for (std::size_t r = 0; r < 3; ++r) {
+        float total = 0.0f;
+        for (std::size_t c = 0; c < 3; ++c) {
+            const float p = y->value[r * 3 + c];
+            if (c > r) {
+                EXPECT_EQ(p, 0.0f);
+            } else {
+                EXPECT_GT(p, 0.0f);
+                total += p;
+            }
+        }
+        EXPECT_NEAR(total, 1.0f, 1e-5f);
+    }
+}
+
+TEST(AutogradTest, LayerNorm) {
+    util::Rng rng(15);
+    auto leaves = leaves_randn(rng, {{2, 3, 6}, {6}, {6}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        Var y = layer_norm(v[0], v[1], v[2]);
+        return mean_all(mul(y, y));
+    }, 5e-3f, 8e-2f, 1e-2f);
+}
+
+TEST(AutogradTest, PointwiseOps) {
+    util::Rng rng(16);
+    auto leaves = leaves_randn(rng, {{3, 4}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        Var y = gelu(v[0]);
+        y = add(y, sigmoid(v[0]));
+        y = add(y, tanh_op(v[0]));
+        y = add(y, relu(add_scalar(v[0], 0.31f)));  // offset keeps x away from the kink
+        return mean_all(mul(y, y));
+    });
+}
+
+TEST(AutogradTest, ExpLog) {
+    util::Rng rng(17);
+    auto leaves = leaves_randn(rng, {{3, 3}}, 0.4f);
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        // log of a strictly positive function of x.
+        return mean_all(log_op(add_scalar(exp_op(v[0]), 0.5f)));
+    });
+}
+
+TEST(AutogradTest, SliceConcat) {
+    util::Rng rng(18);
+    auto leaves = leaves_randn(rng, {{2, 6}, {2, 3}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        Var a = slice_lastdim(v[0], 1, 3);
+        Var b = concat_lastdim({a, v[1]});
+        return mean_all(mul(b, b));
+    });
+}
+
+TEST(AutogradTest, AddPosition) {
+    util::Rng rng(19);
+    auto leaves = leaves_randn(rng, {{2, 3, 4}, {5, 4}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        Var y = add_position(v[0], v[1]);
+        return mean_all(mul(y, y));
+    });
+}
+
+TEST(AutogradTest, SplitMergeHeads) {
+    util::Rng rng(20);
+    auto leaves = leaves_randn(rng, {{2, 3, 8}});
+    check_gradients(leaves, [](const std::vector<Var>& v) {
+        Var y = merge_heads(split_heads(v[0], 2));
+        // split followed by merge is the identity.
+        return mean_all(mul(y, v[0]));
+    });
+}
+
+TEST(AutogradTest, SplitHeadsLayout) {
+    // Verify the permutation concretely on a hand-built tensor.
+    std::vector<float> vals(2 * 2 * 4);
+    for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<float>(i);
+    Var x = make_var(Tensor::from(vals, {2, 2, 4}));  // [B=2, T=2, D=4]
+    Var y = split_heads(x, 2);                        // [B=2, H=2, T=2, Dh=2]
+    ASSERT_EQ(y->value.shape(), (Shape{2, 2, 2, 2}));
+    // batch 0, head 0, t=0 should be elements {0, 1}; head 1 t=0 -> {2, 3};
+    // head 0 t=1 -> {4, 5}.
+    EXPECT_EQ(y->value[0], 0.0f);
+    EXPECT_EQ(y->value[1], 1.0f);
+    EXPECT_EQ(y->value[2], 4.0f);  // head 0, t=1, first
+    EXPECT_EQ(y->value[4], 2.0f);  // head 1, t=0, first
+}
+
+TEST(AutogradTest, CrossEntropy) {
+    util::Rng rng(21);
+    auto leaves = leaves_randn(rng, {{4, 3}});
+    const std::vector<int> targets{0, 2, kIgnoreIndex, 1};
+    check_gradients(leaves, [&targets](const std::vector<Var>& v) {
+        return cross_entropy(v[0], targets);
+    });
+}
+
+TEST(AutogradTest, CrossEntropyIgnoresMaskedRows) {
+    Var logits = make_param(Tensor::from({5.0f, -5.0f, 0.0f, 0.0f}, {2, 2}));
+    Var loss_all = cross_entropy(logits, {0, 1});
+    Var loss_masked = cross_entropy(logits, {0, kIgnoreIndex});
+    // Row 0 predicts class 0 with huge confidence -> tiny loss; row 1 is
+    // uniform -> log(2). Masking row 1 must remove that contribution.
+    EXPECT_NEAR(loss_masked->value[0], 0.0f, 1e-3f);
+    EXPECT_NEAR(loss_all->value[0], std::log(2.0f) / 2.0f, 1e-3f);
+}
+
+TEST(AutogradTest, GaussianNll) {
+    util::Rng rng(22);
+    auto leaves = leaves_randn(rng, {{4}, {4}});
+    const Tensor target = Tensor::from({0.2f, -0.5f, 1.0f, 0.0f}, {4});
+    const std::vector<float> mask{1.0f, 1.0f, 0.0f, 1.0f};
+    check_gradients(leaves, [&](const std::vector<Var>& v) {
+        return gaussian_nll(v[0], v[1], target, mask);
+    });
+}
+
+TEST(AutogradTest, GaussianNllValue) {
+    // Hand check: mu=0, logvar=0 (var=1), x=2 -> 0.5*(0 + 4) = 2.
+    Var mu = make_param(Tensor::from({0.0f}, {1}));
+    Var lv = make_param(Tensor::from({0.0f}, {1}));
+    Var loss = gaussian_nll(mu, lv, Tensor::from({2.0f}, {1}), {1.0f});
+    EXPECT_NEAR(loss->value[0], 2.0f, 1e-5f);
+}
+
+TEST(AutogradTest, MseMasked) {
+    util::Rng rng(23);
+    auto leaves = leaves_randn(rng, {{5}});
+    const Tensor target = Tensor::from({0.1f, 0.2f, 0.3f, 0.4f, 0.5f}, {5});
+    const std::vector<float> mask{1, 0, 1, 1, 0};
+    check_gradients(leaves, [&](const std::vector<Var>& v) {
+        return mse_masked(v[0], target, mask);
+    });
+}
+
+TEST(AutogradTest, BceWithLogits) {
+    util::Rng rng(24);
+    auto leaves = leaves_randn(rng, {{6}});
+    const std::vector<float> targets{1, 0, 1, 1, 0, 0};
+    check_gradients(leaves, [&](const std::vector<Var>& v) {
+        return bce_with_logits(v[0], targets);
+    });
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackwardCalls) {
+    Var x = make_param(Tensor::from({2.0f}, {1}));
+    Var l1 = mean_all(mul(x, x));
+    backward(l1);
+    const float g1 = x->grad[0];
+    Var l2 = mean_all(mul(x, x));
+    backward(l2);
+    EXPECT_NEAR(x->grad[0], 2.0f * g1, 1e-5f);
+    zero_grad(std::vector<Var>{x});
+    EXPECT_EQ(x->grad[0], 0.0f);
+}
+
+TEST(AutogradTest, ConstantBranchesAreNotDifferentiated) {
+    Var x = make_param(Tensor::from({1.0f, 2.0f}, {2}));
+    Var c = make_var(Tensor::from({3.0f, 4.0f}, {2}));
+    Var loss = mean_all(mul(x, c));
+    backward(loss);
+    EXPECT_EQ(c->grad.numel(), 0u);  // never allocated
+    EXPECT_NEAR(x->grad[0], 1.5f, 1e-5f);
+    EXPECT_NEAR(x->grad[1], 2.0f, 1e-5f);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+    // loss = mean(x*x + x*x) -> dx = 4x/n
+    Var x = make_param(Tensor::from({1.0f, -2.0f}, {2}));
+    Var a = mul(x, x);
+    Var loss = mean_all(add(a, a));
+    backward(loss);
+    EXPECT_NEAR(x->grad[0], 4.0f * 1.0f / 2.0f, 1e-5f);
+    EXPECT_NEAR(x->grad[1], 4.0f * -2.0f / 2.0f, 1e-5f);
+}
+
+TEST(AutogradTest, BackwardRejectsNonScalarRoot) {
+    Var x = make_param(Tensor::zeros({2, 2}));
+    EXPECT_THROW(backward(mul(x, x)), std::invalid_argument);
+}
+
+TEST(AutogradTest, ShapeMismatchThrows) {
+    Var a = make_var(Tensor::zeros({2, 3}));
+    Var b = make_var(Tensor::zeros({3, 2}));
+    EXPECT_THROW(add(a, b), std::invalid_argument);
+    EXPECT_THROW(mul(a, b), std::invalid_argument);
+    EXPECT_THROW(matmul(a, a), std::invalid_argument);
+    EXPECT_THROW(slice_lastdim(a, 2, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpt::nn

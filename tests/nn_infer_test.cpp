@@ -1,0 +1,156 @@
+// Tests pinning the KV-cached TransformerDecoder to the autograd forward:
+// step-by-step decoding must reproduce Transformer::forward()'s last-position
+// outputs, including after compaction.
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "core/sampler.hpp"
+#include "nn/infer.hpp"
+
+namespace cpt::nn {
+namespace {
+
+TransformerConfig small_config() {
+    TransformerConfig cfg;
+    cfg.d_token = 7;
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.blocks = 2;
+    cfg.max_seq_len = 12;
+    return cfg;
+}
+
+TEST(TransformerDecoderTest, MatchesFullForwardPerStep) {
+    util::Rng rng(1);
+    const Transformer model(small_config(), rng);
+    const std::size_t b = 3;
+    const std::size_t steps = 9;
+    const Tensor sequence = Tensor::randn(rng, {b, steps, 7}, 0.6f);
+
+    TransformerDecoder decoder(model, b);
+    for (std::size_t t = 0; t < steps; ++t) {
+        // Feed token t of each row.
+        Tensor x({b, 7});
+        for (std::size_t r = 0; r < b; ++r) {
+            for (std::size_t j = 0; j < 7; ++j) x[r * 7 + j] = sequence[(r * steps + t) * 7 + j];
+        }
+        const Tensor h = decoder.step(x);
+        EXPECT_EQ(decoder.length(), t + 1);
+
+        // Reference: full forward over the prefix [0, t].
+        Tensor prefix({b, t + 1, 7});
+        for (std::size_t r = 0; r < b; ++r) {
+            for (std::size_t k = 0; k <= t; ++k) {
+                for (std::size_t j = 0; j < 7; ++j) {
+                    prefix[(r * (t + 1) + k) * 7 + j] = sequence[(r * steps + k) * 7 + j];
+                }
+            }
+        }
+        const Var ref = model.forward(make_var(prefix));
+        for (std::size_t r = 0; r < b; ++r) {
+            for (std::size_t j = 0; j < 16; ++j) {
+                EXPECT_NEAR(h[r * 16 + j], ref->value[(r * (t + 1) + t) * 16 + j], 2e-4f)
+                    << "t=" << t << " row=" << r << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST(TransformerDecoderTest, CompactionPreservesKeptRows) {
+    util::Rng rng(2);
+    const Transformer model(small_config(), rng);
+    const std::size_t b = 4;
+    const Tensor seq = Tensor::randn(rng, {b, 6, 7}, 0.6f);
+
+    TransformerDecoder full(model, b);
+    TransformerDecoder compacted(model, b);
+    auto token_at = [&](std::size_t t, const std::vector<std::size_t>& rows) {
+        Tensor x({rows.size(), 7});
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            for (std::size_t j = 0; j < 7; ++j) x[i * 7 + j] = seq[(rows[i] * 6 + t) * 7 + j];
+        }
+        return x;
+    };
+    const std::vector<std::size_t> all{0, 1, 2, 3};
+    const std::vector<std::size_t> kept{1, 3};
+
+    // Three steps with all rows, then drop rows 0 and 2 and continue.
+    for (std::size_t t = 0; t < 3; ++t) {
+        full.step(token_at(t, all));
+        compacted.step(token_at(t, all));
+    }
+    compacted.compact(kept);
+    EXPECT_EQ(compacted.batch(), 2u);
+    for (std::size_t t = 3; t < 6; ++t) {
+        const Tensor hf = full.step(token_at(t, all));
+        const Tensor hc = compacted.step(token_at(t, kept));
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            for (std::size_t j = 0; j < 16; ++j) {
+                EXPECT_NEAR(hc[i * 16 + j], hf[kept[i] * 16 + j], 1e-5f);
+            }
+        }
+    }
+}
+
+TEST(TransformerDecoderTest, RejectsOverflowAndBadShapes) {
+    util::Rng rng(3);
+    const Transformer model(small_config(), rng);
+    TransformerDecoder decoder(model, 2);
+    EXPECT_THROW(decoder.step(Tensor::zeros({2, 5})), std::invalid_argument);
+    EXPECT_THROW(decoder.step(Tensor::zeros({3, 7})), std::invalid_argument);
+    for (int t = 0; t < 12; ++t) decoder.step(Tensor::zeros({2, 7}));
+    EXPECT_THROW(decoder.step(Tensor::zeros({2, 7})), std::logic_error);
+    EXPECT_THROW(decoder.compact({1, 0}), std::invalid_argument);  // not ascending
+    EXPECT_THROW(decoder.compact({5}), std::invalid_argument);     // out of range
+}
+
+TEST(CptGptDecodeTest, DecodeStepMatchesForwardHeads) {
+    util::Rng world_rng(4);
+    const core::Tokenizer tok(cellular::Generation::kLte4G, 0.0, 8.0);
+    core::CptGptConfig cfg;
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.blocks = 1;
+    cfg.max_seq_len = 10;
+    cfg.head_hidden = 16;
+    util::Rng rng(5);
+    const core::CptGpt model(tok, cfg, rng);
+
+    const std::size_t b = 2;
+    const std::size_t steps = 6;
+    const Tensor sequence = Tensor::randn(world_rng, {b, steps, tok.d_token()}, 0.4f);
+    auto decoder = model.make_decoder(b);
+    for (std::size_t t = 0; t < steps; ++t) {
+        Tensor x({b, tok.d_token()});
+        const std::size_t dt = tok.d_token();
+        for (std::size_t r = 0; r < b; ++r) {
+            for (std::size_t j = 0; j < dt; ++j) x[r * dt + j] = sequence[(r * steps + t) * dt + j];
+        }
+        const auto inc = model.decode_step(decoder, x);
+
+        Tensor prefix({b, t + 1, dt});
+        for (std::size_t r = 0; r < b; ++r) {
+            for (std::size_t k = 0; k <= t; ++k) {
+                for (std::size_t j = 0; j < dt; ++j) {
+                    prefix[(r * (t + 1) + k) * dt + j] = sequence[(r * steps + k) * dt + j];
+                }
+            }
+        }
+        const auto ref = model.forward(make_var(prefix));
+        for (std::size_t r = 0; r < b; ++r) {
+            const std::size_t last_row = r * (t + 1) + t;
+            for (std::size_t e = 0; e < 6; ++e) {
+                EXPECT_NEAR(inc.event_logits[r * 6 + e], ref.event_logits->value[last_row * 6 + e],
+                            2e-4f);
+            }
+            EXPECT_NEAR(inc.ia_mu[r], ref.ia_mu->value[last_row], 2e-4f);
+            EXPECT_NEAR(inc.ia_logvar[r], ref.ia_logvar->value[last_row], 2e-4f);
+            EXPECT_NEAR(inc.stop_logits[r * 2], ref.stop_logits->value[last_row * 2], 2e-4f);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace cpt::nn

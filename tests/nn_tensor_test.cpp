@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+
+namespace cpt::nn {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6u);
+    EXPECT_EQ(t.rank(), 2u);
+    for (float x : t.data()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(TensorTest, FromValidatesSize) {
+    EXPECT_THROW(Tensor::from({1.0f, 2.0f}, {3}), std::invalid_argument);
+    const Tensor t = Tensor::from({1.0f, 2.0f, 3.0f}, {3});
+    EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+    Tensor t = Tensor::from({1, 2, 3, 4, 5, 6}, {2, 3});
+    Tensor r = t.reshaped({3, 2});
+    r[0] = 99.0f;
+    EXPECT_EQ(t[0], 99.0f);  // same storage
+    EXPECT_THROW(t.reshaped({4}), std::invalid_argument);
+}
+
+TEST(TensorTest, CloneDetaches) {
+    Tensor t = Tensor::from({1, 2}, {2});
+    Tensor c = t.clone();
+    c[0] = 50.0f;
+    EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(TensorTest, AddScaleFill) {
+    Tensor a = Tensor::from({1, 2, 3}, {3});
+    Tensor b = Tensor::from({10, 20, 30}, {3});
+    a.add_(b);
+    EXPECT_EQ(a[2], 33.0f);
+    a.scale_(0.5f);
+    EXPECT_EQ(a[0], 5.5f);
+    a.fill(7.0f);
+    EXPECT_EQ(a[1], 7.0f);
+    Tensor wrong = Tensor::zeros({4});
+    EXPECT_THROW(a.add_(wrong), std::invalid_argument);
+}
+
+TEST(TensorTest, RandnStatistics) {
+    util::Rng rng(3);
+    const Tensor t = Tensor::randn(rng, {10000}, 2.0f);
+    double sum = 0.0;
+    double sq = 0.0;
+    for (float x : t.data()) {
+        sum += x;
+        sq += static_cast<double>(x) * x;
+    }
+    const double mean = sum / 10000.0;
+    const double var = sq / 10000.0 - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, UniformBounds) {
+    util::Rng rng(4);
+    const Tensor t = Tensor::uniform(rng, {1000}, -0.5f, 0.5f);
+    for (float x : t.data()) {
+        EXPECT_GE(x, -0.5f);
+        EXPECT_LT(x, 0.5f);
+    }
+}
+
+TEST(TensorTest, ShapeToString) {
+    EXPECT_EQ(shape_to_string({2, 3, 4}), "[2, 3, 4]");
+    EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+    EXPECT_EQ(shape_numel({}), 0u);
+}
+
+}  // namespace
+}  // namespace cpt::nn

@@ -1,0 +1,209 @@
+// Parameterized property tests over randomized inputs: statistics invariants,
+// tokenizer round trips, sampler determinism, SMM/state-machine invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/sampler.hpp"
+#include "core/tokenizer.hpp"
+#include "smm/semi_markov.hpp"
+#include "trace/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace cpt {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ---- max_cdf_y_distance vs brute force ------------------------------------------
+
+double brute_force_ks(std::vector<double> a, std::vector<double> b) {
+    const util::Ecdf fa(a);
+    const util::Ecdf fb(b);
+    double d = 0.0;
+    for (double x : a) d = std::max(d, std::abs(fa(x) - fb(x)));
+    for (double x : b) d = std::max(d, std::abs(fa(x) - fb(x)));
+    return d;
+}
+
+using KsTest = SeededTest;
+
+TEST_P(KsTest, SweepMatchesBruteForce) {
+    util::Rng rng(GetParam());
+    std::vector<double> a(20 + rng.uniform_index(200));
+    std::vector<double> b(20 + rng.uniform_index(200));
+    for (auto& x : a) x = rng.lognormal(1.0, 1.0);
+    for (auto& x : b) x = rng.lognormal(1.2, 0.8);
+    // Duplicates stress the tie handling.
+    a[0] = a[1];
+    b[0] = b[1] = a[0];
+    EXPECT_NEAR(util::max_cdf_y_distance(a, b), brute_force_ks(a, b), 1e-12);
+}
+
+TEST_P(KsTest, TriangleLikeBound) {
+    // d(a, c) <= d(a, b) + d(b, c) holds for the sup-norm distance.
+    util::Rng rng(GetParam() + 1000);
+    auto sample = [&](double mu) {
+        std::vector<double> v(100);
+        for (auto& x : v) x = rng.normal(mu, 1.0);
+        return v;
+    };
+    const auto a = sample(0.0);
+    const auto b = sample(0.5);
+    const auto c = sample(1.0);
+    EXPECT_LE(util::max_cdf_y_distance(a, c),
+              util::max_cdf_y_distance(a, b) + util::max_cdf_y_distance(b, c) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---- Ecdf inverse property ---------------------------------------------------------
+
+using EcdfTestP = SeededTest;
+
+TEST_P(EcdfTestP, QuantileIsGeneralizedInverse) {
+    util::Rng rng(GetParam() + 77);
+    std::vector<double> xs(50 + rng.uniform_index(100));
+    for (auto& x : xs) x = rng.normal(0.0, 10.0);
+    const util::Ecdf cdf(xs);
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        const double v = cdf.quantile(q);
+        EXPECT_GE(cdf(v), q - 1e-12);              // F(F^-1(q)) >= q
+        // Any strictly smaller sample has F < q.
+        const double eps = 1e-9 * (std::abs(v) + 1.0);
+        EXPECT_LT(cdf(v - eps), q + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdfTestP, ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// ---- Tokenizer round trip over random streams ---------------------------------------
+
+using TokenizerProperty = SeededTest;
+
+TEST_P(TokenizerProperty, EncodeIsFaithful) {
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {20, 10, 5};
+    cfg.seed = GetParam();
+    const auto world = trace::SyntheticWorldGenerator(cfg).generate();
+    const auto tok = core::Tokenizer::fit(world);
+    for (const auto& s : world.streams) {
+        const auto t = tok.encode(s);
+        ASSERT_EQ(t.shape()[0], std::min<std::size_t>(s.length(), 500));
+        const auto ia = s.interarrivals();
+        for (std::size_t k = 0; k < t.shape()[0]; ++k) {
+            const auto row = t.data().subspan(k * tok.d_token(), tok.d_token());
+            // Exactly one event bit set, matching the event id.
+            std::size_t set = 0;
+            for (std::size_t e = 0; e < tok.num_event_types(); ++e) {
+                if (row[e] == 1.0f) ++set;
+            }
+            EXPECT_EQ(set, 1u);
+            EXPECT_EQ(row[s.events[k].type], 1.0f);
+            // Interarrival decodes back within float precision.
+            const double back = tok.unscale_interarrival(row[tok.interarrival_offset()]);
+            EXPECT_NEAR(back, ia[k], 1e-4 + 1e-3 * ia[k]);
+            // Stop bit exactly on the last token.
+            EXPECT_EQ(row[tok.stop_offset() + 1] == 1.0f, k + 1 == s.length());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerProperty, ::testing::Values(21, 22, 23, 24));
+
+// ---- Sampler determinism -------------------------------------------------------------
+
+using SamplerProperty = SeededTest;
+
+TEST_P(SamplerProperty, GenerationIsSeedDeterministic) {
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {40, 0, 0};
+    cfg.seed = 31;
+    const auto world = trace::SyntheticWorldGenerator(cfg).generate();
+    const auto tok = core::Tokenizer::fit(world);
+    core::CptGptConfig mcfg;
+    mcfg.d_model = 16;
+    mcfg.heads = 2;
+    mcfg.mlp_hidden = 32;
+    mcfg.blocks = 1;
+    mcfg.max_seq_len = 32;
+    mcfg.head_hidden = 16;
+    util::Rng rng(32);
+    const core::CptGpt model(tok, mcfg, rng);
+    const core::Sampler sampler(model, tok, world.initial_event_distribution());
+
+    util::Rng g1(GetParam());
+    util::Rng g2(GetParam());
+    const auto a = sampler.generate(10, g1);
+    const auto b = sampler.generate(10, g2);
+    ASSERT_EQ(a.streams.size(), b.streams.size());
+    for (std::size_t i = 0; i < a.streams.size(); ++i) {
+        ASSERT_EQ(a.streams[i].events.size(), b.streams[i].events.size());
+        for (std::size_t j = 0; j < a.streams[i].events.size(); ++j) {
+            EXPECT_EQ(a.streams[i].events[j].type, b.streams[i].events[j].type);
+            EXPECT_EQ(a.streams[i].events[j].timestamp, b.streams[i].events[j].timestamp);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerProperty, ::testing::Values(41, 42, 43));
+
+// ---- SMM invariants ------------------------------------------------------------------
+
+using SmmProperty = SeededTest;
+
+TEST_P(SmmProperty, GeneratedStreamsAlwaysReplayCleanly) {
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {80, 40, 20};
+    cfg.seed = GetParam();
+    const auto world = trace::SyntheticWorldGenerator(cfg).generate();
+    const auto model = smm::SemiMarkovModel::fit(world);
+    util::Rng rng(GetParam() * 3 + 1);
+    const auto generated = model.generate(100, rng);
+    const auto& machine =
+        cellular::StateMachine::for_generation(cellular::Generation::kLte4G);
+    const cellular::StateMachineReplayer replayer(machine);
+    for (const auto& s : generated.streams) {
+        EXPECT_EQ(replayer.replay(s.events).violations, 0u);
+        double prev = 0.0;
+        for (const auto& e : s.events) {
+            EXPECT_GE(e.timestamp, prev);
+            prev = e.timestamp;
+        }
+        EXPECT_LE(s.events.back().timestamp, 3600.0 + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmmProperty, ::testing::Values(51, 52, 53, 54));
+
+// ---- Summary statistics properties ----------------------------------------------------
+
+using StatsProperty = SeededTest;
+
+TEST_P(StatsProperty, SummaryRespectsBounds) {
+    util::Rng rng(GetParam() + 500);
+    std::vector<double> xs(1 + rng.uniform_index(300));
+    for (auto& x : xs) x = rng.uniform(-5.0, 20.0);
+    const auto s = util::summarize(xs);
+    EXPECT_LE(s.min, s.mean);
+    EXPECT_GE(s.max, s.mean);
+    EXPECT_GE(s.stddev, 0.0);
+    const double range = s.max - s.min;
+    EXPECT_LE(s.stddev, range + 1e-12);
+}
+
+TEST_P(StatsProperty, NormalizeSumsToOne) {
+    util::Rng rng(GetParam() + 600);
+    std::vector<double> counts(2 + rng.uniform_index(10));
+    for (auto& c : counts) c = rng.uniform(0.0, 100.0);
+    const auto p = util::normalize(counts);
+    double total = 0.0;
+    for (double x : p) total += x;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty, ::testing::Values(61, 62, 63, 64, 65));
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/ascii.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cpt::util {
+namespace {
+
+TEST(RngTest, Deterministic) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformRange) {
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformIndexCoversAllValuesUnbiased) {
+    Rng rng(6);
+    std::vector<int> counts(7, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(7)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 7 * 0.9);
+        EXPECT_LT(c, n / 7 * 1.1);
+    }
+}
+
+TEST(RngTest, NormalMoments) {
+    Rng rng(7);
+    std::vector<double> xs(50000);
+    for (auto& x : xs) x = rng.normal(2.0, 3.0);
+    const Summary s = summarize(xs);
+    EXPECT_NEAR(s.mean, 2.0, 0.1);
+    EXPECT_NEAR(s.stddev, 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+    Rng rng(8);
+    std::vector<double> xs(50000);
+    for (auto& x : xs) x = rng.exponential(0.5);
+    EXPECT_NEAR(summarize(xs).mean, 2.0, 0.1);
+}
+
+TEST(RngTest, LognormalMedian) {
+    Rng rng(9);
+    std::vector<double> xs(50001);
+    for (auto& x : xs) x = rng.lognormal(std::log(10.0), 0.9);
+    std::sort(xs.begin(), xs.end());
+    EXPECT_NEAR(xs[xs.size() / 2], 10.0, 0.5);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+    Rng rng(10);
+    const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[rng.categorical(std::span<const double>(w))];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalRejectsDegenerateWeights) {
+    Rng rng(11);
+    const std::vector<double> zero{0.0, 0.0};
+    const std::vector<double> negative{1.0, -0.5};
+    EXPECT_THROW(rng.categorical(std::span<const double>(zero)), std::invalid_argument);
+    EXPECT_THROW(rng.categorical(std::span<const double>(negative)), std::invalid_argument);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+    Rng parent(12);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(EcdfTest, EvaluatesStepFunction) {
+    Ecdf cdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(cdf(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(cdf(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf(9.0), 1.0);
+}
+
+TEST(EcdfTest, Quantiles) {
+    Ecdf cdf({10.0, 20.0, 30.0, 40.0});
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+}
+
+TEST(MaxYDistanceTest, IdenticalSamplesGiveZero) {
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(max_cdf_y_distance(xs, xs), 0.0);
+}
+
+TEST(MaxYDistanceTest, DisjointSamplesGiveOne) {
+    const std::vector<double> a{1, 2, 3};
+    const std::vector<double> b{10, 20, 30};
+    EXPECT_DOUBLE_EQ(max_cdf_y_distance(a, b), 1.0);
+}
+
+TEST(MaxYDistanceTest, KnownValue) {
+    // F_a jumps to 1 at 1; F_b jumps 0.5 at 2, 1.0 at 3. At x=1 the gap is 1.
+    const std::vector<double> a{1, 1};
+    const std::vector<double> b{2, 3};
+    EXPECT_DOUBLE_EQ(max_cdf_y_distance(a, b), 1.0);
+    // Interleaved: a={1,3}, b={2,4}: at 1: 0.5-0=0.5.
+    EXPECT_DOUBLE_EQ(max_cdf_y_distance(std::vector<double>{1.0, 3.0}, std::vector<double>{2.0, 4.0}),
+                     0.5);
+}
+
+TEST(MaxYDistanceTest, SymmetricAndBounded) {
+    Rng rng(13);
+    std::vector<double> a(100);
+    std::vector<double> b(137);
+    for (auto& x : a) x = rng.normal();
+    for (auto& x : b) x = rng.normal(0.3, 1.2);
+    const double d1 = max_cdf_y_distance(a, b);
+    const double d2 = max_cdf_y_distance(b, a);
+    EXPECT_DOUBLE_EQ(d1, d2);
+    EXPECT_GE(d1, 0.0);
+    EXPECT_LE(d1, 1.0);
+}
+
+TEST(MaxYDistanceTest, EmptyHandling) {
+    const std::vector<double> a{1.0};
+    const std::vector<double> none;
+    EXPECT_DOUBLE_EQ(max_cdf_y_distance(a, none), 1.0);
+    EXPECT_DOUBLE_EQ(max_cdf_y_distance(none, none), 0.0);
+}
+
+TEST(HistogramTest, CountsSumToSampleSize) {
+    Rng rng(14);
+    std::vector<double> xs(1000);
+    for (auto& x : xs) x = rng.lognormal(2.0, 1.0);
+    const Histogram h = make_histogram(xs, 20, true);
+    std::size_t total = 0;
+    for (auto c : h.counts) total += c;
+    EXPECT_EQ(total, xs.size());
+    EXPECT_EQ(h.edges.size(), 21u);
+}
+
+TEST(StatsTest, NormalizeAndTotalVariation) {
+    const std::vector<double> counts{2.0, 6.0, 2.0};
+    const auto p = normalize(counts);
+    EXPECT_DOUBLE_EQ(p[0], 0.2);
+    EXPECT_DOUBLE_EQ(p[1], 0.6);
+    const std::vector<double> q{0.2, 0.2, 0.6};
+    EXPECT_NEAR(total_variation(p, q), 0.4, 1e-12);
+}
+
+TEST(CsvTest, SplitJoinRoundTrip) {
+    const std::string line = "a,b,,d";
+    const auto parts = split(line, ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, ','), line);
+}
+
+TEST(CsvTest, ParseStrict) {
+    EXPECT_DOUBLE_EQ(parse_double(" 2.5 "), 2.5);
+    EXPECT_EQ(parse_int("-42"), -42);
+    EXPECT_THROW(parse_double("2.5x"), std::invalid_argument);
+    EXPECT_THROW(parse_int(""), std::invalid_argument);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    const std::string r = t.render();
+    EXPECT_NE(r.find("alpha"), std::string::npos);
+    EXPECT_NE(r.find("22"), std::string::npos);
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTest, FmtHelpers) {
+    EXPECT_EQ(fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(fmt_pct(0.123456, 1), "12.3%");
+}
+
+TEST(AsciiTest, CdfPlotMentionsLegend) {
+    Ecdf cdf({1.0, 5.0, 25.0});
+    const std::string plot = render_cdf_plot({{"real", cdf}});
+    EXPECT_NE(plot.find("real"), std::string::npos);
+}
+
+TEST(CliTest, ParsesArgsWithFallback) {
+    const char* argv[] = {"prog", "--ues=500", "--full"};
+    Options opt(3, argv);
+    EXPECT_EQ(opt.get_int("ues", 10), 500);
+    EXPECT_TRUE(opt.get_flag("full"));
+    EXPECT_EQ(opt.get_int("absent", 7), 7);
+    EXPECT_EQ(opt.get("name", "x"), "x");
+}
+
+}  // namespace
+}  // namespace cpt::util
