@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_mcn_loadfidelity.dir/bench_extra_mcn_loadfidelity.cpp.o"
+  "CMakeFiles/bench_extra_mcn_loadfidelity.dir/bench_extra_mcn_loadfidelity.cpp.o.d"
+  "bench_extra_mcn_loadfidelity"
+  "bench_extra_mcn_loadfidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_mcn_loadfidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

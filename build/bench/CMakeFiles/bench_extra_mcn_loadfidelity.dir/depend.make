@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_extra_mcn_loadfidelity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_distribution_grid.dir/bench_fig5_distribution_grid.cpp.o"
+  "CMakeFiles/bench_fig5_distribution_grid.dir/bench_fig5_distribution_grid.cpp.o.d"
+  "bench_fig5_distribution_grid"
+  "bench_fig5_distribution_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_distribution_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

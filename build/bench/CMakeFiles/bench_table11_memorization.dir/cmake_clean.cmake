@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_memorization.dir/bench_table11_memorization.cpp.o"
+  "CMakeFiles/bench_table11_memorization.dir/bench_table11_memorization.cpp.o.d"
+  "bench_table11_memorization"
+  "bench_table11_memorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_memorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

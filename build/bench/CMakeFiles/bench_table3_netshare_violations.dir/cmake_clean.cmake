@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_netshare_violations.dir/bench_table3_netshare_violations.cpp.o"
+  "CMakeFiles/bench_table3_netshare_violations.dir/bench_table3_netshare_violations.cpp.o.d"
+  "bench_table3_netshare_violations"
+  "bench_table3_netshare_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_netshare_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_distribution_fidelity.dir/bench_table6_distribution_fidelity.cpp.o"
+  "CMakeFiles/bench_table6_distribution_fidelity.dir/bench_table6_distribution_fidelity.cpp.o.d"
+  "bench_table6_distribution_fidelity"
+  "bench_table6_distribution_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_distribution_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

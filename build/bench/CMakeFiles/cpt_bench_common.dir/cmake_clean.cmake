@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libcpt_bench_common.a"
+  "../lib/libcpt_bench_common.pdb"
+  "CMakeFiles/cpt_bench_common.dir/common.cpp.o"
+  "CMakeFiles/cpt_bench_common.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

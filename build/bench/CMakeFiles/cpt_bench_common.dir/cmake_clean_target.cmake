@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libcpt_bench_common.a"
+)

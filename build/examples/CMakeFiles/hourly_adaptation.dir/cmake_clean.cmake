@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hourly_adaptation.dir/hourly_adaptation.cpp.o"
+  "CMakeFiles/hourly_adaptation.dir/hourly_adaptation.cpp.o.d"
+  "hourly_adaptation"
+  "hourly_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hourly_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

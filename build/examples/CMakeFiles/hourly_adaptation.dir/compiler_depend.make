@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hourly_adaptation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcn_loadtest.dir/mcn_loadtest.cpp.o"
+  "CMakeFiles/mcn_loadtest.dir/mcn_loadtest.cpp.o.d"
+  "mcn_loadtest"
+  "mcn_loadtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcn_loadtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

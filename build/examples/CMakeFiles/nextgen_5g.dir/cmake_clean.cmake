@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nextgen_5g.dir/nextgen_5g.cpp.o"
+  "CMakeFiles/nextgen_5g.dir/nextgen_5g.cpp.o.d"
+  "nextgen_5g"
+  "nextgen_5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nextgen_5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellular/events.cpp" "src/cellular/CMakeFiles/cpt_cellular.dir/events.cpp.o" "gcc" "src/cellular/CMakeFiles/cpt_cellular.dir/events.cpp.o.d"
+  "/root/repo/src/cellular/messages.cpp" "src/cellular/CMakeFiles/cpt_cellular.dir/messages.cpp.o" "gcc" "src/cellular/CMakeFiles/cpt_cellular.dir/messages.cpp.o.d"
+  "/root/repo/src/cellular/state_machine.cpp" "src/cellular/CMakeFiles/cpt_cellular.dir/state_machine.cpp.o" "gcc" "src/cellular/CMakeFiles/cpt_cellular.dir/state_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

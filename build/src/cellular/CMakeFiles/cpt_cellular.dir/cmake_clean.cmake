@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_cellular.dir/events.cpp.o"
+  "CMakeFiles/cpt_cellular.dir/events.cpp.o.d"
+  "CMakeFiles/cpt_cellular.dir/messages.cpp.o"
+  "CMakeFiles/cpt_cellular.dir/messages.cpp.o.d"
+  "CMakeFiles/cpt_cellular.dir/state_machine.cpp.o"
+  "CMakeFiles/cpt_cellular.dir/state_machine.cpp.o.d"
+  "libcpt_cellular.a"
+  "libcpt_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

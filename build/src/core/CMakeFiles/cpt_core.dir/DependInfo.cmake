@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/cpt_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/cpt_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/model_hub.cpp" "src/core/CMakeFiles/cpt_core.dir/model_hub.cpp.o" "gcc" "src/core/CMakeFiles/cpt_core.dir/model_hub.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/cpt_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/cpt_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/tokenizer.cpp" "src/core/CMakeFiles/cpt_core.dir/tokenizer.cpp.o" "gcc" "src/core/CMakeFiles/cpt_core.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/cpt_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/cpt_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/cpt_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cpt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cpt_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

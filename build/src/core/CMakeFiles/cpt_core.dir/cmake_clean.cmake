@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_core.dir/model.cpp.o"
+  "CMakeFiles/cpt_core.dir/model.cpp.o.d"
+  "CMakeFiles/cpt_core.dir/model_hub.cpp.o"
+  "CMakeFiles/cpt_core.dir/model_hub.cpp.o.d"
+  "CMakeFiles/cpt_core.dir/sampler.cpp.o"
+  "CMakeFiles/cpt_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/cpt_core.dir/tokenizer.cpp.o"
+  "CMakeFiles/cpt_core.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/cpt_core.dir/trainer.cpp.o"
+  "CMakeFiles/cpt_core.dir/trainer.cpp.o.d"
+  "libcpt_core.a"
+  "libcpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gan/netshare.cpp" "src/gan/CMakeFiles/cpt_gan.dir/netshare.cpp.o" "gcc" "src/gan/CMakeFiles/cpt_gan.dir/netshare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/cpt_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cpt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cpt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_gan.dir/netshare.cpp.o"
+  "CMakeFiles/cpt_gan.dir/netshare.cpp.o.d"
+  "libcpt_gan.a"
+  "libcpt_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

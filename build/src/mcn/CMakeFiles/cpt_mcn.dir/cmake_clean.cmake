@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_mcn.dir/replay.cpp.o"
+  "CMakeFiles/cpt_mcn.dir/replay.cpp.o.d"
+  "CMakeFiles/cpt_mcn.dir/simulator.cpp.o"
+  "CMakeFiles/cpt_mcn.dir/simulator.cpp.o.d"
+  "libcpt_mcn.a"
+  "libcpt_mcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_mcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_metrics.dir/analytics.cpp.o"
+  "CMakeFiles/cpt_metrics.dir/analytics.cpp.o.d"
+  "CMakeFiles/cpt_metrics.dir/fidelity.cpp.o"
+  "CMakeFiles/cpt_metrics.dir/fidelity.cpp.o.d"
+  "libcpt_metrics.a"
+  "libcpt_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_nn.dir/autograd.cpp.o"
+  "CMakeFiles/cpt_nn.dir/autograd.cpp.o.d"
+  "CMakeFiles/cpt_nn.dir/infer.cpp.o"
+  "CMakeFiles/cpt_nn.dir/infer.cpp.o.d"
+  "CMakeFiles/cpt_nn.dir/modules.cpp.o"
+  "CMakeFiles/cpt_nn.dir/modules.cpp.o.d"
+  "CMakeFiles/cpt_nn.dir/optim.cpp.o"
+  "CMakeFiles/cpt_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/cpt_nn.dir/serialize.cpp.o"
+  "CMakeFiles/cpt_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/cpt_nn.dir/tensor.cpp.o"
+  "CMakeFiles/cpt_nn.dir/tensor.cpp.o.d"
+  "libcpt_nn.a"
+  "libcpt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

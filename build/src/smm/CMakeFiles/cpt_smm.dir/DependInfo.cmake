@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smm/cluster.cpp" "src/smm/CMakeFiles/cpt_smm.dir/cluster.cpp.o" "gcc" "src/smm/CMakeFiles/cpt_smm.dir/cluster.cpp.o.d"
+  "/root/repo/src/smm/empirical_cdf.cpp" "src/smm/CMakeFiles/cpt_smm.dir/empirical_cdf.cpp.o" "gcc" "src/smm/CMakeFiles/cpt_smm.dir/empirical_cdf.cpp.o.d"
+  "/root/repo/src/smm/ensemble.cpp" "src/smm/CMakeFiles/cpt_smm.dir/ensemble.cpp.o" "gcc" "src/smm/CMakeFiles/cpt_smm.dir/ensemble.cpp.o.d"
+  "/root/repo/src/smm/markov.cpp" "src/smm/CMakeFiles/cpt_smm.dir/markov.cpp.o" "gcc" "src/smm/CMakeFiles/cpt_smm.dir/markov.cpp.o.d"
+  "/root/repo/src/smm/semi_markov.cpp" "src/smm/CMakeFiles/cpt_smm.dir/semi_markov.cpp.o" "gcc" "src/smm/CMakeFiles/cpt_smm.dir/semi_markov.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/cpt_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cpt_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_smm.dir/cluster.cpp.o"
+  "CMakeFiles/cpt_smm.dir/cluster.cpp.o.d"
+  "CMakeFiles/cpt_smm.dir/empirical_cdf.cpp.o"
+  "CMakeFiles/cpt_smm.dir/empirical_cdf.cpp.o.d"
+  "CMakeFiles/cpt_smm.dir/ensemble.cpp.o"
+  "CMakeFiles/cpt_smm.dir/ensemble.cpp.o.d"
+  "CMakeFiles/cpt_smm.dir/markov.cpp.o"
+  "CMakeFiles/cpt_smm.dir/markov.cpp.o.d"
+  "CMakeFiles/cpt_smm.dir/semi_markov.cpp.o"
+  "CMakeFiles/cpt_smm.dir/semi_markov.cpp.o.d"
+  "libcpt_smm.a"
+  "libcpt_smm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_smm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

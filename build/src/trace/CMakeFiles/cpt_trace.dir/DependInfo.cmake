@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/cpt_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/cpt_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/ngram.cpp" "src/trace/CMakeFiles/cpt_trace.dir/ngram.cpp.o" "gcc" "src/trace/CMakeFiles/cpt_trace.dir/ngram.cpp.o.d"
+  "/root/repo/src/trace/stream.cpp" "src/trace/CMakeFiles/cpt_trace.dir/stream.cpp.o" "gcc" "src/trace/CMakeFiles/cpt_trace.dir/stream.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/cpt_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/cpt_trace.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/cpt_cellular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_trace.dir/io.cpp.o"
+  "CMakeFiles/cpt_trace.dir/io.cpp.o.d"
+  "CMakeFiles/cpt_trace.dir/ngram.cpp.o"
+  "CMakeFiles/cpt_trace.dir/ngram.cpp.o.d"
+  "CMakeFiles/cpt_trace.dir/stream.cpp.o"
+  "CMakeFiles/cpt_trace.dir/stream.cpp.o.d"
+  "CMakeFiles/cpt_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/cpt_trace.dir/synthetic.cpp.o.d"
+  "libcpt_trace.a"
+  "libcpt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

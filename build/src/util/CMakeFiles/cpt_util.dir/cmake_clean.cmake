@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_util.dir/ascii.cpp.o"
+  "CMakeFiles/cpt_util.dir/ascii.cpp.o.d"
+  "CMakeFiles/cpt_util.dir/cli.cpp.o"
+  "CMakeFiles/cpt_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cpt_util.dir/csv.cpp.o"
+  "CMakeFiles/cpt_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cpt_util.dir/rng.cpp.o"
+  "CMakeFiles/cpt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cpt_util.dir/stats.cpp.o"
+  "CMakeFiles/cpt_util.dir/stats.cpp.o.d"
+  "libcpt_util.a"
+  "libcpt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcn_test.dir/mcn_test.cpp.o"
+  "CMakeFiles/mcn_test.dir/mcn_test.cpp.o.d"
+  "mcn_test"
+  "mcn_test.pdb"
+  "mcn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

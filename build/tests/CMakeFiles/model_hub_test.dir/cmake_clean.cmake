@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_hub_test.dir/model_hub_test.cpp.o"
+  "CMakeFiles/model_hub_test.dir/model_hub_test.cpp.o.d"
+  "model_hub_test"
+  "model_hub_test.pdb"
+  "model_hub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_hub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

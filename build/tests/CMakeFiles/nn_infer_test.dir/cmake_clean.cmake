@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_infer_test.dir/nn_infer_test.cpp.o"
+  "CMakeFiles/nn_infer_test.dir/nn_infer_test.cpp.o.d"
+  "nn_infer_test"
+  "nn_infer_test.pdb"
+  "nn_infer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_infer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

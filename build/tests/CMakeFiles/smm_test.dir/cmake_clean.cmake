@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smm_test.dir/smm_test.cpp.o"
+  "CMakeFiles/smm_test.dir/smm_test.cpp.o.d"
+  "smm_test"
+  "smm_test.pdb"
+  "smm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
