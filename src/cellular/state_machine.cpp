@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace cpt::cellular {
 
 std::string_view to_string(TopState s) {
@@ -183,6 +185,19 @@ ReplayResult StateMachineReplayer::replay(std::span<const ControlEvent> events) 
     r.bootstrapped = bootstrapped;
     r.final_state = state;
     return r;
+}
+
+std::vector<ReplayResult> StateMachineReplayer::replay_all(
+    std::span<const std::span<const ControlEvent>> streams) const {
+    std::vector<ReplayResult> results(streams.size());
+    // ~16 table lookups + a few pushes per event; assume ~100 events/stream.
+    util::global_pool().parallel_for(streams.size(), util::grain_for(1600),
+                                     [&](std::size_t i0, std::size_t i1) {
+                                         for (std::size_t i = i0; i < i1; ++i) {
+                                             results[i] = replay(streams[i]);
+                                         }
+                                     });
+    return results;
 }
 
 }  // namespace cpt::cellular

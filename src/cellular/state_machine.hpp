@@ -124,6 +124,11 @@ public:
 
     ReplayResult replay(std::span<const ControlEvent> events) const;
 
+    // Replays many streams, sharded over the global thread pool. Result i is
+    // exactly replay(streams[i]); order is preserved, so aggregation by the
+    // caller is thread-count independent.
+    std::vector<ReplayResult> replay_all(std::span<const std::span<const ControlEvent>> streams) const;
+
 private:
     const StateMachine* machine_;
 };

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace cpt::core {
 
 Sampler::Sampler(const CptGpt& model, const Tokenizer& tokenizer,
@@ -25,6 +27,10 @@ Sampler::Sampler(const CptGpt& model, const Tokenizer& tokenizer,
     }
     if (config_.batch == 0) config_.batch = 1;
     config_.max_stream_len = std::min(config_.max_stream_len, model.config().max_seq_len);
+    if (config_.max_stream_len < 2) {
+        throw std::invalid_argument(
+            "Sampler: max_stream_len must be >= 2 (after clamping to max_seq_len)");
+    }
 }
 
 namespace {
@@ -63,9 +69,10 @@ std::size_t sample_logits(std::span<const float> logits, double temperature, dou
 
 }  // namespace
 
-std::vector<trace::Stream> Sampler::generate_batch(std::size_t batch, util::Rng& rng,
+std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
                                                    const std::string& ue_prefix,
                                                    std::size_t first_serial) const {
+    const std::size_t batch = rngs.size();
     const std::size_t d_token = tokenizer_->d_token();
     const std::size_t num_events = tokenizer_->num_event_types();
     const bool dist_head = model_->config().distribution_head;
@@ -79,7 +86,7 @@ std::vector<trace::Stream> Sampler::generate_batch(std::size_t batch, util::Rng&
     std::vector<Active> active;
     active.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {
-        Active a{.stream = {}, .rng = rng.fork(i), .next_token = {}, .t = 0.0};
+        Active a{.stream = {}, .rng = rngs[i], .next_token = {}, .t = 0.0};
         char id[64];
         std::snprintf(id, sizeof(id), "%s-%06zu", ue_prefix.c_str(), first_serial + i);
         a.stream.ue_id = id;
@@ -154,7 +161,8 @@ std::vector<trace::Stream> Sampler::generate_batch(std::size_t batch, util::Rng&
 }
 
 trace::Stream Sampler::sample_stream(const std::string& ue_id, util::Rng& rng) const {
-    auto streams = generate_batch(1, rng, "tmp", 0);
+    util::Rng forked = rng.fork(0);
+    auto streams = generate_batch(std::span(&forked, 1), "tmp", 0);
     streams.front().ue_id = ue_id;
     return streams.front();
 }
@@ -166,13 +174,42 @@ trace::Dataset Sampler::generate(std::size_t n, util::Rng& rng,
     std::size_t serial = 0;
     while (ds.streams.size() < n) {
         const std::size_t want = n - ds.streams.size();
-        const std::size_t batch = std::min(config_.batch, want + want / 8 + 1);
-        auto streams = generate_batch(batch, rng, ue_prefix, serial);
-        serial += batch;
-        for (auto& s : streams) {
-            if (s.length() >= 2 && ds.streams.size() < n) ds.streams.push_back(std::move(s));
+        // One round is several decode batches so multiple workers can run
+        // whole batches concurrently. Round size depends only on `want`, never
+        // on the thread count, and every stream's RNG is forked here —
+        // serially, salted by absolute serial index — so stream content is
+        // invariant to both the round structure and CPT_THREADS.
+        const std::size_t round = std::min(4 * config_.batch, want + want / 8 + 1);
+        std::vector<util::Rng> rngs;
+        rngs.reserve(round);
+        for (std::size_t i = 0; i < round; ++i) rngs.push_back(rng.fork(serial + i));
+
+        const std::size_t chunks = (round + config_.batch - 1) / config_.batch;
+        std::vector<std::vector<trace::Stream>> parts(chunks);
+        util::global_pool().parallel_for(chunks, 1, [&](std::size_t c0, std::size_t c1) {
+            for (std::size_t c = c0; c < c1; ++c) {
+                const std::size_t b0 = c * config_.batch;
+                const std::size_t b1 = std::min(b0 + config_.batch, round);
+                parts[c] = generate_batch(std::span(rngs).subspan(b0, b1 - b0), ue_prefix,
+                                          serial + b0);
+            }
+        });
+        serial += round;
+        for (auto& part : parts) {
+            for (auto& s : part) {
+                if (s.length() >= 2 && ds.streams.size() < n) ds.streams.push_back(std::move(s));
+            }
         }
-        if (serial > 20 * n + 100) break;  // degenerate model guard
+        if (ds.streams.size() < n && serial > 20 * n + 100) {
+            // Degenerate model: nearly all draws are shorter than 2 events.
+            // Give up with a diagnostic instead of looping forever (documented
+            // in sampler.hpp).
+            std::fprintf(stderr,
+                         "[cpt] warning: Sampler::generate gave up after %zu draws with only "
+                         "%zu/%zu usable streams (model emits stop immediately?)\n",
+                         serial, ds.streams.size(), n);
+            break;
+        }
     }
     return ds;
 }

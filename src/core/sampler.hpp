@@ -17,9 +17,22 @@
 // same context length, so one [B, T, d_token] forward serves B streams per
 // step, which is roughly an order of magnitude faster than per-stream loops
 // on CPU.
+//
+// Determinism across thread counts: every stream's RNG is forked from the
+// caller's RNG serially, salted by the stream's absolute serial index, before
+// any parallel work starts. Worker threads only consume pre-forked per-stream
+// RNGs, and the decoder math they run is bit-stable under row partitioning
+// (see src/nn/gemm.hpp), so generate() output is byte-identical for any
+// CPT_THREADS setting (pinned by tests/parallel_determinism_test.cpp).
+//
+// If the model is so degenerate that almost every draw is shorter than 2
+// events, generate() gives up after sampling ~20x the requested stream count,
+// logs a warning to stderr, and returns the (possibly short) dataset rather
+// than looping forever.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,7 +63,9 @@ public:
                             const std::string& ue_prefix = "cptgpt") const;
 
 private:
-    std::vector<trace::Stream> generate_batch(std::size_t batch, util::Rng& rng,
+    // Runs one batched decode over `rngs.size()` streams whose RNGs were
+    // pre-forked by the caller; stream i is labelled `first_serial + i`.
+    std::vector<trace::Stream> generate_batch(std::span<util::Rng> rngs,
                                               const std::string& ue_prefix,
                                               std::size_t first_serial) const;
 

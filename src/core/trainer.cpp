@@ -111,6 +111,10 @@ Trainer::Trainer(CptGpt& model, const Tokenizer& tokenizer, TrainConfig config)
     if (config_.window > model.config().max_seq_len) {
         config_.window = model.config().max_seq_len;
     }
+    if (config_.max_stream_len < 2) {
+        throw std::invalid_argument(
+            "Trainer: max_stream_len must be >= 2 (a stream needs a context token and a target)");
+    }
 }
 
 TrainResult Trainer::train(const trace::Dataset& data) {

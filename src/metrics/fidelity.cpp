@@ -21,8 +21,10 @@ ViolationStats semantic_violations(const trace::Dataset& ds, std::size_t top_k) 
     std::vector<std::size_t> by_state_event(
         static_cast<std::size_t>(cellular::SubState::kNumSubStates) * machine.num_events(), 0);
 
-    for (const auto& s : ds.streams) {
-        const auto r = replayer.replay(s.events);
+    std::vector<std::span<const cellular::ControlEvent>> streams;
+    streams.reserve(ds.streams.size());
+    for (const auto& s : ds.streams) streams.emplace_back(s.events);
+    for (const auto& r : replayer.replay_all(streams)) {
         stats.counted_events += r.counted_events;
         stats.violating_events += r.violations;
         if (r.has_violation()) ++stats.violating_streams;
@@ -56,8 +58,10 @@ SojournSamples collect_sojourns(const trace::Dataset& ds) {
     const auto& machine = StateMachine::for_generation(ds.generation);
     const StateMachineReplayer replayer(machine);
     SojournSamples out;
-    for (const auto& s : ds.streams) {
-        const auto r = replayer.replay(s.events);
+    std::vector<std::span<const cellular::ControlEvent>> streams;
+    streams.reserve(ds.streams.size());
+    for (const auto& s : ds.streams) streams.emplace_back(s.events);
+    for (const auto& r : replayer.replay_all(streams)) {
         out.connected.insert(out.connected.end(), r.sojourn_connected.begin(),
                              r.sojourn_connected.end());
         out.idle.insert(out.idle.end(), r.sojourn_idle.begin(), r.sojourn_idle.end());

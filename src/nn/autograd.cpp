@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "gemm.hpp"
+#include "util/thread_pool.hpp"
+
 namespace cpt::nn {
 
 namespace {
@@ -31,52 +34,28 @@ Var make_node(Tensor value, std::vector<Var> parents) {
     return node;
 }
 
-// ---- GEMM kernels ------------------------------------------------------------
-// All kernels accumulate into C (callers zero it or rely on fresh tensors).
+// ---- Batched GEMM dispatch ---------------------------------------------------
+// The kernels themselves live in gemm.cpp (blocked, register-tiled, threaded).
+// For a single matrix the kernel parallelizes over rows; for a batch we shard
+// over batch items instead and let the nested kernel calls run inline on each
+// worker. Both schedules perform identical per-element arithmetic, so results
+// do not depend on the batch/thread split.
 
-// C[M,N] += A[M,K] * B[K,N]
-void gemm_nn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
-             std::size_t n_dim) {
-    for (std::size_t m = 0; m < m_dim; ++m) {
-        const float* arow = a + m * k_dim;
-        float* crow = c + m * n_dim;
-        for (std::size_t k = 0; k < k_dim; ++k) {
-            const float av = arow[k];
-            if (av == 0.0f) continue;
-            const float* brow = b + k * n_dim;
-            for (std::size_t n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
-        }
-    }
-}
+using GemmFn = void (*)(const float*, const float*, float*, std::size_t, std::size_t, std::size_t,
+                        util::ThreadPool*);
 
-// C[M,N] += A[M,K] * B^T where B is stored [N,K]
-void gemm_nt(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
-             std::size_t n_dim) {
-    for (std::size_t m = 0; m < m_dim; ++m) {
-        const float* arow = a + m * k_dim;
-        float* crow = c + m * n_dim;
-        for (std::size_t n = 0; n < n_dim; ++n) {
-            const float* brow = b + n * k_dim;
-            float acc = 0.0f;
-            for (std::size_t k = 0; k < k_dim; ++k) acc += arow[k] * brow[k];
-            crow[n] += acc;
-        }
+void batched_gemm(GemmFn fn, const float* a, const float* b, float* c, std::size_t batch,
+                  std::size_t a_stride, std::size_t b_stride, std::size_t c_stride,
+                  std::size_t m_dim, std::size_t k_dim, std::size_t n_dim) {
+    if (batch == 1) {
+        fn(a, b, c, m_dim, k_dim, n_dim, nullptr);
+        return;
     }
-}
-
-// C[M,N] += A^T * B where A is stored [K,M], B is [K,N]
-void gemm_tn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
-             std::size_t n_dim) {
-    for (std::size_t k = 0; k < k_dim; ++k) {
-        const float* arow = a + k * m_dim;
-        const float* brow = b + k * n_dim;
-        for (std::size_t m = 0; m < m_dim; ++m) {
-            const float av = arow[m];
-            if (av == 0.0f) continue;
-            float* crow = c + m * n_dim;
-            for (std::size_t n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
+    util::global_pool().parallel_for(batch, 1, [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t i = b0; i < b1; ++i) {
+            fn(a + i * a_stride, b + i * b_stride, c + i * c_stride, m_dim, k_dim, n_dim, nullptr);
         }
-    }
+    });
 }
 
 }  // namespace
@@ -247,9 +226,14 @@ Var add_bias(const Var& x, const Var& bias) {
     {
         auto dst = out.data();
         auto b = bias->value.data();
-        for (std::size_t r = 0; r < rows; ++r) {
-            for (std::size_t j = 0; j < d; ++j) dst[r * d + j] += b[j];
-        }
+        util::global_pool().parallel_for(rows, util::grain_for(d),
+                                         [&](std::size_t r0, std::size_t r1) {
+                                             for (std::size_t r = r0; r < r1; ++r) {
+                                                 for (std::size_t j = 0; j < d; ++j) {
+                                                     dst[r * d + j] += b[j];
+                                                 }
+                                             }
+                                         });
     }
     Var node = make_node(std::move(out), {x, bias});
     if (!node->requires_grad) return node;
@@ -287,37 +271,22 @@ Var matmul(const Var& a, const Var& b) {
     out_shape.push_back(m_dim);
     out_shape.push_back(n_dim);
     Tensor out(out_shape);
-    {
-        const float* pa = a->value.data().data();
-        const float* pb = b->value.data().data();
-        float* pc = out.data().data();
-        for (std::size_t i = 0; i < batch; ++i) {
-            gemm_nn(pa + i * m_dim * k_dim, pb + i * k_dim * n_dim, pc + i * m_dim * n_dim, m_dim,
-                    k_dim, n_dim);
-        }
-    }
+    batched_gemm(gemm_nn, a->value.data().data(), b->value.data().data(), out.data().data(),
+                 batch, m_dim * k_dim, k_dim * n_dim, m_dim * n_dim, m_dim, k_dim, n_dim);
     Var node = make_node(std::move(out), {a, b});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
     node->backward_fn = [raw, a, b, batch, m_dim, k_dim, n_dim] {
         const float* g = raw->grad.data().data();
         if (a->requires_grad) {
-            float* da = a->ensure_grad().data().data();
-            const float* pb = b->value.data().data();
             // dA = dC * B^T
-            for (std::size_t i = 0; i < batch; ++i) {
-                gemm_nt(g + i * m_dim * n_dim, pb + i * k_dim * n_dim, da + i * m_dim * k_dim,
-                        m_dim, n_dim, k_dim);
-            }
+            batched_gemm(gemm_nt, g, b->value.data().data(), a->ensure_grad().data().data(),
+                         batch, m_dim * n_dim, k_dim * n_dim, m_dim * k_dim, m_dim, n_dim, k_dim);
         }
         if (b->requires_grad) {
-            float* db = b->ensure_grad().data().data();
-            const float* pa = a->value.data().data();
             // dB = A^T * dC
-            for (std::size_t i = 0; i < batch; ++i) {
-                gemm_tn(pa + i * m_dim * k_dim, g + i * m_dim * n_dim, db + i * k_dim * n_dim,
-                        k_dim, m_dim, n_dim);
-            }
+            batched_gemm(gemm_tn, a->value.data().data(), g, b->ensure_grad().data().data(),
+                         batch, m_dim * k_dim, m_dim * n_dim, k_dim * n_dim, k_dim, m_dim, n_dim);
         }
     };
     return node;
@@ -327,13 +296,16 @@ namespace {
 
 void transpose_copy(const float* src, float* dst, std::size_t batch, std::size_t rows,
                     std::size_t cols) {
-    for (std::size_t i = 0; i < batch; ++i) {
-        const float* s = src + i * rows * cols;
-        float* d = dst + i * rows * cols;
-        for (std::size_t r = 0; r < rows; ++r) {
-            for (std::size_t c = 0; c < cols; ++c) d[c * rows + r] = s[r * cols + c];
-        }
-    }
+    util::global_pool().parallel_for(
+        batch, util::grain_for(rows * cols), [&](std::size_t b0, std::size_t b1) {
+            for (std::size_t i = b0; i < b1; ++i) {
+                const float* s = src + i * rows * cols;
+                float* d = dst + i * rows * cols;
+                for (std::size_t r = 0; r < rows; ++r) {
+                    for (std::size_t c = 0; c < cols; ++c) d[c * rows + r] = s[r * cols + c];
+                }
+            }
+        });
 }
 
 }  // namespace
@@ -409,7 +381,12 @@ Var softmax_lastdim(const Var& a) {
     {
         const float* in = a->value.data().data();
         float* o = out.data().data();
-        for (std::size_t r = 0; r < rows; ++r) softmax_row(in + r * d, o + r * d, d, d);
+        util::global_pool().parallel_for(rows, util::grain_for(8 * d),
+                                         [&](std::size_t r0, std::size_t r1) {
+                                             for (std::size_t r = r0; r < r1; ++r) {
+                                                 softmax_row(in + r * d, o + r * d, d, d);
+                                             }
+                                         });
     }
     Var node = make_node(std::move(out), {a});
     if (!node->requires_grad) return node;
@@ -418,9 +395,13 @@ Var softmax_lastdim(const Var& a) {
         const float* y = raw->value.data().data();
         const float* g = raw->grad.data().data();
         float* dx = a->ensure_grad().data().data();
-        for (std::size_t r = 0; r < rows; ++r) {
-            softmax_backward_row(y + r * d, g + r * d, dx + r * d, d, d);
-        }
+        util::global_pool().parallel_for(rows, util::grain_for(4 * d),
+                                         [&](std::size_t r0, std::size_t r1) {
+                                             for (std::size_t r = r0; r < r1; ++r) {
+                                                 softmax_backward_row(y + r * d, g + r * d,
+                                                                      dx + r * d, d, d);
+                                             }
+                                         });
     };
     return node;
 }
@@ -436,12 +417,15 @@ Var softmax_causal(const Var& scores) {
     {
         const float* in = scores->value.data().data();
         float* o = out.data().data();
-        for (std::size_t m = 0; m < mats; ++m) {
-            for (std::size_t r = 0; r < t; ++r) {
-                const std::size_t off = (m * t + r) * t;
-                softmax_row(in + off, o + off, t, r + 1);
-            }
-        }
+        util::global_pool().parallel_for(
+            mats, util::grain_for(4 * t * t), [&](std::size_t m0, std::size_t m1) {
+                for (std::size_t m = m0; m < m1; ++m) {
+                    for (std::size_t r = 0; r < t; ++r) {
+                        const std::size_t off = (m * t + r) * t;
+                        softmax_row(in + off, o + off, t, r + 1);
+                    }
+                }
+            });
     }
     Var node = make_node(std::move(out), {scores});
     if (!node->requires_grad) return node;
@@ -450,12 +434,15 @@ Var softmax_causal(const Var& scores) {
         const float* y = raw->value.data().data();
         const float* g = raw->grad.data().data();
         float* dx = scores->ensure_grad().data().data();
-        for (std::size_t m = 0; m < mats; ++m) {
-            for (std::size_t r = 0; r < t; ++r) {
-                const std::size_t off = (m * t + r) * t;
-                softmax_backward_row(y + off, g + off, dx + off, t, r + 1);
-            }
-        }
+        util::global_pool().parallel_for(
+            mats, util::grain_for(2 * t * t), [&](std::size_t m0, std::size_t m1) {
+                for (std::size_t m = m0; m < m1; ++m) {
+                    for (std::size_t r = 0; r < t; ++r) {
+                        const std::size_t off = (m * t + r) * t;
+                        softmax_backward_row(y + off, g + off, dx + off, t, r + 1);
+                    }
+                }
+            });
     };
     return node;
 }
@@ -478,20 +465,25 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
         const float* gw = gain->value.data().data();
         const float* bw = bias->value.data().data();
         float* o = out.data().data();
-        for (std::size_t r = 0; r < rows; ++r) {
-            const float* row = in + r * d;
-            float mean = 0.0f;
-            for (std::size_t j = 0; j < d; ++j) mean += row[j];
-            mean /= static_cast<float>(d);
-            float var = 0.0f;
-            for (std::size_t j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
-            var /= static_cast<float>(d);
-            const float inv = 1.0f / std::sqrt(var + eps);
-            (*stats)[r * 2] = mean;
-            (*stats)[r * 2 + 1] = inv;
-            float* orow = o + r * d;
-            for (std::size_t j = 0; j < d; ++j) orow[j] = (row[j] - mean) * inv * gw[j] + bw[j];
-        }
+        util::global_pool().parallel_for(
+            rows, util::grain_for(6 * d), [&](std::size_t r0, std::size_t r1) {
+                for (std::size_t r = r0; r < r1; ++r) {
+                    const float* row = in + r * d;
+                    float mean = 0.0f;
+                    for (std::size_t j = 0; j < d; ++j) mean += row[j];
+                    mean /= static_cast<float>(d);
+                    float var = 0.0f;
+                    for (std::size_t j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
+                    var /= static_cast<float>(d);
+                    const float inv = 1.0f / std::sqrt(var + eps);
+                    (*stats)[r * 2] = mean;
+                    (*stats)[r * 2 + 1] = inv;
+                    float* orow = o + r * d;
+                    for (std::size_t j = 0; j < d; ++j) {
+                        orow[j] = (row[j] - mean) * inv * gw[j] + bw[j];
+                    }
+                }
+            });
     }
     Var node = make_node(std::move(out), {x, gain, bias});
     if (!node->requires_grad) return node;
@@ -503,37 +495,57 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
         float* dgain = gain->requires_grad ? gain->ensure_grad().data().data() : nullptr;
         float* dbias = bias->requires_grad ? bias->ensure_grad().data().data() : nullptr;
         float* dx = x->requires_grad ? x->ensure_grad().data().data() : nullptr;
-        for (std::size_t r = 0; r < rows; ++r) {
-            const float mean = (*stats)[r * 2];
-            const float inv = (*stats)[r * 2 + 1];
-            const float* row = in + r * d;
-            const float* grow = g + r * d;
-            // xhat_j = (x_j - mean) * inv
-            if (dgain || dbias) {
-                for (std::size_t j = 0; j < d; ++j) {
-                    const float xhat = (row[j] - mean) * inv;
-                    if (dgain) dgain[j] += grow[j] * xhat;
-                    if (dbias) dbias[j] += grow[j];
+        auto& pool = util::global_pool();
+        const std::size_t grain = util::grain_for(10 * d);
+        // dgain/dbias reduce across rows: accumulate per-chunk partials and
+        // merge them in chunk order, so the result is deterministic for a
+        // fixed thread count (dx rows are disjoint and need no partials).
+        const std::size_t chunks = pool.num_chunks(rows, grain);
+        std::vector<float> partial((dgain || dbias) ? chunks * 2 * d : 0, 0.0f);
+        pool.parallel_chunks(
+            rows, grain, [&](std::size_t chunk, std::size_t r0, std::size_t r1) {
+                float* pgain = partial.empty() ? nullptr : partial.data() + chunk * 2 * d;
+                float* pbias = pgain ? pgain + d : nullptr;
+                for (std::size_t r = r0; r < r1; ++r) {
+                    const float mean = (*stats)[r * 2];
+                    const float inv = (*stats)[r * 2 + 1];
+                    const float* row = in + r * d;
+                    const float* grow = g + r * d;
+                    // xhat_j = (x_j - mean) * inv
+                    if (pgain) {
+                        for (std::size_t j = 0; j < d; ++j) {
+                            const float xhat = (row[j] - mean) * inv;
+                            pgain[j] += grow[j] * xhat;
+                            pbias[j] += grow[j];
+                        }
+                    }
+                    if (dx) {
+                        // dL/dx = inv/d * (d*gy - sum(gy) - xhat * sum(gy*xhat)),
+                        // where gy_j = g_j * gain_j.
+                        float sum_gy = 0.0f;
+                        float sum_gy_xhat = 0.0f;
+                        for (std::size_t j = 0; j < d; ++j) {
+                            const float gy = grow[j] * gw[j];
+                            const float xhat = (row[j] - mean) * inv;
+                            sum_gy += gy;
+                            sum_gy_xhat += gy * xhat;
+                        }
+                        float* dxrow = dx + r * d;
+                        const float dn = static_cast<float>(d);
+                        for (std::size_t j = 0; j < d; ++j) {
+                            const float gy = grow[j] * gw[j];
+                            const float xhat = (row[j] - mean) * inv;
+                            dxrow[j] += inv / dn * (dn * gy - sum_gy - xhat * sum_gy_xhat);
+                        }
+                    }
                 }
-            }
-            if (dx) {
-                // dL/dx = inv/d * (d*gy - sum(gy) - xhat * sum(gy*xhat)),
-                // where gy_j = g_j * gain_j.
-                float sum_gy = 0.0f;
-                float sum_gy_xhat = 0.0f;
-                for (std::size_t j = 0; j < d; ++j) {
-                    const float gy = grow[j] * gw[j];
-                    const float xhat = (row[j] - mean) * inv;
-                    sum_gy += gy;
-                    sum_gy_xhat += gy * xhat;
-                }
-                float* dxrow = dx + r * d;
-                const float dn = static_cast<float>(d);
-                for (std::size_t j = 0; j < d; ++j) {
-                    const float gy = grow[j] * gw[j];
-                    const float xhat = (row[j] - mean) * inv;
-                    dxrow[j] += inv / dn * (dn * gy - sum_gy - xhat * sum_gy_xhat);
-                }
+            });
+        for (std::size_t c = 0; c < chunks && !partial.empty(); ++c) {
+            const float* pgain = partial.data() + c * 2 * d;
+            const float* pbias = pgain + d;
+            for (std::size_t j = 0; j < d; ++j) {
+                if (dgain) dgain[j] += pgain[j];
+                if (dbias) dbias[j] += pbias[j];
             }
         }
     };
@@ -544,14 +556,18 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
 
 namespace {
 
-// Builds a pointwise op from forward f(x) and derivative df(x, y).
+// Builds a pointwise op from forward f(x) and derivative df(x, y). Forward
+// and backward are element-disjoint, so both shard over elements.
 template <typename F, typename DF>
 Var pointwise(const Var& a, F f, DF df) {
     Tensor out(a->value.shape());
     {
         auto in = a->value.data();
         auto o = out.data();
-        for (std::size_t i = 0; i < in.size(); ++i) o[i] = f(in[i]);
+        util::global_pool().parallel_for(in.size(), util::grain_for(24),
+                                         [&](std::size_t i0, std::size_t i1) {
+                                             for (std::size_t i = i0; i < i1; ++i) o[i] = f(in[i]);
+                                         });
     }
     Var node = make_node(std::move(out), {a});
     if (!node->requires_grad) return node;
@@ -561,7 +577,10 @@ Var pointwise(const Var& a, F f, DF df) {
         auto y = raw->value.data();
         auto g = raw->grad.data();
         auto dx = a->ensure_grad().data();
-        for (std::size_t i = 0; i < in.size(); ++i) dx[i] += g[i] * df(in[i], y[i]);
+        util::global_pool().parallel_for(
+            in.size(), util::grain_for(24), [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) dx[i] += g[i] * df(in[i], y[i]);
+            });
     };
     return node;
 }
@@ -735,15 +754,18 @@ namespace {
 void permute_0213(const float* src, float* dst, std::size_t b, std::size_t d1, std::size_t d2,
                   std::size_t d3) {
     // src laid out [b, d1, d2, d3]; dst laid out [b, d2, d1, d3].
-    for (std::size_t i = 0; i < b; ++i) {
-        for (std::size_t x = 0; x < d1; ++x) {
-            for (std::size_t y = 0; y < d2; ++y) {
-                const float* s = src + ((i * d1 + x) * d2 + y) * d3;
-                float* o = dst + ((i * d2 + y) * d1 + x) * d3;
-                for (std::size_t j = 0; j < d3; ++j) o[j] = s[j];
+    util::global_pool().parallel_for(
+        b, util::grain_for(d1 * d2 * d3), [&](std::size_t b0, std::size_t b1) {
+            for (std::size_t i = b0; i < b1; ++i) {
+                for (std::size_t x = 0; x < d1; ++x) {
+                    for (std::size_t y = 0; y < d2; ++y) {
+                        const float* s = src + ((i * d1 + x) * d2 + y) * d3;
+                        float* o = dst + ((i * d2 + y) * d1 + x) * d3;
+                        for (std::size_t j = 0; j < d3; ++j) o[j] = s[j];
+                    }
+                }
             }
-        }
-    }
+        });
 }
 
 }  // namespace
@@ -822,8 +844,15 @@ Var cross_entropy(const Var& logits, const std::vector<int>& targets) {
     {
         const float* in = logits->value.data().data();
         float* p = probs->data().data();
+        // Probabilities are row-disjoint and shard across the pool; the loss
+        // reduction stays serial so its value is thread-count independent.
+        util::global_pool().parallel_for(n, util::grain_for(8 * c),
+                                         [&](std::size_t r0, std::size_t r1) {
+                                             for (std::size_t r = r0; r < r1; ++r) {
+                                                 softmax_row(in + r * c, p + r * c, c, c);
+                                             }
+                                         });
         for (std::size_t r = 0; r < n; ++r) {
-            softmax_row(in + r * c, p + r * c, c, c);
             const int tgt = targets[r];
             if (tgt == kIgnoreIndex) continue;
             if (tgt < 0 || static_cast<std::size_t>(tgt) >= c) {
@@ -841,14 +870,17 @@ Var cross_entropy(const Var& logits, const std::vector<int>& targets) {
         const float g = raw->grad[0] / denom;
         const float* p = probs->data().data();
         float* dx = logits->ensure_grad().data().data();
-        for (std::size_t r = 0; r < n; ++r) {
-            const int tgt = targets[r];
-            if (tgt == kIgnoreIndex) continue;
-            for (std::size_t j = 0; j < c; ++j) {
-                const float onehot = (static_cast<std::size_t>(tgt) == j) ? 1.0f : 0.0f;
-                dx[r * c + j] += g * (p[r * c + j] - onehot);
-            }
-        }
+        util::global_pool().parallel_for(
+            n, util::grain_for(3 * c), [&](std::size_t r0, std::size_t r1) {
+                for (std::size_t r = r0; r < r1; ++r) {
+                    const int tgt = targets[r];
+                    if (tgt == kIgnoreIndex) continue;
+                    for (std::size_t j = 0; j < c; ++j) {
+                        const float onehot = (static_cast<std::size_t>(tgt) == j) ? 1.0f : 0.0f;
+                        dx[r * c + j] += g * (p[r * c + j] - onehot);
+                    }
+                }
+            });
     };
     return node;
 }

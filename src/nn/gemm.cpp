@@ -1,0 +1,319 @@
+#include "gemm.hpp"
+
+#include <algorithm>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace cpt::nn {
+
+namespace {
+
+// Register-tile sizes. MR x NR float accumulators must fit the 16 SSE
+// registers of the baseline x86-64 ABI: 4x8 = 32 floats = 8 xmm, leaving
+// room for the A broadcast and B loads.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+// NT keeps NR smaller: its micro-kernel streams MR + NR rows concurrently.
+constexpr std::size_t kNrNt = 4;
+// Column block so one B panel stays cache-resident across row tiles.
+constexpr std::size_t kNc = 256;
+// Minimum FLOPs a parallel chunk should carry; below this, threads cost more
+// than they save.
+constexpr std::size_t kMinChunkFlops = 1 << 18;
+
+std::size_t row_grain(std::size_t k_dim, std::size_t n_dim) {
+    return util::grain_for(2 * k_dim * n_dim, kMinChunkFlops);
+}
+
+// ---- NN: C[M,N] += A[M,K] * B[K,N] -------------------------------------------
+// A rows are broadcast, B rows are read contiguously per k; accumulators live
+// in registers for the whole (unsplit) K extent.
+
+// The SSE2 bodies below perform, per C element, exactly the scalar chain
+// `acc += a * b` in ascending k with one accumulator per element — the same
+// per-lane IEEE operations as the scalar template, just four lanes at a time —
+// so they stay bit-identical to the reference kernels. GCC's SLP vectorizer
+// handles the TN form on its own but leaves these two scalar (the strided A /
+// B accesses defeat it), hence the explicit intrinsics.
+#if defined(__SSE2__)
+template <std::size_t MR, std::size_t NR>
+void micro_nn_fixed(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+                    std::size_t ldc, std::size_t k_dim) {
+    static_assert(MR == 4 && NR == 8);
+    __m128 acc[MR][2] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* brow = b + k * ldb;
+        const __m128 b0 = _mm_loadu_ps(brow);
+        const __m128 b1 = _mm_loadu_ps(brow + 4);
+        for (std::size_t i = 0; i < MR; ++i) {
+            const __m128 av = _mm_set1_ps(a[i * lda + k]);
+            acc[i][0] = _mm_add_ps(acc[i][0], _mm_mul_ps(av, b0));
+            acc[i][1] = _mm_add_ps(acc[i][1], _mm_mul_ps(av, b1));
+        }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+        float* crow = c + i * ldc;
+        _mm_storeu_ps(crow, _mm_add_ps(_mm_loadu_ps(crow), acc[i][0]));
+        _mm_storeu_ps(crow + 4, _mm_add_ps(_mm_loadu_ps(crow + 4), acc[i][1]));
+    }
+}
+#else
+template <std::size_t MR, std::size_t NR>
+void micro_nn_fixed(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+                    std::size_t ldc, std::size_t k_dim) {
+    float acc[MR][NR] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* brow = b + k * ldb;
+        for (std::size_t i = 0; i < MR; ++i) {
+            const float av = a[i * lda + k];
+            for (std::size_t j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
+        }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+        for (std::size_t j = 0; j < NR; ++j) c[i * ldc + j] += acc[i][j];
+    }
+}
+#endif
+
+void micro_nn_edge(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+                   std::size_t ldc, std::size_t k_dim, std::size_t mr, std::size_t nr) {
+    float acc[kMr][kNr] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* brow = b + k * ldb;
+        for (std::size_t i = 0; i < mr; ++i) {
+            const float av = a[i * lda + k];
+            for (std::size_t j = 0; j < nr; ++j) acc[i][j] += av * brow[j];
+        }
+    }
+    for (std::size_t i = 0; i < mr; ++i) {
+        for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+    }
+}
+
+void gemm_nn_rows(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim,
+                  std::size_t r0, std::size_t r1) {
+    for (std::size_t n0 = 0; n0 < n_dim; n0 += kNc) {
+        const std::size_t nb = std::min(kNc, n_dim - n0);
+        for (std::size_t m0 = r0; m0 < r1; m0 += kMr) {
+            const std::size_t mr = std::min(kMr, r1 - m0);
+            const float* atile = a + m0 * k_dim;
+            float* crow = c + m0 * n_dim + n0;
+            std::size_t j0 = 0;
+            if (mr == kMr) {
+                for (; j0 + kNr <= nb; j0 += kNr) {
+                    micro_nn_fixed<kMr, kNr>(atile, k_dim, b + n0 + j0, n_dim, crow + j0, n_dim,
+                                             k_dim);
+                }
+            }
+            for (; j0 < nb; j0 += kNr) {
+                micro_nn_edge(atile, k_dim, b + n0 + j0, n_dim, crow + j0, n_dim, k_dim, mr,
+                              std::min(kNr, nb - j0));
+            }
+        }
+    }
+}
+
+// ---- NT: C[M,N] += A[M,K] * B^T, B stored [N,K] -------------------------------
+// Both operands stream contiguously along k; no packing needed.
+
+#if defined(__SSE2__)
+template <std::size_t MR, std::size_t NR>
+void micro_nt_fixed(const float* a, const float* b, float* c, std::size_t ldc, std::size_t k_dim,
+                    std::size_t lda, std::size_t ldb) {
+    static_assert(MR == 4 && NR == 4);
+    // Neither operand is contiguous across the 4 B rows, so the B column is
+    // gathered into one vector per k; lane j of acc[i] is C[i][j]'s single
+    // ascending-k accumulator.
+    __m128 acc[MR] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const __m128 bv = _mm_set_ps(b[3 * ldb + k], b[2 * ldb + k], b[1 * ldb + k], b[0 * ldb + k]);
+        for (std::size_t i = 0; i < MR; ++i) {
+            const __m128 av = _mm_set1_ps(a[i * lda + k]);
+            acc[i] = _mm_add_ps(acc[i], _mm_mul_ps(av, bv));
+        }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+        float* crow = c + i * ldc;
+        _mm_storeu_ps(crow, _mm_add_ps(_mm_loadu_ps(crow), acc[i]));
+    }
+}
+#else
+template <std::size_t MR, std::size_t NR>
+void micro_nt_fixed(const float* a, const float* b, float* c, std::size_t ldc, std::size_t k_dim,
+                    std::size_t lda, std::size_t ldb) {
+    float acc[MR][NR] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        for (std::size_t i = 0; i < MR; ++i) {
+            const float av = a[i * lda + k];
+            for (std::size_t j = 0; j < NR; ++j) acc[i][j] += av * b[j * ldb + k];
+        }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+        for (std::size_t j = 0; j < NR; ++j) c[i * ldc + j] += acc[i][j];
+    }
+}
+#endif
+
+void micro_nt_edge(const float* a, const float* b, float* c, std::size_t ldc, std::size_t k_dim,
+                   std::size_t lda, std::size_t ldb, std::size_t mr, std::size_t nr) {
+    float acc[kMr][kNrNt] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        for (std::size_t i = 0; i < mr; ++i) {
+            const float av = a[i * lda + k];
+            for (std::size_t j = 0; j < nr; ++j) acc[i][j] += av * b[j * ldb + k];
+        }
+    }
+    for (std::size_t i = 0; i < mr; ++i) {
+        for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+    }
+}
+
+void gemm_nt_rows(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim,
+                  std::size_t r0, std::size_t r1) {
+    for (std::size_t m0 = r0; m0 < r1; m0 += kMr) {
+        const std::size_t mr = std::min(kMr, r1 - m0);
+        const float* atile = a + m0 * k_dim;
+        float* crow = c + m0 * n_dim;
+        std::size_t j0 = 0;
+        if (mr == kMr) {
+            for (; j0 + kNrNt <= n_dim; j0 += kNrNt) {
+                micro_nt_fixed<kMr, kNrNt>(atile, b + j0 * k_dim, crow + j0, n_dim, k_dim, k_dim,
+                                           k_dim);
+            }
+        }
+        for (; j0 < n_dim; j0 += kNrNt) {
+            micro_nt_edge(atile, b + j0 * k_dim, crow + j0, n_dim, k_dim, k_dim, k_dim, mr,
+                          std::min(kNrNt, n_dim - j0));
+        }
+    }
+}
+
+// ---- TN: C[M,N] += A^T * B, A stored [K,M], B [K,N] ---------------------------
+// Per k both loads are contiguous short vectors (along m and n respectively).
+
+template <std::size_t MR, std::size_t NR>
+void micro_tn_fixed(const float* a, const float* b, float* c, std::size_t ldc, std::size_t k_dim,
+                    std::size_t lda, std::size_t ldb) {
+    float acc[MR][NR] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* arow = a + k * lda;
+        const float* brow = b + k * ldb;
+        for (std::size_t i = 0; i < MR; ++i) {
+            const float av = arow[i];
+            for (std::size_t j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
+        }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+        for (std::size_t j = 0; j < NR; ++j) c[i * ldc + j] += acc[i][j];
+    }
+}
+
+void micro_tn_edge(const float* a, const float* b, float* c, std::size_t ldc, std::size_t k_dim,
+                   std::size_t lda, std::size_t ldb, std::size_t mr, std::size_t nr) {
+    float acc[kMr][kNr] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* arow = a + k * lda;
+        const float* brow = b + k * ldb;
+        for (std::size_t i = 0; i < mr; ++i) {
+            const float av = arow[i];
+            for (std::size_t j = 0; j < nr; ++j) acc[i][j] += av * brow[j];
+        }
+    }
+    for (std::size_t i = 0; i < mr; ++i) {
+        for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+    }
+}
+
+void gemm_tn_rows(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                  std::size_t n_dim, std::size_t r0, std::size_t r1) {
+    for (std::size_t m0 = r0; m0 < r1; m0 += kMr) {
+        const std::size_t mr = std::min(kMr, r1 - m0);
+        float* crow = c + m0 * n_dim;
+        std::size_t j0 = 0;
+        if (mr == kMr) {
+            for (; j0 + kNr <= n_dim; j0 += kNr) {
+                micro_tn_fixed<kMr, kNr>(a + m0, b + j0, crow + j0, n_dim, k_dim, m_dim, n_dim);
+            }
+        }
+        for (; j0 < n_dim; j0 += kNr) {
+            micro_tn_edge(a + m0, b + j0, crow + j0, n_dim, k_dim, m_dim, n_dim, mr,
+                          std::min(kNr, n_dim - j0));
+        }
+    }
+}
+
+util::ThreadPool& pick(util::ThreadPool* pool) {
+    return pool ? *pool : util::global_pool();
+}
+
+}  // namespace
+
+void gemm_nn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+             std::size_t n_dim, util::ThreadPool* pool) {
+    if (m_dim == 0 || k_dim == 0 || n_dim == 0) return;
+    pick(pool).parallel_for(m_dim, row_grain(k_dim, n_dim),
+                            [&](std::size_t r0, std::size_t r1) {
+                                gemm_nn_rows(a, b, c, k_dim, n_dim, r0, r1);
+                            });
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+             std::size_t n_dim, util::ThreadPool* pool) {
+    if (m_dim == 0 || k_dim == 0 || n_dim == 0) return;
+    pick(pool).parallel_for(m_dim, row_grain(k_dim, n_dim),
+                            [&](std::size_t r0, std::size_t r1) {
+                                gemm_nt_rows(a, b, c, k_dim, n_dim, r0, r1);
+                            });
+}
+
+void gemm_tn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+             std::size_t n_dim, util::ThreadPool* pool) {
+    if (m_dim == 0 || k_dim == 0 || n_dim == 0) return;
+    pick(pool).parallel_for(m_dim, row_grain(k_dim, n_dim),
+                            [&](std::size_t r0, std::size_t r1) {
+                                gemm_tn_rows(a, b, c, m_dim, k_dim, n_dim, r0, r1);
+                            });
+}
+
+void gemm_nn_ref(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                 std::size_t n_dim) {
+    for (std::size_t m = 0; m < m_dim; ++m) {
+        const float* arow = a + m * k_dim;
+        float* crow = c + m * n_dim;
+        for (std::size_t n = 0; n < n_dim; ++n) {
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < k_dim; ++k) acc += arow[k] * b[k * n_dim + n];
+            crow[n] += acc;
+        }
+    }
+}
+
+void gemm_nt_ref(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                 std::size_t n_dim) {
+    for (std::size_t m = 0; m < m_dim; ++m) {
+        const float* arow = a + m * k_dim;
+        float* crow = c + m * n_dim;
+        for (std::size_t n = 0; n < n_dim; ++n) {
+            const float* brow = b + n * k_dim;
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < k_dim; ++k) acc += arow[k] * brow[k];
+            crow[n] += acc;
+        }
+    }
+}
+
+void gemm_tn_ref(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                 std::size_t n_dim) {
+    for (std::size_t m = 0; m < m_dim; ++m) {
+        float* crow = c + m * n_dim;
+        for (std::size_t n = 0; n < n_dim; ++n) {
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < k_dim; ++k) acc += a[k * m_dim + m] * b[k * n_dim + n];
+            crow[n] += acc;
+        }
+    }
+}
+
+}  // namespace cpt::nn

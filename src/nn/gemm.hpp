@@ -1,0 +1,53 @@
+// Cache-blocked, register-tiled, multi-threaded GEMM kernels for the nn
+// substrate, plus the naive reference kernels they are tested against.
+//
+// All kernels ACCUMULATE into C (callers zero it or rely on fresh tensors),
+// and all of them — reference, blocked, and threaded — share one accumulation
+// contract: every C element is a single dot product evaluated in ascending-k
+// order and added to C exactly once. Register tiling changes which elements
+// are computed together, and threading changes which rows are computed where,
+// but never the per-element order of floating-point additions. The blocked
+// kernels are therefore BIT-IDENTICAL to the reference kernels for every
+// shape and every thread count (pinned by tests/nn_gemm_test.cpp); this is
+// what lets Sampler/TransformerDecoder output stay byte-stable across
+// CPT_THREADS settings.
+//
+// The K dimension is deliberately not split (no Kc accumulation blocking):
+// at this project's sizes (d_model <= 128, MLP <= 1024, vocab < 16) a full-K
+// micro-panel fits in L1, and keeping K whole is what preserves the
+// per-element order above.
+#pragma once
+
+#include <cstddef>
+
+#include "util/thread_pool.hpp"
+
+namespace cpt::nn {
+
+// Blocked/threaded kernels. `pool` defaults to util::global_pool(); pass an
+// explicit pool to pin a thread count (benchmarks, tests). Work smaller than
+// one grain runs inline on the calling thread.
+
+// C[M,N] += A[M,K] * B[K,N]
+void gemm_nn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+             std::size_t n_dim, util::ThreadPool* pool = nullptr);
+
+// C[M,N] += A[M,K] * B^T where B is stored [N,K]
+void gemm_nt(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+             std::size_t n_dim, util::ThreadPool* pool = nullptr);
+
+// C[M,N] += A^T * B where A is stored [K,M], B is [K,N]
+void gemm_tn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+             std::size_t n_dim, util::ThreadPool* pool = nullptr);
+
+// Naive single-threaded reference kernels (triple loop, ascending-k dot
+// products). Retained for the bit-exactness tests and the perf baseline in
+// bench_micro_nn.
+void gemm_nn_ref(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                 std::size_t n_dim);
+void gemm_nt_ref(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                 std::size_t n_dim);
+void gemm_tn_ref(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                 std::size_t n_dim);
+
+}  // namespace cpt::nn

@@ -2,30 +2,29 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cpt::nn {
 
 namespace {
 
-// y = x W^T + b for row-major x [B, in], W [out, in], b [out].
+// y = x W^T + b for row-major x [B, in], W [out, in], b [out]. Rows are
+// pre-filled with the bias, then the blocked NT kernel accumulates x W^T;
+// per-row arithmetic is independent of the batch/thread split.
 void linear_rows(const Linear& fc, const Tensor& x, Tensor& y) {
     const std::size_t b = x.dim(0);
     const std::size_t in = fc.in_features();
     const std::size_t out = fc.out_features();
-    const float* px = x.data().data();
-    const float* pw = fc.weight()->value.data().data();
     const float* pb = fc.bias()->value.data().data();
     float* py = y.data().data();
     for (std::size_t r = 0; r < b; ++r) {
-        const float* xrow = px + r * in;
         float* yrow = py + r * out;
-        for (std::size_t o = 0; o < out; ++o) {
-            const float* wrow = pw + o * in;
-            float acc = pb[o];
-            for (std::size_t i = 0; i < in; ++i) acc += xrow[i] * wrow[i];
-            yrow[o] = acc;
-        }
+        for (std::size_t o = 0; o < out; ++o) yrow[o] = pb[o];
     }
+    gemm_nt(x.data().data(), fc.weight()->value.data().data(), py, b, in, out);
 }
 
 void layer_norm_rows(const LayerNorm& ln, Tensor& x, float eps = 1e-5f) {
@@ -34,26 +33,34 @@ void layer_norm_rows(const LayerNorm& ln, Tensor& x, float eps = 1e-5f) {
     const float* gw = ln.gain()->value.data().data();
     const float* bw = ln.bias()->value.data().data();
     float* px = x.data().data();
-    for (std::size_t r = 0; r < rows; ++r) {
-        float* row = px + r * d;
-        float mean = 0.0f;
-        for (std::size_t j = 0; j < d; ++j) mean += row[j];
-        mean /= static_cast<float>(d);
-        float var = 0.0f;
-        for (std::size_t j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
-        var /= static_cast<float>(d);
-        const float inv = 1.0f / std::sqrt(var + eps);
-        for (std::size_t j = 0; j < d; ++j) row[j] = (row[j] - mean) * inv * gw[j] + bw[j];
-    }
+    util::global_pool().parallel_for(
+        rows, util::grain_for(6 * d), [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t r = r0; r < r1; ++r) {
+                float* row = px + r * d;
+                float mean = 0.0f;
+                for (std::size_t j = 0; j < d; ++j) mean += row[j];
+                mean /= static_cast<float>(d);
+                float var = 0.0f;
+                for (std::size_t j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
+                var /= static_cast<float>(d);
+                const float inv = 1.0f / std::sqrt(var + eps);
+                for (std::size_t j = 0; j < d; ++j) row[j] = (row[j] - mean) * inv * gw[j] + bw[j];
+            }
+        });
 }
 
 void gelu_rows(Tensor& x) {
     constexpr float kC = 0.7978845608028654f;
     constexpr float kA = 0.044715f;
-    for (float& v : x.data()) {
-        const float u = kC * (v + kA * v * v * v);
-        v = 0.5f * v * (1.0f + std::tanh(u));
-    }
+    auto xs = x.data();
+    util::global_pool().parallel_for(xs.size(), util::grain_for(24),
+                                     [&](std::size_t i0, std::size_t i1) {
+                                         for (std::size_t i = i0; i < i1; ++i) {
+                                             const float v = xs[i];
+                                             const float u = kC * (v + kA * v * v * v);
+                                             xs[i] = 0.5f * v * (1.0f + std::tanh(u));
+                                         }
+                                     });
 }
 
 void add_rows(Tensor& dst, const Tensor& src) { dst.add_(src); }
@@ -117,23 +124,29 @@ Tensor TransformerDecoder::step(const Tensor& x) {
             linear_rows(block.attn().wk(), scratch, kv);
             const float* pk = kv.data().data();
             float* ck = cache.k.data().data();
-            for (std::size_t r = 0; r < batch_; ++r) {
-                for (std::size_t head = 0; head < h; ++head) {
-                    float* dst = ck + ((r * h + head) * max_t + t) * dh;
-                    const float* src = pk + r * d + head * dh;
-                    for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
-                }
-            }
+            util::global_pool().parallel_for(
+                batch_ * h, util::grain_for(dh), [&](std::size_t i0, std::size_t i1) {
+                    for (std::size_t i = i0; i < i1; ++i) {
+                        const std::size_t r = i / h;
+                        const std::size_t head = i % h;
+                        float* dst = ck + (i * max_t + t) * dh;
+                        const float* src = pk + r * d + head * dh;
+                        for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
+                    }
+                });
             linear_rows(block.attn().wv(), scratch, kv);
             const float* pv = kv.data().data();
             float* cv = cache.v.data().data();
-            for (std::size_t r = 0; r < batch_; ++r) {
-                for (std::size_t head = 0; head < h; ++head) {
-                    float* dst = cv + ((r * h + head) * max_t + t) * dh;
-                    const float* src = pv + r * d + head * dh;
-                    for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
-                }
-            }
+            util::global_pool().parallel_for(
+                batch_ * h, util::grain_for(dh), [&](std::size_t i0, std::size_t i1) {
+                    for (std::size_t i = i0; i < i1; ++i) {
+                        const std::size_t r = i / h;
+                        const std::size_t head = i % h;
+                        float* dst = cv + (i * max_t + t) * dh;
+                        const float* src = pv + r * d + head * dh;
+                        for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
+                    }
+                });
         }
         // Per-row, per-head attention over positions [0, t].
         {
@@ -142,35 +155,41 @@ Tensor TransformerDecoder::step(const Tensor& x) {
             const float* ck = cache.k.data().data();
             const float* cv = cache.v.data().data();
             float* ctx = scratch.data().data();  // reuse as context output
-            std::vector<float> scores(t + 1);
-            for (std::size_t r = 0; r < batch_; ++r) {
-                for (std::size_t head = 0; head < h; ++head) {
-                    const float* qrow = pq + r * d + head * dh;
-                    const float* krows = ck + (r * h + head) * max_t * dh;
-                    const float* vrows = cv + (r * h + head) * max_t * dh;
-                    float mx = -1e30f;
-                    for (std::size_t p = 0; p <= t; ++p) {
-                        float acc = 0.0f;
-                        const float* krow = krows + p * dh;
-                        for (std::size_t j = 0; j < dh; ++j) acc += qrow[j] * krow[j];
-                        scores[p] = acc * scale;
-                        mx = std::max(mx, scores[p]);
+            // Each (row, head) pair is independent; the scores scratch buffer
+            // is per-chunk so concurrent lanes never share it.
+            util::global_pool().parallel_for(
+                batch_ * h, util::grain_for(4 * (t + 1) * dh),
+                [&](std::size_t i0, std::size_t i1) {
+                    std::vector<float> scores(t + 1);
+                    for (std::size_t i = i0; i < i1; ++i) {
+                        const std::size_t r = i / h;
+                        const std::size_t head = i % h;
+                        const float* qrow = pq + r * d + head * dh;
+                        const float* krows = ck + i * max_t * dh;
+                        const float* vrows = cv + i * max_t * dh;
+                        float mx = -1e30f;
+                        for (std::size_t p = 0; p <= t; ++p) {
+                            float acc = 0.0f;
+                            const float* krow = krows + p * dh;
+                            for (std::size_t j = 0; j < dh; ++j) acc += qrow[j] * krow[j];
+                            scores[p] = acc * scale;
+                            mx = std::max(mx, scores[p]);
+                        }
+                        float total = 0.0f;
+                        for (std::size_t p = 0; p <= t; ++p) {
+                            scores[p] = std::exp(scores[p] - mx);
+                            total += scores[p];
+                        }
+                        const float inv = total > 0.0f ? 1.0f / total : 0.0f;
+                        float* crow = ctx + r * d + head * dh;
+                        for (std::size_t j = 0; j < dh; ++j) crow[j] = 0.0f;
+                        for (std::size_t p = 0; p <= t; ++p) {
+                            const float w = scores[p] * inv;
+                            const float* vrow = vrows + p * dh;
+                            for (std::size_t j = 0; j < dh; ++j) crow[j] += w * vrow[j];
+                        }
                     }
-                    float total = 0.0f;
-                    for (std::size_t p = 0; p <= t; ++p) {
-                        scores[p] = std::exp(scores[p] - mx);
-                        total += scores[p];
-                    }
-                    const float inv = total > 0.0f ? 1.0f / total : 0.0f;
-                    float* crow = ctx + r * d + head * dh;
-                    for (std::size_t j = 0; j < dh; ++j) crow[j] = 0.0f;
-                    for (std::size_t p = 0; p <= t; ++p) {
-                        const float w = scores[p] * inv;
-                        const float* vrow = vrows + p * dh;
-                        for (std::size_t j = 0; j < dh; ++j) crow[j] += w * vrow[j];
-                    }
-                }
-            }
+                });
         }
         linear_rows(block.attn().wo(), scratch, attn_out);
         add_rows(hstate, attn_out);

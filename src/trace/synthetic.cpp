@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace cpt::trace {
 
 using cellular::EventId;
@@ -356,30 +358,52 @@ Dataset SyntheticWorldGenerator::generate() const {
     Dataset ds;
     ds.generation = config_.generation;
     util::Rng rng(config_.seed ^ (0x5bd1e995ULL * static_cast<std::uint64_t>(config_.hour_of_day + 1)));
-    std::size_t serial = 0;
+
+    // Fork one RNG per UE serially (fork() mutates the parent, so the fork
+    // order must stay fixed), then generate streams in parallel into
+    // preallocated slots and filter in serial order. This is bit-identical to
+    // the sequential loop for every thread count.
+    struct Job {
+        DeviceType device;
+        util::Rng rng;
+    };
+    std::size_t total = 0;
+    for (std::size_t d = 0; d < kNumDeviceTypes; ++d) total += config_.population[d];
+    std::vector<Job> jobs;
+    jobs.reserve(total);
     for (std::size_t d = 0; d < kNumDeviceTypes; ++d) {
         const auto device = static_cast<DeviceType>(d);
         for (std::size_t i = 0; i < config_.population[d]; ++i) {
-            util::Rng stream_rng = rng.fork(serial);
-            char id[32];
-            std::snprintf(id, sizeof(id), "ue-%06zu", serial);
-            Stream s = generate_stream(device, id, stream_rng);
-            ++serial;
-            if (s.events.size() >= 2) ds.streams.push_back(std::move(s));
+            jobs.push_back({device, rng.fork(jobs.size())});
         }
+    }
+
+    std::vector<Stream> streams(total);
+    util::global_pool().parallel_for(total, 1, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            char id[32];
+            std::snprintf(id, sizeof(id), "ue-%06zu", i);
+            streams[i] = generate_stream(jobs[i].device, id, jobs[i].rng);
+        }
+    });
+    for (auto& s : streams) {
+        if (s.events.size() >= 2) ds.streams.push_back(std::move(s));
     }
     return ds;
 }
 
 std::vector<Dataset> SyntheticWorldGenerator::generate_hours(int hours) const {
-    std::vector<Dataset> out;
-    out.reserve(static_cast<std::size_t>(hours));
-    for (int h = 0; h < hours; ++h) {
-        SyntheticWorldConfig cfg = config_;
-        cfg.hour_of_day = (config_.hour_of_day + h) % 24;
-        cfg.seed = config_.seed + 1000003ULL * static_cast<std::uint64_t>(h + 1);
-        out.push_back(SyntheticWorldGenerator(cfg).generate());
-    }
+    std::vector<Dataset> out(static_cast<std::size_t>(std::max(hours, 0)));
+    // Hours are seeded independently, so they can generate concurrently; each
+    // slot is written by exactly one lane.
+    util::global_pool().parallel_for(out.size(), 1, [&](std::size_t h0, std::size_t h1) {
+        for (std::size_t h = h0; h < h1; ++h) {
+            SyntheticWorldConfig cfg = config_;
+            cfg.hour_of_day = (config_.hour_of_day + static_cast<int>(h)) % 24;
+            cfg.seed = config_.seed + 1000003ULL * static_cast<std::uint64_t>(h + 1);
+            out[h] = SyntheticWorldGenerator(cfg).generate();
+        }
+    });
     return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "thread_pool.hpp"
+
 namespace cpt::util {
 
 Summary summarize(std::span<const double> xs) {
@@ -68,8 +70,20 @@ double max_cdf_y_distance(const Ecdf& a, const Ecdf& b) {
 }
 
 double max_cdf_y_distance(std::span<const double> a, std::span<const double> b) {
-    return max_cdf_y_distance(Ecdf(std::vector<double>(a.begin(), a.end())),
-                              Ecdf(std::vector<double>(b.begin(), b.end())));
+    // ECDF construction sorts each sample; the two sorts are independent, so
+    // build them on separate pool lanes.
+    Ecdf ea;
+    Ecdf eb;
+    global_pool().parallel_for(2, 1, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            if (i == 0) {
+                ea = Ecdf(std::vector<double>(a.begin(), a.end()));
+            } else {
+                eb = Ecdf(std::vector<double>(b.begin(), b.end()));
+            }
+        }
+    });
+    return max_cdf_y_distance(ea, eb);
 }
 
 double quantile(std::span<const double> xs, double q) {

@@ -1,0 +1,124 @@
+// Bit-exactness of the blocked/threaded GEMM kernels against the naive
+// reference kernels (see the accumulation contract in src/nn/gemm.hpp). The
+// comparison is memcmp, not tolerance: the blocked kernels must produce the
+// same bits for every shape and every thread count, because sampler/world-gen
+// determinism across CPT_THREADS rests on it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cpt::nn {
+namespace {
+
+using GemmFn = void (*)(const float*, const float*, float*, std::size_t, std::size_t, std::size_t,
+                        util::ThreadPool*);
+using RefFn = void (*)(const float*, const float*, float*, std::size_t, std::size_t, std::size_t);
+
+std::vector<float> random_floats(std::size_t n, std::mt19937& gen) {
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    std::vector<float> v(n);
+    for (float& x : v) x = dist(gen);
+    return v;
+}
+
+void expect_bitwise_equal(const std::vector<float>& a, const std::vector<float>& b,
+                          const char* what, std::size_t m, std::size_t k, std::size_t n) {
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+        << what << " differs from reference at shape (" << m << ", " << k << ", " << n << ")";
+}
+
+void check_shape(GemmFn blocked, RefFn ref, std::size_t m, std::size_t k, std::size_t n,
+                 std::mt19937& gen, const char* what) {
+    util::ThreadPool pool1(1);
+    util::ThreadPool pool4(4);
+    const auto a = random_floats(m * k, gen);
+    const auto b = random_floats(k * n, gen);
+    // Kernels accumulate into C, so start all variants from the same nonzero C.
+    const auto c0 = random_floats(m * n, gen);
+
+    auto c_ref = c0;
+    ref(a.data(), b.data(), c_ref.data(), m, k, n);
+    auto c_p1 = c0;
+    blocked(a.data(), b.data(), c_p1.data(), m, k, n, &pool1);
+    auto c_p4 = c0;
+    blocked(a.data(), b.data(), c_p4.data(), m, k, n, &pool4);
+
+    expect_bitwise_equal(c_p1, c_ref, what, m, k, n);
+    expect_bitwise_equal(c_p4, c_ref, what, m, k, n);
+}
+
+struct Kernel {
+    GemmFn blocked;
+    RefFn ref;
+    const char* name;
+};
+
+const Kernel kKernels[] = {
+    {gemm_nn, gemm_nn_ref, "gemm_nn"},
+    {gemm_nt, gemm_nt_ref, "gemm_nt"},
+    {gemm_tn, gemm_tn_ref, "gemm_tn"},
+};
+
+TEST(GemmBitExactTest, ModelScaleShapes) {
+    std::mt19937 gen(7);
+    // Shapes the training/inference stack actually hits: decode (M = 1),
+    // d_model projections, MLP expansion/contraction, attention score mats.
+    const std::size_t shapes[][3] = {
+        {1, 64, 256},  {1, 9, 64},     {128, 64, 256}, {128, 256, 64},
+        {512, 64, 64}, {512, 128, 128}, {64, 64, 6},    {500, 9, 128},
+    };
+    for (const auto& k : kKernels) {
+        for (const auto& s : shapes) check_shape(k.blocked, k.ref, s[0], s[1], s[2], gen, k.name);
+    }
+}
+
+TEST(GemmBitExactTest, RandomizedShapesIncludingTileEdges) {
+    std::mt19937 gen(1234);
+    std::uniform_int_distribution<std::size_t> dm(1, 37);
+    std::uniform_int_distribution<std::size_t> dk(1, 48);
+    std::uniform_int_distribution<std::size_t> dn(1, 70);
+    for (int iter = 0; iter < 40; ++iter) {
+        const std::size_t m = dm(gen);
+        const std::size_t k = dk(gen);
+        const std::size_t n = dn(gen);
+        for (const auto& ker : kKernels) check_shape(ker.blocked, ker.ref, m, k, n, gen, ker.name);
+    }
+}
+
+TEST(GemmBitExactTest, NonMultipleOfBlockSizes) {
+    std::mt19937 gen(99);
+    // Deliberately straddle the 4x8 / 4x4 register tiles and the 256-wide
+    // column block: sizes one below/above each boundary.
+    const std::size_t shapes[][3] = {
+        {3, 5, 7},   {5, 3, 9},    {4, 8, 8},    {7, 11, 255},
+        {9, 2, 257}, {33, 17, 63}, {2, 300, 31}, {1, 1, 1},
+    };
+    for (const auto& k : kKernels) {
+        for (const auto& s : shapes) check_shape(k.blocked, k.ref, s[0], s[1], s[2], gen, k.name);
+    }
+}
+
+TEST(GemmBitExactTest, GlobalPoolPathMatchesExplicitPool) {
+    std::mt19937 gen(5);
+    const std::size_t m = 50, k = 33, n = 29;
+    const auto a = random_floats(m * k, gen);
+    const auto b = random_floats(k * n, gen);
+    const auto c0 = random_floats(m * n, gen);
+
+    auto c_ref = c0;
+    gemm_nn_ref(a.data(), b.data(), c_ref.data(), m, k, n);
+    util::set_global_threads(4);
+    auto c_glob = c0;
+    gemm_nn(a.data(), b.data(), c_glob.data(), m, k, n);  // pool = global
+    util::set_global_threads(1);
+    expect_bitwise_equal(c_glob, c_ref, "gemm_nn(global pool)", m, k, n);
+}
+
+}  // namespace
+}  // namespace cpt::nn
