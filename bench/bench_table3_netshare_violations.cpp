@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "metrics/fidelity.hpp"
+#include "lint/trace_lint.hpp"
 #include "util/ascii.hpp"
 
 int main(int argc, char** argv) {
@@ -20,18 +20,21 @@ int main(int argc, char** argv) {
     util::Rng rng(101);
     const auto synthesized =
         netshare.generator->generate(env.gen_streams, rng, trace::DeviceType::kPhone);
-    const auto v = metrics::semantic_violations(synthesized);
+    const auto report = lint::TraceLinter(synthesized.generation).lint(synthesized);
+    const auto& vocab = cellular::vocabulary(synthesized.generation);
 
     util::TextTable t({"metric", "paper (NetShare)", "measured"});
-    t.add_row({"perc. event violations", "2.61%", util::fmt_pct(v.event_fraction(), 2)});
-    t.add_row({"perc. streams w/ violating event", "22.10%", util::fmt_pct(v.stream_fraction(), 2)});
+    t.add_row({"perc. event violations", "2.61%", util::fmt_pct(report.event_fraction(), 2)});
+    t.add_row({"perc. streams w/ violating event", "22.10%",
+               util::fmt_pct(report.stream_fraction(), 2)});
     std::fputs(t.render().c_str(), stdout);
 
     std::puts("\nTop violation categories (paper: S1_REL_S/S1_CONN_REL 1.16%, S1_REL_S/HO 0.76%,");
     std::puts("                           CONNECTED/SRV_REQ 0.41%)");
     util::TextTable cats({"state", "event", "share of events"});
-    for (const auto& c : v.top_categories) {
-        cats.add_row({c.state, c.event, util::fmt_pct(c.event_fraction, 2)});
+    for (const auto& c : report.top_categories(3)) {
+        cats.add_row({std::string(to_string(c.state)), vocab.name(c.event),
+                      util::fmt_pct(c.event_fraction, 2)});
     }
     std::fputs(cats.render().c_str(), stdout);
     return 0;

@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "metrics/fidelity.hpp"
+#include "lint/trace_lint.hpp"
 #include "util/ascii.hpp"
 
 int main(int argc, char** argv) {
@@ -24,12 +24,15 @@ int main(int argc, char** argv) {
                        "stream viol. (paper)", "stream viol. (ours)"});
     for (std::size_t d = 0; d < trace::kNumDeviceTypes; ++d) {
         const auto device = static_cast<trace::DeviceType>(d);
+        const auto lint_of = [](const trace::Dataset& ds) {
+            return lint::TraceLinter(ds.generation).lint(ds);
+        };
         // NetShare
         {
             const auto ns = bench::get_netshare(device, kHour, env);
             util::Rng rng(201 + d);
             const auto synth = ns.generator->generate(env.gen_streams, rng, device);
-            const auto v = metrics::semantic_violations(synth);
+            const auto v = lint_of(synth);
             t.add_row({bench::device_name(device), "NetShare", paper_events[0][d],
                        util::fmt_pct(v.event_fraction(), 3), paper_streams[0][d],
                        util::fmt_pct(v.stream_fraction(), 1)});
@@ -39,12 +42,12 @@ int main(int argc, char** argv) {
         // violations — the knob CPU-scale training leans on.
         {
             const auto gpt = bench::get_cptgpt(device, kHour, env);
-            const auto raw = metrics::semantic_violations(
+            const auto raw = lint_of(
                 bench::sample_cptgpt(gpt, device, kHour, env.gen_streams, 301 + d, 1.0));
             t.add_row({bench::device_name(device), "CPT-GPT", paper_events[1][d],
                        util::fmt_pct(raw.event_fraction(), 3), paper_streams[1][d],
                        util::fmt_pct(raw.stream_fraction(), 1)});
-            const auto nucleus = metrics::semantic_violations(
+            const auto nucleus = lint_of(
                 bench::sample_cptgpt(gpt, device, kHour, env.gen_streams, 351 + d, 0.99));
             t.add_row({bench::device_name(device), "CPT-GPT (top-p .99)", "-",
                        util::fmt_pct(nucleus.event_fraction(), 3), "-",

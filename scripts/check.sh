@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Correctness gate: warnings-as-errors build, clang-tidy (when installed), and
+# a sanitizer ctest matrix. Run from anywhere inside the repo:
+#
+#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan
+#   scripts/check.sh werror      # just the -Werror build + full test suite
+#   scripts/check.sh tidy        # just clang-tidy over the compile database
+#   scripts/check.sh ubsan       # UBSan build (recovery disabled) + full suite
+#   scripts/check.sh asan        # ASan build + full suite
+#   scripts/check.sh tsan        # TSan build + concurrency-labeled tests
+#
+# Each stage configures into its own build directory (build-check-<stage>) so
+# repeat runs are incremental. The script stops at the first failing stage.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+configure_and_build() { # <dir> <extra cmake flags...>
+    local dir="$1"
+    shift
+    mkdir -p "$dir"
+    cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" >"$dir/configure.log" 2>&1 ||
+        { cat "$dir/configure.log"; return 1; }
+    cmake --build "$dir" -j "$JOBS"
+}
+
+run_ctest() { # <dir> [extra ctest args...]
+    local dir="$1"
+    shift
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "$@"
+}
+
+stage_werror() {
+    echo "== stage: werror (all warnings are errors, full test suite) =="
+    configure_and_build "$ROOT/build-check-werror" -DCPT_WERROR=ON -DCPT_DEBUG_CHECKS=ON
+    run_ctest "$ROOT/build-check-werror"
+}
+
+stage_tidy() {
+    echo "== stage: clang-tidy =="
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping (stage passes vacuously)"
+        return 0
+    fi
+    local db="$ROOT/build-check-werror"
+    if [ ! -f "$db/compile_commands.json" ]; then
+        configure_and_build "$db" -DCPT_WERROR=ON -DCPT_DEBUG_CHECKS=ON
+    fi
+    # First-party translation units only; the config file scopes the checks.
+    (cd "$ROOT" && find src examples bench -name '*.cpp' -print0 |
+        xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$db" --quiet)
+}
+
+stage_ubsan() {
+    echo "== stage: ubsan (undefined behavior, recovery disabled, full suite) =="
+    configure_and_build "$ROOT/build-check-ubsan" -DCPT_SANITIZE=undefined
+    run_ctest "$ROOT/build-check-ubsan"
+}
+
+stage_asan() {
+    echo "== stage: asan (address sanitizer, full suite) =="
+    configure_and_build "$ROOT/build-check-asan" -DCPT_SANITIZE=address
+    ASAN_OPTIONS=detect_leaks=0 run_ctest "$ROOT/build-check-asan"
+}
+
+stage_tsan() {
+    echo "== stage: tsan (thread sanitizer, concurrency-labeled tests) =="
+    configure_and_build "$ROOT/build-check-tsan" -DCPT_SANITIZE=thread
+    run_ctest "$ROOT/build-check-tsan" -L concurrency
+}
+
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+    stages=(werror tidy ubsan asan tsan)
+fi
+for s in "${stages[@]}"; do
+    case "$s" in
+        werror) stage_werror ;;
+        tidy) stage_tidy ;;
+        ubsan) stage_ubsan ;;
+        asan) stage_asan ;;
+        tsan) stage_tsan ;;
+        *)
+            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan)" >&2
+            exit 2
+            ;;
+    esac
+done
+echo "== all requested stages passed =="

@@ -1,8 +1,7 @@
 #include "model.hpp"
 
-#include <stdexcept>
-
 #include "nn/serialize.hpp"
+#include "util/check.hpp"
 
 namespace cpt::core {
 
@@ -31,7 +30,8 @@ CptGpt::CptGpt(const Tokenizer& tokenizer, const CptGptConfig& config, util::Rng
 
 CptGpt::Output CptGpt::forward(const nn::Var& tokens) const {
     const auto& ts = tokens->value.shape();
-    if (ts.size() != 3) throw std::invalid_argument("CptGpt::forward: expected [B, T, d_token]");
+    CPT_CHECK_EQ(ts.size(), std::size_t{3}, " CptGpt::forward: expected [B, T, d_token], got ",
+                 nn::shape_to_string(ts));
     const std::size_t rows = ts[0] * ts[1];
 
     nn::Var h = backbone_.forward(tokens);             // [B, T, D]
@@ -84,9 +84,8 @@ void CptGpt::collect(const std::string& prefix, std::vector<nn::NamedParam>& out
 
 void CptGpt::save_package(const std::string& path, const Tokenizer& tokenizer,
                           const std::vector<double>& initial_event_dist) const {
-    if (initial_event_dist.size() != num_events_) {
-        throw std::invalid_argument("save_package: initial distribution size mismatch");
-    }
+    CPT_CHECK_EQ(initial_event_dist.size(), num_events_,
+                 " save_package: initial distribution size vs event vocabulary");
     auto params = named_parameters("cptgpt.");
     // Pack tokenizer scaling and the bootstrap distribution as extra tensors.
     std::vector<float> meta{static_cast<float>(tokenizer.min_log_interarrival()),

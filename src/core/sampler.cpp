@@ -4,8 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <numeric>
-#include <stdexcept>
 
+#include "util/check.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cpt::core {
@@ -16,21 +17,18 @@ Sampler::Sampler(const CptGpt& model, const Tokenizer& tokenizer,
       tokenizer_(&tokenizer),
       initial_event_dist_(std::move(initial_event_dist)),
       config_(config) {
-    if (initial_event_dist_.size() != tokenizer.num_event_types()) {
-        throw std::invalid_argument("Sampler: initial distribution size mismatch");
-    }
+    CPT_CHECK_EQ(initial_event_dist_.size(), tokenizer.num_event_types(),
+                 " Sampler: initial distribution size vs event vocabulary");
+    CPT_CHECK_FINITE(initial_event_dist_, "Sampler: initial distribution");
     double total = 0.0;
     for (double p : initial_event_dist_) total += p;
-    if (total <= 0.0) throw std::invalid_argument("Sampler: degenerate initial distribution");
-    if (config_.top_p <= 0.0 || config_.top_p > 1.0) {
-        throw std::invalid_argument("Sampler: top_p must be in (0, 1]");
-    }
+    CPT_CHECK_GT(total, 0.0, " Sampler: degenerate initial distribution");
+    CPT_CHECK(config_.top_p > 0.0 && config_.top_p <= 1.0, "Sampler: top_p must be in (0, 1], got ",
+              config_.top_p);
     if (config_.batch == 0) config_.batch = 1;
     config_.max_stream_len = std::min(config_.max_stream_len, model.config().max_seq_len);
-    if (config_.max_stream_len < 2) {
-        throw std::invalid_argument(
-            "Sampler: max_stream_len must be >= 2 (after clamping to max_seq_len)");
-    }
+    CPT_CHECK_GE(config_.max_stream_len, std::size_t{2},
+                 " Sampler: max_stream_len must be >= 2 (after clamping to max_seq_len)");
 }
 
 namespace {
@@ -204,10 +202,9 @@ trace::Dataset Sampler::generate(std::size_t n, util::Rng& rng,
             // Degenerate model: nearly all draws are shorter than 2 events.
             // Give up with a diagnostic instead of looping forever (documented
             // in sampler.hpp).
-            std::fprintf(stderr,
-                         "[cpt] warning: Sampler::generate gave up after %zu draws with only "
-                         "%zu/%zu usable streams (model emits stop immediately?)\n",
-                         serial, ds.streams.size(), n);
+            util::warnf("Sampler::generate gave up after %zu draws with only "
+                        "%zu/%zu usable streams (model emits stop immediately?)",
+                        serial, ds.streams.size(), n);
             break;
         }
     }

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace cpt::core {
 
@@ -13,7 +14,7 @@ Tokenizer::Tokenizer(cellular::Generation generation, double min_log_ia, double 
       max_log_ia_(std::max(max_log_ia, min_log_ia + 1e-9)) {}
 
 Tokenizer Tokenizer::fit(const trace::Dataset& ds) {
-    if (ds.streams.empty()) throw std::invalid_argument("Tokenizer::fit: empty dataset");
+    CPT_CHECK(!ds.streams.empty(), "Tokenizer::fit: empty dataset");
     double lo = 0.0;  // first-token interarrival is defined 0 -> log(1) = 0
     double hi = 0.0;
     for (const auto& s : ds.streams) {
@@ -40,10 +41,9 @@ double Tokenizer::unscale_interarrival(double scaled) const {
 
 void Tokenizer::encode_token(cellular::EventId event, double interarrival_seconds, bool stop,
                              std::span<float> dst) const {
-    if (dst.size() != d_token()) {
-        throw std::invalid_argument("Tokenizer::encode_token: bad destination size");
-    }
-    if (event >= num_events_) throw std::invalid_argument("Tokenizer::encode_token: bad event id");
+    CPT_CHECK_EQ(dst.size(), d_token(), " Tokenizer::encode_token: destination vs d_token");
+    CPT_CHECK_LT(std::size_t{event}, num_events_,
+                 " Tokenizer::encode_token: event id outside vocabulary");
     std::fill(dst.begin(), dst.end(), 0.0f);
     dst[event_offset() + event] = 1.0f;
     dst[interarrival_offset()] = scale_interarrival(interarrival_seconds);

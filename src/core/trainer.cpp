@@ -6,7 +6,10 @@
 #include <cstdio>
 #include <limits>
 
+#include "nn/graph_lint.hpp"
 #include "nn/optim.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace cpt::core {
 
@@ -111,10 +114,9 @@ Trainer::Trainer(CptGpt& model, const Tokenizer& tokenizer, TrainConfig config)
     if (config_.window > model.config().max_seq_len) {
         config_.window = model.config().max_seq_len;
     }
-    if (config_.max_stream_len < 2) {
-        throw std::invalid_argument(
-            "Trainer: max_stream_len must be >= 2 (a stream needs a context token and a target)");
-    }
+    CPT_CHECK_GE(config_.max_stream_len, std::size_t{2},
+                 " Trainer: max_stream_len must be >= 2 (a stream needs a context token and a "
+                 "target)");
 }
 
 TrainResult Trainer::train(const trace::Dataset& data) {
@@ -122,7 +124,7 @@ TrainResult Trainer::train(const trace::Dataset& data) {
     util::Rng rng(config_.seed);
 
     auto streams = encode_streams(data, *tokenizer_, config_.max_stream_len);
-    if (streams.empty()) throw std::invalid_argument("Trainer::train: no trainable streams");
+    CPT_CHECK(!streams.empty(), "Trainer::train: no trainable streams");
 
     // Deterministic train/val split at stream granularity.
     std::vector<std::size_t> order(streams.size());
@@ -154,6 +156,11 @@ TrainResult Trainer::train(const trace::Dataset& data) {
         double stop_ce = 0.0;
     };
 
+    // In debug-check builds, lint the very first tape once: a structural
+    // problem (detached param, dead gradient path) is a property of the model
+    // wiring, not of any particular batch.
+    bool graph_linted = !util::kDebugChecksEnabled;
+
     auto batch_loss = [&](const Batch& batch, bool backprop) -> LossParts {
         nn::Var tokens = nn::make_var(batch.tokens);
         const auto out = model_->forward(tokens);
@@ -166,8 +173,14 @@ TrainResult Trainer::train(const trace::Dataset& data) {
         nn::Var loss = nn::add(nn::scale(event_ce, config_.w_event),
                                nn::add(nn::scale(ia_loss, config_.w_interarrival),
                                        nn::scale(stop_ce, config_.w_stop)));
+        if (!graph_linted) {
+            graph_linted = true;
+            const auto lint = nn::lint_graph(loss, params);
+            if (!lint.clean()) util::warn(lint.summary());
+        }
         LossParts parts{loss->value[0], event_ce->value[0], ia_loss->value[0],
                         stop_ce->value[0]};
+        CPT_CHECK_FINITE(parts.total, "Trainer: batch loss");
         if (backprop) {
             opt.zero_grad();
             nn::backward(loss);

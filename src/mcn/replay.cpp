@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <stdexcept>
 #include <thread>
+
+#include "util/check.hpp"
 
 namespace cpt::mcn {
 
@@ -35,7 +36,7 @@ void TraceReplayer::replay_messages(const MessageConsumer& consumer,
 }
 
 double TraceReplayer::replay_paced(const EventConsumer& consumer, double time_scale) const {
-    if (time_scale <= 0.0) throw std::invalid_argument("replay_paced: time_scale must be > 0");
+    CPT_CHECK_GT(time_scale, 0.0, " replay_paced: time_scale must be > 0");
     const auto start = std::chrono::steady_clock::now();
     const double t0 = timeline_.empty() ? 0.0 : timeline_.front().timestamp;
     for (const auto& ev : timeline_) {

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <queue>
 #include <sstream>
-#include <stdexcept>
 
 #include "cellular/messages.hpp"
 #include "cellular/state_machine.hpp"
 #include "util/ascii.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -81,7 +81,7 @@ std::size_t peak_concurrency(std::vector<std::pair<double, int>> deltas) {
 }  // namespace
 
 McnReport simulate(const trace::Dataset& ds, const McnConfig& config) {
-    if (config.workers == 0) throw std::invalid_argument("simulate: workers must be > 0");
+    CPT_CHECK_GT(config.workers, std::size_t{0}, " simulate: workers must be > 0");
     McnReport report;
 
     // ---- Collect the interleaved arrival sequence. ----

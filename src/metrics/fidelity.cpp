@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "lint/trace_lint.hpp"
 #include "util/ascii.hpp"
 
 namespace cpt::metrics {
@@ -12,44 +13,19 @@ using cellular::StateMachine;
 using cellular::StateMachineReplayer;
 
 ViolationStats semantic_violations(const trace::Dataset& ds, std::size_t top_k) {
-    const auto& machine = StateMachine::for_generation(ds.generation);
-    const StateMachineReplayer replayer(machine);
+    // The trace linter owns violation accounting; this wrapper only re-labels
+    // its category ids with names for the report structs.
+    const auto report = lint::TraceLinter(ds.generation).lint(ds);
     const auto& vocab = cellular::vocabulary(ds.generation);
 
     ViolationStats stats;
-    stats.total_streams = ds.streams.size();
-    std::vector<std::size_t> by_state_event(
-        static_cast<std::size_t>(cellular::SubState::kNumSubStates) * machine.num_events(), 0);
-
-    std::vector<std::span<const cellular::ControlEvent>> streams;
-    streams.reserve(ds.streams.size());
-    for (const auto& s : ds.streams) streams.emplace_back(s.events);
-    for (const auto& r : replayer.replay_all(streams)) {
-        stats.counted_events += r.counted_events;
-        stats.violating_events += r.violations;
-        if (r.has_violation()) ++stats.violating_streams;
-        for (std::size_t i = 0; i < by_state_event.size(); ++i) {
-            by_state_event[i] += r.violation_by_state_event[i];
-        }
-    }
-
-    // Top-k (state, event) categories by violating-event count.
-    std::vector<std::size_t> order(by_state_event.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return by_state_event[a] > by_state_event[b];
-    });
-    for (std::size_t rank = 0; rank < top_k && rank < order.size(); ++rank) {
-        const std::size_t key = order[rank];
-        if (by_state_event[key] == 0) break;
-        ViolationCategory cat;
-        cat.state = std::string(
-            to_string(static_cast<cellular::SubState>(key / machine.num_events())));
-        cat.event = vocab.name(static_cast<cellular::EventId>(key % machine.num_events()));
-        cat.event_fraction = stats.counted_events
-                                 ? static_cast<double>(by_state_event[key]) / stats.counted_events
-                                 : 0.0;
-        stats.top_categories.push_back(std::move(cat));
+    stats.total_streams = report.total_streams;
+    stats.counted_events = report.counted_events;
+    stats.violating_events = report.violating_events;
+    stats.violating_streams = report.violating_streams;
+    for (const auto& cat : report.top_categories(top_k)) {
+        stats.top_categories.push_back(
+            {std::string(to_string(cat.state)), vocab.name(cat.event), cat.event_fraction});
     }
     return stats;
 }

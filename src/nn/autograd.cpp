@@ -3,27 +3,23 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
 #include <unordered_set>
 
 #include "gemm.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cpt::nn {
 
 namespace {
 
-[[noreturn]] void shape_error(const char* op, const Tensor& a) {
-    throw std::invalid_argument(std::string(op) + ": bad shape " + shape_to_string(a.shape()));
-}
+// Shorthand for shape diagnostics in the CPT_CHECK messages below.
+std::string sstr(const Tensor& t) { return shape_to_string(t.shape()); }
 
-[[noreturn]] void shape_error2(const char* op, const Tensor& a, const Tensor& b) {
-    throw std::invalid_argument(std::string(op) + ": shape mismatch " + shape_to_string(a.shape()) +
-                                " vs " + shape_to_string(b.shape()));
-}
-
-// Creates the output node for an op.
+// Creates the output node for an op. Chokepoint for every differentiable op's
+// forward result, so the debug-build NaN/Inf guard lives here.
 Var make_node(Tensor value, std::vector<Var> parents) {
+    CPT_DCHECK_FINITE(value.data(), "autograd op output");
     auto node = std::make_shared<Node>();
     node->value = std::move(value);
     node->requires_grad = false;
@@ -73,6 +69,7 @@ Var make_var(Tensor value) {
 }
 
 Var make_param(Tensor value) {
+    CPT_DCHECK_FINITE(value.data(), "make_param: initial value");
     auto node = std::make_shared<Node>();
     node->value = std::move(value);
     node->requires_grad = true;
@@ -80,11 +77,9 @@ Var make_param(Tensor value) {
 }
 
 void backward(const Var& root) {
-    if (!root) throw std::invalid_argument("backward: null root");
-    if (root->value.numel() != 1) {
-        throw std::invalid_argument("backward: root must be scalar, got " +
-                                    shape_to_string(root->value.shape()));
-    }
+    CPT_CHECK(root != nullptr, "backward: null root");
+    CPT_CHECK_EQ(root->value.numel(), std::size_t{1}, " backward: root must be scalar, got ",
+                 sstr(root->value));
     // Iterative post-order DFS to build a topological order.
     std::vector<Node*> topo;
     std::unordered_set<Node*> visited;
@@ -111,7 +106,13 @@ void backward(const Var& root) {
     root->ensure_grad().fill(1.0f);
     for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
         Node* n = *it;
-        if (n->backward_fn && n->grad.numel() == n->value.numel()) n->backward_fn();
+        if (n->backward_fn && n->grad.numel() == n->value.numel()) {
+            // Guard the incoming gradient before scattering it: a NaN caught
+            // here names the op whose backward produced it rather than
+            // surfacing later as a corrupted weight.
+            CPT_DCHECK_FINITE(n->grad.data(), "backward: incoming gradient");
+            n->backward_fn();
+        }
     }
 }
 
@@ -124,7 +125,8 @@ void zero_grad(std::span<const Var> params) {
 // ---- Elementwise binary ops ---------------------------------------------------
 
 Var add(const Var& a, const Var& b) {
-    if (!a->value.same_shape(b->value)) shape_error2("add", a->value, b->value);
+    CPT_CHECK(a->value.same_shape(b->value), "add: shape mismatch ", sstr(a->value), " vs ",
+              sstr(b->value));
     Tensor out = a->value.clone();
     out.add_(b->value);
     Var node = make_node(std::move(out), {a, b});
@@ -138,7 +140,8 @@ Var add(const Var& a, const Var& b) {
 }
 
 Var sub(const Var& a, const Var& b) {
-    if (!a->value.same_shape(b->value)) shape_error2("sub", a->value, b->value);
+    CPT_CHECK(a->value.same_shape(b->value), "sub: shape mismatch ", sstr(a->value), " vs ",
+              sstr(b->value));
     Tensor out = a->value.clone();
     {
         auto dst = out.data();
@@ -160,7 +163,8 @@ Var sub(const Var& a, const Var& b) {
 }
 
 Var mul(const Var& a, const Var& b) {
-    if (!a->value.same_shape(b->value)) shape_error2("mul", a->value, b->value);
+    CPT_CHECK(a->value.same_shape(b->value), "mul: shape mismatch ", sstr(a->value), " vs ",
+              sstr(b->value));
     Tensor out(a->value.shape());
     {
         auto dst = out.data();
@@ -217,9 +221,8 @@ Var neg(const Var& a) { return scale(a, -1.0f); }
 
 Var add_bias(const Var& x, const Var& bias) {
     const auto& xs = x->value.shape();
-    if (xs.empty() || bias->value.rank() != 1 || bias->value.dim(0) != xs.back()) {
-        shape_error2("add_bias", x->value, bias->value);
-    }
+    CPT_CHECK(!xs.empty() && bias->value.rank() == 1 && bias->value.dim(0) == xs.back(),
+              "add_bias: x ", sstr(x->value), " incompatible with bias ", sstr(bias->value));
     const std::size_t d = xs.back();
     const std::size_t rows = x->value.numel() / d;
     Tensor out = x->value.clone();
@@ -256,13 +259,16 @@ Var add_bias(const Var& x, const Var& bias) {
 Var matmul(const Var& a, const Var& b) {
     const auto& as = a->value.shape();
     const auto& bs = b->value.shape();
-    if (as.size() < 2 || bs.size() != as.size()) shape_error2("matmul", a->value, b->value);
+    CPT_CHECK(as.size() >= 2 && bs.size() == as.size(), "matmul: shape mismatch ", sstr(a->value),
+              " vs ", sstr(b->value));
     for (std::size_t i = 0; i + 2 < as.size(); ++i) {
-        if (as[i] != bs[i]) shape_error2("matmul", a->value, b->value);
+        CPT_CHECK_EQ(as[i], bs[i], " matmul: batch dim ", i, " differs: ", sstr(a->value), " vs ",
+                     sstr(b->value));
     }
     const std::size_t m_dim = as[as.size() - 2];
     const std::size_t k_dim = as[as.size() - 1];
-    if (bs[bs.size() - 2] != k_dim) shape_error2("matmul", a->value, b->value);
+    CPT_CHECK_EQ(bs[bs.size() - 2], k_dim, " matmul: inner dims differ: ", sstr(a->value), " vs ",
+                 sstr(b->value));
     const std::size_t n_dim = bs[bs.size() - 1];
     std::size_t batch = 1;
     for (std::size_t i = 0; i + 2 < as.size(); ++i) batch *= as[i];
@@ -312,7 +318,7 @@ void transpose_copy(const float* src, float* dst, std::size_t batch, std::size_t
 
 Var transpose_last2(const Var& a) {
     const auto& as = a->value.shape();
-    if (as.size() < 2) shape_error("transpose_last2", a->value);
+    CPT_CHECK_GE(as.size(), std::size_t{2}, " transpose_last2: bad shape ", sstr(a->value));
     const std::size_t rows = as[as.size() - 2];
     const std::size_t cols = as[as.size() - 1];
     std::size_t batch = 1;
@@ -374,7 +380,7 @@ void softmax_backward_row(const float* y, const float* g, float* dx, std::size_t
 
 Var softmax_lastdim(const Var& a) {
     const auto& as = a->value.shape();
-    if (as.empty()) shape_error("softmax_lastdim", a->value);
+    CPT_CHECK(!as.empty(), "softmax_lastdim: bad shape ", sstr(a->value));
     const std::size_t d = as.back();
     const std::size_t rows = a->value.numel() / d;
     Tensor out(as);
@@ -408,9 +414,8 @@ Var softmax_lastdim(const Var& a) {
 
 Var softmax_causal(const Var& scores) {
     const auto& ss = scores->value.shape();
-    if (ss.size() < 2 || ss[ss.size() - 1] != ss[ss.size() - 2]) {
-        shape_error("softmax_causal", scores->value);
-    }
+    CPT_CHECK(ss.size() >= 2 && ss[ss.size() - 1] == ss[ss.size() - 2],
+              "softmax_causal: scores must be [..., T, T], got ", sstr(scores->value));
     const std::size_t t = ss.back();
     const std::size_t mats = scores->value.numel() / (t * t);
     Tensor out(ss);
@@ -451,11 +456,11 @@ Var softmax_causal(const Var& scores) {
 
 Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
     const auto& xs = x->value.shape();
-    if (xs.empty()) shape_error("layer_norm", x->value);
+    CPT_CHECK(!xs.empty(), "layer_norm: bad shape ", sstr(x->value));
     const std::size_t d = xs.back();
-    if (gain->value.numel() != d || bias->value.numel() != d) {
-        shape_error2("layer_norm(gain/bias)", gain->value, bias->value);
-    }
+    CPT_CHECK(gain->value.numel() == d && bias->value.numel() == d,
+              "layer_norm: gain ", sstr(gain->value), " / bias ", sstr(bias->value),
+              " must both have ", d, " elements");
     const std::size_t rows = x->value.numel() / d;
     Tensor out(xs);
     // Cache per-row mean and inverse stddev for backward.
@@ -637,7 +642,8 @@ Var log_op(const Var& a, float eps) {
 
 Var slice_lastdim(const Var& x, std::size_t start, std::size_t len) {
     const auto& xs = x->value.shape();
-    if (xs.empty() || start + len > xs.back()) shape_error("slice_lastdim", x->value);
+    CPT_CHECK(!xs.empty() && start + len <= xs.back(), "slice_lastdim: [", start, ", ", start + len,
+              ") out of range for ", sstr(x->value));
     const std::size_t d = xs.back();
     const std::size_t rows = x->value.numel() / d;
     Shape out_shape = xs;
@@ -664,16 +670,15 @@ Var slice_lastdim(const Var& x, std::size_t start, std::size_t len) {
 }
 
 Var concat_lastdim(const std::vector<Var>& xs) {
-    if (xs.empty()) throw std::invalid_argument("concat_lastdim: empty input list");
+    CPT_CHECK(!xs.empty(), "concat_lastdim: empty input list");
     const auto& first = xs[0]->value.shape();
-    if (first.empty()) shape_error("concat_lastdim", xs[0]->value);
+    CPT_CHECK(!first.empty(), "concat_lastdim: bad shape ", sstr(xs[0]->value));
     std::size_t total_d = 0;
     const std::size_t rows = xs[0]->value.numel() / first.back();
     for (const auto& x : xs) {
         const auto& s = x->value.shape();
-        if (s.size() != first.size() || x->value.numel() / s.back() != rows) {
-            shape_error2("concat_lastdim", xs[0]->value, x->value);
-        }
+        CPT_CHECK(s.size() == first.size() && x->value.numel() / s.back() == rows,
+                  "concat_lastdim: shape mismatch ", sstr(xs[0]->value), " vs ", sstr(x->value));
         total_d += s.back();
     }
     Shape out_shape = first;
@@ -714,9 +719,8 @@ Var concat_lastdim(const std::vector<Var>& xs) {
 Var add_position(const Var& x, const Var& pos) {
     const auto& xs = x->value.shape();
     const auto& ps = pos->value.shape();
-    if (xs.size() != 3 || ps.size() != 2 || xs[1] > ps[0] || xs[2] != ps[1]) {
-        shape_error2("add_position", x->value, pos->value);
-    }
+    CPT_CHECK(xs.size() == 3 && ps.size() == 2 && xs[1] <= ps[0] && xs[2] == ps[1],
+              "add_position: x ", sstr(x->value), " incompatible with pos ", sstr(pos->value));
     const std::size_t b = xs[0];
     const std::size_t t = xs[1];
     const std::size_t d = xs[2];
@@ -772,7 +776,8 @@ void permute_0213(const float* src, float* dst, std::size_t b, std::size_t d1, s
 
 Var split_heads(const Var& x, std::size_t heads) {
     const auto& xs = x->value.shape();
-    if (xs.size() != 3 || heads == 0 || xs[2] % heads != 0) shape_error("split_heads", x->value);
+    CPT_CHECK(xs.size() == 3 && heads > 0 && xs[2] % heads == 0, "split_heads: ", sstr(x->value),
+              " not divisible into ", heads, " heads");
     const std::size_t b = xs[0];
     const std::size_t t = xs[1];
     const std::size_t dh = xs[2] / heads;
@@ -792,7 +797,7 @@ Var split_heads(const Var& x, std::size_t heads) {
 
 Var merge_heads(const Var& x) {
     const auto& xs = x->value.shape();
-    if (xs.size() != 4) shape_error("merge_heads", x->value);
+    CPT_CHECK_EQ(xs.size(), std::size_t{4}, " merge_heads: bad shape ", sstr(x->value));
     const std::size_t b = xs[0];
     const std::size_t h = xs[1];
     const std::size_t t = xs[2];
@@ -835,7 +840,8 @@ Var mean_all(const Var& a) {
 
 Var cross_entropy(const Var& logits, const std::vector<int>& targets) {
     const auto& ls = logits->value.shape();
-    if (ls.size() != 2 || ls[0] != targets.size()) shape_error("cross_entropy", logits->value);
+    CPT_CHECK(ls.size() == 2 && ls[0] == targets.size(), "cross_entropy: logits ",
+              sstr(logits->value), " vs ", targets.size(), " targets");
     const std::size_t n = ls[0];
     const std::size_t c = ls[1];
     auto probs = std::make_shared<Tensor>(Shape{n, c});
@@ -855,9 +861,9 @@ Var cross_entropy(const Var& logits, const std::vector<int>& targets) {
         for (std::size_t r = 0; r < n; ++r) {
             const int tgt = targets[r];
             if (tgt == kIgnoreIndex) continue;
-            if (tgt < 0 || static_cast<std::size_t>(tgt) >= c) {
-                throw std::invalid_argument("cross_entropy: target out of range");
-            }
+            CPT_CHECK(tgt >= 0 && static_cast<std::size_t>(tgt) < c,
+                      "cross_entropy: target ", tgt, " out of range for ", c, " classes at row ",
+                      r);
             ++active;
             loss -= std::log(std::max(p[r * c + static_cast<std::size_t>(tgt)], 1e-12f));
         }
@@ -888,9 +894,9 @@ Var cross_entropy(const Var& logits, const std::vector<int>& targets) {
 Var gaussian_nll(const Var& mu, const Var& logvar, const Tensor& target,
                  const std::vector<float>& mask) {
     const std::size_t n = target.numel();
-    if (mu->value.numel() != n || logvar->value.numel() != n || mask.size() != n) {
-        shape_error2("gaussian_nll", mu->value, logvar->value);
-    }
+    CPT_CHECK(mu->value.numel() == n && logvar->value.numel() == n && mask.size() == n,
+              "gaussian_nll: mu ", sstr(mu->value), " / logvar ", sstr(logvar->value),
+              " / mask ", mask.size(), " must all have ", n, " elements");
     float active = 0.0f;
     for (float m : mask) active += (m != 0.0f) ? 1.0f : 0.0f;
     const float denom = active > 0.0f ? active : 1.0f;
@@ -929,7 +935,8 @@ Var gaussian_nll(const Var& mu, const Var& logvar, const Tensor& target,
 
 Var mse_masked(const Var& pred, const Tensor& target, const std::vector<float>& mask) {
     const std::size_t n = target.numel();
-    if (pred->value.numel() != n || mask.size() != n) shape_error("mse_masked", pred->value);
+    CPT_CHECK(pred->value.numel() == n && mask.size() == n, "mse_masked: pred ",
+              sstr(pred->value), " / mask ", mask.size(), " must have ", n, " elements");
     float active = 0.0f;
     for (float m : mask) active += (m != 0.0f) ? 1.0f : 0.0f;
     const float denom = active > 0.0f ? active : 1.0f;
@@ -962,7 +969,7 @@ Var mse_masked(const Var& pred, const Tensor& target, const std::vector<float>& 
 
 Var bce_with_logits(const Var& logits, const std::vector<float>& targets) {
     const std::size_t n = logits->value.numel();
-    if (targets.size() != n) shape_error("bce_with_logits", logits->value);
+    CPT_CHECK_EQ(targets.size(), n, " bce_with_logits: targets vs logits ", sstr(logits->value));
     double loss = 0.0;
     {
         const float* in = logits->value.data().data();

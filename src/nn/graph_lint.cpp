@@ -1,0 +1,114 @@
+#include "graph_lint.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace cpt::nn {
+
+std::string_view to_string(GraphLintKind kind) {
+    switch (kind) {
+        case GraphLintKind::kUnreachableParam: return "unreachable-param";
+        case GraphLintKind::kUnconsumedGradient: return "unconsumed-gradient";
+        case GraphLintKind::kStaleInteriorGradient: return "stale-interior-gradient";
+        case GraphLintKind::kGradShapeMismatch: return "grad-shape-mismatch";
+    }
+    return "?";
+}
+
+std::size_t GraphLintReport::count(GraphLintKind kind) const {
+    std::size_t n = 0;
+    for (const auto& f : findings) {
+        if (f.kind == kind) ++n;
+    }
+    return n;
+}
+
+std::string GraphLintReport::summary() const {
+    if (findings.empty()) return {};
+    std::ostringstream out;
+    out << "graph lint: " << findings.size() << " finding(s) over " << nodes_visited
+        << " node(s), " << params_reachable << " reachable param(s)";
+    for (const auto& f : findings) {
+        out << "\n  [" << to_string(f.kind) << "] " << f.detail;
+    }
+    return out.str();
+}
+
+namespace {
+
+// Iterative DFS over all parent edges. `grad_path` restricts the walk to the
+// requires_grad edges backward() actually follows.
+void collect(Node* root, bool grad_path, std::unordered_set<Node*>& visited) {
+    std::vector<Node*> stack{root};
+    visited.insert(root);
+    while (!stack.empty()) {
+        Node* n = stack.back();
+        stack.pop_back();
+        for (const auto& p : n->parents) {
+            if (!p) continue;
+            if (grad_path && !p->requires_grad) continue;
+            if (visited.insert(p.get()).second) stack.push_back(p.get());
+        }
+    }
+}
+
+}  // namespace
+
+GraphLintReport lint_graph(const Var& root, std::span<const Var> params) {
+    CPT_CHECK(root != nullptr, "lint_graph: null root");
+    GraphLintReport report;
+
+    std::unordered_set<Node*> all;
+    collect(root.get(), /*grad_path=*/false, all);
+    report.nodes_visited = all.size();
+
+    // Mirror backward()'s pruned traversal: only these nodes ever see a
+    // gradient. Leaves outside this set are what kUnreachableParam reports.
+    std::unordered_set<Node*> grad_reach;
+    if (root->requires_grad || !root->parents.empty()) {
+        collect(root.get(), /*grad_path=*/true, grad_reach);
+    }
+
+    for (Node* n : all) {
+        const bool interior = !n->parents.empty();
+        if (interior && n->requires_grad && !n->backward_fn) {
+            report.findings.push_back(
+                {GraphLintKind::kUnconsumedGradient,
+                 "interior node " + shape_to_string(n->value.shape()) +
+                     " requires a gradient but has no backward closure; gradient flow "
+                     "dead-ends here"});
+        }
+        if (n->grad.numel() != 0 && n->grad.numel() != n->value.numel()) {
+            report.findings.push_back(
+                {GraphLintKind::kGradShapeMismatch,
+                 "node value " + shape_to_string(n->value.shape()) + " has gradient storage " +
+                     shape_to_string(n->grad.shape())});
+        }
+        if (interior && n->requires_grad && n->grad.numel() == n->value.numel() &&
+            n->grad.numel() != 0) {
+            report.findings.push_back(
+                {GraphLintKind::kStaleInteriorGradient,
+                 "interior node " + shape_to_string(n->value.shape()) +
+                     " carries gradient storage from a previous backward(); re-running this "
+                     "graph accumulates into it twice"});
+        }
+    }
+
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const Var& p = params[i];
+        if (!p) continue;
+        if (grad_reach.contains(p.get())) {
+            ++report.params_reachable;
+        } else {
+            report.findings.push_back(
+                {GraphLintKind::kUnreachableParam,
+                 "param #" + std::to_string(i) + " " + shape_to_string(p->value.shape()) +
+                     " is not reachable from the loss; the optimizer will never update it"});
+        }
+    }
+    return report;
+}
+
+}  // namespace cpt::nn

@@ -1,0 +1,61 @@
+// Static analysis over a constructed autograd tape.
+//
+// lint_graph() walks the graph hanging off a loss root and reports structural
+// problems that silently corrupt training rather than crashing it: parameters
+// that can never receive a gradient, interior nodes whose gradient dead-ends,
+// stale gradient buffers left over from a previous backward() on a reused
+// subgraph, and gradient storage whose shape disagrees with its value.
+//
+// The pass is read-only and cheap (one DFS over the tape), so callers can run
+// it on every freshly built graph; the Trainer runs it automatically on the
+// first batch of each train() call in debug-check builds.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "autograd.hpp"
+
+namespace cpt::nn {
+
+enum class GraphLintKind {
+    // A parameter from the supplied list is never reached by backward(): the
+    // optimizer will keep stepping it with a zero (or stale) gradient.
+    kUnreachableParam,
+    // An interior node requires a gradient but has no backward closure, so
+    // gradient flow stops there and everything beneath it starves.
+    kUnconsumedGradient,
+    // An interior node already owns gradient storage before backward() ran.
+    // backward() accumulates into existing buffers, so re-running a graph that
+    // shares live interior nodes double-counts their contribution.
+    kStaleInteriorGradient,
+    // Allocated gradient storage whose element count disagrees with the
+    // node's value; backward() would skip or mis-scatter it.
+    kGradShapeMismatch,
+};
+
+std::string_view to_string(GraphLintKind kind);
+
+struct GraphLintFinding {
+    GraphLintKind kind;
+    std::string detail;  // human-readable, includes shapes/indices
+};
+
+struct GraphLintReport {
+    std::vector<GraphLintFinding> findings;
+    std::size_t nodes_visited = 0;    // every node reachable from the root
+    std::size_t params_reachable = 0; // supplied params backward() will update
+
+    bool clean() const { return findings.empty(); }
+    std::size_t count(GraphLintKind kind) const;
+    // Multi-line description suitable for a warning log; empty when clean.
+    std::string summary() const;
+};
+
+// Inspects the tape rooted at `root` against the parameter list the optimizer
+// will step. `root` is typically a scalar loss, but any node works.
+GraphLintReport lint_graph(const Var& root, std::span<const Var> params);
+
+}  // namespace cpt::nn

@@ -1,10 +1,10 @@
 #include "infer.hpp"
 
 #include <cmath>
-#include <stdexcept>
 #include <vector>
 
 #include "gemm.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cpt::nn {
@@ -70,7 +70,7 @@ void add_rows(Tensor& dst, const Tensor& src) { dst.add_(src); }
 TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t batch)
     : model_(&model), batch_(batch) {
     const auto& cfg = model.config();
-    if (batch == 0) throw std::invalid_argument("TransformerDecoder: batch must be > 0");
+    CPT_CHECK_GT(batch, std::size_t{0}, " TransformerDecoder: batch must be > 0");
     caches_.resize(cfg.blocks);
     const std::size_t dh = cfg.d_model / cfg.heads;
     for (auto& c : caches_) {
@@ -81,13 +81,10 @@ TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t bat
 
 Tensor TransformerDecoder::step(const Tensor& x) {
     const auto& cfg = model_->config();
-    if (x.rank() != 2 || x.dim(0) != batch_ || x.dim(1) != cfg.d_token) {
-        throw std::invalid_argument("TransformerDecoder::step: expected [B, d_token], got " +
-                                    shape_to_string(x.shape()));
-    }
-    if (len_ >= cfg.max_seq_len) {
-        throw std::logic_error("TransformerDecoder::step: context full");
-    }
+    CPT_CHECK(x.rank() == 2 && x.dim(0) == batch_ && x.dim(1) == cfg.d_token,
+              "TransformerDecoder::step: expected [", batch_, ", ", cfg.d_token, "], got ",
+              shape_to_string(x.shape()));
+    CPT_CHECK_LT(len_, cfg.max_seq_len, " TransformerDecoder::step: context full");
     const std::size_t d = cfg.d_model;
     const std::size_t h = cfg.heads;
     const std::size_t dh = d / h;
@@ -212,12 +209,11 @@ Tensor TransformerDecoder::step(const Tensor& x) {
 
 void TransformerDecoder::compact(const std::vector<std::size_t>& keep_rows) {
     for (std::size_t i = 1; i < keep_rows.size(); ++i) {
-        if (keep_rows[i] <= keep_rows[i - 1]) {
-            throw std::invalid_argument("TransformerDecoder::compact: rows must be ascending");
-        }
+        CPT_CHECK_LT(keep_rows[i - 1], keep_rows[i],
+                     " TransformerDecoder::compact: rows must be ascending");
     }
-    if (!keep_rows.empty() && keep_rows.back() >= batch_) {
-        throw std::invalid_argument("TransformerDecoder::compact: row out of range");
+    if (!keep_rows.empty()) {
+        CPT_CHECK_LT(keep_rows.back(), batch_, " TransformerDecoder::compact: row out of range");
     }
     const std::size_t new_batch = keep_rows.size();
     const auto& cfg = model_->config();

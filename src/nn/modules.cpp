@@ -1,7 +1,8 @@
 #include "modules.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace cpt::nn {
 
@@ -33,10 +34,8 @@ Linear::Linear(std::size_t in, std::size_t out, util::Rng& rng, float init_std)
 
 Var Linear::forward(const Var& x) const {
     const auto& xs = x->value.shape();
-    if (xs.empty() || xs.back() != in_) {
-        throw std::invalid_argument("Linear::forward: expected last dim " + std::to_string(in_) +
-                                    ", got " + shape_to_string(xs));
-    }
+    CPT_CHECK(!xs.empty() && xs.back() == in_, "Linear::forward: expected last dim ", in_,
+              ", got ", shape_to_string(xs));
     const std::size_t rows = x->value.numel() / in_;
     Var flat = reshape(x, {rows, in_});
     Var y = matmul(flat, transpose_last2(weight_));
@@ -85,17 +84,14 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t d_model, std::size_t 
       wk_(d_model, d_model, rng),
       wv_(d_model, d_model, rng),
       wo_(d_model, d_model, rng) {
-    if (heads == 0 || d_model % heads != 0) {
-        throw std::invalid_argument("MultiHeadSelfAttention: d_model must divide by heads");
-    }
+    CPT_CHECK(heads > 0 && d_model % heads == 0,
+              "MultiHeadSelfAttention: d_model ", d_model, " must divide by heads ", heads);
 }
 
 Var MultiHeadSelfAttention::forward(const Var& x) const {
     const auto& xs = x->value.shape();
-    if (xs.size() != 3 || xs[2] != d_model_) {
-        throw std::invalid_argument("MultiHeadSelfAttention::forward: bad input " +
-                                    shape_to_string(xs));
-    }
+    CPT_CHECK(xs.size() == 3 && xs[2] == d_model_,
+              "MultiHeadSelfAttention::forward: bad input ", shape_to_string(xs));
     const std::size_t dh = d_model_ / heads_;
     Var q = split_heads(wq_.forward(x), heads_);
     Var k = split_heads(wk_.forward(x), heads_);
@@ -146,13 +142,9 @@ Transformer::Transformer(const TransformerConfig& config, util::Rng& rng)
 
 Var Transformer::forward(const Var& tokens) const {
     const auto& ts = tokens->value.shape();
-    if (ts.size() != 3 || ts[2] != config_.d_token) {
-        throw std::invalid_argument("Transformer::forward: expected [B, T, d_token], got " +
-                                    shape_to_string(ts));
-    }
-    if (ts[1] > config_.max_seq_len) {
-        throw std::invalid_argument("Transformer::forward: sequence longer than max_seq_len");
-    }
+    CPT_CHECK(ts.size() == 3 && ts[2] == config_.d_token,
+              "Transformer::forward: expected [B, T, d_token], got ", shape_to_string(ts));
+    CPT_CHECK_LE(ts[1], config_.max_seq_len, " Transformer::forward: sequence too long");
     Var x = add_position(input_proj_.forward(tokens), positions_);
     for (const auto& block : blocks_) x = block->forward(x);
     return final_ln_.forward(x);
@@ -181,9 +173,8 @@ LstmCell::State LstmCell::zero_state(std::size_t batch) const {
 
 LstmCell::State LstmCell::step(const Var& x, const State& state) const {
     const auto& xs = x->value.shape();
-    if (xs.size() != 2 || xs[1] != in_) {
-        throw std::invalid_argument("LstmCell::step: bad input shape " + shape_to_string(xs));
-    }
+    CPT_CHECK(xs.size() == 2 && xs[1] == in_, "LstmCell::step: bad input shape ",
+              shape_to_string(xs));
     Var xh = concat_lastdim({x, state.h});
     Var g = gates_.forward(xh);  // [B, 4H]
     Var i = sigmoid(slice_lastdim(g, 0, hidden_));
@@ -200,7 +191,7 @@ void LstmCell::collect(const std::string& prefix, std::vector<NamedParam>& out) 
 }
 
 LstmStack::LstmStack(std::size_t in, std::size_t hidden, std::size_t layers, util::Rng& rng) {
-    if (layers == 0) throw std::invalid_argument("LstmStack: needs at least one layer");
+    CPT_CHECK_GT(layers, std::size_t{0}, " LstmStack: needs at least one layer");
     for (std::size_t i = 0; i < layers; ++i) {
         cells_.push_back(std::make_unique<LstmCell>(i == 0 ? in : hidden, hidden, rng));
     }
@@ -213,9 +204,7 @@ LstmStack::State LstmStack::zero_state(std::size_t batch) const {
 }
 
 std::pair<Var, LstmStack::State> LstmStack::step(const Var& x, const State& state) const {
-    if (state.size() != cells_.size()) {
-        throw std::invalid_argument("LstmStack::step: state/layer count mismatch");
-    }
+    CPT_CHECK_EQ(state.size(), cells_.size(), " LstmStack::step: state vs layer count");
     State next;
     Var input = x;
     for (std::size_t i = 0; i < cells_.size(); ++i) {

@@ -2,11 +2,15 @@
 
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace cpt::nn {
 
 double clip_grad_norm(std::span<const Var> params, double max_norm) {
+    CPT_CHECK_GT(max_norm, 0.0, " clip_grad_norm: max_norm must be > 0");
     double sq = 0.0;
     for (const auto& p : params) {
+        CPT_CHECK(p != nullptr, "clip_grad_norm: null parameter");
         if (p->grad.numel() == 0) continue;
         for (float g : p->grad.data()) sq += static_cast<double>(g) * g;
     }
@@ -39,6 +43,7 @@ void Sgd::step() {
             v[j] = momentum_ * v[j] + g[j];
             w[j] -= lr_ * v[j];
         }
+        CPT_DCHECK_FINITE(w, "Sgd::step: updated parameter");
     }
 }
 
@@ -76,6 +81,7 @@ void Adam::step() {
             const float vhat = v[j] / bc2;
             w[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[j]);
         }
+        CPT_DCHECK_FINITE(w, "Adam::step: updated parameter");
     }
 }
 

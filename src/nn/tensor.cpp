@@ -1,7 +1,8 @@
 #include "tensor.hpp"
 
 #include <sstream>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace cpt::nn {
 
@@ -46,10 +47,8 @@ Tensor Tensor::uniform(util::Rng& rng, Shape shape, float lo, float hi) {
 }
 
 Tensor Tensor::from(std::vector<float> values, Shape shape) {
-    if (values.size() != shape_numel(shape)) {
-        throw std::invalid_argument("Tensor::from: " + std::to_string(values.size()) +
-                                    " values for shape " + shape_to_string(shape));
-    }
+    CPT_CHECK_EQ(values.size(), shape_numel(shape), " Tensor::from: value count vs shape ",
+                 shape_to_string(shape));
     Tensor t;
     t.shape_ = std::move(shape);
     t.numel_ = values.size();
@@ -68,10 +67,8 @@ std::span<const float> Tensor::data() const {
 }
 
 Tensor Tensor::reshaped(Shape shape) const {
-    if (shape_numel(shape) != numel_) {
-        throw std::invalid_argument("Tensor::reshaped: numel mismatch: " + shape_to_string(shape_) +
-                                    " -> " + shape_to_string(shape));
-    }
+    CPT_CHECK_EQ(shape_numel(shape), numel_, " Tensor::reshaped: ", shape_to_string(shape_),
+                 " -> ", shape_to_string(shape));
     Tensor t = *this;
     t.shape_ = std::move(shape);
     return t;
@@ -91,10 +88,8 @@ void Tensor::fill(float value) {
 }
 
 void Tensor::add_(const Tensor& other) {
-    if (other.numel_ != numel_) {
-        throw std::invalid_argument("Tensor::add_: numel mismatch " + shape_to_string(shape_) +
-                                    " vs " + shape_to_string(other.shape_));
-    }
+    CPT_CHECK_EQ(other.numel_, numel_, " Tensor::add_: ", shape_to_string(other.shape_), " vs ",
+                 shape_to_string(shape_));
     auto dst = data();
     auto src = other.data();
     for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];

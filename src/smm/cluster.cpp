@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <stdexcept>
 
 #include "cellular/state_machine.hpp"
+#include "util/check.hpp"
 #include "util/stats.hpp"
 
 namespace cpt::smm {
@@ -52,7 +52,7 @@ double sq_distance(const FeatureVector& a, const FeatureVector& b) {
 Clustering kmeans_streams(const trace::Dataset& ds, std::size_t k, util::Rng& rng,
                           std::size_t max_iters) {
     const std::size_t n = ds.streams.size();
-    if (n == 0) throw std::invalid_argument("kmeans_streams: empty dataset");
+    CPT_CHECK_GT(n, std::size_t{0}, " kmeans_streams: empty dataset");
     k = std::clamp<std::size_t>(k, 1, n);
 
     std::vector<FeatureVector> feats(n);

@@ -1,7 +1,8 @@
 #include "empirical_cdf.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace cpt::smm {
 
@@ -10,7 +11,7 @@ EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samp
 }
 
 double EmpiricalCdf::sample(util::Rng& rng) const {
-    if (sorted_.empty()) throw std::logic_error("EmpiricalCdf::sample: empty CDF");
+    CPT_CHECK(!sorted_.empty(), "EmpiricalCdf::sample: empty CDF");
     if (sorted_.size() == 1) return sorted_[0];
     const double u = rng.uniform() * static_cast<double>(sorted_.size() - 1);
     const auto lo = static_cast<std::size_t>(u);

@@ -1,7 +1,8 @@
 #include "ensemble.hpp"
 
 #include <cstdio>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace cpt::smm {
 
@@ -11,7 +12,7 @@ SemiMarkovModel fit_smm1(const trace::Dataset& ds, const SmmConfig& config) {
 
 SmmEnsemble SmmEnsemble::fit(const trace::Dataset& ds, std::size_t clusters, util::Rng& rng,
                              const SmmConfig& config) {
-    if (ds.streams.empty()) throw std::invalid_argument("SmmEnsemble::fit: empty dataset");
+    CPT_CHECK(!ds.streams.empty(), "SmmEnsemble::fit: empty dataset");
     const Clustering clustering = kmeans_streams(ds, clusters, rng);
 
     SmmEnsemble ensemble;

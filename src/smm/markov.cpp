@@ -1,7 +1,8 @@
 #include "markov.hpp"
 
 #include <cstdio>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace cpt::smm {
 
@@ -16,9 +17,8 @@ std::uint32_t MarkovGenerator::context_key(const std::vector<cellular::EventId>&
 }
 
 MarkovGenerator MarkovGenerator::fit(const trace::Dataset& ds, const Config& config) {
-    if (config.order == 0 || config.order > 4) {
-        throw std::invalid_argument("MarkovGenerator::fit: order must be in [1, 4]");
-    }
+    CPT_CHECK(config.order >= 1 && config.order <= 4,
+              "MarkovGenerator::fit: order must be in [1, 4], got ", config.order);
     MarkovGenerator m;
     m.config_ = config;
     m.generation_ = ds.generation;
@@ -43,7 +43,7 @@ MarkovGenerator MarkovGenerator::fit(const trace::Dataset& ds, const Config& con
             history.push_back(ev);
         }
     }
-    if (fitted == 0) throw std::invalid_argument("MarkovGenerator::fit: no usable streams");
+    CPT_CHECK_GT(fitted, std::size_t{0}, " MarkovGenerator::fit: no usable streams");
     m.delays_.resize(delay_samples.size());
     for (std::size_t i = 0; i < delay_samples.size(); ++i) {
         if (!delay_samples[i].empty()) m.delays_[i] = EmpiricalCdf(std::move(delay_samples[i]));

@@ -1,7 +1,8 @@
 #include "semi_markov.hpp"
 
 #include <cstdio>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace cpt::smm {
 
@@ -54,9 +55,8 @@ SemiMarkovModel SemiMarkovModel::fit(const trace::Dataset& ds, const SmmConfig& 
         }
         if (counted_stream) ++m.fitted_streams_;
     }
-    if (m.fitted_streams_ == 0) {
-        throw std::invalid_argument("SemiMarkovModel::fit: no usable streams in dataset");
-    }
+    CPT_CHECK_GT(m.fitted_streams_, std::size_t{0},
+                 " SemiMarkovModel::fit: no usable streams in dataset");
     m.sojourn_.resize(delays.size());
     for (std::size_t i = 0; i < delays.size(); ++i) {
         if (!delays[i].empty()) m.sojourn_[i] = EmpiricalCdf(std::move(delays[i]));
@@ -98,7 +98,8 @@ trace::Stream SemiMarkovModel::generate_stream(const std::string& ue_id, util::R
         out.events.push_back({t, event});
         const auto next =
             StateMachine::for_generation(generation_).step(state, event);
-        if (!next) throw std::logic_error("SemiMarkovModel generated an illegal transition");
+        CPT_CHECK(next.has_value(), "SemiMarkovModel generated an illegal transition from state ",
+                  static_cast<int>(state), " on event ", event);
         state = *next;
     }
     return out;

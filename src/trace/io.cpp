@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/csv.hpp"
 
 namespace cpt::trace {
@@ -18,7 +19,7 @@ std::string_view generation_tag(cellular::Generation g) {
 cellular::Generation generation_from_tag(std::string_view tag) {
     if (tag == "4g") return cellular::Generation::kLte4G;
     if (tag == "5g") return cellular::Generation::kNr5G;
-    throw std::invalid_argument("trace csv: unknown generation tag '" + std::string(tag) + "'");
+    CPT_CHECK(false, "trace csv: unknown generation tag '", tag, "'");
 }
 
 }  // namespace
@@ -45,10 +46,9 @@ void write_csv_file(const std::string& path, const Dataset& ds) {
 
 Dataset read_csv(std::istream& in) {
     std::string line;
-    if (!std::getline(in, line)) throw std::invalid_argument("trace csv: empty input");
-    if (util::trim(line) != "generation,ue_id,device,hour,timestamp,event") {
-        throw std::invalid_argument("trace csv: unexpected header '" + line + "'");
-    }
+    CPT_CHECK(static_cast<bool>(std::getline(in, line)), "trace csv: empty input");
+    CPT_CHECK(util::trim(line) == "generation,ue_id,device,hour,timestamp,event",
+              "trace csv: unexpected header '", line, "'");
     Dataset ds;
     bool generation_set = false;
     Stream* current = nullptr;
@@ -57,17 +57,15 @@ Dataset read_csv(std::istream& in) {
         ++line_no;
         if (util::trim(line).empty()) continue;
         const auto cols = util::split(line, ',');
-        if (cols.size() != 6) {
-            throw std::invalid_argument("trace csv: line " + std::to_string(line_no) +
-                                        ": expected 6 columns");
-        }
+        CPT_CHECK_EQ(cols.size(), std::size_t{6}, " trace csv: line ", line_no,
+                     ": expected 6 columns");
         const auto gen = generation_from_tag(util::trim(cols[0]));
         if (!generation_set) {
             ds.generation = gen;
             generation_set = true;
-        } else if (gen != ds.generation) {
-            throw std::invalid_argument("trace csv: line " + std::to_string(line_no) +
-                                        ": mixed generations in one file");
+        } else {
+            CPT_CHECK(gen == ds.generation, "trace csv: line ", line_no,
+                      ": mixed generations in one file");
         }
         const std::string ue_id(util::trim(cols[1]));
         if (current == nullptr || current->ue_id != ue_id) {
@@ -81,15 +79,10 @@ Dataset read_csv(std::istream& in) {
         ev.timestamp = util::parse_double(cols[4]);
         const auto& vocab = cellular::vocabulary(ds.generation);
         const auto id = vocab.id(util::trim(cols[5]));
-        if (!id) {
-            throw std::invalid_argument("trace csv: line " + std::to_string(line_no) +
-                                        ": unknown event '" + cols[5] + "'");
-        }
+        CPT_CHECK(id.has_value(), "trace csv: line ", line_no, ": unknown event '", cols[5], "'");
         ev.type = *id;
-        if (!current->events.empty() && ev.timestamp < current->events.back().timestamp) {
-            throw std::invalid_argument("trace csv: line " + std::to_string(line_no) +
-                                        ": decreasing timestamp within stream " + ue_id);
-        }
+        CPT_CHECK(current->events.empty() || ev.timestamp >= current->events.back().timestamp,
+                  "trace csv: line ", line_no, ": decreasing timestamp within stream ", ue_id);
         current->events.push_back(ev);
     }
     return ds;

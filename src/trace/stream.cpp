@@ -1,6 +1,6 @@
 #include "stream.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace cpt::trace {
 
@@ -17,7 +17,7 @@ DeviceType device_type_from_string(std::string_view name) {
     if (name == "phone") return DeviceType::kPhone;
     if (name == "connected_car") return DeviceType::kConnectedCar;
     if (name == "tablet") return DeviceType::kTablet;
-    throw std::invalid_argument("device_type_from_string: unknown device '" + std::string(name) + "'");
+    CPT_CHECK(false, "device_type_from_string: unknown device '", name, "'");
 }
 
 std::vector<double> Stream::interarrivals() const {

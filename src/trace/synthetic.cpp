@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cpt::trace {
@@ -17,7 +17,7 @@ using cellular::TopState;
 namespace lte = cellular::lte;
 
 double DelayModel::sample(util::Rng& rng, double scale) const {
-    if (components.empty()) throw std::logic_error("DelayModel::sample: no components");
+    CPT_CHECK(!components.empty(), "DelayModel::sample: no components");
     std::vector<double> ws;
     ws.reserve(components.size());
     for (const auto& c : components) ws.push_back(c.weight);
@@ -260,12 +260,10 @@ DeviceProfile make_5g_profile(const DeviceProfile& lte_profile) {
 void validate_profile(const DeviceProfile& p, const StateMachine& m) {
     for (std::size_t s = 0; s < kNumSubStates; ++s) {
         for (std::size_t e = 0; e < p.event_weights[s].size(); ++e) {
-            if (p.event_weights[s][e] > 0.0 &&
-                !m.step(static_cast<SubState>(s), static_cast<EventId>(e))) {
-                throw std::logic_error("DeviceProfile gives weight to an illegal transition: state " +
-                                       std::string(to_string(static_cast<SubState>(s))) + " event " +
-                                       std::to_string(e));
-            }
+            CPT_CHECK(p.event_weights[s][e] <= 0.0 ||
+                          m.step(static_cast<SubState>(s), static_cast<EventId>(e)).has_value(),
+                      "DeviceProfile gives weight to an illegal transition: state ",
+                      to_string(static_cast<SubState>(s)), " event ", e);
         }
     }
 }
@@ -289,7 +287,7 @@ const DeviceProfile& device_profile(DeviceType d, Generation gen) {
         case DeviceType::kConnectedCar: return lte ? car : car5g;
         case DeviceType::kTablet: return lte ? tablet : tablet5g;
     }
-    throw std::invalid_argument("device_profile: unknown device type");
+    CPT_CHECK(false, "device_profile: unknown device type ", static_cast<int>(d));
 }
 
 SyntheticWorldGenerator::SyntheticWorldGenerator(SyntheticWorldConfig config)
@@ -348,7 +346,9 @@ Stream SyntheticWorldGenerator::generate_stream(DeviceType d, const std::string&
 
         stream.events.push_back({t, event});
         const auto next = machine.step(state, event);
-        if (!next) throw std::logic_error("SyntheticWorldGenerator produced an illegal transition");
+        CPT_CHECK(next.has_value(),
+                  "SyntheticWorldGenerator produced an illegal transition from state ",
+                  to_string(state), " on event ", event);
         state = *next;
     }
     return stream;

@@ -1,0 +1,49 @@
+#include "check.hpp"
+
+#include <cmath>
+
+namespace cpt::util::check_detail {
+
+void check_failed(const char* file, int line, const char* expr, std::string detail) {
+    std::string msg(file);
+    msg.push_back(':');
+    msg.append(std::to_string(line));
+    msg.append(": CHECK failed: ");
+    msg.append(expr);
+    if (!detail.empty()) {
+        // Comparison macros pass " (lhs vs rhs)..."; plain CHECKs pass the
+        // caller's message, which reads better after a separator.
+        if (detail.front() != ' ') msg.append(": ");
+        msg.append(detail);
+    }
+    throw CheckError(msg);
+}
+
+namespace {
+
+template <typename T>
+void check_finite_impl(const T* data, std::size_t size, const char* what, const char* file,
+                       int line) {
+    for (std::size_t i = 0; i < size; ++i) {
+        if (!std::isfinite(data[i])) [[unlikely]] {
+            check_failed(file, line, "isfinite",
+                         std::string(what) + "[" + std::to_string(i) +
+                             "] = " + std::to_string(data[i]) + " (of " + std::to_string(size) +
+                             " values)");
+        }
+    }
+}
+
+}  // namespace
+
+void check_finite_span(const float* data, std::size_t size, const char* what, const char* file,
+                       int line) {
+    check_finite_impl(data, size, what, file, line);
+}
+
+void check_finite_span(const double* data, std::size_t size, const char* what, const char* file,
+                       int line) {
+    check_finite_impl(data, size, what, file, line);
+}
+
+}  // namespace cpt::util::check_detail

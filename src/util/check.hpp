@@ -1,0 +1,200 @@
+// Invariant-check substrate shared by every subsystem.
+//
+// Three macro families, all throwing cpt::CheckError with a file:line-tagged
+// message on failure:
+//
+//   CPT_CHECK(cond, msg...)          always on; precondition / contract check
+//   CPT_CHECK_EQ/NE/LT/LE/GT/GE     always on; binary comparison with both
+//                                    operand values formatted into the message
+//   CPT_CHECK_FINITE(range, what)    always on; every float in `range` must be
+//                                    finite (no NaN/Inf)
+//
+//   CPT_DCHECK / CPT_DCHECK_*        same checks, compiled to no-ops unless
+//                                    the build defines CPT_DEBUG_CHECKS
+//                                    (cmake -DCPT_DEBUG_CHECKS=ON, or any
+//                                    Debug build). Use these on hot paths —
+//                                    per-element guards after forward/backward
+//                                    passes, optimizer steps, kernel loops.
+//
+// CheckError derives from std::invalid_argument (and therefore
+// std::logic_error), so existing call sites and tests that catch those types
+// keep working; the gain is one uniform failure type, uniform formatting, and
+// a single place to put a breakpoint.
+//
+// The trailing message arguments accept anything streamable through
+// append_display below: strings, string_views, arithmetic types, bools.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace cpt {
+
+// Uniform failure type for violated invariants. Derives from
+// std::invalid_argument so callers that already expect the standard hierarchy
+// (tests, fuzzers, the CLI catch blocks) observe no behavioral change.
+class CheckError : public std::invalid_argument {
+public:
+    explicit CheckError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+}  // namespace cpt
+
+namespace cpt::util {
+
+// True when CPT_DCHECK* are active in this translation unit's build.
+#ifdef CPT_DEBUG_CHECKS
+inline constexpr bool kDebugChecksEnabled = true;
+#else
+inline constexpr bool kDebugChecksEnabled = false;
+#endif
+
+namespace check_detail {
+
+inline void append_display(std::string& out, std::string_view v) { out.append(v); }
+inline void append_display(std::string& out, const char* v) { out.append(v); }
+inline void append_display(std::string& out, const std::string& v) { out.append(v); }
+inline void append_display(std::string& out, bool v) { out.append(v ? "true" : "false"); }
+
+template <typename T>
+    requires std::is_arithmetic_v<T>
+void append_display(std::string& out, T v) {
+    out.append(std::to_string(v));
+}
+
+// Pointers show up in messages as their address; enums as their underlying
+// integer value.
+template <typename T>
+    requires std::is_enum_v<T>
+void append_display(std::string& out, T v) {
+    append_display(out, static_cast<std::underlying_type_t<T>>(v));
+}
+
+inline std::string msg_cat() { return {}; }
+
+template <typename... Args>
+std::string msg_cat(const Args&... args) {
+    std::string out;
+    (append_display(out, args), ...);
+    return out;
+}
+
+// Formats "  (lhs vs rhs)" for the comparison macros.
+template <typename A, typename B>
+std::string operands(const A& a, const B& b) {
+    std::string out = " (";
+    append_display(out, a);
+    out.append(" vs ");
+    append_display(out, b);
+    out.push_back(')');
+    return out;
+}
+
+// Throws CheckError with the canonical "file:line: CHECK failed: expr" shape.
+// Out of line so the macro expansion stays small at every call site.
+[[noreturn]] void check_failed(const char* file, int line, const char* expr, std::string detail);
+
+// Scans `data[0, size)` for NaN/Inf; throws naming `what` and the offending
+// index/value. Out of line: the loop is only worth inlining when it never
+// fires, and the error path never is.
+void check_finite_span(const float* data, std::size_t size, const char* what, const char* file,
+                       int line);
+void check_finite_span(const double* data, std::size_t size, const char* what, const char* file,
+                       int line);
+
+// Accepts any contiguous range of float/double (std::span, std::vector,
+// Tensor::data(), ...).
+template <typename Range>
+void check_finite(const Range& values, const char* what, const char* file, int line) {
+    check_finite_span(std::data(values), std::size(values), what, file, line);
+}
+
+inline void check_finite(float value, const char* what, const char* file, int line) {
+    check_finite_span(&value, 1, what, file, line);
+}
+
+inline void check_finite(double value, const char* what, const char* file, int line) {
+    check_finite_span(&value, 1, what, file, line);
+}
+
+}  // namespace check_detail
+
+}  // namespace cpt::util
+
+// ---- Always-on checks ----------------------------------------------------------
+
+#define CPT_CHECK(cond, ...)                                                             \
+    do {                                                                                 \
+        if (!(cond)) [[unlikely]] {                                                      \
+            ::cpt::util::check_detail::check_failed(                                     \
+                __FILE__, __LINE__, #cond, ::cpt::util::check_detail::msg_cat(__VA_ARGS__)); \
+        }                                                                                \
+    } while (0)
+
+// Binary comparison with operand values in the diagnostic. Operands are
+// evaluated exactly once.
+#define CPT_CHECK_OP_(op, a, b, ...)                                                     \
+    do {                                                                                 \
+        const auto& cpt_chk_a_ = (a);                                                    \
+        const auto& cpt_chk_b_ = (b);                                                    \
+        if (!(cpt_chk_a_ op cpt_chk_b_)) [[unlikely]] {                                  \
+            ::cpt::util::check_detail::check_failed(                                     \
+                __FILE__, __LINE__, #a " " #op " " #b,                                   \
+                ::cpt::util::check_detail::operands(cpt_chk_a_, cpt_chk_b_) +            \
+                    ::cpt::util::check_detail::msg_cat(__VA_ARGS__));                    \
+        }                                                                                \
+    } while (0)
+
+#define CPT_CHECK_EQ(a, b, ...) CPT_CHECK_OP_(==, a, b, __VA_ARGS__)
+#define CPT_CHECK_NE(a, b, ...) CPT_CHECK_OP_(!=, a, b, __VA_ARGS__)
+#define CPT_CHECK_LT(a, b, ...) CPT_CHECK_OP_(<, a, b, __VA_ARGS__)
+#define CPT_CHECK_LE(a, b, ...) CPT_CHECK_OP_(<=, a, b, __VA_ARGS__)
+#define CPT_CHECK_GT(a, b, ...) CPT_CHECK_OP_(>, a, b, __VA_ARGS__)
+#define CPT_CHECK_GE(a, b, ...) CPT_CHECK_OP_(>=, a, b, __VA_ARGS__)
+
+// `values` is a float/double scalar or any contiguous range of them.
+#define CPT_CHECK_FINITE(values, what) \
+    ::cpt::util::check_detail::check_finite((values), (what), __FILE__, __LINE__)
+
+// ---- Debug-only checks ---------------------------------------------------------
+// Compiled out entirely (operands not evaluated) unless CPT_DEBUG_CHECKS.
+
+#ifdef CPT_DEBUG_CHECKS
+#define CPT_DCHECK(cond, ...) CPT_CHECK(cond, __VA_ARGS__)
+#define CPT_DCHECK_EQ(a, b, ...) CPT_CHECK_EQ(a, b, __VA_ARGS__)
+#define CPT_DCHECK_NE(a, b, ...) CPT_CHECK_NE(a, b, __VA_ARGS__)
+#define CPT_DCHECK_LT(a, b, ...) CPT_CHECK_LT(a, b, __VA_ARGS__)
+#define CPT_DCHECK_LE(a, b, ...) CPT_CHECK_LE(a, b, __VA_ARGS__)
+#define CPT_DCHECK_GT(a, b, ...) CPT_CHECK_GT(a, b, __VA_ARGS__)
+#define CPT_DCHECK_GE(a, b, ...) CPT_CHECK_GE(a, b, __VA_ARGS__)
+#define CPT_DCHECK_FINITE(values, what) CPT_CHECK_FINITE(values, what)
+#else
+#define CPT_DCHECK(cond, ...) \
+    do {                      \
+    } while (0)
+#define CPT_DCHECK_EQ(a, b, ...) \
+    do {                         \
+    } while (0)
+#define CPT_DCHECK_NE(a, b, ...) \
+    do {                         \
+    } while (0)
+#define CPT_DCHECK_LT(a, b, ...) \
+    do {                         \
+    } while (0)
+#define CPT_DCHECK_LE(a, b, ...) \
+    do {                         \
+    } while (0)
+#define CPT_DCHECK_GT(a, b, ...) \
+    do {                         \
+    } while (0)
+#define CPT_DCHECK_GE(a, b, ...) \
+    do {                         \
+    } while (0)
+#define CPT_DCHECK_FINITE(values, what) \
+    do {                                \
+    } while (0)
+#endif

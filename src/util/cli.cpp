@@ -2,7 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
-#include <stdexcept>
+#include <string_view>
 
 #include "csv.hpp"
 
@@ -10,14 +10,18 @@ namespace cpt::util {
 
 Options::Options(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0) continue;
-        arg.erase(0, 2);
+        const std::string_view raw = argv[i];
+        if (raw.rfind("--", 0) != 0) continue;
+        const std::string_view arg = raw.substr(2);
+        // Mapped strings are constructed with explicit lengths (never from a
+        // bare const char*): GCC 12's -Wrestrict false-fires on the inlined
+        // strlen-based assign/construct paths at -O2 and above.
         const auto eq = arg.find('=');
-        if (eq == std::string::npos) {
-            args_[arg] = "1";  // bare flag
+        if (eq == std::string_view::npos) {
+            args_.insert_or_assign(std::string(arg), std::string(1, '1'));  // bare flag
         } else {
-            args_[arg.substr(0, eq)] = arg.substr(eq + 1);
+            args_.insert_or_assign(std::string(arg.substr(0, eq)),
+                                   std::string(arg.substr(eq + 1)));
         }
     }
 }

@@ -1,0 +1,37 @@
+#include "log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace cpt::util {
+
+namespace {
+
+void emit_line(std::string_view prefix, std::string_view message) {
+    std::string line;
+    line.reserve(prefix.size() + message.size() + 1);
+    line.append(prefix);
+    line.append(message);
+    line.push_back('\n');
+    // One fwrite so concurrent warnings from pool workers do not interleave
+    // mid-line.
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace
+
+void warnf(const char* fmt, ...) {
+    char buf[1024];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    emit_line(kWarnPrefix, buf);
+}
+
+void warn(std::string_view message) { emit_line(kWarnPrefix, message); }
+
+void info(std::string_view message) { emit_line(kInfoPrefix, message); }
+
+}  // namespace cpt::util

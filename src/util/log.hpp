@@ -1,0 +1,26 @@
+// Minimal logging helper so every runtime diagnostic — degenerate-sampler
+// warnings, trainer fallbacks, lint findings printed outside a report — shares
+// one greppable "[cpt] <severity>:" prefix on stderr instead of ad-hoc
+// std::cerr / fprintf calls scattered across modules.
+#pragma once
+
+#include <string_view>
+
+namespace cpt::util {
+
+// printf-style warning to stderr: "[cpt] warning: <message>\n".
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void warnf(const char* fmt, ...);
+
+// Pre-formatted single-line variants (no printf parsing).
+void warn(std::string_view message);
+void info(std::string_view message);
+
+// The prefix warnings are emitted with, exposed so tools that capture stderr
+// (tests, the check.sh gate) can match it exactly.
+inline constexpr std::string_view kWarnPrefix = "[cpt] warning: ";
+inline constexpr std::string_view kInfoPrefix = "[cpt] info: ";
+
+}  // namespace cpt::util

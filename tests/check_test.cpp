@@ -1,0 +1,121 @@
+// Tests for the CPT_CHECK invariant substrate: message formatting, exception
+// hierarchy, operand capture, finite scans, and debug-check gating.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace cpt {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+    EXPECT_NO_THROW(CPT_CHECK(1 + 1 == 2, "arithmetic broke"));
+    EXPECT_NO_THROW(CPT_CHECK_EQ(4, 4));
+    EXPECT_NO_THROW(CPT_CHECK_LT(1, 2, " ordering"));
+}
+
+TEST(CheckTest, FailureThrowsCheckError) {
+    EXPECT_THROW(CPT_CHECK(false, "nope"), CheckError);
+}
+
+TEST(CheckTest, CheckErrorIsInvalidArgumentAndLogicError) {
+    // The sweep converted throw sites that used to raise std::invalid_argument
+    // and std::logic_error; both catch patterns must keep working.
+    EXPECT_THROW(CPT_CHECK(false, "x"), std::invalid_argument);
+    EXPECT_THROW(CPT_CHECK(false, "x"), std::logic_error);
+}
+
+TEST(CheckTest, MessageCarriesFileLineExprAndDetail) {
+    try {
+        CPT_CHECK(2 < 1, "custom detail ", 42);
+        FAIL() << "did not throw";
+    } catch (const CheckError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+        EXPECT_NE(what.find("CHECK failed"), std::string::npos) << what;
+        EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("custom detail 42"), std::string::npos) << what;
+    }
+}
+
+TEST(CheckTest, ComparisonMacroFormatsBothOperands) {
+    const std::size_t got = 3;
+    const std::size_t want = 7;
+    try {
+        CPT_CHECK_EQ(got, want, " widget count");
+        FAIL() << "did not throw";
+    } catch (const CheckError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("(3 vs 7)"), std::string::npos) << what;
+        EXPECT_NE(what.find("widget count"), std::string::npos) << what;
+        EXPECT_NE(what.find("got == want"), std::string::npos) << what;
+    }
+}
+
+TEST(CheckTest, ComparisonOperandsEvaluateOnce) {
+    int calls = 0;
+    auto next = [&calls] { return ++calls; };
+    CPT_CHECK_LE(next(), 10);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, FiniteAcceptsFiniteRange) {
+    const std::vector<float> v{0.0f, -1.5f, 3e30f};
+    EXPECT_NO_THROW(CPT_CHECK_FINITE(v, "vector"));
+    EXPECT_NO_THROW(CPT_CHECK_FINITE(1.0, "scalar"));
+}
+
+TEST(CheckTest, FiniteRejectsNanAndNamesIndex) {
+    std::vector<float> v{1.0f, 2.0f, std::numeric_limits<float>::quiet_NaN(), 4.0f};
+    try {
+        CPT_CHECK_FINITE(v, "loss buffer");
+        FAIL() << "did not throw";
+    } catch (const CheckError& e) {
+        const std::string what = e.what();
+        // The message names the buffer and the offending index.
+        EXPECT_NE(what.find("loss buffer[2]"), std::string::npos) << what;
+    }
+}
+
+TEST(CheckTest, FiniteRejectsInfinity) {
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(CPT_CHECK_FINITE(inf, "scalar"), CheckError);
+    EXPECT_THROW(CPT_CHECK_FINITE(-inf, "scalar"), CheckError);
+}
+
+TEST(CheckTest, DebugChecksMatchBuildFlag) {
+#ifdef CPT_DEBUG_CHECKS
+    EXPECT_TRUE(util::kDebugChecksEnabled);
+    EXPECT_THROW(CPT_DCHECK(false, "debug check"), CheckError);
+#else
+    EXPECT_FALSE(util::kDebugChecksEnabled);
+    // Compiled out: neither the condition nor its side effects run.
+    int evaluations = 0;
+    CPT_DCHECK(++evaluations < 0, "never evaluated");
+    EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(CheckTest, EnumOperandsFormatAsUnderlyingValue) {
+    enum class Color : int { kRed = 1, kBlue = 5 };
+    try {
+        CPT_CHECK_EQ(Color::kRed, Color::kBlue);
+        FAIL() << "did not throw";
+    } catch (const CheckError& e) {
+        EXPECT_NE(std::string(e.what()).find("(1 vs 5)"), std::string::npos) << e.what();
+    }
+}
+
+TEST(LogTest, WarnPrefixIsStable) {
+    // The helper centralizes the "[cpt] warning:" prefix the Sampler/Trainer
+    // degenerate-input paths rely on; pin it so grepping logs keeps working.
+    EXPECT_EQ(std::string(util::kWarnPrefix), "[cpt] warning: ");
+    EXPECT_EQ(std::string(util::kInfoPrefix), "[cpt] info: ");
+}
+
+}  // namespace
+}  // namespace cpt

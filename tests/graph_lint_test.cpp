@@ -1,0 +1,153 @@
+// Tests for the autograd graph linter: a healthy tape lints clean (including
+// the real CPT-GPT training graph), and each defect category is detected on a
+// deliberately broken tape.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/tokenizer.hpp"
+#include "nn/autograd.hpp"
+#include "nn/graph_lint.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace cpt::nn {
+namespace {
+
+Var param_of(std::vector<float> values, Shape shape) {
+    return make_param(Tensor::from(std::move(values), std::move(shape)));
+}
+
+TEST(GraphLintTest, CleanGraphHasNoFindings) {
+    const Var a = param_of({1.0f, 2.0f, 3.0f, 4.0f}, {2, 2});
+    const Var b = param_of({0.5f, 0.5f, 0.5f, 0.5f}, {2, 2});
+    const Var loss = mean_all(mul(a, b));
+    const std::vector<Var> params{a, b};
+
+    const auto report = lint_graph(loss, params);
+    EXPECT_TRUE(report.clean()) << report.summary();
+    EXPECT_EQ(report.params_reachable, 2u);
+    // At least a, b, mul, and the reduction (ops may add interior nodes).
+    EXPECT_GE(report.nodes_visited, 4u);
+    EXPECT_TRUE(report.summary().empty());
+}
+
+TEST(GraphLintTest, DetachedParamIsFlaggedUnreachable) {
+    const Var a = param_of({1.0f, 2.0f}, {2});
+    const Var b = param_of({3.0f, 4.0f}, {2});
+    const Var orphan = param_of({9.0f}, {1});
+    const Var loss = sum_all(add(a, b));
+    const std::vector<Var> params{a, b, orphan};
+
+    const auto report = lint_graph(loss, params);
+    EXPECT_EQ(report.count(GraphLintKind::kUnreachableParam), 1u);
+    EXPECT_EQ(report.params_reachable, 2u);
+    ASSERT_FALSE(report.findings.empty());
+    // The detail names the parameter's position in the optimizer list.
+    EXPECT_NE(report.findings[0].detail.find("param #2"), std::string::npos)
+        << report.findings[0].detail;
+    EXPECT_NE(report.summary().find("unreachable-param"), std::string::npos);
+}
+
+TEST(GraphLintTest, ParamBehindNoGradNodeIsUnreachable) {
+    // backward() prunes at non-requires_grad nodes, so a parameter whose only
+    // route to the loss passes through a detached constant never gets a grad.
+    const Var a = param_of({1.0f, 2.0f}, {2});
+    Var detached = make_var(Tensor::from({5.0f, 6.0f}, {2}));
+    detached->parents.push_back(a);  // edge exists, but requires_grad is off
+    const Var loss = sum_all(detached);
+    const std::vector<Var> params{a};
+
+    const auto report = lint_graph(loss, params);
+    EXPECT_EQ(report.count(GraphLintKind::kUnreachableParam), 1u);
+    EXPECT_EQ(report.params_reachable, 0u);
+}
+
+TEST(GraphLintTest, ReusedGraphAfterBackwardHasStaleInteriorGrads) {
+    const Var a = param_of({1.0f, 2.0f, 3.0f, 4.0f}, {2, 2});
+    const Var b = param_of({2.0f, 2.0f, 2.0f, 2.0f}, {2, 2});
+    const Var loss = mean_all(mul(a, b));
+    const std::vector<Var> params{a, b};
+
+    ASSERT_TRUE(lint_graph(loss, params).clean());
+    backward(loss);
+    // Interior nodes now hold gradient buffers; re-running backward() on the
+    // same tape would double-count them. Parameter leaves are exempt — grads
+    // legitimately accumulate there across batches.
+    const auto report = lint_graph(loss, params);
+    EXPECT_GE(report.count(GraphLintKind::kStaleInteriorGradient), 1u);
+    EXPECT_EQ(report.count(GraphLintKind::kUnreachableParam), 0u);
+}
+
+TEST(GraphLintTest, GradShapeMismatchIsFlagged) {
+    const Var a = param_of({1.0f, 2.0f, 3.0f, 4.0f}, {2, 2});
+    const Var loss = sum_all(a);
+    a->grad = Tensor::zeros({5});  // wrong numel for a {2,2} value
+
+    const auto report = lint_graph(loss, std::vector<Var>{a});
+    EXPECT_EQ(report.count(GraphLintKind::kGradShapeMismatch), 1u);
+    EXPECT_NE(report.summary().find("grad-shape-mismatch"), std::string::npos);
+}
+
+TEST(GraphLintTest, InteriorNodeWithoutBackwardClosureIsFlagged) {
+    const Var a = param_of({1.0f, 2.0f}, {2});
+    // Hand-built interior node that claims to need a gradient but has no way
+    // to scatter one to its parents — exactly the bug a mis-written op would
+    // introduce.
+    auto broken = std::make_shared<Node>();
+    broken->value = Tensor::from({3.0f, 4.0f}, {2});
+    broken->requires_grad = true;
+    broken->parents.push_back(a);
+    const Var loss = sum_all(Var(broken));
+
+    const auto report = lint_graph(loss, std::vector<Var>{a});
+    EXPECT_EQ(report.count(GraphLintKind::kUnconsumedGradient), 1u);
+    EXPECT_NE(report.summary().find("unconsumed-gradient"), std::string::npos);
+}
+
+TEST(GraphLintTest, NullRootThrows) {
+    EXPECT_THROW(lint_graph(nullptr, {}), std::invalid_argument);
+}
+
+TEST(GraphLintTest, RealModelTrainingGraphLintsClean) {
+    // End-to-end guard: the actual CPT-GPT forward + loss tape must produce
+    // zero findings, and every model parameter must be reachable.
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {25, 0, 0};
+    cfg.seed = 11;
+    const auto world = trace::SyntheticWorldGenerator(cfg).generate();
+    const auto tok = core::Tokenizer::fit(world);
+
+    core::CptGptConfig mcfg;
+    mcfg.d_model = 24;
+    mcfg.heads = 2;
+    mcfg.mlp_hidden = 48;
+    mcfg.blocks = 1;
+    mcfg.max_seq_len = 32;
+    mcfg.head_hidden = 24;
+    util::Rng rng(7);
+    const core::CptGpt model(tok, mcfg, rng);
+
+    const std::size_t batch = 2, seq = 6;
+    const auto tokens =
+        make_var(Tensor::randn(rng, {batch, seq, tok.d_token()}, 0.1f));
+    const auto out = model.forward(tokens);
+
+    std::vector<int> targets(batch * seq, 0);
+    const std::vector<float> mask(batch * seq, 1.0f);
+    const Tensor ia_target = Tensor::zeros({batch * seq});
+    Var loss = cross_entropy(out.event_logits, targets);
+    loss = add(loss, gaussian_nll(out.ia_mu, out.ia_logvar, ia_target, mask));
+    loss = add(loss, cross_entropy(out.stop_logits, targets));
+
+    const auto params = model.parameters();
+    const auto report = lint_graph(loss, params);
+    EXPECT_TRUE(report.clean()) << report.summary();
+    EXPECT_EQ(report.params_reachable, params.size());
+    EXPECT_GT(report.nodes_visited, params.size());
+}
+
+}  // namespace
+}  // namespace cpt::nn

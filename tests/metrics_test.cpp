@@ -13,7 +13,11 @@ namespace lte = cellular::lte;
 trace::Stream stream_of(std::initializer_list<std::pair<double, cellular::EventId>> list) {
     trace::Stream s;
     static int counter = 0;
-    s.ue_id = "m" + std::to_string(counter++);
+    // Built via insert rather than "m" + to_string(...): GCC 12's -Wrestrict
+    // false-fires on the inlined string operator+ at -O3.
+    std::string id = std::to_string(counter++);
+    id.insert(0, 1, 'm');
+    s.ue_id = std::move(id);
     for (auto& [t, e] : list) s.events.push_back({t, e});
     return s;
 }
