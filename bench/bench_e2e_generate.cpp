@@ -1,0 +1,156 @@
+// End-to-end generation throughput: Sampler::generate driven through the
+// KV-cached decoder and the SIMD kernel layer, reported as streams/sec and
+// tokens/sec per available SIMD tier (plus a raw decode-engine row that holds
+// the batch full for a fixed number of steps, isolating the kernel path from
+// stop-sampling variance). Emits BENCH_e2e_generate.json next to the binary.
+//
+// The model is untrained — generation throughput depends on shapes, not on
+// weight values — so the bench needs no checkpoint and runs in seconds.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/sampler.hpp"
+#include "core/tokenizer.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cpu.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace cpt;
+
+std::vector<util::SimdTier> available_tiers() {
+    std::vector<util::SimdTier> tiers{util::SimdTier::kScalar};
+    if (util::simd_tier_available(util::SimdTier::kSse2)) tiers.push_back(util::SimdTier::kSse2);
+    if (util::simd_tier_available(util::SimdTier::kAvx2)) tiers.push_back(util::SimdTier::kAvx2);
+    return tiers;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct E2eRow {
+    const char* tier;
+    std::size_t streams = 0;
+    std::size_t tokens = 0;
+    double seconds = 0.0;
+    double streams_per_sec = 0.0;
+    double tokens_per_sec = 0.0;
+};
+
+struct DecodeRow {
+    const char* tier;
+    std::size_t batch = 0;
+    std::size_t steps = 0;
+    double seconds = 0.0;
+    double tokens_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main() {
+    // Flagship-ish model on a synthetic-world tokenizer; untrained weights.
+    trace::SyntheticWorldConfig wcfg;
+    wcfg.population = {60, 0, 0};
+    wcfg.seed = 7;
+    const auto world = trace::SyntheticWorldGenerator(wcfg).generate();
+    const auto tok = core::Tokenizer::fit(world);
+    util::Rng init(11);
+    core::CptGptConfig cfg;
+    cfg.d_model = 128;
+    cfg.heads = 4;
+    cfg.mlp_hidden = 1024;
+    cfg.blocks = 2;
+    cfg.max_seq_len = 128;
+    cfg.head_hidden = 128;
+    const core::CptGpt model(tok, cfg, init);
+
+    core::SamplerConfig scfg;
+    scfg.batch = 32;
+    const core::Sampler sampler(model, tok, world.initial_event_distribution(), scfg);
+
+    const std::size_t n_streams = 256;
+    const std::size_t decode_batch = 32;
+    const std::size_t decode_steps = 96;
+    const std::size_t threads = util::configured_threads();
+
+    std::vector<E2eRow> e2e_rows;
+    std::vector<DecodeRow> decode_rows;
+    for (util::SimdTier tier : available_tiers()) {
+        const util::SimdTier prev = util::set_simd_tier(tier);
+
+        // Full pipeline: bootstrap + decode + sampling + compaction.
+        {
+            util::Rng rng(42);
+            sampler.generate(8, rng);  // warm-up
+            util::Rng rng2(42);
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto ds = sampler.generate(n_streams, rng2);
+            E2eRow row{util::simd_tier_name(tier)};
+            row.seconds = seconds_since(t0);
+            row.streams = ds.streams.size();
+            for (const auto& s : ds.streams) row.tokens += s.events.size();
+            row.streams_per_sec = static_cast<double>(row.streams) / row.seconds;
+            row.tokens_per_sec = static_cast<double>(row.tokens) / row.seconds;
+            e2e_rows.push_back(row);
+            std::printf("e2e_generate  tier %-6s  %zu streams (%zu tokens) in %.3f s  "
+                        "-> %8.1f streams/s  %9.1f tokens/s\n",
+                        row.tier, row.streams, row.tokens, row.seconds, row.streams_per_sec,
+                        row.tokens_per_sec);
+        }
+
+        // Decode engine only: full batch held for a fixed step count.
+        {
+            auto decoder = model.make_decoder(decode_batch);
+            auto scratch = model.make_decode_scratch(decode_batch);
+            nn::Tensor x = nn::Tensor::zeros({decode_batch, tok.d_token()});
+            const auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t t = 0; t < decode_steps; ++t) model.decode_step(decoder, x, scratch);
+            DecodeRow row{util::simd_tier_name(tier), decode_batch, decode_steps};
+            row.seconds = seconds_since(t0);
+            row.tokens_per_sec =
+                static_cast<double>(decode_batch * decode_steps) / row.seconds;
+            decode_rows.push_back(row);
+            std::printf("decode_engine tier %-6s  batch %zu x %zu steps in %.3f s  "
+                        "-> %9.1f tokens/s\n",
+                        row.tier, row.batch, row.steps, row.seconds, row.tokens_per_sec);
+        }
+        util::set_simd_tier(prev);
+    }
+
+    const char* path = "BENCH_e2e_generate.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_e2e_generate: cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"e2e_generate\",\n  \"threads_configured\": %zu,\n"
+                 "  \"model\": {\"d_model\": %zu, \"mlp_hidden\": %zu, \"blocks\": %zu, "
+                 "\"max_seq_len\": %zu},\n  \"generate_rows\": [\n",
+                 threads, cfg.d_model, cfg.mlp_hidden, cfg.blocks, cfg.max_seq_len);
+    for (std::size_t i = 0; i < e2e_rows.size(); ++i) {
+        const auto& r = e2e_rows[i];
+        std::fprintf(f,
+                     "    {\"tier\": \"%s\", \"streams\": %zu, \"tokens\": %zu, "
+                     "\"seconds\": %.4f, \"streams_per_sec\": %.1f, \"tokens_per_sec\": %.1f}%s\n",
+                     r.tier, r.streams, r.tokens, r.seconds, r.streams_per_sec, r.tokens_per_sec,
+                     i + 1 < e2e_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"decode_rows\": [\n");
+    for (std::size_t i = 0; i < decode_rows.size(); ++i) {
+        const auto& r = decode_rows[i];
+        std::fprintf(f,
+                     "    {\"tier\": \"%s\", \"batch\": %zu, \"steps\": %zu, "
+                     "\"seconds\": %.4f, \"tokens_per_sec\": %.1f}%s\n",
+                     r.tier, r.batch, r.steps, r.seconds, r.tokens_per_sec,
+                     i + 1 < decode_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+    return 0;
+}

@@ -16,6 +16,7 @@
 #include "core/tokenizer.hpp"
 #include "nn/gemm.hpp"
 #include "nn/modules.hpp"
+#include "util/cpu.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -82,6 +83,8 @@ struct GemmShape {
 // (128/1024) model configs, plus the M = 1 decode case.
 constexpr GemmShape kShapes[] = {
     {1, 64, 256, "decode fc1 (d_model=64)"},
+    {1, 256, 64, "decode fc2 (d_model=64)"},
+    {1, 128, 1024, "decode fc1 (flagship mlp=1024)"},
     {128, 64, 256, "fc1 fwd (seq=128, d_model=64)"},
     {128, 256, 64, "fc2 fwd (seq=128, d_model=64)"},
     {512, 64, 64, "qkv proj (batched seq)"},
@@ -115,13 +118,23 @@ double time_gflops(const std::function<void(float*)>& run, std::size_t m, std::s
     return best;
 }
 
+std::vector<util::SimdTier> available_tiers() {
+    std::vector<util::SimdTier> tiers{util::SimdTier::kScalar};
+    if (util::simd_tier_available(util::SimdTier::kSse2)) tiers.push_back(util::SimdTier::kSse2);
+    if (util::simd_tier_available(util::SimdTier::kAvx2)) tiers.push_back(util::SimdTier::kAvx2);
+    return tiers;
+}
+
 struct GemmRow {
     const char* op;
     GemmShape shape;
     double gflops_seed = 0.0;
-    double gflops_blocked_t1 = 0.0;
-    double gflops_blocked_t2 = 0.0;
-    double gflops_blocked_tn = 0.0;
+    // Single-thread GFLOP/s per SIMD tier, indexed by SimdTier; 0 when the
+    // tier is unavailable on this host/build.
+    double gflops_tier_t1[3] = {0.0, 0.0, 0.0};
+    // Thread scaling at the best available tier.
+    double gflops_best_t2 = 0.0;
+    double gflops_best_tn = 0.0;
 };
 
 std::vector<GemmRow> run_gemm_suite(std::size_t n_threads) {
@@ -139,6 +152,8 @@ std::vector<GemmRow> run_gemm_suite(std::size_t n_threads) {
         {"nt", seed::gemm_nt, nn::gemm_nt},
         {"tn", seed::gemm_tn, nn::gemm_tn},
     };
+    const auto tiers = available_tiers();
+    const util::SimdTier best = tiers.back();
 
     util::ThreadPool pool1(1);
     util::ThreadPool pool2(2);
@@ -153,26 +168,37 @@ std::vector<GemmRow> run_gemm_suite(std::size_t n_threads) {
             for (float& x : a) x = dist(gen);
             for (float& x : b) x = dist(gen);
 
-            GemmRow row{op.name, s, 0.0, 0.0, 0.0, 0.0};
+            GemmRow row{op.name, s};
             row.gflops_seed = time_gflops(
                 [&](float* pc) { op.seed(a.data(), b.data(), pc, s.m, s.k, s.n); }, s.m, s.k,
                 s.n, c);
-            row.gflops_blocked_t1 = time_gflops(
-                [&](float* pc) { op.blocked(a.data(), b.data(), pc, s.m, s.k, s.n, &pool1); },
-                s.m, s.k, s.n, c);
-            row.gflops_blocked_t2 = time_gflops(
-                [&](float* pc) { op.blocked(a.data(), b.data(), pc, s.m, s.k, s.n, &pool2); },
-                s.m, s.k, s.n, c);
-            row.gflops_blocked_tn = time_gflops(
-                [&](float* pc) { op.blocked(a.data(), b.data(), pc, s.m, s.k, s.n, &pooln); },
-                s.m, s.k, s.n, c);
+            for (util::SimdTier tier : tiers) {
+                const util::SimdTier prev = util::set_simd_tier(tier);
+                row.gflops_tier_t1[static_cast<int>(tier)] = time_gflops(
+                    [&](float* pc) { op.blocked(a.data(), b.data(), pc, s.m, s.k, s.n, &pool1); },
+                    s.m, s.k, s.n, c);
+                if (tier == best) {
+                    row.gflops_best_t2 = time_gflops(
+                        [&](float* pc) {
+                            op.blocked(a.data(), b.data(), pc, s.m, s.k, s.n, &pool2);
+                        },
+                        s.m, s.k, s.n, c);
+                    row.gflops_best_tn = time_gflops(
+                        [&](float* pc) {
+                            op.blocked(a.data(), b.data(), pc, s.m, s.k, s.n, &pooln);
+                        },
+                        s.m, s.k, s.n, c);
+                }
+                util::set_simd_tier(prev);
+            }
             rows.push_back(row);
 
-            std::printf("gemm_%s %4zux%4zux%4zu  seed %7.2f  blocked(t1) %7.2f  t2 %7.2f  "
-                        "t%zu %7.2f GFLOP/s  (x%.2f 1-thread)  %s\n",
-                        op.name, s.m, s.k, s.n, row.gflops_seed, row.gflops_blocked_t1,
-                        row.gflops_blocked_t2, n_threads, row.gflops_blocked_tn,
-                        row.gflops_blocked_t1 / row.gflops_seed, s.note);
+            std::printf("gemm_%s %4zux%4zux%4zu  seed %7.2f  scalar %7.2f  sse2 %7.2f  "
+                        "avx2 %7.2f  %s(t2) %7.2f  t%zu %7.2f GFLOP/s  (best x%.2f seed)  %s\n",
+                        op.name, s.m, s.k, s.n, row.gflops_seed, row.gflops_tier_t1[0],
+                        row.gflops_tier_t1[1], row.gflops_tier_t1[2], util::simd_tier_name(best),
+                        row.gflops_best_t2, n_threads, row.gflops_best_tn,
+                        row.gflops_tier_t1[static_cast<int>(best)] / row.gflops_seed, s.note);
             std::fflush(stdout);
         }
     }
@@ -185,18 +211,31 @@ void write_json(const std::vector<GemmRow>& rows, std::size_t n_threads, const c
         std::fprintf(stderr, "bench_micro_nn: cannot write %s\n", path);
         return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"micro_nn_gemm\",\n  \"threads_configured\": %zu,\n"
-                 "  \"rows\": [\n", n_threads);
+    const auto tiers = available_tiers();
+    const int best = static_cast<int>(tiers.back());
+    std::fprintf(f, "{\n  \"bench\": \"micro_nn_gemm\",\n  \"threads_configured\": %zu,\n",
+                 n_threads);
+    std::fprintf(f, "  \"simd_tiers\": [");
+    for (std::size_t i = 0; i < tiers.size(); ++i) {
+        std::fprintf(f, "%s\"%s\"", i ? ", " : "", util::simd_tier_name(tiers[i]));
+    }
+    std::fprintf(f, "],\n  \"best_tier\": \"%s\",\n  \"rows\": [\n",
+                 util::simd_tier_name(tiers.back()));
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& r = rows[i];
-        std::fprintf(f,
-                     "    {\"op\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, \"note\": \"%s\", "
-                     "\"gflops_seed\": %.3f, \"gflops_blocked_t1\": %.3f, "
-                     "\"gflops_blocked_t2\": %.3f, \"gflops_blocked_tn\": %.3f, "
-                     "\"speedup_t1_vs_seed\": %.3f}%s\n",
-                     r.op, r.shape.m, r.shape.k, r.shape.n, r.shape.note, r.gflops_seed,
-                     r.gflops_blocked_t1, r.gflops_blocked_t2, r.gflops_blocked_tn,
-                     r.gflops_blocked_t1 / r.gflops_seed, i + 1 < rows.size() ? "," : "");
+        std::fprintf(
+            f,
+            "    {\"op\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, \"note\": \"%s\", "
+            "\"gflops_seed\": %.3f, "
+            "\"gflops_scalar_t1\": %.3f, \"gflops_sse2_t1\": %.3f, \"gflops_avx2_t1\": %.3f, "
+            "\"gflops_best_t2\": %.3f, \"gflops_best_tn\": %.3f, "
+            "\"speedup_scalar_vs_seed\": %.3f, \"speedup_sse2_vs_seed\": %.3f, "
+            "\"speedup_avx2_vs_seed\": %.3f, \"speedup_best_vs_seed\": %.3f}%s\n",
+            r.op, r.shape.m, r.shape.k, r.shape.n, r.shape.note, r.gflops_seed,
+            r.gflops_tier_t1[0], r.gflops_tier_t1[1], r.gflops_tier_t1[2], r.gflops_best_t2,
+            r.gflops_best_tn, r.gflops_tier_t1[0] / r.gflops_seed,
+            r.gflops_tier_t1[1] / r.gflops_seed, r.gflops_tier_t1[2] / r.gflops_seed,
+            r.gflops_tier_t1[best] / r.gflops_seed, i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

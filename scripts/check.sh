@@ -2,12 +2,13 @@
 # Correctness gate: warnings-as-errors build, clang-tidy (when installed), and
 # a sanitizer ctest matrix. Run from anywhere inside the repo:
 #
-#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan
+#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan + simd
 #   scripts/check.sh werror      # just the -Werror build + full test suite
 #   scripts/check.sh tidy        # just clang-tidy over the compile database
 #   scripts/check.sh ubsan       # UBSan build (recovery disabled) + full suite
 #   scripts/check.sh asan        # ASan build + full suite
 #   scripts/check.sh tsan        # TSan build + concurrency-labeled tests
+#   scripts/check.sh simd        # Release build; parity+determinism per forced SIMD tier
 #
 # Each stage configures into its own build directory (build-check-<stage>) so
 # repeat runs are incremental. The script stops at the first failing stage.
@@ -71,9 +72,36 @@ stage_tsan() {
     run_ctest "$ROOT/build-check-tsan" -L concurrency
 }
 
+host_simd_tiers() {
+    # Mirrors util::detect_simd_tier: scalar always; sse2 on any x86-64; avx2
+    # only when the host advertises both avx2 and fma.
+    local tiers="scalar"
+    if grep -q '\bsse2\b' /proc/cpuinfo 2>/dev/null; then
+        tiers="$tiers sse2"
+    fi
+    if grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null &&
+        grep -q '\bfma\b' /proc/cpuinfo 2>/dev/null; then
+        tiers="$tiers avx2"
+    fi
+    echo "$tiers"
+}
+
+stage_simd() {
+    echo "== stage: simd (kernel parity + determinism under each forced tier) =="
+    configure_and_build "$ROOT/build-check-simd"
+    local tiers
+    tiers="$(host_simd_tiers)"
+    echo "host tiers: $tiers"
+    for t in $tiers; do
+        echo "-- CPT_SIMD=$t: parity + determinism suites"
+        CPT_SIMD="$t" run_ctest "$ROOT/build-check-simd" \
+            -R 'SimdParity|GemmBitExact|ParallelDeterminism'
+    done
+}
+
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(werror tidy ubsan asan tsan)
+    stages=(werror tidy ubsan asan tsan simd)
 fi
 for s in "${stages[@]}"; do
     case "$s" in
@@ -82,8 +110,9 @@ for s in "${stages[@]}"; do
         ubsan) stage_ubsan ;;
         asan) stage_asan ;;
         tsan) stage_tsan ;;
+        simd) stage_simd ;;
         *)
-            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan)" >&2
+            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan simd)" >&2
             exit 2
             ;;
     esac

@@ -1,7 +1,10 @@
 #include "model.hpp"
 
+#include <algorithm>
+
 #include "nn/serialize.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cpt::core {
 
@@ -55,24 +58,70 @@ nn::TransformerDecoder CptGpt::make_decoder(std::size_t batch) const {
     return nn::TransformerDecoder(backbone_, batch);
 }
 
+CptGpt::DecodeScratch CptGpt::make_decode_scratch(std::size_t batch) const {
+    DecodeScratch s;
+    s.capacity = batch;
+    s.batch = batch;
+    s.event_hidden = nn::Tensor({batch, config_.head_hidden});
+    s.ia_hidden = nn::Tensor({batch, config_.head_hidden});
+    s.stop_hidden = nn::Tensor({batch, config_.head_hidden});
+    s.ia_out = nn::Tensor({batch, config_.distribution_head ? std::size_t{2} : std::size_t{1}});
+    s.event_logits_full = nn::Tensor({batch, num_events_});
+    s.ia_mu_full = nn::Tensor({batch});
+    if (config_.distribution_head) s.ia_logvar_full = nn::Tensor({batch});
+    s.stop_logits_full = nn::Tensor({batch, 2});
+    s.out.event_logits = s.event_logits_full;
+    s.out.ia_mu = s.ia_mu_full;
+    s.out.ia_logvar = s.ia_logvar_full;
+    s.out.stop_logits = s.stop_logits_full;
+    return s;
+}
+
+const CptGpt::DecodeOutput& CptGpt::decode_step(nn::TransformerDecoder& decoder,
+                                                const nn::Tensor& tokens,
+                                                DecodeScratch& scratch) const {
+    const nn::Tensor& hidden = decoder.step(tokens);  // [B, d_model]
+    const std::size_t b = hidden.dim(0);
+    CPT_CHECK_LE(b, scratch.capacity, " CptGpt::decode_step: batch exceeds scratch capacity");
+    if (scratch.batch != b) {
+        scratch.batch = b;
+        scratch.out.event_logits = scratch.event_logits_full.first_rows(b);
+        scratch.out.ia_mu = scratch.ia_mu_full.first_rows(b);
+        if (config_.distribution_head) {
+            scratch.out.ia_logvar = scratch.ia_logvar_full.first_rows(b);
+        }
+        scratch.out.stop_logits = scratch.stop_logits_full.first_rows(b);
+    }
+    // The heads run through the inference fast path (same per-element
+    // arithmetic as the autograd modules; pinned by DecodeStepMatchesForwardHeads).
+    util::ThreadPool& pool = util::global_pool();
+    const float* ph = hidden.data().data();
+    event_head_.forward_rows(ph, scratch.event_hidden.data().data(),
+                             scratch.out.event_logits.data().data(), b, &pool);
+    ia_head_.forward_rows(ph, scratch.ia_hidden.data().data(), scratch.ia_out.data().data(), b,
+                          &pool);
+    stop_head_.forward_rows(ph, scratch.stop_hidden.data().data(),
+                            scratch.out.stop_logits.data().data(), b, &pool);
+    const float* pia = scratch.ia_out.data().data();
+    float* mu = scratch.out.ia_mu.data().data();
+    if (config_.distribution_head) {
+        float* lv = scratch.out.ia_logvar.data().data();
+        for (std::size_t r = 0; r < b; ++r) {
+            mu[r] = pia[r * 2];
+            lv[r] = pia[r * 2 + 1];
+        }
+    } else {
+        std::copy_n(pia, b, mu);
+    }
+    return scratch.out;
+}
+
 CptGpt::DecodeOutput CptGpt::decode_step(nn::TransformerDecoder& decoder,
                                          const nn::Tensor& tokens) const {
-    const nn::Tensor hidden = decoder.step(tokens);  // [B, d_model]
-    const std::size_t b = hidden.dim(0);
-    // The heads are small; running them through the autograd modules on a
-    // leaf Var costs nothing measurable and avoids duplicating their math.
-    nn::Var h = nn::make_var(hidden);
-    DecodeOutput out;
-    out.event_logits = event_head_.forward(h)->value;
-    nn::Var ia = ia_head_.forward(h);
-    if (config_.distribution_head) {
-        out.ia_mu = nn::slice_lastdim(ia, 0, 1)->value.reshaped({b});
-        out.ia_logvar = nn::slice_lastdim(ia, 1, 1)->value.reshaped({b});
-    } else {
-        out.ia_mu = ia->value.reshaped({b});
-    }
-    out.stop_logits = stop_head_.forward(h)->value;
-    return out;
+    DecodeScratch scratch = make_decode_scratch(decoder.batch());
+    // Copying the output tensors shares their storage, which outlives the
+    // local scratch.
+    return decode_step(decoder, tokens, scratch);
 }
 
 void CptGpt::collect(const std::string& prefix, std::vector<nn::NamedParam>& out) const {

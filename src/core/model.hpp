@@ -63,9 +63,36 @@ public:
         nn::Tensor stop_logits;   // [B, 2]
     };
     nn::TransformerDecoder make_decoder(std::size_t batch) const;
+
+    // Reusable head buffers for decode_step: hidden activations and outputs
+    // are preallocated for a fixed capacity so the steady-state decode loop
+    // performs no tensor allocations. `out` holds first_rows views over the
+    // *_full tensors, rebound only when the live batch shrinks (decoder
+    // compaction).
+    struct DecodeScratch {
+        std::size_t capacity = 0;
+        std::size_t batch = 0;
+        nn::Tensor event_hidden;  // [cap, head_hidden]
+        nn::Tensor ia_hidden;
+        nn::Tensor stop_hidden;
+        nn::Tensor ia_out;  // [cap, 2] (distribution head) or [cap, 1]
+        nn::Tensor event_logits_full;
+        nn::Tensor ia_mu_full;
+        nn::Tensor ia_logvar_full;
+        nn::Tensor stop_logits_full;
+        DecodeOutput out;
+    };
+    DecodeScratch make_decode_scratch(std::size_t batch) const;
+
     // Feeds one token per row ([B, d_token]) and returns the heads' outputs
     // for that position. Numerically equivalent to forward() at the last
     // position (pinned by tests), at O(T) instead of O(T^2) per token.
+    // The returned reference points into `scratch` and is overwritten by the
+    // next call with that scratch.
+    const DecodeOutput& decode_step(nn::TransformerDecoder& decoder, const nn::Tensor& tokens,
+                                    DecodeScratch& scratch) const;
+    // Convenience overload that builds a one-shot scratch (the returned
+    // tensors keep the storage alive).
     DecodeOutput decode_step(nn::TransformerDecoder& decoder, const nn::Tensor& tokens) const;
 
     void collect(const std::string& prefix, std::vector<nn::NamedParam>& out) const override;

@@ -33,10 +33,18 @@ Sampler::Sampler(const CptGpt& model, const Tokenizer& tokenizer,
 
 namespace {
 
+// Reusable buffers for sample_logits, so the per-token sampling loop does
+// not allocate in steady state.
+struct SampleScratch {
+    std::vector<double> probs;
+    std::vector<std::size_t> order;
+};
+
 // Samples from logits with temperature and nucleus (top-p) truncation.
 std::size_t sample_logits(std::span<const float> logits, double temperature, double top_p,
-                          util::Rng& rng) {
-    std::vector<double> probs(logits.size());
+                          util::Rng& rng, SampleScratch& scratch) {
+    auto& probs = scratch.probs;
+    probs.resize(logits.size());
     double mx = -1e30;
     for (float l : logits) mx = std::max(mx, static_cast<double>(l));
     double total = 0.0;
@@ -48,7 +56,8 @@ std::size_t sample_logits(std::span<const float> logits, double temperature, dou
     if (top_p < 1.0) {
         // Keep the smallest prefix (by descending probability) whose mass
         // reaches top_p; zero out the tail.
-        std::vector<std::size_t> order(probs.size());
+        auto& order = scratch.order;
+        order.resize(probs.size());
         std::iota(order.begin(), order.end(), 0);
         std::sort(order.begin(), order.end(),
                   [&](std::size_t a, std::size_t b) { return probs[a] > probs[b]; });
@@ -58,9 +67,7 @@ std::size_t sample_logits(std::span<const float> logits, double temperature, dou
             mass += probs[order[keep]];
             ++keep;
         }
-        std::vector<double> truncated(probs.size(), 0.0);
-        for (std::size_t i = 0; i < keep; ++i) truncated[order[i]] = probs[order[i]];
-        probs = std::move(truncated);
+        for (std::size_t i = keep; i < order.size(); ++i) probs[order[i]] = 0.0;
     }
     return rng.categorical(std::span<const double>(probs));
 }
@@ -102,12 +109,21 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
 
     // Incremental decoding: each step feeds one new token per active stream
     // into the KV-cached decoder; finished streams are compacted away.
+    // Everything on the per-step path — the input tensor, the decoder and
+    // head scratch, and the sampling buffers — is allocated once up front,
+    // so the steady-state loop is allocation-free outside of stream output.
     nn::TransformerDecoder decoder = model_->make_decoder(batch);
+    CptGpt::DecodeScratch decode_scratch = model_->make_decode_scratch(batch);
+    SampleScratch sample_scratch;
+    nn::Tensor input_full({batch, d_token});
+    nn::Tensor input = input_full;
+    std::vector<std::size_t> keep_rows;
+    keep_rows.reserve(batch);
     std::vector<trace::Stream> done;
     done.reserve(batch);
     while (!active.empty() && decoder.length() + 1 < config_.max_stream_len) {
         const std::size_t b = active.size();
-        nn::Tensor input({b, d_token});
+        if (input.dim(0) != b) input = input_full.first_rows(b);
         {
             auto dst = input.data();
             for (std::size_t i = 0; i < b; ++i) {
@@ -115,16 +131,15 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
                           dst.begin() + static_cast<std::ptrdiff_t>(i * d_token));
             }
         }
-        const auto pred = model_->decode_step(decoder, input);
+        const auto& pred = model_->decode_step(decoder, input, decode_scratch);
 
-        std::vector<Active> still_active;
-        std::vector<std::size_t> keep_rows;
-        still_active.reserve(b);
+        keep_rows.clear();
+        std::size_t live = 0;  // rows of `active` kept, compacted in place
         for (std::size_t i = 0; i < b; ++i) {
             Active& a = active[i];
             const auto ev_logits = pred.event_logits.data().subspan(i * num_events, num_events);
-            const auto event = static_cast<cellular::EventId>(
-                sample_logits(ev_logits, config_.temperature, config_.top_p, a.rng));
+            const auto event = static_cast<cellular::EventId>(sample_logits(
+                ev_logits, config_.temperature, config_.top_p, a.rng, sample_scratch));
 
             const float mu = pred.ia_mu[i];
             double scaled;
@@ -138,8 +153,8 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
             a.t += interarrival;
 
             const auto stop_logits = pred.stop_logits.data().subspan(i * 2, 2);
-            const bool stop =
-                sample_logits(stop_logits, config_.temperature, config_.top_p, a.rng) == 1;
+            const bool stop = sample_logits(stop_logits, config_.temperature, config_.top_p,
+                                            a.rng, sample_scratch) == 1;
 
             a.stream.events.push_back({a.t, event});
             if (stop || a.stream.events.size() >= config_.max_stream_len) {
@@ -149,10 +164,13 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
             tokenizer_->encode_token(event, interarrival, false,
                                      std::span<float>(a.next_token.data(), d_token));
             keep_rows.push_back(i);
-            still_active.push_back(std::move(a));
+            if (live != i) active[live] = std::move(a);
+            ++live;
         }
-        if (keep_rows.size() != b) decoder.compact(keep_rows);
-        active = std::move(still_active);
+        if (live != b) {
+            decoder.compact(keep_rows);
+            active.resize(live);
+        }
     }
     for (auto& a : active) done.push_back(std::move(a.stream));  // hit the length cap
     return done;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "gemm.hpp"
+#include "kernels.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -226,18 +227,7 @@ Var add_bias(const Var& x, const Var& bias) {
     const std::size_t d = xs.back();
     const std::size_t rows = x->value.numel() / d;
     Tensor out = x->value.clone();
-    {
-        auto dst = out.data();
-        auto b = bias->value.data();
-        util::global_pool().parallel_for(rows, util::grain_for(d),
-                                         [&](std::size_t r0, std::size_t r1) {
-                                             for (std::size_t r = r0; r < r1; ++r) {
-                                                 for (std::size_t j = 0; j < d; ++j) {
-                                                     dst[r * d + j] += b[j];
-                                                 }
-                                             }
-                                         });
-    }
+    kernels::add_bias_rows(out.data().data(), bias->value.data().data(), rows, d);
     Var node = make_node(std::move(out), {x, bias});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
@@ -352,20 +342,8 @@ Var reshape(const Var& a, Shape shape) {
 
 namespace {
 
-// In-place stable softmax over contiguous rows of length `len`, restricted to
-// the first `valid` entries; the rest are set to 0.
-void softmax_row(const float* in, float* out, std::size_t len, std::size_t valid) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::size_t j = 0; j < valid; ++j) mx = std::max(mx, in[j]);
-    float total = 0.0f;
-    for (std::size_t j = 0; j < valid; ++j) {
-        out[j] = std::exp(in[j] - mx);
-        total += out[j];
-    }
-    const float inv = total > 0.0f ? 1.0f / total : 0.0f;
-    for (std::size_t j = 0; j < valid; ++j) out[j] *= inv;
-    for (std::size_t j = valid; j < len; ++j) out[j] = 0.0f;
-}
+// Forward softmax lives in kernels::softmax_row (shared with the decoder and
+// tier-dispatched); only the backward stays here.
 
 // dL/dx_j = y_j * (g_j - sum_k g_k y_k), restricted to `valid` entries.
 void softmax_backward_row(const float* y, const float* g, float* dx, std::size_t len,
@@ -390,7 +368,7 @@ Var softmax_lastdim(const Var& a) {
         util::global_pool().parallel_for(rows, util::grain_for(8 * d),
                                          [&](std::size_t r0, std::size_t r1) {
                                              for (std::size_t r = r0; r < r1; ++r) {
-                                                 softmax_row(in + r * d, o + r * d, d, d);
+                                                 kernels::softmax_row(in + r * d, o + r * d, d, d);
                                              }
                                          });
     }
@@ -427,7 +405,7 @@ Var softmax_causal(const Var& scores) {
                 for (std::size_t m = m0; m < m1; ++m) {
                     for (std::size_t r = 0; r < t; ++r) {
                         const std::size_t off = (m * t + r) * t;
-                        softmax_row(in + off, o + off, t, r + 1);
+                        kernels::softmax_row(in + off, o + off, t, r + 1);
                     }
                 }
             });
@@ -465,31 +443,9 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
     Tensor out(xs);
     // Cache per-row mean and inverse stddev for backward.
     auto stats = std::make_shared<std::vector<float>>(rows * 2);
-    {
-        const float* in = x->value.data().data();
-        const float* gw = gain->value.data().data();
-        const float* bw = bias->value.data().data();
-        float* o = out.data().data();
-        util::global_pool().parallel_for(
-            rows, util::grain_for(6 * d), [&](std::size_t r0, std::size_t r1) {
-                for (std::size_t r = r0; r < r1; ++r) {
-                    const float* row = in + r * d;
-                    float mean = 0.0f;
-                    for (std::size_t j = 0; j < d; ++j) mean += row[j];
-                    mean /= static_cast<float>(d);
-                    float var = 0.0f;
-                    for (std::size_t j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
-                    var /= static_cast<float>(d);
-                    const float inv = 1.0f / std::sqrt(var + eps);
-                    (*stats)[r * 2] = mean;
-                    (*stats)[r * 2 + 1] = inv;
-                    float* orow = o + r * d;
-                    for (std::size_t j = 0; j < d; ++j) {
-                        orow[j] = (row[j] - mean) * inv * gw[j] + bw[j];
-                    }
-                }
-            });
-    }
+    kernels::layer_norm_rows(x->value.data().data(), out.data().data(),
+                             gain->value.data().data(), bias->value.data().data(), rows, d, eps,
+                             stats->data());
     Var node = make_node(std::move(out), {x, gain, bias});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
@@ -593,21 +549,12 @@ Var pointwise(const Var& a, F f, DF df) {
 }  // namespace
 
 Var gelu(const Var& a) {
-    // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
-    constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-    constexpr float kA = 0.044715f;
+    // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))).
+    // The math lives in kernels.hpp, shared with the fused bias+GELU kernel
+    // and the inference decoder.
     return pointwise(
-        a,
-        [](float x) {
-            const float u = kC * (x + kA * x * x * x);
-            return 0.5f * x * (1.0f + std::tanh(u));
-        },
-        [](float x, float /*y*/) {
-            const float u = kC * (x + kA * x * x * x);
-            const float t = std::tanh(u);
-            const float du = kC * (1.0f + 3.0f * kA * x * x);
-            return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-        });
+        a, [](float x) { return kernels::gelu_scalar(x); },
+        [](float x, float /*y*/) { return kernels::gelu_grad_scalar(x); });
 }
 
 Var relu(const Var& a) {
@@ -855,7 +802,7 @@ Var cross_entropy(const Var& logits, const std::vector<int>& targets) {
         util::global_pool().parallel_for(n, util::grain_for(8 * c),
                                          [&](std::size_t r0, std::size_t r1) {
                                              for (std::size_t r = r0; r < r1; ++r) {
-                                                 softmax_row(in + r * c, p + r * c, c, c);
+                                                 kernels::softmax_row(in + r * c, p + r * c, c, c);
                                              }
                                          });
         for (std::size_t r = 0; r < n; ++r) {

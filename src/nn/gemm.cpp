@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "simd_detail.hpp"
+#include "util/cpu.hpp"
+
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #endif
@@ -9,6 +12,8 @@
 namespace cpt::nn {
 
 namespace {
+
+using util::SimdTier;
 
 // Register-tile sizes. MR x NR float accumulators must fit the 16 SSE
 // registers of the baseline x86-64 ABI: 4x8 = 32 floats = 8 xmm, leaving
@@ -27,52 +32,57 @@ std::size_t row_grain(std::size_t k_dim, std::size_t n_dim) {
     return util::grain_for(2 * k_dim * n_dim, kMinChunkFlops);
 }
 
+util::ThreadPool& pick(util::ThreadPool* pool) {
+    return pool ? *pool : util::global_pool();
+}
+
 // ---- NN: C[M,N] += A[M,K] * B[K,N] -------------------------------------------
 // A rows are broadcast, B rows are read contiguously per k; accumulators live
 // in registers for the whole (unsplit) K extent.
+//
+// Both the scalar and SSE2 micro-kernels perform, per C element, exactly the
+// chain `acc += a * b` in ascending k with one accumulator per element — the
+// SSE2 bodies are the same per-lane IEEE operations four lanes at a time — so
+// BOTH tiers stay bit-identical to the reference kernels. GCC's SLP
+// vectorizer handles the TN form on its own but leaves these two scalar (the
+// strided A / B accesses defeat it), hence the explicit intrinsics.
 
-// The SSE2 bodies below perform, per C element, exactly the scalar chain
-// `acc += a * b` in ascending k with one accumulator per element — the same
-// per-lane IEEE operations as the scalar template, just four lanes at a time —
-// so they stay bit-identical to the reference kernels. GCC's SLP vectorizer
-// handles the TN form on its own but leaves these two scalar (the strided A /
-// B accesses defeat it), hence the explicit intrinsics.
+using MicroNnFn = void (*)(const float*, std::size_t, const float*, std::size_t, float*,
+                           std::size_t, std::size_t);
+
+void micro_nn_fixed_scalar(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+                           float* c, std::size_t ldc, std::size_t k_dim) {
+    float acc[kMr][kNr] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* brow = b + k * ldb;
+        for (std::size_t i = 0; i < kMr; ++i) {
+            const float av = a[i * lda + k];
+            for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += av * brow[j];
+        }
+    }
+    for (std::size_t i = 0; i < kMr; ++i) {
+        for (std::size_t j = 0; j < kNr; ++j) c[i * ldc + j] += acc[i][j];
+    }
+}
+
 #if defined(__SSE2__)
-template <std::size_t MR, std::size_t NR>
-void micro_nn_fixed(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
-                    std::size_t ldc, std::size_t k_dim) {
-    static_assert(MR == 4 && NR == 8);
-    __m128 acc[MR][2] = {};
+void micro_nn_fixed_sse2(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+                         float* c, std::size_t ldc, std::size_t k_dim) {
+    __m128 acc[kMr][2] = {};
     for (std::size_t k = 0; k < k_dim; ++k) {
         const float* brow = b + k * ldb;
         const __m128 b0 = _mm_loadu_ps(brow);
         const __m128 b1 = _mm_loadu_ps(brow + 4);
-        for (std::size_t i = 0; i < MR; ++i) {
+        for (std::size_t i = 0; i < kMr; ++i) {
             const __m128 av = _mm_set1_ps(a[i * lda + k]);
             acc[i][0] = _mm_add_ps(acc[i][0], _mm_mul_ps(av, b0));
             acc[i][1] = _mm_add_ps(acc[i][1], _mm_mul_ps(av, b1));
         }
     }
-    for (std::size_t i = 0; i < MR; ++i) {
+    for (std::size_t i = 0; i < kMr; ++i) {
         float* crow = c + i * ldc;
         _mm_storeu_ps(crow, _mm_add_ps(_mm_loadu_ps(crow), acc[i][0]));
         _mm_storeu_ps(crow + 4, _mm_add_ps(_mm_loadu_ps(crow + 4), acc[i][1]));
-    }
-}
-#else
-template <std::size_t MR, std::size_t NR>
-void micro_nn_fixed(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
-                    std::size_t ldc, std::size_t k_dim) {
-    float acc[MR][NR] = {};
-    for (std::size_t k = 0; k < k_dim; ++k) {
-        const float* brow = b + k * ldb;
-        for (std::size_t i = 0; i < MR; ++i) {
-            const float av = a[i * lda + k];
-            for (std::size_t j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
-        }
-    }
-    for (std::size_t i = 0; i < MR; ++i) {
-        for (std::size_t j = 0; j < NR; ++j) c[i * ldc + j] += acc[i][j];
     }
 }
 #endif
@@ -92,6 +102,7 @@ void micro_nn_edge(const float* a, std::size_t lda, const float* b, std::size_t 
     }
 }
 
+template <MicroNnFn kFixed>
 void gemm_nn_rows(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim,
                   std::size_t r0, std::size_t r1) {
     for (std::size_t n0 = 0; n0 < n_dim; n0 += kNc) {
@@ -103,8 +114,7 @@ void gemm_nn_rows(const float* a, const float* b, float* c, std::size_t k_dim, s
             std::size_t j0 = 0;
             if (mr == kMr) {
                 for (; j0 + kNr <= nb; j0 += kNr) {
-                    micro_nn_fixed<kMr, kNr>(atile, k_dim, b + n0 + j0, n_dim, crow + j0, n_dim,
-                                             k_dim);
+                    kFixed(atile, k_dim, b + n0 + j0, n_dim, crow + j0, n_dim, k_dim);
                 }
             }
             for (; j0 < nb; j0 += kNr) {
@@ -118,40 +128,40 @@ void gemm_nn_rows(const float* a, const float* b, float* c, std::size_t k_dim, s
 // ---- NT: C[M,N] += A[M,K] * B^T, B stored [N,K] -------------------------------
 // Both operands stream contiguously along k; no packing needed.
 
+using MicroNtFn = void (*)(const float*, const float*, float*, std::size_t, std::size_t,
+                           std::size_t, std::size_t);
+
+void micro_nt_fixed_scalar(const float* a, const float* b, float* c, std::size_t ldc,
+                           std::size_t k_dim, std::size_t lda, std::size_t ldb) {
+    float acc[kMr][kNrNt] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        for (std::size_t i = 0; i < kMr; ++i) {
+            const float av = a[i * lda + k];
+            for (std::size_t j = 0; j < kNrNt; ++j) acc[i][j] += av * b[j * ldb + k];
+        }
+    }
+    for (std::size_t i = 0; i < kMr; ++i) {
+        for (std::size_t j = 0; j < kNrNt; ++j) c[i * ldc + j] += acc[i][j];
+    }
+}
+
 #if defined(__SSE2__)
-template <std::size_t MR, std::size_t NR>
-void micro_nt_fixed(const float* a, const float* b, float* c, std::size_t ldc, std::size_t k_dim,
-                    std::size_t lda, std::size_t ldb) {
-    static_assert(MR == 4 && NR == 4);
+void micro_nt_fixed_sse2(const float* a, const float* b, float* c, std::size_t ldc,
+                         std::size_t k_dim, std::size_t lda, std::size_t ldb) {
     // Neither operand is contiguous across the 4 B rows, so the B column is
     // gathered into one vector per k; lane j of acc[i] is C[i][j]'s single
     // ascending-k accumulator.
-    __m128 acc[MR] = {};
+    __m128 acc[kMr] = {};
     for (std::size_t k = 0; k < k_dim; ++k) {
         const __m128 bv = _mm_set_ps(b[3 * ldb + k], b[2 * ldb + k], b[1 * ldb + k], b[0 * ldb + k]);
-        for (std::size_t i = 0; i < MR; ++i) {
+        for (std::size_t i = 0; i < kMr; ++i) {
             const __m128 av = _mm_set1_ps(a[i * lda + k]);
             acc[i] = _mm_add_ps(acc[i], _mm_mul_ps(av, bv));
         }
     }
-    for (std::size_t i = 0; i < MR; ++i) {
+    for (std::size_t i = 0; i < kMr; ++i) {
         float* crow = c + i * ldc;
         _mm_storeu_ps(crow, _mm_add_ps(_mm_loadu_ps(crow), acc[i]));
-    }
-}
-#else
-template <std::size_t MR, std::size_t NR>
-void micro_nt_fixed(const float* a, const float* b, float* c, std::size_t ldc, std::size_t k_dim,
-                    std::size_t lda, std::size_t ldb) {
-    float acc[MR][NR] = {};
-    for (std::size_t k = 0; k < k_dim; ++k) {
-        for (std::size_t i = 0; i < MR; ++i) {
-            const float av = a[i * lda + k];
-            for (std::size_t j = 0; j < NR; ++j) acc[i][j] += av * b[j * ldb + k];
-        }
-    }
-    for (std::size_t i = 0; i < MR; ++i) {
-        for (std::size_t j = 0; j < NR; ++j) c[i * ldc + j] += acc[i][j];
     }
 }
 #endif
@@ -170,6 +180,7 @@ void micro_nt_edge(const float* a, const float* b, float* c, std::size_t ldc, st
     }
 }
 
+template <MicroNtFn kFixed>
 void gemm_nt_rows(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim,
                   std::size_t r0, std::size_t r1) {
     for (std::size_t m0 = r0; m0 < r1; m0 += kMr) {
@@ -179,8 +190,7 @@ void gemm_nt_rows(const float* a, const float* b, float* c, std::size_t k_dim, s
         std::size_t j0 = 0;
         if (mr == kMr) {
             for (; j0 + kNrNt <= n_dim; j0 += kNrNt) {
-                micro_nt_fixed<kMr, kNrNt>(atile, b + j0 * k_dim, crow + j0, n_dim, k_dim, k_dim,
-                                           k_dim);
+                kFixed(atile, b + j0 * k_dim, crow + j0, n_dim, k_dim, k_dim, k_dim);
             }
         }
         for (; j0 < n_dim; j0 += kNrNt) {
@@ -192,6 +202,9 @@ void gemm_nt_rows(const float* a, const float* b, float* c, std::size_t k_dim, s
 
 // ---- TN: C[M,N] += A^T * B, A stored [K,M], B [K,N] ---------------------------
 // Per k both loads are contiguous short vectors (along m and n respectively).
+// GCC SLP-vectorizes this form, so one micro-kernel serves the scalar and
+// sse2 tiers (identical bits either way: one ascending-k accumulator per
+// element).
 
 template <std::size_t MR, std::size_t NR>
 void micro_tn_fixed(const float* a, const float* b, float* c, std::size_t ldc, std::size_t k_dim,
@@ -244,37 +257,254 @@ void gemm_tn_rows(const float* a, const float* b, float* c, std::size_t m_dim, s
     }
 }
 
-util::ThreadPool& pick(util::ThreadPool* pool) {
-    return pool ? *pool : util::global_pool();
+// ---- GEMV fast paths (m == 1) -------------------------------------------------
+// Decode-shaped matmuls are a single output row; the blocked drivers above
+// waste their register tile on them (and the NT gather kernel is actively
+// slower than the seed loop — the PR-1 regression). These paths run on the
+// calling thread: one row is far below any useful parallel grain.
+//
+// nn/tn with m == 1 are the same computation: c[n] += sum_k a[k] * B[k,n]
+// with a contiguous (A is [1,K] or [K,1]). One ascending-k accumulator per
+// element, so the scalar and sse2 variants stay bit-identical to the
+// reference kernels.
+
+// Two loop orders, same per-element arithmetic. The j-tile form holds
+// accumulators in registers but walks B with stride n*4 bytes; once that
+// stride reaches a page (n >= 1024) every load is an unprefetchable miss.
+// The chunk form streams B rows sequentially into a zero-initialised
+// accumulator buffer (<= 4 KiB, L1-resident) and adds it to c at the end.
+// Either way each output element is (0 + sum over ascending k) added to the
+// prefilled c last — exactly the reference order, so both stay bit-identical
+// to gemm_*_ref on the scalar and sse2 tiers.
+constexpr std::size_t kGemvChunk = 1024;          // accumulator floats per pass
+constexpr std::size_t kGemvWideN = 512;           // switch to streaming above this
+
+void gemv_nn_scalar(const float* a, const float* b, float* c, std::size_t k_dim,
+                    std::size_t n_dim) {
+    float acc[kGemvChunk];
+    for (std::size_t j0 = 0; j0 < n_dim; j0 += kGemvChunk) {
+        const std::size_t w = std::min(kGemvChunk, n_dim - j0);
+        std::fill_n(acc, w, 0.0f);
+        for (std::size_t k = 0; k < k_dim; ++k) {
+            const float av = a[k];
+            const float* brow = b + k * n_dim + j0;
+            for (std::size_t j = 0; j < w; ++j) acc[j] += av * brow[j];
+        }
+        float* cj = c + j0;
+        for (std::size_t j = 0; j < w; ++j) cj[j] += acc[j];
+    }
 }
+
+#if defined(__SSE2__)
+void gemv_nn_sse2(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim) {
+    if (n_dim > kGemvWideN) {
+        // Streaming form: B read once, sequentially.
+        alignas(16) float acc[kGemvChunk];
+        for (std::size_t j0 = 0; j0 < n_dim; j0 += kGemvChunk) {
+            const std::size_t w = std::min(kGemvChunk, n_dim - j0);
+            std::fill_n(acc, w, 0.0f);
+            for (std::size_t k = 0; k < k_dim; ++k) {
+                const __m128 av = _mm_set1_ps(a[k]);
+                const float* brow = b + k * n_dim + j0;
+                std::size_t j = 0;
+                for (; j + 16 <= w; j += 16) {
+                    for (std::size_t u = 0; u < 4; ++u) {
+                        float* aj = acc + j + 4 * u;
+                        _mm_store_ps(aj, _mm_add_ps(_mm_load_ps(aj),
+                                                    _mm_mul_ps(av, _mm_loadu_ps(brow + j + 4 * u))));
+                    }
+                }
+                for (; j < w; ++j) acc[j] += a[k] * brow[j];
+            }
+            float* cj = c + j0;
+            for (std::size_t j = 0; j < w; ++j) cj[j] += acc[j];
+        }
+        return;
+    }
+    constexpr std::size_t kTile = 16;  // 4 xmm accumulators
+    std::size_t j0 = 0;
+    for (; j0 + kTile <= n_dim; j0 += kTile) {
+        __m128 acc[4] = {};
+        for (std::size_t k = 0; k < k_dim; ++k) {
+            const __m128 av = _mm_set1_ps(a[k]);
+            const float* brow = b + k * n_dim + j0;
+            for (std::size_t j = 0; j < 4; ++j) {
+                acc[j] = _mm_add_ps(acc[j], _mm_mul_ps(av, _mm_loadu_ps(brow + 4 * j)));
+            }
+        }
+        for (std::size_t j = 0; j < 4; ++j) {
+            float* cj = c + j0 + 4 * j;
+            _mm_storeu_ps(cj, _mm_add_ps(_mm_loadu_ps(cj), acc[j]));
+        }
+    }
+    // Column tail: same per-element mul+add chain as the vector lanes.
+    for (; j0 < n_dim; ++j0) {
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < k_dim; ++k) acc += a[k] * b[k * n_dim + j0];
+        c[j0] += acc;
+    }
+}
+#endif
+
+// nt with m == 1: one dot per output along contiguous k. Multiple
+// accumulators reassociate the sum (tolerance vs the reference, pinned by
+// tests); still deterministic — single-threaded and fixed order per shape.
+
+float dot4_scalar(const float* a, const float* b, std::size_t k_dim) {
+    float s0 = 0.0f;
+    float s1 = 0.0f;
+    float s2 = 0.0f;
+    float s3 = 0.0f;
+    std::size_t i = 0;
+    for (; i + 4 <= k_dim; i += 4) {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+    }
+    float s = (s0 + s1) + (s2 + s3);
+    for (; i < k_dim; ++i) s += a[i] * b[i];
+    return s;
+}
+
+void gemv_nt_scalar(const float* a, const float* b, float* c, std::size_t k_dim,
+                    std::size_t n_dim) {
+    for (std::size_t n = 0; n < n_dim; ++n) c[n] += dot4_scalar(a, b + n * k_dim, k_dim);
+}
+
+#if defined(__SSE2__)
+float dot_sse2(const float* a, const float* b, std::size_t k_dim) {
+    __m128 acc0 = _mm_setzero_ps();
+    __m128 acc1 = _mm_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= k_dim; i += 8) {
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4)));
+    }
+    for (; i + 4 <= k_dim; i += 4) {
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+    }
+    __m128 s = _mm_add_ps(acc0, acc1);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    float r = _mm_cvtss_f32(s);
+    for (; i < k_dim; ++i) r += a[i] * b[i];
+    return r;
+}
+
+void gemv_nt_sse2(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim) {
+    for (std::size_t n = 0; n < n_dim; ++n) c[n] += dot_sse2(a, b + n * k_dim, k_dim);
+}
+#endif
+
+void gemv_nn_dispatch(const float* a, const float* b, float* c, std::size_t k_dim,
+                      std::size_t n_dim, SimdTier tier) {
+    switch (tier) {
+        case SimdTier::kAvx2:
+            detail::gemv_nn_avx2(a, b, c, k_dim, n_dim);
+            return;
+        case SimdTier::kSse2:
+#if defined(__SSE2__)
+            gemv_nn_sse2(a, b, c, k_dim, n_dim);
+            return;
+#else
+            break;
+#endif
+        case SimdTier::kScalar:
+            break;
+    }
+    gemv_nn_scalar(a, b, c, k_dim, n_dim);
+}
+
+void gemv_nt_dispatch(const float* a, const float* b, float* c, std::size_t k_dim,
+                      std::size_t n_dim, SimdTier tier) {
+    switch (tier) {
+        case SimdTier::kAvx2:
+            detail::gemv_nt_avx2(a, b, c, k_dim, n_dim);
+            return;
+        case SimdTier::kSse2:
+#if defined(__SSE2__)
+            gemv_nt_sse2(a, b, c, k_dim, n_dim);
+            return;
+#else
+            break;
+#endif
+        case SimdTier::kScalar:
+            break;
+    }
+    gemv_nt_scalar(a, b, c, k_dim, n_dim);
+}
+
+#if defined(__SSE2__)
+constexpr MicroNnFn kMicroNnSse2 = micro_nn_fixed_sse2;
+constexpr MicroNtFn kMicroNtSse2 = micro_nt_fixed_sse2;
+#else
+constexpr MicroNnFn kMicroNnSse2 = micro_nn_fixed_scalar;
+constexpr MicroNtFn kMicroNtSse2 = micro_nt_fixed_scalar;
+#endif
 
 }  // namespace
 
 void gemm_nn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
              std::size_t n_dim, util::ThreadPool* pool) {
     if (m_dim == 0 || k_dim == 0 || n_dim == 0) return;
-    pick(pool).parallel_for(m_dim, row_grain(k_dim, n_dim),
-                            [&](std::size_t r0, std::size_t r1) {
-                                gemm_nn_rows(a, b, c, k_dim, n_dim, r0, r1);
-                            });
+    const SimdTier tier = util::active_simd_tier();
+    if (m_dim == 1) {
+        gemv_nn_dispatch(a, b, c, k_dim, n_dim, tier);
+        return;
+    }
+    if (tier == SimdTier::kAvx2) {
+        detail::gemm_nn_avx2(a, b, c, m_dim, k_dim, n_dim, pick(pool));
+        return;
+    }
+    const bool sse2 = tier == SimdTier::kSse2;
+    pick(pool).parallel_for(m_dim, row_grain(k_dim, n_dim), [&](std::size_t r0, std::size_t r1) {
+        if (sse2) {
+            gemm_nn_rows<kMicroNnSse2>(a, b, c, k_dim, n_dim, r0, r1);
+        } else {
+            gemm_nn_rows<micro_nn_fixed_scalar>(a, b, c, k_dim, n_dim, r0, r1);
+        }
+    });
 }
 
 void gemm_nt(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
              std::size_t n_dim, util::ThreadPool* pool) {
     if (m_dim == 0 || k_dim == 0 || n_dim == 0) return;
-    pick(pool).parallel_for(m_dim, row_grain(k_dim, n_dim),
-                            [&](std::size_t r0, std::size_t r1) {
-                                gemm_nt_rows(a, b, c, k_dim, n_dim, r0, r1);
-                            });
+    const SimdTier tier = util::active_simd_tier();
+    if (m_dim == 1) {
+        gemv_nt_dispatch(a, b, c, k_dim, n_dim, tier);
+        return;
+    }
+    if (tier == SimdTier::kAvx2) {
+        detail::gemm_nt_avx2(a, b, c, m_dim, k_dim, n_dim, pick(pool));
+        return;
+    }
+    const bool sse2 = tier == SimdTier::kSse2;
+    pick(pool).parallel_for(m_dim, row_grain(k_dim, n_dim), [&](std::size_t r0, std::size_t r1) {
+        if (sse2) {
+            gemm_nt_rows<kMicroNtSse2>(a, b, c, k_dim, n_dim, r0, r1);
+        } else {
+            gemm_nt_rows<micro_nt_fixed_scalar>(a, b, c, k_dim, n_dim, r0, r1);
+        }
+    });
 }
 
 void gemm_tn(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
              std::size_t n_dim, util::ThreadPool* pool) {
     if (m_dim == 0 || k_dim == 0 || n_dim == 0) return;
-    pick(pool).parallel_for(m_dim, row_grain(k_dim, n_dim),
-                            [&](std::size_t r0, std::size_t r1) {
-                                gemm_tn_rows(a, b, c, m_dim, k_dim, n_dim, r0, r1);
-                            });
+    const SimdTier tier = util::active_simd_tier();
+    if (m_dim == 1) {
+        // A is [K, 1] — contiguous along k, identical computation to nn GEMV.
+        gemv_nn_dispatch(a, b, c, k_dim, n_dim, tier);
+        return;
+    }
+    if (tier == SimdTier::kAvx2) {
+        detail::gemm_tn_avx2(a, b, c, m_dim, k_dim, n_dim, pick(pool));
+        return;
+    }
+    pick(pool).parallel_for(m_dim, row_grain(k_dim, n_dim), [&](std::size_t r0, std::size_t r1) {
+        gemm_tn_rows(a, b, c, m_dim, k_dim, n_dim, r0, r1);
+    });
 }
 
 void gemm_nn_ref(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,

@@ -1,16 +1,23 @@
 // Cache-blocked, register-tiled, multi-threaded GEMM kernels for the nn
-// substrate, plus the naive reference kernels they are tested against.
+// substrate, dispatched at runtime across three SIMD tiers (scalar, SSE2,
+// AVX2+FMA — see util/cpu.hpp), plus the naive reference kernels they are
+// tested against. Matmuls with m == 1 (the decode-shaped hot path of
+// autoregressive sampling) route through dedicated single-threaded GEMV
+// kernels instead of the blocked drivers.
 //
-// All kernels ACCUMULATE into C (callers zero it or rely on fresh tensors),
-// and all of them — reference, blocked, and threaded — share one accumulation
-// contract: every C element is a single dot product evaluated in ascending-k
-// order and added to C exactly once. Register tiling changes which elements
-// are computed together, and threading changes which rows are computed where,
-// but never the per-element order of floating-point additions. The blocked
-// kernels are therefore BIT-IDENTICAL to the reference kernels for every
-// shape and every thread count (pinned by tests/nn_gemm_test.cpp); this is
-// what lets Sampler/TransformerDecoder output stay byte-stable across
-// CPT_THREADS settings.
+// All kernels ACCUMULATE into C (callers zero it or rely on fresh tensors)
+// and share one accumulation contract: the floating-point operations
+// producing a C element are a pure function of (element index, shape, active
+// tier). Register tiling changes which elements are computed together, and
+// threading changes which rows are computed where, but never the per-element
+// operation sequence — so every tier is byte-stable across CPT_THREADS.
+// Tier-relative numerics:
+//   * scalar / sse2: a single ascending-k accumulator per element, added to
+//     C exactly once — BIT-IDENTICAL to the reference kernels for every
+//     shape (pinned by tests/nn_gemm_test.cpp), except the nt m == 1 GEMV,
+//     which uses a multi-accumulator dot (tolerance vs the reference).
+//   * avx2: FMA and fixed-tree reductions — tolerance vs the reference,
+//     still byte-stable across thread counts (tests/nn_simd_parity_test.cpp).
 //
 // The K dimension is deliberately not split (no Kc accumulation blocking):
 // at this project's sizes (d_model <= 128, MLP <= 1024, vocab < 16) a full-K

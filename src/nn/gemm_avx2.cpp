@@ -1,0 +1,296 @@
+// AVX2+FMA GEMM/GEMV tier. Built with -mavx2 -mfma (see src/nn/CMakeLists);
+// when the compiler lacks those flags every entry point degrades to a
+// CPT_CHECK failure — the dispatcher in gemm.cpp never selects this tier
+// unless util::detect_simd_tier() reports it available.
+//
+// Accumulation contract (same as gemm.cpp): every C element is one dot
+// product with a fixed operation order depending only on (element index,
+// shape) — a single ascending-k FMA chain per lane for the broadcast kernels,
+// the canonical dot_fma tree for the k-contiguous kernels — so results are
+// byte-identical across thread counts. Scalar edge paths use std::fma to
+// round exactly like the vector lanes.
+#include "simd_detail.hpp"
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include "simd_avx2_inl.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace cpt::nn::detail {
+
+namespace {
+
+constexpr std::size_t kMr = 4;    // A rows per register tile
+constexpr std::size_t kNr = 16;   // C columns per register tile (2 ymm)
+constexpr std::size_t kNc = 256;  // B panel width kept cache-resident
+constexpr std::size_t kMinChunkFlops = 1 << 18;
+
+std::size_t row_grain(std::size_t k_dim, std::size_t n_dim) {
+    return util::grain_for(2 * k_dim * n_dim, kMinChunkFlops);
+}
+
+// ---- NN / TN broadcast micro-kernels -----------------------------------------
+// Per C element: acc = fma(a, b, acc) in ascending k, one accumulator. The
+// only difference between NN and TN is how A is indexed, so the micro-kernels
+// take a stride pair (row_stride, k_stride): NN reads a[i*lda + k], TN reads
+// a[k*lda + i].
+
+template <bool kATransposed>
+inline float a_at(const float* a, std::size_t lda, std::size_t i, std::size_t k) {
+    return kATransposed ? a[k * lda + i] : a[i * lda + k];
+}
+
+template <bool kATransposed>
+void micro_bcast_fixed(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+                       std::size_t ldc, std::size_t k_dim) {
+    __m256 acc[kMr][2] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* brow = b + k * ldb;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        for (std::size_t i = 0; i < kMr; ++i) {
+            const __m256 av = _mm256_set1_ps(a_at<kATransposed>(a, lda, i, k));
+            acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+            acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+        }
+    }
+    for (std::size_t i = 0; i < kMr; ++i) {
+        float* crow = c + i * ldc;
+        _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[i][0]));
+        _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[i][1]));
+    }
+}
+
+template <bool kATransposed>
+void micro_bcast_edge(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+                      std::size_t ldc, std::size_t k_dim, std::size_t mr, std::size_t nr) {
+    float acc[kMr][kNr] = {};
+    for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* brow = b + k * ldb;
+        for (std::size_t i = 0; i < mr; ++i) {
+            const float av = a_at<kATransposed>(a, lda, i, k);
+            for (std::size_t j = 0; j < nr; ++j) acc[i][j] = std::fma(av, brow[j], acc[i][j]);
+        }
+    }
+    for (std::size_t i = 0; i < mr; ++i) {
+        for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+    }
+}
+
+template <bool kATransposed>
+void gemm_bcast_rows(const float* a, const float* b, float* c, std::size_t m_dim,
+                     std::size_t k_dim, std::size_t n_dim, std::size_t r0, std::size_t r1) {
+    const std::size_t lda = kATransposed ? m_dim : k_dim;
+    for (std::size_t n0 = 0; n0 < n_dim; n0 += kNc) {
+        const std::size_t nb = std::min(kNc, n_dim - n0);
+        for (std::size_t m0 = r0; m0 < r1; m0 += kMr) {
+            const std::size_t mr = std::min(kMr, r1 - m0);
+            const float* atile = kATransposed ? a + m0 : a + m0 * lda;
+            float* crow = c + m0 * n_dim + n0;
+            std::size_t j0 = 0;
+            if (mr == kMr) {
+                for (; j0 + kNr <= nb; j0 += kNr) {
+                    micro_bcast_fixed<kATransposed>(atile, lda, b + n0 + j0, n_dim, crow + j0,
+                                                    n_dim, k_dim);
+                }
+            }
+            for (; j0 < nb; j0 += kNr) {
+                micro_bcast_edge<kATransposed>(atile, lda, b + n0 + j0, n_dim, crow + j0, n_dim,
+                                               k_dim, mr, std::min(kNr, nb - j0));
+            }
+        }
+    }
+}
+
+// ---- NT: k-contiguous dot kernels --------------------------------------------
+// Every output element uses one canonical sequence — a single 8-wide FMA
+// chain in ascending k, hsum8, then a scalar std::fma tail — no matter which
+// micro-kernel computes it. Register tiles only change how A/B loads are
+// shared, so chunk boundaries and row pairing never change an element's bits.
+
+float dot_fma(const float* a, const float* b, std::size_t k_dim) {
+    const std::size_t k8 = k_dim & ~std::size_t{7};
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t i = 0; i < k8; i += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+    }
+    float s = hsum8(acc);
+    for (std::size_t t = k8; t < k_dim; ++t) s = std::fma(a[t], b[t], s);
+    return s;
+}
+
+// One A row x eight B rows (the m == 1 GEMV path): 8 chains, A load shared
+// across all columns.
+void nt_row8(const float* a, const float* b, std::size_t ldb, std::size_t k_dim, float* c) {
+    __m256 acc[8] = {};
+    const std::size_t k8 = k_dim & ~std::size_t{7};
+    for (std::size_t i = 0; i < k8; i += 8) {
+        const __m256 va = _mm256_loadu_ps(a + i);
+        for (std::size_t j = 0; j < 8; ++j) {
+            acc[j] = _mm256_fmadd_ps(va, _mm256_loadu_ps(b + j * ldb + i), acc[j]);
+        }
+    }
+    for (std::size_t j = 0; j < 8; ++j) {
+        const float* brow = b + j * ldb;
+        float s = hsum8(acc[j]);
+        for (std::size_t t = k8; t < k_dim; ++t) s = std::fma(a[t], brow[t], s);
+        c[j] += s;
+    }
+}
+
+void gemm_nt_row(const float* arow, const float* b, float* crow, std::size_t k_dim,
+                 std::size_t n_dim) {
+    std::size_t j0 = 0;
+    for (; j0 + 8 <= n_dim; j0 += 8) nt_row8(arow, b + j0 * k_dim, k_dim, k_dim, crow + j0);
+    for (; j0 < n_dim; ++j0) crow[j0] += dot_fma(arow, b + j0 * k_dim, k_dim);
+}
+
+}  // namespace
+
+void gemm_nn_avx2(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                  std::size_t n_dim, util::ThreadPool& pool) {
+    pool.parallel_for(m_dim, row_grain(k_dim, n_dim), [&](std::size_t r0, std::size_t r1) {
+        gemm_bcast_rows<false>(a, b, c, m_dim, k_dim, n_dim, r0, r1);
+    });
+}
+
+void gemm_tn_avx2(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                  std::size_t n_dim, util::ThreadPool& pool) {
+    pool.parallel_for(m_dim, row_grain(k_dim, n_dim), [&](std::size_t r0, std::size_t r1) {
+        gemm_bcast_rows<true>(a, b, c, m_dim, k_dim, n_dim, r0, r1);
+    });
+}
+
+void gemm_nt_avx2(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                  std::size_t n_dim, util::ThreadPool& pool) {
+    if (m_dim < 4) {
+        // Too few rows to amortise a B transpose; dot kernels read B once.
+        pool.parallel_for(m_dim, row_grain(k_dim, n_dim), [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t m = r0; m < r1; ++m) {
+                gemm_nt_row(a + m * k_dim, b, c + m * n_dim, k_dim, n_dim);
+            }
+        });
+        return;
+    }
+    // Dot-style NT kernels pay a horizontal reduction per output element — at
+    // decode/training k (64–256) that is ~a third of the work. Instead pack
+    // each kNc-wide B panel transposed into [k x nb] and reuse the broadcast
+    // micro-kernels: no reductions, and the per-element chain (one FMA per
+    // ascending k) is the same as the NN path, so thread-count invariance is
+    // unchanged. The pack buffer is thread_local and reused across calls.
+    static thread_local std::vector<float> bt;
+    for (std::size_t n0 = 0; n0 < n_dim; n0 += kNc) {
+        const std::size_t nb = std::min(kNc, n_dim - n0);
+        bt.resize(k_dim * nb);
+        float* btp = bt.data();
+        for (std::size_t j = 0; j < nb; ++j) {
+            const float* brow = b + (n0 + j) * k_dim;
+            for (std::size_t k = 0; k < k_dim; ++k) btp[k * nb + j] = brow[k];
+        }
+        pool.parallel_for(m_dim, row_grain(k_dim, nb), [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t m0 = r0; m0 < r1; m0 += kMr) {
+                const std::size_t mr = std::min(kMr, r1 - m0);
+                const float* atile = a + m0 * k_dim;
+                float* crow = c + m0 * n_dim + n0;
+                std::size_t j0 = 0;
+                if (mr == kMr) {
+                    for (; j0 + kNr <= nb; j0 += kNr) {
+                        micro_bcast_fixed<false>(atile, k_dim, btp + j0, nb, crow + j0, n_dim,
+                                                 k_dim);
+                    }
+                }
+                for (; j0 < nb; j0 += kNr) {
+                    micro_bcast_edge<false>(atile, k_dim, btp + j0, nb, crow + j0, n_dim, k_dim,
+                                            mr, std::min(kNr, nb - j0));
+                }
+            }
+        });
+    }
+}
+
+void gemv_nn_avx2(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim) {
+    if (n_dim > 512) {
+        // Wide rows: the j-tile walk below strides B by n*4 bytes — a full page
+        // at n >= 1024, so every load misses unprefetched. Stream B rows
+        // sequentially into an L1-resident accumulator chunk instead.
+        constexpr std::size_t kChunk = 1024;
+        alignas(32) float acc[kChunk];
+        for (std::size_t j0 = 0; j0 < n_dim; j0 += kChunk) {
+            const std::size_t w = std::min(kChunk, n_dim - j0);
+            std::fill_n(acc, w, 0.0f);
+            for (std::size_t k = 0; k < k_dim; ++k) {
+                const __m256 av = _mm256_set1_ps(a[k]);
+                const float* brow = b + k * n_dim + j0;
+                std::size_t j = 0;
+                for (; j + 32 <= w; j += 32) {
+                    for (std::size_t u = 0; u < 4; ++u) {
+                        float* aj = acc + j + 8 * u;
+                        _mm256_store_ps(
+                            aj, _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + j + 8 * u),
+                                                _mm256_load_ps(aj)));
+                    }
+                }
+                for (; j < w; ++j) acc[j] = std::fma(a[k], brow[j], acc[j]);
+            }
+            float* cj = c + j0;
+            for (std::size_t j = 0; j < w; ++j) cj[j] += acc[j];
+        }
+        return;
+    }
+    std::size_t j0 = 0;
+    for (; j0 + kNr <= n_dim; j0 += kNr) {
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        for (std::size_t k = 0; k < k_dim; ++k) {
+            const __m256 av = _mm256_set1_ps(a[k]);
+            const float* brow = b + k * n_dim + j0;
+            acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), acc0);
+            acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), acc1);
+        }
+        _mm256_storeu_ps(c + j0, _mm256_add_ps(_mm256_loadu_ps(c + j0), acc0));
+        _mm256_storeu_ps(c + j0 + 8, _mm256_add_ps(_mm256_loadu_ps(c + j0 + 8), acc1));
+    }
+    for (; j0 < n_dim; ++j0) {
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < k_dim; ++k) acc = std::fma(a[k], b[k * n_dim + j0], acc);
+        c[j0] += acc;
+    }
+}
+
+void gemv_nt_avx2(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim) {
+    gemm_nt_row(a, b, c, k_dim, n_dim);
+}
+
+}  // namespace cpt::nn::detail
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace cpt::nn::detail {
+
+namespace {
+[[noreturn]] void missing() { CPT_CHECK(false, "AVX2 kernels were not compiled into this binary"); }
+}  // namespace
+
+void gemm_nn_avx2(const float*, const float*, float*, std::size_t, std::size_t, std::size_t,
+                  util::ThreadPool&) {
+    missing();
+}
+void gemm_nt_avx2(const float*, const float*, float*, std::size_t, std::size_t, std::size_t,
+                  util::ThreadPool&) {
+    missing();
+}
+void gemm_tn_avx2(const float*, const float*, float*, std::size_t, std::size_t, std::size_t,
+                  util::ThreadPool&) {
+    missing();
+}
+void gemv_nn_avx2(const float*, const float*, float*, std::size_t, std::size_t) { missing(); }
+void gemv_nt_avx2(const float*, const float*, float*, std::size_t, std::size_t) { missing(); }
+
+}  // namespace cpt::nn::detail
+
+#endif

@@ -1,74 +1,17 @@
 #include "infer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
-#include "gemm.hpp"
+#include "kernels.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cpt::nn {
 
-namespace {
-
-// y = x W^T + b for row-major x [B, in], W [out, in], b [out]. Rows are
-// pre-filled with the bias, then the blocked NT kernel accumulates x W^T;
-// per-row arithmetic is independent of the batch/thread split.
-void linear_rows(const Linear& fc, const Tensor& x, Tensor& y) {
-    const std::size_t b = x.dim(0);
-    const std::size_t in = fc.in_features();
-    const std::size_t out = fc.out_features();
-    const float* pb = fc.bias()->value.data().data();
-    float* py = y.data().data();
-    for (std::size_t r = 0; r < b; ++r) {
-        float* yrow = py + r * out;
-        for (std::size_t o = 0; o < out; ++o) yrow[o] = pb[o];
-    }
-    gemm_nt(x.data().data(), fc.weight()->value.data().data(), py, b, in, out);
-}
-
-void layer_norm_rows(const LayerNorm& ln, Tensor& x, float eps = 1e-5f) {
-    const std::size_t d = ln.gain()->value.numel();
-    const std::size_t rows = x.numel() / d;
-    const float* gw = ln.gain()->value.data().data();
-    const float* bw = ln.bias()->value.data().data();
-    float* px = x.data().data();
-    util::global_pool().parallel_for(
-        rows, util::grain_for(6 * d), [&](std::size_t r0, std::size_t r1) {
-            for (std::size_t r = r0; r < r1; ++r) {
-                float* row = px + r * d;
-                float mean = 0.0f;
-                for (std::size_t j = 0; j < d; ++j) mean += row[j];
-                mean /= static_cast<float>(d);
-                float var = 0.0f;
-                for (std::size_t j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
-                var /= static_cast<float>(d);
-                const float inv = 1.0f / std::sqrt(var + eps);
-                for (std::size_t j = 0; j < d; ++j) row[j] = (row[j] - mean) * inv * gw[j] + bw[j];
-            }
-        });
-}
-
-void gelu_rows(Tensor& x) {
-    constexpr float kC = 0.7978845608028654f;
-    constexpr float kA = 0.044715f;
-    auto xs = x.data();
-    util::global_pool().parallel_for(xs.size(), util::grain_for(24),
-                                     [&](std::size_t i0, std::size_t i1) {
-                                         for (std::size_t i = i0; i < i1; ++i) {
-                                             const float v = xs[i];
-                                             const float u = kC * (v + kA * v * v * v);
-                                             xs[i] = 0.5f * v * (1.0f + std::tanh(u));
-                                         }
-                                     });
-}
-
-void add_rows(Tensor& dst, const Tensor& src) { dst.add_(src); }
-
-}  // namespace
-
 TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t batch)
-    : model_(&model), batch_(batch) {
+    : model_(&model), capacity_(batch), batch_(batch) {
     const auto& cfg = model.config();
     CPT_CHECK_GT(batch, std::size_t{0}, " TransformerDecoder: batch must be > 0");
     caches_.resize(cfg.blocks);
@@ -77,9 +20,32 @@ TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t bat
         c.k = Tensor({batch, cfg.heads, cfg.max_seq_len, dh});
         c.v = Tensor({batch, cfg.heads, cfg.max_seq_len, dh});
     }
+    std::size_t mlp_hidden = 0;
+    for (const auto& block : model.blocks()) {
+        mlp_hidden = std::max(mlp_hidden, block->mlp().fc1().out_features());
+    }
+    hstate_full_ = Tensor({batch, cfg.d_model});
+    q_full_ = Tensor({batch, cfg.d_model});
+    kv_full_ = Tensor({batch, cfg.d_model});
+    attn_full_ = Tensor({batch, cfg.d_model});
+    scratch_full_ = Tensor({batch, cfg.d_model});
+    mlp_hidden_full_ = Tensor({batch, mlp_hidden});
+    rebind_views();
+    // One score row per chunk the attention loop can produce; grain 1 bounds
+    // the chunk count from above for any grain step() later picks.
+    scores_.resize(util::global_pool().num_chunks(batch * cfg.heads, 1) * cfg.max_seq_len);
 }
 
-Tensor TransformerDecoder::step(const Tensor& x) {
+void TransformerDecoder::rebind_views() {
+    hstate_ = hstate_full_.first_rows(batch_);
+    q_ = q_full_.first_rows(batch_);
+    kv_ = kv_full_.first_rows(batch_);
+    attn_out_ = attn_full_.first_rows(batch_);
+    scratch_ = scratch_full_.first_rows(batch_);
+    mlp_hidden_ = mlp_hidden_full_.first_rows(batch_);
+}
+
+const Tensor& TransformerDecoder::step(const Tensor& x) {
     const auto& cfg = model_->config();
     CPT_CHECK(x.rank() == 2 && x.dim(0) == batch_ && x.dim(1) == cfg.d_token,
               "TransformerDecoder::step: expected [", batch_, ", ", cfg.d_token, "], got ",
@@ -90,121 +56,106 @@ Tensor TransformerDecoder::step(const Tensor& x) {
     const std::size_t dh = d / h;
     const std::size_t max_t = cfg.max_seq_len;
     const std::size_t t = len_;  // position of the incoming token
+    util::ThreadPool& pool = util::global_pool();
+    float* ph = hstate_.data().data();
+    float* pscratch = scratch_.data().data();
 
     // Input projection + positional embedding.
-    Tensor hstate({batch_, d});
-    linear_rows(model_->input_proj(), x, hstate);
-    {
-        const float* pos = model_->positions()->value.data().data() + t * d;
-        float* ph = hstate.data().data();
-        for (std::size_t r = 0; r < batch_; ++r) {
-            for (std::size_t j = 0; j < d; ++j) ph[r * d + j] += pos[j];
-        }
-    }
-
-    Tensor q({batch_, d});
-    Tensor attn_out({batch_, d});
-    Tensor mlp_hidden;  // sized per block below
-    Tensor scratch({batch_, d});
+    model_->input_proj().forward_rows(x.data().data(), ph, batch_, &pool);
+    kernels::add_bias_rows(ph, model_->positions()->value.data().data() + t * d, batch_, d,
+                           &pool);
 
     for (std::size_t bi = 0; bi < caches_.size(); ++bi) {
         const auto& block = *model_->blocks()[bi];
         BlockCache& cache = caches_[bi];
 
         // ---- attention branch: ln1 -> qkv -> cached causal attention -> wo
-        scratch = hstate.clone();
-        layer_norm_rows(block.ln1(), scratch);
-        linear_rows(block.attn().wq(), scratch, q);
+        kernels::layer_norm_rows(ph, pscratch, block.ln1().gain()->value.data().data(),
+                                 block.ln1().bias()->value.data().data(), batch_, d, 1e-5f,
+                                 nullptr, &pool);
+        block.attn().wq().forward_rows(pscratch, q_.data().data(), batch_, &pool);
         // New K/V rows go straight into the cache at position t.
         {
-            Tensor kv({batch_, d});
-            linear_rows(block.attn().wk(), scratch, kv);
-            const float* pk = kv.data().data();
+            block.attn().wk().forward_rows(pscratch, kv_.data().data(), batch_, &pool);
+            const float* pk = kv_.data().data();
             float* ck = cache.k.data().data();
-            util::global_pool().parallel_for(
-                batch_ * h, util::grain_for(dh), [&](std::size_t i0, std::size_t i1) {
-                    for (std::size_t i = i0; i < i1; ++i) {
-                        const std::size_t r = i / h;
-                        const std::size_t head = i % h;
-                        float* dst = ck + (i * max_t + t) * dh;
-                        const float* src = pk + r * d + head * dh;
-                        for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
-                    }
-                });
-            linear_rows(block.attn().wv(), scratch, kv);
-            const float* pv = kv.data().data();
+            pool.parallel_for(batch_ * h, util::grain_for(dh),
+                              [&](std::size_t i0, std::size_t i1) {
+                                  for (std::size_t i = i0; i < i1; ++i) {
+                                      const std::size_t r = i / h;
+                                      const std::size_t head = i % h;
+                                      float* dst = ck + (i * max_t + t) * dh;
+                                      const float* src = pk + r * d + head * dh;
+                                      std::copy_n(src, dh, dst);
+                                  }
+                              });
+            block.attn().wv().forward_rows(pscratch, kv_.data().data(), batch_, &pool);
+            const float* pv = kv_.data().data();
             float* cv = cache.v.data().data();
-            util::global_pool().parallel_for(
-                batch_ * h, util::grain_for(dh), [&](std::size_t i0, std::size_t i1) {
-                    for (std::size_t i = i0; i < i1; ++i) {
-                        const std::size_t r = i / h;
-                        const std::size_t head = i % h;
-                        float* dst = cv + (i * max_t + t) * dh;
-                        const float* src = pv + r * d + head * dh;
-                        for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
-                    }
-                });
+            pool.parallel_for(batch_ * h, util::grain_for(dh),
+                              [&](std::size_t i0, std::size_t i1) {
+                                  for (std::size_t i = i0; i < i1; ++i) {
+                                      const std::size_t r = i / h;
+                                      const std::size_t head = i % h;
+                                      float* dst = cv + (i * max_t + t) * dh;
+                                      const float* src = pv + r * d + head * dh;
+                                      std::copy_n(src, dh, dst);
+                                  }
+                              });
         }
-        // Per-row, per-head attention over positions [0, t].
+        // Per-row, per-head attention over positions [0, t]. Each (row, head)
+        // pair is independent; the score rows live in the arena, one row per
+        // chunk, so concurrent lanes never share one and the hot loop stays
+        // allocation-free.
         {
             const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
-            const float* pq = q.data().data();
+            const float* pq = q_.data().data();
             const float* ck = cache.k.data().data();
             const float* cv = cache.v.data().data();
-            float* ctx = scratch.data().data();  // reuse as context output
-            // Each (row, head) pair is independent; the scores scratch buffer
-            // is per-chunk so concurrent lanes never share it.
-            util::global_pool().parallel_for(
-                batch_ * h, util::grain_for(4 * (t + 1) * dh),
-                [&](std::size_t i0, std::size_t i1) {
-                    std::vector<float> scores(t + 1);
+            float* ctx = pscratch;  // reuse as context output
+            const std::size_t grain = util::grain_for(4 * (t + 1) * dh);
+            const std::size_t chunks = pool.num_chunks(batch_ * h, grain);
+            if (scores_.size() < chunks * max_t) scores_.resize(chunks * max_t);
+            float* all_scores = scores_.data();
+            pool.parallel_chunks(
+                batch_ * h, grain, [&](std::size_t chunk, std::size_t i0, std::size_t i1) {
+                    float* scores = all_scores + chunk * max_t;
                     for (std::size_t i = i0; i < i1; ++i) {
                         const std::size_t r = i / h;
                         const std::size_t head = i % h;
                         const float* qrow = pq + r * d + head * dh;
                         const float* krows = ck + i * max_t * dh;
                         const float* vrows = cv + i * max_t * dh;
-                        float mx = -1e30f;
                         for (std::size_t p = 0; p <= t; ++p) {
-                            float acc = 0.0f;
-                            const float* krow = krows + p * dh;
-                            for (std::size_t j = 0; j < dh; ++j) acc += qrow[j] * krow[j];
-                            scores[p] = acc * scale;
-                            mx = std::max(mx, scores[p]);
+                            scores[p] = kernels::dot(qrow, krows + p * dh, dh) * scale;
                         }
-                        float total = 0.0f;
-                        for (std::size_t p = 0; p <= t; ++p) {
-                            scores[p] = std::exp(scores[p] - mx);
-                            total += scores[p];
-                        }
-                        const float inv = total > 0.0f ? 1.0f / total : 0.0f;
+                        kernels::softmax_row(scores, scores, t + 1, t + 1);
                         float* crow = ctx + r * d + head * dh;
-                        for (std::size_t j = 0; j < dh; ++j) crow[j] = 0.0f;
+                        std::fill_n(crow, dh, 0.0f);
                         for (std::size_t p = 0; p <= t; ++p) {
-                            const float w = scores[p] * inv;
-                            const float* vrow = vrows + p * dh;
-                            for (std::size_t j = 0; j < dh; ++j) crow[j] += w * vrow[j];
+                            kernels::axpy(scores[p], vrows + p * dh, crow, dh);
                         }
                     }
                 });
         }
-        linear_rows(block.attn().wo(), scratch, attn_out);
-        add_rows(hstate, attn_out);
+        block.attn().wo().forward_rows(pscratch, attn_out_.data().data(), batch_, &pool);
+        hstate_.add_(attn_out_);
 
-        // ---- MLP branch: ln2 -> fc1 -> gelu -> fc2
-        scratch = hstate.clone();
-        layer_norm_rows(block.ln2(), scratch);
-        const std::size_t hidden = block.mlp().fc1().out_features();
-        if (mlp_hidden.numel() != batch_ * hidden) mlp_hidden = Tensor({batch_, hidden});
-        linear_rows(block.mlp().fc1(), scratch, mlp_hidden);
-        gelu_rows(mlp_hidden);
-        linear_rows(block.mlp().fc2(), mlp_hidden, attn_out);  // reuse as mlp out
-        add_rows(hstate, attn_out);
+        // ---- MLP branch: ln2 -> fc1 -> fused bias+gelu -> fc2
+        kernels::layer_norm_rows(ph, pscratch, block.ln2().gain()->value.data().data(),
+                                 block.ln2().bias()->value.data().data(), batch_, d, 1e-5f,
+                                 nullptr, &pool);
+        // attn_out_ doubles as the MLP output buffer.
+        block.mlp().forward_rows(pscratch, mlp_hidden_.data().data(), attn_out_.data().data(),
+                                 batch_, &pool);
+        hstate_.add_(attn_out_);
     }
 
-    layer_norm_rows(model_->final_ln(), hstate);
+    kernels::layer_norm_rows(ph, ph, model_->final_ln().gain()->value.data().data(),
+                             model_->final_ln().bias()->value.data().data(), batch_, d, 1e-5f,
+                             nullptr, &pool);
     ++len_;
-    return hstate;
+    return hstate_;
 }
 
 void TransformerDecoder::compact(const std::vector<std::size_t>& keep_rows) {
@@ -218,22 +169,20 @@ void TransformerDecoder::compact(const std::vector<std::size_t>& keep_rows) {
     const std::size_t new_batch = keep_rows.size();
     const auto& cfg = model_->config();
     const std::size_t row_floats = cfg.heads * cfg.max_seq_len * (cfg.d_model / cfg.heads);
+    // In-place: keep_rows is strictly ascending, so keep_rows[i] >= i and the
+    // forward copy never clobbers a row a later iteration still reads.
     for (auto& c : caches_) {
-        Tensor nk({new_batch, cfg.heads, cfg.max_seq_len, cfg.d_model / cfg.heads});
-        Tensor nv(nk.shape());
-        const float* sk = c.k.data().data();
-        const float* sv = c.v.data().data();
-        float* dk = nk.data().data();
-        float* dv = nv.data().data();
+        float* pk = c.k.data().data();
+        float* pv = c.v.data().data();
         for (std::size_t i = 0; i < new_batch; ++i) {
             const std::size_t src = keep_rows[i];
-            std::copy_n(sk + src * row_floats, row_floats, dk + i * row_floats);
-            std::copy_n(sv + src * row_floats, row_floats, dv + i * row_floats);
+            if (src == i) continue;
+            std::copy_n(pk + src * row_floats, row_floats, pk + i * row_floats);
+            std::copy_n(pv + src * row_floats, row_floats, pv + i * row_floats);
         }
-        c.k = std::move(nk);
-        c.v = std::move(nv);
     }
     batch_ = new_batch;
+    rebind_views();
 }
 
 }  // namespace cpt::nn

@@ -4,8 +4,13 @@
 // step); this decoder reuses cached per-block K/V so each step costs O(T)
 // attention plus O(1) projections — an order of magnitude faster on CPU.
 //
-// The decoder holds plain tensors (no autograd graph). Numerical equivalence
-// with Transformer::forward() is pinned by tests.
+// The decoder holds plain tensors (no autograd graph) and owns a scratch
+// arena allocated once at construction, so steady-state decoding performs
+// zero tensor allocations per step (the decode hot path of
+// Sampler::generate_batch). compact() shrinks the KV cache and arena views
+// in place. Numerical equivalence with Transformer::forward() is pinned by
+// tests; all kernels dispatch on the active SIMD tier (util/cpu.hpp) and
+// stay byte-identical across CPT_THREADS within a tier.
 #pragma once
 
 #include <vector>
@@ -16,33 +21,61 @@ namespace cpt::nn {
 
 class TransformerDecoder {
 public:
-    // Binds to a trained model; `batch` rows decode in lockstep.
+    // Binds to a trained model; `batch` rows decode in lockstep. The arena
+    // and KV cache are sized for `batch` (the capacity); compact() can only
+    // shrink below it.
     TransformerDecoder(const Transformer& model, std::size_t batch);
 
     // Feeds one token per row (x: [B, d_token]) and returns the final-layer
-    // hidden state for that position ([B, d_model]). Throws when the context
-    // is full (length() == max_seq_len).
-    Tensor step(const Tensor& x);
+    // hidden state for that position ([B, d_model]). The returned tensor is
+    // a view into the decoder's arena: it is overwritten by the next step()
+    // (clone it to keep it). Throws when the context is full
+    // (length() == max_seq_len).
+    const Tensor& step(const Tensor& x);
 
     // Tokens consumed so far.
     std::size_t length() const { return len_; }
     std::size_t batch() const { return batch_; }
 
     // Keeps only the given rows (ascending, unique); used to drop finished
-    // streams mid-generation.
+    // streams mid-generation. In-place: no reallocation.
     void compact(const std::vector<std::size_t>& keep_rows);
 
 private:
     struct BlockCache {
-        // K/V laid out [B, H, maxT, Dh] (row-major, preallocated).
+        // K/V laid out [capacity, H, maxT, Dh] (row-major, preallocated);
+        // only the first batch_ rows are live.
         Tensor k;
         Tensor v;
     };
 
+    // Re-points the batch-sized arena views at the first batch_ rows.
+    void rebind_views();
+
     const Transformer* model_;
+    std::size_t capacity_ = 0;
     std::size_t batch_ = 0;
     std::size_t len_ = 0;
     std::vector<BlockCache> caches_;
+
+    // Scratch arena, allocated once for `capacity_` rows...
+    Tensor hstate_full_;
+    Tensor q_full_;
+    Tensor kv_full_;
+    Tensor attn_full_;
+    Tensor scratch_full_;
+    Tensor mlp_hidden_full_;
+    // ...and the first_rows(batch_) views the step() kernels run on,
+    // rebound only when batch_ changes.
+    Tensor hstate_;
+    Tensor q_;
+    Tensor kv_;
+    Tensor attn_out_;
+    Tensor scratch_;
+    Tensor mlp_hidden_;
+    // Per-chunk attention score rows ([num_chunks, max_seq_len]); grown
+    // lazily if the pool's chunk count exceeds the initial estimate.
+    std::vector<float> scores_;
 };
 
 }  // namespace cpt::nn

@@ -1,0 +1,138 @@
+#include "kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "simd_detail.hpp"
+#include "util/cpu.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cpt::nn::kernels {
+
+namespace {
+
+using util::SimdTier;
+
+util::ThreadPool& pick(util::ThreadPool* pool) {
+    return pool ? *pool : util::global_pool();
+}
+
+}  // namespace
+
+float dot(const float* a, const float* b, std::size_t n) {
+    if (util::active_simd_tier() == SimdTier::kAvx2) return detail::dot_avx2(a, b, n);
+    // Ascending serial accumulation: the historical (pre-dispatch) order, so
+    // the scalar and sse2 tiers keep bit-identical decoder output.
+    float s = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+    return s;
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+    if (util::active_simd_tier() == SimdTier::kAvx2) {
+        detail::axpy_avx2(alpha, x, y, n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void softmax_row(const float* in, float* out, std::size_t len, std::size_t valid) {
+    float mx = -std::numeric_limits<float>::infinity();
+    if (util::active_simd_tier() == SimdTier::kAvx2 && valid >= 8) {
+        mx = detail::reduce_max_avx2(in, valid);  // max is association-exact
+    } else {
+        for (std::size_t j = 0; j < valid; ++j) mx = std::max(mx, in[j]);
+    }
+    // exp and the normalizer sum stay scalar on every tier: the sum is an
+    // ascending serial reduction, so softmax output is identical across tiers
+    // (pinned by the parity tests), not just across thread counts.
+    float total = 0.0f;
+    for (std::size_t j = 0; j < valid; ++j) {
+        out[j] = std::exp(in[j] - mx);
+        total += out[j];
+    }
+    const float inv = total > 0.0f ? 1.0f / total : 0.0f;
+    if (util::active_simd_tier() == SimdTier::kAvx2 && valid >= 8) {
+        detail::scale_avx2(out, valid, inv);
+    } else {
+        for (std::size_t j = 0; j < valid; ++j) out[j] *= inv;
+    }
+    for (std::size_t j = valid; j < len; ++j) out[j] = 0.0f;
+}
+
+void softmax_rows(const float* in, float* out, std::size_t rows, std::size_t d,
+                  util::ThreadPool* pool) {
+    pick(pool).parallel_for(rows, util::grain_for(8 * d), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) softmax_row(in + r * d, out + r * d, d, d);
+    });
+}
+
+void layer_norm_rows(const float* in, float* out, const float* gain, const float* bias,
+                     std::size_t rows, std::size_t d, float eps, float* stats2,
+                     util::ThreadPool* pool) {
+    const bool avx2 = util::active_simd_tier() == SimdTier::kAvx2;
+    pick(pool).parallel_for(rows, util::grain_for(6 * d), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const float* row = in + r * d;
+            float* orow = out + r * d;
+            float* rstats = stats2 != nullptr ? stats2 + r * 2 : nullptr;
+            if (avx2) {
+                detail::layer_norm_row_avx2(row, orow, gain, bias, d, eps, rstats);
+                continue;
+            }
+            float mean = 0.0f;
+            for (std::size_t j = 0; j < d; ++j) mean += row[j];
+            mean /= static_cast<float>(d);
+            float var = 0.0f;
+            for (std::size_t j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
+            var /= static_cast<float>(d);
+            const float inv = 1.0f / std::sqrt(var + eps);
+            if (rstats != nullptr) {
+                rstats[0] = mean;
+                rstats[1] = inv;
+            }
+            for (std::size_t j = 0; j < d; ++j) orow[j] = (row[j] - mean) * inv * gain[j] + bias[j];
+        }
+    });
+}
+
+void fill_bias_rows(float* y, const float* bias, std::size_t rows, std::size_t d,
+                    util::ThreadPool* pool) {
+    pick(pool).parallel_for(rows, util::grain_for(d), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) std::copy_n(bias, d, y + r * d);
+    });
+}
+
+void add_bias_rows(float* dst, const float* bias, std::size_t rows, std::size_t d,
+                   util::ThreadPool* pool) {
+    const bool avx2 = util::active_simd_tier() == SimdTier::kAvx2;
+    pick(pool).parallel_for(rows, util::grain_for(d), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            float* row = dst + r * d;
+            if (avx2) {
+                detail::add_bias_row_avx2(row, bias, d);
+            } else {
+                for (std::size_t j = 0; j < d; ++j) row[j] += bias[j];
+            }
+        }
+    });
+}
+
+void gelu_rows(float* x, std::size_t n, util::ThreadPool* pool) {
+    pick(pool).parallel_for(n, util::grain_for(24), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) x[i] = gelu_scalar(x[i]);
+    });
+}
+
+void bias_gelu_rows(float* y, const float* bias, std::size_t rows, std::size_t d,
+                    util::ThreadPool* pool) {
+    pick(pool).parallel_for(rows, util::grain_for(26 * d), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            float* row = y + r * d;
+            for (std::size_t j = 0; j < d; ++j) row[j] = gelu_scalar(row[j] + bias[j]);
+        }
+    });
+}
+
+}  // namespace cpt::nn::kernels

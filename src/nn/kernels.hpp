@@ -1,0 +1,72 @@
+// Fused elementwise kernels shared by the autograd forward pass (autograd.cpp,
+// modules.cpp) and the inference decoder (infer.cpp), dispatched on the active
+// SIMD tier (util/cpu.hpp). Keeping one implementation per op is what makes
+// the decoder-vs-forward equivalence tests tight and the tier parity tests
+// meaningful.
+//
+// Numerics: on the scalar and sse2 tiers every function below performs the
+// exact per-element operation order the pre-dispatch code performed, so those
+// tiers remain bit-identical to the historical outputs. The avx2 tier may
+// reassociate reductions and use FMA; within that tier results are still a
+// pure function of (element index, shape), never of thread count.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace cpt::util {
+class ThreadPool;
+}  // namespace cpt::util
+
+namespace cpt::nn::kernels {
+
+// GELU (tanh approximation) — the single definition of the activation's math,
+// used by the autograd op, the fused bias+GELU kernel, and the decoder.
+inline constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+inline constexpr float kGeluA = 0.044715f;
+
+inline float gelu_scalar(float x) {
+    const float u = kGeluC * (x + kGeluA * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(u));
+}
+
+inline float gelu_grad_scalar(float x) {
+    const float u = kGeluC * (x + kGeluA * x * x * x);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+
+// dot/axpy along contiguous spans, tier-dispatched (decoder attention).
+float dot(const float* a, const float* b, std::size_t n);
+void axpy(float alpha, const float* x, float* y, std::size_t n);
+
+// Stable softmax over the first `valid` of `len` entries; entries past
+// `valid` are zeroed. The exp/sum stage is scalar on every tier (the sum is
+// an ascending serial reduction), so softmax output is identical across
+// tiers as well as thread counts.
+void softmax_row(const float* in, float* out, std::size_t len, std::size_t valid);
+// Row-parallel softmax over [rows, d] (full rows valid).
+void softmax_rows(const float* in, float* out, std::size_t rows, std::size_t d,
+                  util::ThreadPool* pool = nullptr);
+
+// LayerNorm over rows of width d: out = (in - mean) * inv_std * gain + bias.
+// When stats2 != nullptr, writes {mean, inv_std} per row at stats2[r*2] (the
+// autograd backward cache). in == out aliasing is allowed.
+void layer_norm_rows(const float* in, float* out, const float* gain, const float* bias,
+                     std::size_t rows, std::size_t d, float eps, float* stats2,
+                     util::ThreadPool* pool = nullptr);
+
+// y[r,:] = bias (GEMM-accumulate prologue for linear layers).
+void fill_bias_rows(float* y, const float* bias, std::size_t rows, std::size_t d,
+                    util::ThreadPool* pool = nullptr);
+// dst[r,:] += bias.
+void add_bias_rows(float* dst, const float* bias, std::size_t rows, std::size_t d,
+                   util::ThreadPool* pool = nullptr);
+// x[i] = gelu(x[i]) in place.
+void gelu_rows(float* x, std::size_t n, util::ThreadPool* pool = nullptr);
+// Fused epilogue for fc1: y[r,j] = gelu(y[r,j] + bias[j]).
+void bias_gelu_rows(float* y, const float* bias, std::size_t rows, std::size_t d,
+                    util::ThreadPool* pool = nullptr);
+
+}  // namespace cpt::nn::kernels

@@ -1,0 +1,124 @@
+// AVX2+FMA elementwise kernel tier (dot/axpy, LayerNorm rows, softmax
+// helpers). Built with -mavx2 -mfma; see gemm_avx2.cpp for the compile-gate
+// and determinism conventions shared by both AVX2 translation units.
+#include "simd_detail.hpp"
+
+#include "util/check.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include "simd_avx2_inl.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cpt::nn::detail {
+
+float dot_avx2(const float* a, const float* b, std::size_t n) { return dot_fma(a, b, n); }
+
+void axpy_avx2(float alpha, const float* x, float* y, std::size_t n) {
+    const __m256 av = _mm256_set1_ps(alpha);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(y + i, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+    }
+    for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+float reduce_max_avx2(const float* x, std::size_t n) {
+    // max is exact under any association; no ordering constraints here.
+    std::size_t i = 0;
+    float mx = -std::numeric_limits<float>::infinity();
+    if (n >= 8) {
+        __m256 vmx = _mm256_loadu_ps(x);
+        for (i = 8; i + 8 <= n; i += 8) vmx = _mm256_max_ps(vmx, _mm256_loadu_ps(x + i));
+        const __m128 lo = _mm256_castps256_ps128(vmx);
+        const __m128 hi = _mm256_extractf128_ps(vmx, 1);
+        __m128 m = _mm_max_ps(lo, hi);
+        m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+        m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+        mx = _mm_cvtss_f32(m);
+    }
+    for (; i < n; ++i) mx = std::max(mx, x[i]);
+    return mx;
+}
+
+void scale_avx2(float* x, std::size_t n, float s) {
+    const __m256 sv = _mm256_set1_ps(s);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), sv));
+    }
+    for (; i < n; ++i) x[i] *= s;
+}
+
+void layer_norm_row_avx2(const float* in, float* out, const float* gain, const float* bias,
+                         std::size_t d, float eps, float* stats2) {
+    // Both reductions use one fixed 8-lane tree (hsum8) plus a scalar tail,
+    // so a row's statistics depend only on d — never on where the row sits
+    // in the thread chunking.
+    __m256 vsum = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= d; i += 8) vsum = _mm256_add_ps(vsum, _mm256_loadu_ps(in + i));
+    float sum = hsum8(vsum);
+    for (; i < d; ++i) sum += in[i];
+    const float mean = sum / static_cast<float>(d);
+
+    const __m256 vmean = _mm256_set1_ps(mean);
+    __m256 vvar = _mm256_setzero_ps();
+    for (i = 0; i + 8 <= d; i += 8) {
+        const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(in + i), vmean);
+        vvar = _mm256_fmadd_ps(diff, diff, vvar);
+    }
+    float var = hsum8(vvar);
+    for (; i < d; ++i) {
+        const float diff = in[i] - mean;
+        var = std::fma(diff, diff, var);
+    }
+    var /= static_cast<float>(d);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    if (stats2 != nullptr) {
+        stats2[0] = mean;
+        stats2[1] = inv;
+    }
+
+    const __m256 vinv = _mm256_set1_ps(inv);
+    for (i = 0; i + 8 <= d; i += 8) {
+        const __m256 xhat = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(in + i), vmean), vinv);
+        _mm256_storeu_ps(out + i, _mm256_fmadd_ps(xhat, _mm256_loadu_ps(gain + i),
+                                                  _mm256_loadu_ps(bias + i)));
+    }
+    for (; i < d; ++i) out[i] = std::fma((in[i] - mean) * inv, gain[i], bias[i]);
+}
+
+void add_bias_row_avx2(float* row, const float* bias, std::size_t d) {
+    std::size_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+        _mm256_storeu_ps(row + i, _mm256_add_ps(_mm256_loadu_ps(row + i), _mm256_loadu_ps(bias + i)));
+    }
+    for (; i < d; ++i) row[i] += bias[i];
+}
+
+}  // namespace cpt::nn::detail
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace cpt::nn::detail {
+
+namespace {
+[[noreturn]] void missing() { CPT_CHECK(false, "AVX2 kernels were not compiled into this binary"); }
+}  // namespace
+
+float dot_avx2(const float*, const float*, std::size_t) { missing(); }
+void axpy_avx2(float, const float*, float*, std::size_t) { missing(); }
+float reduce_max_avx2(const float*, std::size_t) { missing(); }
+void scale_avx2(float*, std::size_t, float) { missing(); }
+void layer_norm_row_avx2(const float*, float*, const float*, const float*, std::size_t, float,
+                         float*) {
+    missing();
+}
+void add_bias_row_avx2(float*, const float*, std::size_t) { missing(); }
+
+}  // namespace cpt::nn::detail
+
+#endif

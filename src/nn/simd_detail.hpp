@@ -1,0 +1,48 @@
+// Internal declarations of the AVX2+FMA kernel tier. The definitions live in
+// gemm_avx2.cpp / kernels_avx2.cpp, the only translation units built with
+// -mavx2 -mfma; when the compiler lacks those flags the definitions degrade to
+// CPT_CHECK failures. Callers must only reach these through the tier
+// dispatchers in gemm.cpp / kernels.cpp, which guarantee the active tier is
+// kAvx2 (and therefore that the host CPU supports the instructions).
+//
+// Determinism contract shared by every function here: the floating-point
+// operations producing one output element depend only on (element index,
+// operand shape) — never on tile position or thread chunk boundaries. Scalar
+// edge paths use std::fma so they round exactly like the vector FMA lanes.
+#pragma once
+
+#include <cstddef>
+
+namespace cpt::util {
+class ThreadPool;
+}  // namespace cpt::util
+
+namespace cpt::nn::detail {
+
+// Dense GEMM tiers (semantics identical to the public gemm_* entry points:
+// accumulate into C, row-major, shapes as documented in gemm.hpp).
+void gemm_nn_avx2(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                  std::size_t n_dim, util::ThreadPool& pool);
+void gemm_nt_avx2(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                  std::size_t n_dim, util::ThreadPool& pool);
+void gemm_tn_avx2(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                  std::size_t n_dim, util::ThreadPool& pool);
+
+// GEMV fast paths (m == 1, single caller thread — decode-shaped work is far
+// too small to shard). nn: c[n] += sum_k a[k] * B[k,n] with B row-major
+// [K,N]. nt: c[n] += dot(a, B[n,:]) with B row-major [N,K].
+void gemv_nn_avx2(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim);
+void gemv_nt_avx2(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim);
+
+// Fused elementwise helpers used by kernels.cpp's per-row dispatch.
+float dot_avx2(const float* a, const float* b, std::size_t n);
+void axpy_avx2(float alpha, const float* x, float* y, std::size_t n);
+float reduce_max_avx2(const float* x, std::size_t n);
+void scale_avx2(float* x, std::size_t n, float s);
+// One LayerNorm row: out = (in - mean) * inv * gain + bias; writes the
+// mean/inv pair when stats2 != nullptr (autograd backward cache).
+void layer_norm_row_avx2(const float* in, float* out, const float* gain, const float* bias,
+                         std::size_t d, float eps, float* stats2);
+void add_bias_row_avx2(float* row, const float* bias, std::size_t d);
+
+}  // namespace cpt::nn::detail

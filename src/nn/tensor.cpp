@@ -74,6 +74,15 @@ Tensor Tensor::reshaped(Shape shape) const {
     return t;
 }
 
+Tensor Tensor::first_rows(std::size_t rows) const {
+    CPT_CHECK(!shape_.empty() && rows <= shape_[0], " Tensor::first_rows: ", rows,
+              " rows requested from ", shape_to_string(shape_));
+    Tensor t = *this;
+    t.shape_[0] = rows;
+    t.numel_ = shape_numel(t.shape_);
+    return t;
+}
+
 Tensor Tensor::clone() const {
     Tensor t;
     t.shape_ = shape_;

@@ -52,6 +52,12 @@ public:
     // O(1) view with a new shape over the same storage. numel must match.
     Tensor reshaped(Shape shape) const;
 
+    // O(1) view of the leading `rows` rows (first dimension) over the same
+    // storage. Rank must be >= 1 and rows <= dim(0). Used by the decode path
+    // to reuse capacity-sized arena tensors at smaller batch sizes without
+    // reallocating.
+    Tensor first_rows(std::size_t rows) const;
+
     // Deep copy (detaches storage).
     Tensor clone() const;
 

@@ -1,0 +1,105 @@
+#include "cpu.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "check.hpp"
+#include "log.hpp"
+
+namespace cpt::util {
+
+namespace {
+
+SimdTier best_supported_tier() {
+#if defined(CPT_HAVE_AVX2_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) return SimdTier::kAvx2;
+#endif
+#if defined(__SSE2__)
+    return SimdTier::kSse2;
+#else
+    return SimdTier::kScalar;
+#endif
+}
+
+// -1 = unresolved; otherwise holds a SimdTier enumerator.
+std::atomic<int> g_active{-1};
+std::mutex g_resolve_mutex;
+
+bool parse_tier(const std::string& name, SimdTier& out) {
+    if (name == "scalar") {
+        out = SimdTier::kScalar;
+    } else if (name == "sse2") {
+        out = SimdTier::kSse2;
+    } else if (name == "avx2") {
+        out = SimdTier::kAvx2;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+SimdTier resolve_active_tier() {
+    const SimdTier best = detect_simd_tier();
+    SimdTier chosen = best;
+    const char* env = std::getenv("CPT_SIMD");
+    if (env != nullptr && *env != '\0') {
+        SimdTier requested = best;
+        if (!parse_tier(env, requested)) {
+            warnf("CPT_SIMD=%s not recognized (expected scalar|sse2|avx2); using %s", env,
+                  simd_tier_name(best));
+        } else if (!simd_tier_available(requested)) {
+            warnf("CPT_SIMD=%s not supported on this host/binary; clamping to %s", env,
+                  simd_tier_name(best));
+        } else {
+            chosen = requested;
+        }
+    }
+    info(std::string("simd tier: ") + simd_tier_name(chosen) + " (detected " +
+         simd_tier_name(best) + (env != nullptr && *env != '\0'
+                                     ? std::string(", CPT_SIMD=") + env + ")"
+                                     : std::string(")")));
+    return chosen;
+}
+
+}  // namespace
+
+const char* simd_tier_name(SimdTier tier) {
+    switch (tier) {
+        case SimdTier::kScalar: return "scalar";
+        case SimdTier::kSse2: return "sse2";
+        case SimdTier::kAvx2: return "avx2";
+    }
+    return "unknown";
+}
+
+SimdTier detect_simd_tier() {
+    static const SimdTier tier = best_supported_tier();
+    return tier;
+}
+
+bool simd_tier_available(SimdTier tier) {
+    return static_cast<int>(tier) <= static_cast<int>(detect_simd_tier());
+}
+
+SimdTier active_simd_tier() {
+    int cur = g_active.load(std::memory_order_acquire);
+    if (cur >= 0) return static_cast<SimdTier>(cur);
+    const std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    cur = g_active.load(std::memory_order_acquire);
+    if (cur >= 0) return static_cast<SimdTier>(cur);
+    const SimdTier tier = resolve_active_tier();
+    g_active.store(static_cast<int>(tier), std::memory_order_release);
+    return tier;
+}
+
+SimdTier set_simd_tier(SimdTier tier) {
+    CPT_CHECK(simd_tier_available(tier), "set_simd_tier: tier '", simd_tier_name(tier),
+              "' not available (detected '", simd_tier_name(detect_simd_tier()), "')");
+    const SimdTier prev = active_simd_tier();  // forces resolution + one-time log
+    g_active.store(static_cast<int>(tier), std::memory_order_release);
+    return prev;
+}
+
+}  // namespace cpt::util

@@ -1,0 +1,37 @@
+// Runtime CPU feature detection for the SIMD kernel tiers in src/nn. The
+// active tier is resolved once per process — best tier both the CPU and this
+// binary support, overridable with CPT_SIMD=scalar|sse2|avx2 — and logged on
+// first use so a generation run records which kernels produced it.
+//
+// Determinism contract (see DESIGN.md "SIMD dispatch"): within a fixed tier,
+// every kernel performs identical per-element arithmetic regardless of thread
+// count, so generation output is byte-stable across CPT_THREADS. Changing the
+// tier may change low-order bits (AVX2 uses FMA and wider reductions).
+#pragma once
+
+namespace cpt::util {
+
+// Ordered: higher enumerators are strict supersets in instruction capability.
+enum class SimdTier { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+// Lower-case tier name as accepted by CPT_SIMD ("scalar", "sse2", "avx2").
+const char* simd_tier_name(SimdTier tier);
+
+// Best tier supported by both the host CPU and the compiled binary
+// (AVX2 kernels exist only when the compiler accepted -mavx2 -mfma).
+SimdTier detect_simd_tier();
+
+// True when `tier` does not exceed detect_simd_tier().
+bool simd_tier_available(SimdTier tier);
+
+// The tier all nn kernels dispatch on. Resolved once: CPT_SIMD override if
+// set (unknown values warn and fall back; unavailable tiers warn and clamp),
+// otherwise detect_simd_tier(). The chosen tier is logged via util::info on
+// first resolution.
+SimdTier active_simd_tier();
+
+// Forces the active tier (tests / benchmarks compare tiers in-process) and
+// returns the previous one. Requesting an unavailable tier throws CheckError.
+SimdTier set_simd_tier(SimdTier tier);
+
+}  // namespace cpt::util

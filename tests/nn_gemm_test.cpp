@@ -1,8 +1,12 @@
 // Bit-exactness of the blocked/threaded GEMM kernels against the naive
-// reference kernels (see the accumulation contract in src/nn/gemm.hpp). The
-// comparison is memcmp, not tolerance: the blocked kernels must produce the
-// same bits for every shape and every thread count, because sampler/world-gen
-// determinism across CPT_THREADS rests on it.
+// reference kernels (see the accumulation contract in src/nn/gemm.hpp),
+// pinned per SIMD tier. On the scalar and sse2 tiers the comparison is
+// memcmp, not tolerance: those kernels must produce the same bits as the
+// reference for every shape and every thread count, because sampler/world-gen
+// determinism across CPT_THREADS rests on it. The one carve-out is the m = 1
+// NT decode GEMV, whose multi-accumulator dot is tolerance-vs-reference but
+// still byte-stable across thread counts. Cross-tier behaviour (including
+// avx2) is covered by nn_simd_parity_test.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -10,6 +14,7 @@
 #include <vector>
 
 #include "nn/gemm.hpp"
+#include "util/cpu.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cpt::nn {
@@ -18,6 +23,25 @@ namespace {
 using GemmFn = void (*)(const float*, const float*, float*, std::size_t, std::size_t, std::size_t,
                         util::ThreadPool*);
 using RefFn = void (*)(const float*, const float*, float*, std::size_t, std::size_t, std::size_t);
+
+// Pins the active SIMD tier for a scope and restores the previous one.
+class TierGuard {
+public:
+    explicit TierGuard(util::SimdTier tier) : prev_(util::set_simd_tier(tier)) {}
+    ~TierGuard() { util::set_simd_tier(prev_); }
+    TierGuard(const TierGuard&) = delete;
+    TierGuard& operator=(const TierGuard&) = delete;
+
+private:
+    util::SimdTier prev_;
+};
+
+// The tiers whose kernels promise reference bit-exactness.
+std::vector<util::SimdTier> bit_exact_tiers() {
+    std::vector<util::SimdTier> tiers{util::SimdTier::kScalar};
+    if (util::simd_tier_available(util::SimdTier::kSse2)) tiers.push_back(util::SimdTier::kSse2);
+    return tiers;
+}
 
 std::vector<float> random_floats(std::size_t n, std::mt19937& gen) {
     std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
@@ -33,8 +57,15 @@ void expect_bitwise_equal(const std::vector<float>& a, const std::vector<float>&
         << what << " differs from reference at shape (" << m << ", " << k << ", " << n << ")";
 }
 
-void check_shape(GemmFn blocked, RefFn ref, std::size_t m, std::size_t k, std::size_t n,
-                 std::mt19937& gen, const char* what) {
+struct Kernel {
+    GemmFn blocked;
+    RefFn ref;
+    const char* name;
+    bool nt = false;
+};
+
+void check_shape(const Kernel& kernel, std::size_t m, std::size_t k, std::size_t n,
+                 std::mt19937& gen) {
     util::ThreadPool pool1(1);
     util::ThreadPool pool4(4);
     const auto a = random_floats(m * k, gen);
@@ -43,26 +74,30 @@ void check_shape(GemmFn blocked, RefFn ref, std::size_t m, std::size_t k, std::s
     const auto c0 = random_floats(m * n, gen);
 
     auto c_ref = c0;
-    ref(a.data(), b.data(), c_ref.data(), m, k, n);
+    kernel.ref(a.data(), b.data(), c_ref.data(), m, k, n);
     auto c_p1 = c0;
-    blocked(a.data(), b.data(), c_p1.data(), m, k, n, &pool1);
+    kernel.blocked(a.data(), b.data(), c_p1.data(), m, k, n, &pool1);
     auto c_p4 = c0;
-    blocked(a.data(), b.data(), c_p4.data(), m, k, n, &pool4);
+    kernel.blocked(a.data(), b.data(), c_p4.data(), m, k, n, &pool4);
 
-    expect_bitwise_equal(c_p1, c_ref, what, m, k, n);
-    expect_bitwise_equal(c_p4, c_ref, what, m, k, n);
+    // Thread-count invariance is unconditional.
+    expect_bitwise_equal(c_p4, c_p1, kernel.name, m, k, n);
+    if (kernel.nt && m == 1) {
+        // The NT decode GEMV reassociates the dot across accumulators:
+        // tolerance vs the reference, bits vs itself (checked above).
+        for (std::size_t i = 0; i < c_ref.size(); ++i) {
+            EXPECT_NEAR(c_p1[i], c_ref[i], 1e-4f)
+                << kernel.name << " gemv at shape (1, " << k << ", " << n << ") index " << i;
+        }
+        return;
+    }
+    expect_bitwise_equal(c_p1, c_ref, kernel.name, m, k, n);
 }
 
-struct Kernel {
-    GemmFn blocked;
-    RefFn ref;
-    const char* name;
-};
-
 const Kernel kKernels[] = {
-    {gemm_nn, gemm_nn_ref, "gemm_nn"},
-    {gemm_nt, gemm_nt_ref, "gemm_nt"},
-    {gemm_tn, gemm_tn_ref, "gemm_tn"},
+    {gemm_nn, gemm_nn_ref, "gemm_nn", false},
+    {gemm_nt, gemm_nt_ref, "gemm_nt", true},
+    {gemm_tn, gemm_tn_ref, "gemm_tn", false},
 };
 
 TEST(GemmBitExactTest, ModelScaleShapes) {
@@ -73,8 +108,11 @@ TEST(GemmBitExactTest, ModelScaleShapes) {
         {1, 64, 256},  {1, 9, 64},     {128, 64, 256}, {128, 256, 64},
         {512, 64, 64}, {512, 128, 128}, {64, 64, 6},    {500, 9, 128},
     };
-    for (const auto& k : kKernels) {
-        for (const auto& s : shapes) check_shape(k.blocked, k.ref, s[0], s[1], s[2], gen, k.name);
+    for (util::SimdTier tier : bit_exact_tiers()) {
+        TierGuard guard(tier);
+        for (const auto& k : kKernels) {
+            for (const auto& s : shapes) check_shape(k, s[0], s[1], s[2], gen);
+        }
     }
 }
 
@@ -83,11 +121,14 @@ TEST(GemmBitExactTest, RandomizedShapesIncludingTileEdges) {
     std::uniform_int_distribution<std::size_t> dm(1, 37);
     std::uniform_int_distribution<std::size_t> dk(1, 48);
     std::uniform_int_distribution<std::size_t> dn(1, 70);
-    for (int iter = 0; iter < 40; ++iter) {
-        const std::size_t m = dm(gen);
-        const std::size_t k = dk(gen);
-        const std::size_t n = dn(gen);
-        for (const auto& ker : kKernels) check_shape(ker.blocked, ker.ref, m, k, n, gen, ker.name);
+    for (util::SimdTier tier : bit_exact_tiers()) {
+        TierGuard guard(tier);
+        for (int iter = 0; iter < 40; ++iter) {
+            const std::size_t m = dm(gen);
+            const std::size_t k = dk(gen);
+            const std::size_t n = dn(gen);
+            for (const auto& ker : kKernels) check_shape(ker, m, k, n, gen);
+        }
     }
 }
 
@@ -99,8 +140,11 @@ TEST(GemmBitExactTest, NonMultipleOfBlockSizes) {
         {3, 5, 7},   {5, 3, 9},    {4, 8, 8},    {7, 11, 255},
         {9, 2, 257}, {33, 17, 63}, {2, 300, 31}, {1, 1, 1},
     };
-    for (const auto& k : kKernels) {
-        for (const auto& s : shapes) check_shape(k.blocked, k.ref, s[0], s[1], s[2], gen, k.name);
+    for (util::SimdTier tier : bit_exact_tiers()) {
+        TierGuard guard(tier);
+        for (const auto& k : kKernels) {
+            for (const auto& s : shapes) check_shape(k, s[0], s[1], s[2], gen);
+        }
     }
 }
 
@@ -111,13 +155,16 @@ TEST(GemmBitExactTest, GlobalPoolPathMatchesExplicitPool) {
     const auto b = random_floats(k * n, gen);
     const auto c0 = random_floats(m * n, gen);
 
-    auto c_ref = c0;
-    gemm_nn_ref(a.data(), b.data(), c_ref.data(), m, k, n);
-    util::set_global_threads(4);
-    auto c_glob = c0;
-    gemm_nn(a.data(), b.data(), c_glob.data(), m, k, n);  // pool = global
-    util::set_global_threads(1);
-    expect_bitwise_equal(c_glob, c_ref, "gemm_nn(global pool)", m, k, n);
+    for (util::SimdTier tier : bit_exact_tiers()) {
+        TierGuard guard(tier);
+        auto c_ref = c0;
+        gemm_nn_ref(a.data(), b.data(), c_ref.data(), m, k, n);
+        util::set_global_threads(4);
+        auto c_glob = c0;
+        gemm_nn(a.data(), b.data(), c_glob.data(), m, k, n);  // pool = global
+        util::set_global_threads(1);
+        expect_bitwise_equal(c_glob, c_ref, "gemm_nn(global pool)", m, k, n);
+    }
 }
 
 }  // namespace

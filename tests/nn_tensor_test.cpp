@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "nn/tensor.hpp"
 
 namespace cpt::nn {
@@ -68,6 +70,18 @@ TEST(TensorTest, UniformBounds) {
         EXPECT_GE(x, -0.5f);
         EXPECT_LT(x, 0.5f);
     }
+}
+
+TEST(TensorTest, FirstRowsSharesStorageAndValidates) {
+    Tensor t = Tensor::from({1, 2, 3, 4, 5, 6}, {3, 2});
+    Tensor head = t.first_rows(2);
+    EXPECT_EQ(head.shape(), (Shape{2, 2}));
+    EXPECT_EQ(head.numel(), 4u);
+    head[0] = 9.0f;  // view: writes land in the parent storage
+    EXPECT_EQ(t[0], 9.0f);
+    EXPECT_EQ(t.first_rows(0).numel(), 0u);
+    EXPECT_THROW(t.first_rows(4), std::invalid_argument);
+    EXPECT_THROW(Tensor().first_rows(1), std::invalid_argument);
 }
 
 TEST(TensorTest, ShapeToString) {
