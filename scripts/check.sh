@@ -2,13 +2,14 @@
 # Correctness gate: warnings-as-errors build, clang-tidy (when installed), and
 # a sanitizer ctest matrix. Run from anywhere inside the repo:
 #
-#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan + simd
+#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan + simd + serve
 #   scripts/check.sh werror      # just the -Werror build + full test suite
 #   scripts/check.sh tidy        # just clang-tidy over the compile database
 #   scripts/check.sh ubsan       # UBSan build (recovery disabled) + full suite
 #   scripts/check.sh asan        # ASan build + full suite
 #   scripts/check.sh tsan        # TSan build + concurrency-labeled tests
 #   scripts/check.sh simd        # Release build; parity+determinism per forced SIMD tier
+#   scripts/check.sh serve       # serve-labeled tests + daemon smoke (loadtest, clean drain)
 #
 # Each stage configures into its own build directory (build-check-<stage>) so
 # repeat runs are incremental. The script stops at the first failing stage.
@@ -99,9 +100,61 @@ stage_simd() {
     done
 }
 
+stage_serve() {
+    echo "== stage: serve (labeled tests + daemon smoke: loadtest, graceful drain) =="
+    local dir="$ROOT/build-check-serve"
+    configure_and_build "$dir"
+    run_ctest "$dir" -L serve
+
+    local log="$dir/cpt_serve.log"
+    rm -rf "$dir/serve-hub"
+    "$dir/examples/cpt_serve" --hub="$dir/serve-hub" --bootstrap --ues=40 --port=0 \
+        >"$log" 2>&1 &
+    local daemon=$!
+    # The daemon picks an ephemeral port and prints it on the listening line.
+    local port=""
+    for _ in $(seq 1 120); do
+        port="$(sed -n 's/^cpt_serve: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")"
+        [ -n "$port" ] && break
+        if ! kill -0 "$daemon" 2>/dev/null; then
+            echo "cpt_serve exited before listening:" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.5
+    done
+    if [ -z "$port" ]; then
+        echo "cpt_serve never reported its port:" >&2
+        cat "$log" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    if ! "$dir/examples/serve_loadtest" --port="$port" --requests=6 --count=4 --threads=2 \
+        --max-len=16; then
+        echo "serve_loadtest failed against the smoke daemon" >&2
+        kill "$daemon" 2>/dev/null || true
+        return 1
+    fi
+    # Graceful drain: SIGTERM must produce a clean exit and the drain marker.
+    kill -TERM "$daemon"
+    local status=0
+    wait "$daemon" || status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "cpt_serve exited with status $status after SIGTERM:" >&2
+        cat "$log" >&2
+        return 1
+    fi
+    if ! grep -q "cpt_serve: drained cleanly" "$log"; then
+        echo "cpt_serve log lacks the clean-drain marker:" >&2
+        cat "$log" >&2
+        return 1
+    fi
+    echo "serve smoke: loadtest ok, clean drain confirmed on port $port"
+}
+
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(werror tidy ubsan asan tsan simd)
+    stages=(werror tidy ubsan asan tsan simd serve)
 fi
 for s in "${stages[@]}"; do
     case "$s" in
@@ -111,8 +164,9 @@ for s in "${stages[@]}"; do
         asan) stage_asan ;;
         tsan) stage_tsan ;;
         simd) stage_simd ;;
+        serve) stage_serve ;;
         *)
-            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan simd)" >&2
+            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan simd serve)" >&2
             exit 2
             ;;
     esac

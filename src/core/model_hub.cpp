@@ -74,9 +74,10 @@ CptGpt::Package ModelHub::load(trace::DeviceType device, int hour_of_day,
                                         cellular::Generation::kLte4G, config);
         }
     }
-    throw std::out_of_range("ModelHub::load: no release for " +
-                            std::string(to_string(device)) + " hour " +
-                            std::to_string(hour_of_day));
+    throw std::out_of_range("ModelHub::load: no release for slice (" +
+                            std::string(to_string(device)) + ", hour " +
+                            std::to_string(hour_of_day) + ") in hub directory '" + directory_ +
+                            "'");
 }
 
 std::optional<CptGpt::Package> ModelHub::load_nearest(trace::DeviceType device, int hour_of_day,

@@ -72,6 +72,39 @@ std::size_t sample_logits(std::span<const float> logits, double temperature, dou
     return rng.categorical(std::span<const double>(probs));
 }
 
+// One stream's next (event, interarrival, stop) draw from row `i` of a
+// decode-step prediction. Factored out so generate_batch and SlotBatch
+// consume randomness in exactly the same order — the byte-identity between
+// the two is a documented contract (tests/serve_test.cpp).
+struct RowSample {
+    cellular::EventId event;
+    double interarrival;
+    bool stop;
+};
+
+RowSample sample_row(const CptGpt::DecodeOutput& pred, std::size_t i, std::size_t num_events,
+                     bool dist_head, const Tokenizer& tokenizer, double temperature,
+                     double top_p, util::Rng& rng, SampleScratch& scratch) {
+    RowSample out;
+    const auto ev_logits = pred.event_logits.data().subspan(i * num_events, num_events);
+    out.event = static_cast<cellular::EventId>(
+        sample_logits(ev_logits, temperature, top_p, rng, scratch));
+
+    const float mu = pred.ia_mu[i];
+    double scaled;
+    if (dist_head) {
+        const double sigma = std::exp(0.5 * static_cast<double>(pred.ia_logvar[i]));
+        scaled = rng.normal(static_cast<double>(mu), sigma);
+    } else {
+        scaled = static_cast<double>(mu);
+    }
+    out.interarrival = tokenizer.unscale_interarrival(scaled);
+
+    const auto stop_logits = pred.stop_logits.data().subspan(i * 2, 2);
+    out.stop = sample_logits(stop_logits, temperature, top_p, rng, scratch) == 1;
+    return out;
+}
+
 }  // namespace
 
 std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
@@ -137,31 +170,16 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
         std::size_t live = 0;  // rows of `active` kept, compacted in place
         for (std::size_t i = 0; i < b; ++i) {
             Active& a = active[i];
-            const auto ev_logits = pred.event_logits.data().subspan(i * num_events, num_events);
-            const auto event = static_cast<cellular::EventId>(sample_logits(
-                ev_logits, config_.temperature, config_.top_p, a.rng, sample_scratch));
-
-            const float mu = pred.ia_mu[i];
-            double scaled;
-            if (dist_head) {
-                const double sigma = std::exp(0.5 * static_cast<double>(pred.ia_logvar[i]));
-                scaled = a.rng.normal(static_cast<double>(mu), sigma);
-            } else {
-                scaled = static_cast<double>(mu);
-            }
-            const double interarrival = tokenizer_->unscale_interarrival(scaled);
-            a.t += interarrival;
-
-            const auto stop_logits = pred.stop_logits.data().subspan(i * 2, 2);
-            const bool stop = sample_logits(stop_logits, config_.temperature, config_.top_p,
-                                            a.rng, sample_scratch) == 1;
-
-            a.stream.events.push_back({a.t, event});
-            if (stop || a.stream.events.size() >= config_.max_stream_len) {
+            const RowSample s = sample_row(pred, i, num_events, dist_head, *tokenizer_,
+                                           config_.temperature, config_.top_p, a.rng,
+                                           sample_scratch);
+            a.t += s.interarrival;
+            a.stream.events.push_back({a.t, s.event});
+            if (s.stop || a.stream.events.size() >= config_.max_stream_len) {
                 done.push_back(std::move(a.stream));
                 continue;
             }
-            tokenizer_->encode_token(event, interarrival, false,
+            tokenizer_->encode_token(s.event, s.interarrival, false,
                                      std::span<float>(a.next_token.data(), d_token));
             keep_rows.push_back(i);
             if (live != i) active[live] = std::move(a);
@@ -174,6 +192,173 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
     }
     for (auto& a : active) done.push_back(std::move(a.stream));  // hit the length cap
     return done;
+}
+
+// ---- SlotBatch: continuous-batching decode session -------------------------
+
+struct Sampler::SlotBatch::Impl {
+    struct Slot {
+        trace::Stream stream;
+        util::Rng rng{0};
+        std::vector<float> next_token;
+        double t = 0.0;
+        std::uint64_t ticket = 0;
+        std::size_t max_len = 0;
+        double temperature = 1.0;
+        double top_p = 1.0;
+    };
+
+    explicit Impl(const Sampler& s, std::size_t cap)
+        : sampler(&s),
+          capacity(cap),
+          decoder(s.model_->make_decoder(cap)),
+          scratch(s.model_->make_decode_scratch(cap)),
+          input_full({cap, s.tokenizer_->d_token()}),
+          input(input_full) {
+        decoder.reset();  // start with every slot free
+        slots.reserve(cap);
+        keep_rows.reserve(cap);
+    }
+
+    const Sampler* sampler;
+    std::size_t capacity;
+    nn::TransformerDecoder decoder;
+    CptGpt::DecodeScratch scratch;
+    SampleScratch sample_scratch;
+    nn::Tensor input_full;
+    nn::Tensor input;
+    std::vector<Slot> slots;  // index == decoder row
+    std::vector<std::size_t> keep_rows;
+};
+
+Sampler::SlotBatch::SlotBatch(const Sampler& sampler, std::size_t capacity)
+    : impl_(std::make_unique<Impl>(sampler, capacity)) {
+    CPT_CHECK_GT(capacity, std::size_t{0}, " SlotBatch: capacity must be > 0");
+}
+
+Sampler::SlotBatch::~SlotBatch() = default;
+Sampler::SlotBatch::SlotBatch(SlotBatch&&) noexcept = default;
+Sampler::SlotBatch& Sampler::SlotBatch::operator=(SlotBatch&&) noexcept = default;
+
+std::size_t Sampler::SlotBatch::capacity() const { return impl_->capacity; }
+std::size_t Sampler::SlotBatch::live() const { return impl_->slots.size(); }
+std::size_t Sampler::SlotBatch::free_slots() const { return impl_->capacity - live(); }
+
+std::size_t Sampler::SlotBatch::admissible_len() const {
+    const std::size_t cap = impl_->sampler->config_.max_stream_len;
+    if (impl_->slots.empty()) return cap;  // admit() rewinds the context first
+    // A stream of length L admitted at position s consumes positions
+    // s .. s+L-2, so it fits iff L <= max_seq_len - s + 1.
+    const std::size_t max_t = impl_->sampler->model_->config().max_seq_len;
+    const std::size_t s = impl_->decoder.length();
+    return std::min(cap, max_t - s + 1);
+}
+
+void Sampler::SlotBatch::admit(util::Rng rng, std::string ue_id, std::uint64_t ticket,
+                               AdmitParams params) {
+    Impl& im = *impl_;
+    CPT_CHECK_GT(free_slots(), std::size_t{0}, " SlotBatch::admit: no free slot");
+    if (im.slots.empty() && im.decoder.length() > 0) im.decoder.reset();
+    const std::size_t max_len = std::min(params.max_len, im.sampler->config_.max_stream_len);
+    CPT_CHECK_GE(max_len, std::size_t{2}, " SlotBatch::admit: max_len must be >= 2");
+    CPT_CHECK_LE(max_len, admissible_len(),
+                 " SlotBatch::admit: stream cannot fit in the remaining context");
+    if (params.top_p > 0.0) {
+        CPT_CHECK_LE(params.top_p, 1.0, " SlotBatch::admit: top_p must be in (0, 1]");
+    }
+    im.decoder.admit(1);
+
+    const Sampler& s = *im.sampler;
+    const std::size_t d_token = s.tokenizer_->d_token();
+    Impl::Slot slot;
+    slot.rng = rng;
+    slot.ticket = ticket;
+    slot.max_len = max_len;
+    slot.temperature = params.temperature > 0.0 ? params.temperature : s.config_.temperature;
+    slot.top_p = params.top_p > 0.0 ? params.top_p : s.config_.top_p;
+    slot.stream.ue_id = std::move(ue_id);
+    slot.stream.device = s.config_.device;
+    slot.stream.hour_of_day = s.config_.hour_of_day;
+    // Bootstrap token (§4.5), identical to generate_batch: sampled initial
+    // event, interarrival 0, stop 0.
+    const auto first_event = static_cast<cellular::EventId>(
+        slot.rng.categorical(std::span<const double>(s.initial_event_dist_)));
+    slot.next_token.resize(d_token, 0.0f);
+    s.tokenizer_->encode_token(first_event, 0.0, false,
+                               std::span<float>(slot.next_token.data(), d_token));
+    slot.stream.events.push_back({0.0, first_event});
+    im.slots.push_back(std::move(slot));
+}
+
+std::size_t Sampler::SlotBatch::step(std::vector<Finished>& out) {
+    Impl& im = *impl_;
+    if (im.slots.empty()) return 0;
+    const Sampler& s = *im.sampler;
+    const std::size_t b = im.slots.size();
+    const std::size_t d_token = s.tokenizer_->d_token();
+    const std::size_t num_events = s.tokenizer_->num_event_types();
+    const bool dist_head = s.model_->config().distribution_head;
+
+    if (im.input.dim(0) != b) im.input = im.input_full.first_rows(b);
+    {
+        auto dst = im.input.data();
+        for (std::size_t i = 0; i < b; ++i) {
+            std::copy(im.slots[i].next_token.begin(), im.slots[i].next_token.end(),
+                      dst.begin() + static_cast<std::ptrdiff_t>(i * d_token));
+        }
+    }
+    const auto& pred = s.model_->decode_step(im.decoder, im.input, im.scratch);
+
+    im.keep_rows.clear();
+    std::size_t finished = 0;
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < b; ++i) {
+        Impl::Slot& slot = im.slots[i];
+        const RowSample rs = sample_row(pred, i, num_events, dist_head, *s.tokenizer_,
+                                        slot.temperature, slot.top_p, slot.rng,
+                                        im.sample_scratch);
+        slot.t += rs.interarrival;
+        slot.stream.events.push_back({slot.t, rs.event});
+        if (rs.stop || slot.stream.events.size() >= slot.max_len) {
+            out.push_back({std::move(slot.stream), slot.ticket, false});
+            ++finished;
+            continue;
+        }
+        s.tokenizer_->encode_token(rs.event, rs.interarrival, false,
+                                   std::span<float>(slot.next_token.data(), d_token));
+        im.keep_rows.push_back(i);
+        if (live != i) im.slots[live] = std::move(slot);
+        ++live;
+    }
+    if (live != b) {
+        im.decoder.compact(im.keep_rows);
+        im.slots.resize(live);
+    }
+    return finished;
+}
+
+std::size_t Sampler::SlotBatch::evict(const std::function<bool(std::uint64_t)>& pred,
+                                      std::vector<Finished>& out) {
+    Impl& im = *impl_;
+    im.keep_rows.clear();
+    std::size_t live = 0;
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i < im.slots.size(); ++i) {
+        Impl::Slot& slot = im.slots[i];
+        if (pred(slot.ticket)) {
+            out.push_back({std::move(slot.stream), slot.ticket, true});
+            ++dropped;
+            continue;
+        }
+        im.keep_rows.push_back(i);
+        if (live != i) im.slots[live] = std::move(slot);
+        ++live;
+    }
+    if (dropped > 0) {
+        im.decoder.compact(im.keep_rows);
+        im.slots.resize(live);
+    }
+    return dropped;
 }
 
 trace::Stream Sampler::sample_stream(const std::string& ue_id, util::Rng& rng) const {

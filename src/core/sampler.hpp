@@ -32,6 +32,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -62,13 +65,87 @@ public:
     trace::Dataset generate(std::size_t n, util::Rng& rng,
                             const std::string& ue_prefix = "cptgpt") const;
 
-private:
     // Runs one batched decode over `rngs.size()` streams whose RNGs were
-    // pre-forked by the caller; stream i is labelled `first_serial + i`.
+    // pre-forked by the caller; stream i is labelled `first_serial + i`
+    // (ue_id "<ue_prefix>-%06zu"). Public so serving-layer schedulers and
+    // their tests can pin SlotBatch output against the drain-style batch.
     std::vector<trace::Stream> generate_batch(std::span<util::Rng> rngs,
                                               const std::string& ue_prefix,
                                               std::size_t first_serial) const;
 
+    // Continuous-batching decode session over this sampler's model — the
+    // slot-refill entry point beside generate_batch() that src/serve builds
+    // on. Slots are decoder rows: admit() fills free slots at step
+    // boundaries (including slots that finished streams freed mid-decode),
+    // step() advances every live stream by one token and hands back the
+    // streams that completed, evict() drops live streams (deadline
+    // enforcement) at the next compaction.
+    //
+    // Determinism: a stream's content is a pure function of the Rng passed
+    // to admit() — independent of when the stream was admitted, which other
+    // streams share the batch, and CPT_THREADS (the decoder windows
+    // per-row attention and positions; see nn/infer.hpp). Admitting
+    // serially pre-forked RNGs therefore reproduces generate_batch()
+    // byte-for-byte, which is the single-slice deterministic-mode contract
+    // (pinned by tests/serve_test.cpp).
+    class SlotBatch {
+    public:
+        struct Finished {
+            trace::Stream stream;
+            std::uint64_t ticket = 0;
+            bool evicted = false;  // cut short by evict(), not by the model
+        };
+
+        SlotBatch(const Sampler& sampler, std::size_t capacity);
+        ~SlotBatch();
+        SlotBatch(SlotBatch&&) noexcept;
+        SlotBatch& operator=(SlotBatch&&) noexcept;
+
+        std::size_t capacity() const;
+        std::size_t live() const;
+        std::size_t free_slots() const;
+
+        // Longest stream a newly admitted slot could still produce before
+        // the shared KV context fills. Recovers to the full config cap once
+        // every slot drains (the decoder is then rewound).
+        std::size_t admissible_len() const;
+
+        // Per-stream sampling overrides; negative fields fall back to the
+        // sampler's config (the serve layer carries these per request).
+        struct AdmitParams {
+            std::size_t max_len = std::numeric_limits<std::size_t>::max();
+            double temperature = -1.0;
+            double top_p = -1.0;
+        };
+
+        // Admits one stream into a free slot; its length is capped at
+        // min(params.max_len, sampler config max_stream_len), which must fit
+        // in admissible_len(). `ticket` tags the stream through Finished.
+        void admit(util::Rng rng, std::string ue_id, std::uint64_t ticket,
+                   AdmitParams params);
+        void admit(util::Rng rng, std::string ue_id, std::uint64_t ticket) {
+            admit(std::move(rng), std::move(ue_id), ticket, AdmitParams{});
+        }
+
+        // One decode step over all live streams; completed streams are
+        // appended to `out`. Returns how many completed. No-op when empty.
+        std::size_t step(std::vector<Finished>& out);
+
+        // Drops live streams whose ticket matches `pred`; their partial
+        // streams are appended to `out` with evicted = true.
+        std::size_t evict(const std::function<bool(std::uint64_t)>& pred,
+                          std::vector<Finished>& out);
+
+    private:
+        struct Impl;
+        std::unique_ptr<Impl> impl_;
+    };
+
+    SlotBatch make_slot_batch(std::size_t capacity) const { return SlotBatch(*this, capacity); }
+
+    const SamplerConfig& config() const { return config_; }
+
+private:
     const CptGpt* model_;
     const Tokenizer* tokenizer_;
     std::vector<double> initial_event_dist_;

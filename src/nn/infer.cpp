@@ -15,6 +15,10 @@ TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t bat
     const auto& cfg = model.config();
     CPT_CHECK_GT(batch, std::size_t{0}, " TransformerDecoder: batch must be > 0");
     caches_.resize(cfg.blocks);
+    start_.assign(batch, 0);
+    phys_.resize(batch);
+    for (std::size_t r = 0; r < batch; ++r) phys_[r] = r;
+    free_.reserve(batch);
     const std::size_t dh = cfg.d_model / cfg.heads;
     for (auto& c : caches_) {
         c.k = Tensor({batch, cfg.heads, cfg.max_seq_len, dh});
@@ -60,10 +64,21 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
     float* ph = hstate_.data().data();
     float* pscratch = scratch_.data().data();
 
-    // Input projection + positional embedding.
+    // Input projection + positional embedding. The embedding is indexed by
+    // the row-local position (t - row_start), so a row admitted mid-decode
+    // sees exactly the embeddings a fresh decode would; when every row
+    // started at 0 the uniform fast path adds one shared bias row.
     model_->input_proj().forward_rows(x.data().data(), ph, batch_, &pool);
-    kernels::add_bias_rows(ph, model_->positions()->value.data().data() + t * d, batch_, d,
-                           &pool);
+    const float* pos = model_->positions()->value.data().data();
+    if (uniform_start_) {
+        kernels::add_bias_rows(ph, pos + t * d, batch_, d, &pool);
+    } else {
+        pool.parallel_for(batch_, util::grain_for(4 * d), [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t r = r0; r < r1; ++r) {
+                kernels::add_bias_rows(ph + r * d, pos + (t - start_[r]) * d, 1, d, nullptr);
+            }
+        });
+    }
 
     for (std::size_t bi = 0; bi < caches_.size(); ++bi) {
         const auto& block = *model_->blocks()[bi];
@@ -84,7 +99,7 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
                                   for (std::size_t i = i0; i < i1; ++i) {
                                       const std::size_t r = i / h;
                                       const std::size_t head = i % h;
-                                      float* dst = ck + (i * max_t + t) * dh;
+                                      float* dst = ck + ((phys_[r] * h + head) * max_t + t) * dh;
                                       const float* src = pk + r * d + head * dh;
                                       std::copy_n(src, dh, dst);
                                   }
@@ -97,16 +112,20 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
                                   for (std::size_t i = i0; i < i1; ++i) {
                                       const std::size_t r = i / h;
                                       const std::size_t head = i % h;
-                                      float* dst = cv + (i * max_t + t) * dh;
+                                      float* dst = cv + ((phys_[r] * h + head) * max_t + t) * dh;
                                       const float* src = pv + r * d + head * dh;
                                       std::copy_n(src, dh, dst);
                                   }
                               });
         }
-        // Per-row, per-head attention over positions [0, t]. Each (row, head)
-        // pair is independent; the score rows live in the arena, one row per
-        // chunk, so concurrent lanes never share one and the hot loop stays
-        // allocation-free.
+        // Per-row, per-head attention over the row's own window [start, t].
+        // Rows constructed together have start 0 (the full causal prefix);
+        // rows admitted mid-decode never read positions before their start,
+        // so their math — dot order, softmax length, axpy order — is
+        // bit-identical to a fresh decode of the same stream. Each (row,
+        // head) pair is independent; the score rows live in the arena, one
+        // row per chunk, so concurrent lanes never share one and the hot
+        // loop stays allocation-free.
         {
             const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
             const float* pq = q_.data().data();
@@ -123,16 +142,18 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
                     for (std::size_t i = i0; i < i1; ++i) {
                         const std::size_t r = i / h;
                         const std::size_t head = i % h;
+                        const std::size_t n = t - start_[r] + 1;  // window length
+                        const std::size_t cache_row = (phys_[r] * h + head) * max_t;
                         const float* qrow = pq + r * d + head * dh;
-                        const float* krows = ck + i * max_t * dh;
-                        const float* vrows = cv + i * max_t * dh;
-                        for (std::size_t p = 0; p <= t; ++p) {
+                        const float* krows = ck + (cache_row + start_[r]) * dh;
+                        const float* vrows = cv + (cache_row + start_[r]) * dh;
+                        for (std::size_t p = 0; p < n; ++p) {
                             scores[p] = kernels::dot(qrow, krows + p * dh, dh) * scale;
                         }
-                        kernels::softmax_row(scores, scores, t + 1, t + 1);
+                        kernels::softmax_row(scores, scores, n, n);
                         float* crow = ctx + r * d + head * dh;
                         std::fill_n(crow, dh, 0.0f);
-                        for (std::size_t p = 0; p <= t; ++p) {
+                        for (std::size_t p = 0; p < n; ++p) {
                             kernels::axpy(scores[p], vrows + p * dh, crow, dh);
                         }
                     }
@@ -167,21 +188,54 @@ void TransformerDecoder::compact(const std::vector<std::size_t>& keep_rows) {
         CPT_CHECK_LT(keep_rows.back(), batch_, " TransformerDecoder::compact: row out of range");
     }
     const std::size_t new_batch = keep_rows.size();
-    const auto& cfg = model_->config();
-    const std::size_t row_floats = cfg.heads * cfg.max_seq_len * (cfg.d_model / cfg.heads);
-    // In-place: keep_rows is strictly ascending, so keep_rows[i] >= i and the
-    // forward copy never clobbers a row a later iteration still reads.
-    for (auto& c : caches_) {
-        float* pk = c.k.data().data();
-        float* pv = c.v.data().data();
-        for (std::size_t i = 0; i < new_batch; ++i) {
-            const std::size_t src = keep_rows[i];
-            if (src == i) continue;
-            std::copy_n(pk + src * row_floats, row_floats, pk + i * row_floats);
-            std::copy_n(pv + src * row_floats, row_floats, pv + i * row_floats);
+    // O(batch): only the logical->physical map and the per-row metadata move;
+    // the KV rows themselves stay where they are (dropped physical rows go on
+    // the free list for admit() to hand out). A serving scheduler compacts at
+    // nearly every step boundary, so moving KV data here — O(batch * maxT * d)
+    // per call — would tax continuous batching far more than the occasional
+    // end-of-round compact a drain scheduler performs.
+    bool uniform = true;
+    std::size_t next_keep = 0;
+    for (std::size_t i = 0; i < batch_; ++i) {
+        if (next_keep < new_batch && keep_rows[next_keep] == i) {
+            start_[next_keep] = start_[i];
+            phys_[next_keep] = phys_[i];
+            uniform = uniform && start_[next_keep] == 0;
+            ++next_keep;
+        } else {
+            free_.push_back(phys_[i]);
         }
     }
+    uniform_start_ = uniform;
     batch_ = new_batch;
+    rebind_views();
+}
+
+std::size_t TransformerDecoder::admit(std::size_t count) {
+    CPT_CHECK_LE(batch_ + count, capacity_,
+                 " TransformerDecoder::admit: live rows would exceed capacity");
+    const std::size_t first = batch_;
+    for (std::size_t i = 0; i < count; ++i) {
+        start_[batch_ + i] = len_;
+        // compact() returned enough physical rows to the free list: live rows
+        // plus freed rows always cover the capacity.
+        phys_[batch_ + i] = free_.back();
+        free_.pop_back();
+    }
+    batch_ += count;
+    if (count > 0 && len_ > 0) uniform_start_ = false;
+    rebind_views();
+    return first;
+}
+
+void TransformerDecoder::reset() {
+    batch_ = 0;
+    len_ = 0;
+    std::fill(start_.begin(), start_.end(), 0);
+    // Descending so admit() hands out physical rows 0, 1, 2, ... again.
+    free_.clear();
+    for (std::size_t r = capacity_; r > 0; --r) free_.push_back(r - 1);
+    uniform_start_ = true;
     rebind_views();
 }
 

@@ -7,10 +7,20 @@
 // The decoder holds plain tensors (no autograd graph) and owns a scratch
 // arena allocated once at construction, so steady-state decoding performs
 // zero tensor allocations per step (the decode hot path of
-// Sampler::generate_batch). compact() shrinks the KV cache and arena views
-// in place. Numerical equivalence with Transformer::forward() is pinned by
+// Sampler::generate_batch). compact() drops rows by permuting a
+// logical->physical row map over the KV cache — O(batch), no data movement.
+// Numerical equivalence with Transformer::forward() is pinned by
 // tests; all kernels dispatch on the active SIMD tier (util/cpu.hpp) and
 // stay byte-identical across CPT_THREADS within a tier.
+//
+// Continuous batching: admit() re-activates freed rows mid-decode. Each row
+// carries its own start offset — attention is windowed to [row_start, t] and
+// the positional embedding is indexed by the row-local position (t -
+// row_start) — so a row's arithmetic is bit-identical to the same stream
+// decoded from position 0 in a fresh decoder, regardless of when it was
+// admitted. That invariance is what lets a serving scheduler refill slots
+// that compact() frees without perturbing the streams already in flight
+// (pinned by tests/serve_test.cpp).
 #pragma once
 
 #include <vector>
@@ -33,13 +43,33 @@ public:
     // (length() == max_seq_len).
     const Tensor& step(const Tensor& x);
 
-    // Tokens consumed so far.
+    // Tokens consumed so far (shared context position).
     std::size_t length() const { return len_; }
     std::size_t batch() const { return batch_; }
+    std::size_t capacity() const { return capacity_; }
+
+    // Position at which row r was admitted; 0 for construction-time rows.
+    std::size_t row_start(std::size_t r) const { return start_[r]; }
+    // Steps row r has decoded so far (its local context length).
+    std::size_t row_length(std::size_t r) const { return len_ - start_[r]; }
 
     // Keeps only the given rows (ascending, unique); used to drop finished
-    // streams mid-generation. In-place: no reallocation.
+    // streams mid-generation. O(batch): rows are indirected through a
+    // logical->physical map, so no KV data moves — dropped physical rows are
+    // recycled to admit(). No reallocation.
     void compact(const std::vector<std::size_t>& keep_rows);
+
+    // Activates `count` additional rows (append after the live ones) whose
+    // context starts at the current position: they attend only to tokens fed
+    // from the next step() on, and their positional embedding restarts at 0.
+    // Returns the index of the first new row. Requires batch() + count <=
+    // capacity(). The stale K/V those rows inherit is never read.
+    std::size_t admit(std::size_t count);
+
+    // Forgets all rows and rewinds the shared context to position 0, so the
+    // decoder can be reused once every row has drained (a serving scheduler
+    // does this when the shared context fills up). O(1): no buffer is touched.
+    void reset();
 
 private:
     struct BlockCache {
@@ -56,6 +86,18 @@ private:
     std::size_t capacity_ = 0;
     std::size_t batch_ = 0;
     std::size_t len_ = 0;
+    // Per-row admission position ([capacity_]; first batch_ entries live).
+    // uniform_start_ short-circuits the windowed paths when every live row
+    // started at 0 (the Sampler::generate_batch case).
+    std::vector<std::size_t> start_;
+    bool uniform_start_ = true;
+    // Logical row r's K/V lives at cache row phys_[r]; free_ holds the
+    // physical rows not referenced by any live logical row. compact()
+    // permutes this map instead of moving KV data, so a continuous-batching
+    // scheduler can compact at every step boundary for O(batch) rather than
+    // O(batch * maxT * d_model).
+    std::vector<std::size_t> phys_;
+    std::vector<std::size_t> free_;
     std::vector<BlockCache> caches_;
 
     // Scratch arena, allocated once for `capacity_` rows...

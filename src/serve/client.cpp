@@ -1,0 +1,199 @@
+#include "client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace cpt::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::runtime_error(std::string("serve: ") + what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw std::runtime_error("serve: bad IPv4 address '" + host + "'");
+    }
+    return addr;
+}
+
+}  // namespace
+
+// ---- TcpServer -------------------------------------------------------------
+
+TcpServer::TcpServer(Server& server, const std::string& host, std::uint16_t port)
+    : server_(server) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = make_addr(host, port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        errno = err;
+        throw_errno("bind");
+    }
+    if (::listen(listen_fd_, 64) < 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        errno = err;
+        throw_errno("listen");
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+        throw_errno("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpServer::~TcpServer() {
+    stop();
+    // serve_forever joins connection threads; if it was never run (or exited
+    // early), join whatever is left here.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        threads.swap(conn_threads_);
+    }
+    for (auto& t : threads) {
+        if (t.joinable()) t.join();
+    }
+}
+
+void TcpServer::serve_forever(const std::function<bool()>& interrupt) {
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) {
+                if (interrupt && interrupt()) break;
+                continue;
+            }
+            // stop() closed the listening socket under us.
+            std::lock_guard<std::mutex> lk(mu_);
+            if (stopping_) break;
+            throw_errno("accept");
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_) {
+            ::close(fd);
+            break;
+        }
+        conn_fds_.push_back(fd);
+        conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+    }
+    // Unblock connection threads stuck in recv before joining them — an idle
+    // client must not be able to hold up shutdown.
+    stop();
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        threads.swap(conn_threads_);
+    }
+    for (auto& t : threads) {
+        if (t.joinable()) t.join();
+    }
+}
+
+void TcpServer::stop() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpServer::handle_connection(int fd) {
+    std::vector<std::uint8_t> payload;
+    try {
+        while (read_frame(fd, payload)) {
+            std::vector<std::uint8_t> reply;
+            switch (peek_type(payload)) {
+                case MsgType::kGenerateRequest: {
+                    const GenerateRequest req = decode_generate_request(payload);
+                    reply = encode_generate_response(server_.generate(req));
+                    break;
+                }
+                case MsgType::kStatsRequest:
+                    reply = encode_stats_response(server_.stats_json());
+                    break;
+                default:
+                    throw std::runtime_error("serve: client sent a response-typed frame");
+            }
+            write_frame(fd, reply);
+        }
+    } catch (const std::exception&) {
+        // Malformed frame or peer reset: drop the connection. The daemon
+        // must outlive misbehaving clients.
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+        if (*it == fd) {
+            conn_fds_.erase(it);
+            break;
+        }
+    }
+}
+
+// ---- TcpClient -------------------------------------------------------------
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw_errno("socket");
+    sockaddr_in addr = make_addr(host, port);
+    int rc;
+    do {
+        rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = err;
+        throw_errno("connect");
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpClient::~TcpClient() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+GenerateResponse TcpClient::generate(const GenerateRequest& request) {
+    write_frame(fd_, encode_generate_request(request));
+    if (!read_frame(fd_, frame_)) {
+        throw std::runtime_error("serve: server closed connection before replying");
+    }
+    return decode_generate_response(frame_);
+}
+
+std::string TcpClient::stats_json() {
+    write_frame(fd_, encode_stats_request());
+    if (!read_frame(fd_, frame_)) {
+        throw std::runtime_error("serve: server closed connection before replying");
+    }
+    return decode_stats_response(frame_);
+}
+
+}  // namespace cpt::serve

@@ -1,0 +1,80 @@
+// TCP transport for cpt-serve: a blocking accept-loop server that exposes a
+// serve::Server over the length-prefixed protocol (protocol.hpp), and a
+// matching client. One OS thread per connection; each connection processes
+// its frames in order (a generate frame blocks that connection until the
+// engine answers), so pipelined load needs multiple connections — which is
+// what serve_loadtest does.
+//
+// Shutdown: stop() closes the listening socket and shuts down every live
+// connection, so serve_forever() returns after joining the connection
+// threads. serve_forever() also returns when `interrupt` (checked whenever
+// accept(2) is interrupted by a signal — util::install_shutdown_handlers
+// installs handlers without SA_RESTART precisely so this works) reports true.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server.hpp"
+
+namespace cpt::serve {
+
+class TcpServer {
+public:
+    // Binds and listens on host:port; port 0 picks an ephemeral port (read it
+    // back with port()). Throws std::runtime_error on socket errors.
+    TcpServer(Server& server, const std::string& host = "127.0.0.1",
+              std::uint16_t port = 0);
+    ~TcpServer();
+
+    TcpServer(const TcpServer&) = delete;
+    TcpServer& operator=(const TcpServer&) = delete;
+
+    std::uint16_t port() const { return port_; }
+
+    // Accepts connections until stop() is called or `interrupt` returns true
+    // after a signal interrupts accept(2). Joins connection threads before
+    // returning. Call from the thread that should own the accept loop.
+    void serve_forever(const std::function<bool()>& interrupt = nullptr);
+
+    // Closes the listening socket and all live connections; safe to call
+    // from another thread or more than once.
+    void stop();
+
+private:
+    void handle_connection(int fd);
+
+    Server& server_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::mutex mu_;
+    bool stopping_ = false;
+    std::vector<int> conn_fds_;
+    std::vector<std::thread> conn_threads_;
+};
+
+class TcpClient {
+public:
+    // Connects to host:port; throws std::runtime_error on failure.
+    TcpClient(const std::string& host, std::uint16_t port);
+    ~TcpClient();
+
+    TcpClient(const TcpClient&) = delete;
+    TcpClient& operator=(const TcpClient&) = delete;
+
+    // Round-trips one request frame. Throws std::runtime_error on transport
+    // or protocol errors; service-level failures come back in the response
+    // status instead.
+    GenerateResponse generate(const GenerateRequest& request);
+    std::string stats_json();
+
+private:
+    int fd_ = -1;
+    std::vector<std::uint8_t> frame_;  // reused receive buffer
+};
+
+}  // namespace cpt::serve

@@ -1,0 +1,82 @@
+// Wire protocol for the cpt-serve generation service (paper §4.5: downstream
+// users synthesize traffic on demand from released model packages).
+//
+// Framing is length-prefixed binary over a connected stream socket: every
+// message is a little-endian u32 payload length followed by the payload. The
+// payload starts with a one-byte message type; all integers are little-endian
+// and all strings are u16/u32 length-prefixed bytes (no NUL terminators).
+// The same encode/decode functions back the TCP transport and the in-process
+// client, so the two are interchangeable in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/stream.hpp"
+
+namespace cpt::serve {
+
+enum class MsgType : std::uint8_t {
+    kGenerateRequest = 1,
+    kStatsRequest = 2,
+    kGenerateResponse = 16,
+    kStatsResponse = 17,
+};
+
+enum class Status : std::uint8_t {
+    kOk = 0,
+    kQueueFull = 1,     // admission queue at capacity — back off and retry
+    kDeadline = 2,      // request evicted at a compaction after its deadline
+    kNoModel = 3,       // hub has no release for the requested slice
+    kShuttingDown = 4,  // server is draining
+    kBadRequest = 5,    // malformed or out-of-range request fields
+};
+
+const char* status_name(Status s);
+
+// A per-UE stream-synthesis request for one (device, hour) hub slice.
+struct GenerateRequest {
+    trace::DeviceType device = trace::DeviceType::kPhone;
+    int hour_of_day = 0;
+    std::uint32_t count = 1;      // streams to synthesize
+    std::uint64_t seed = 1;       // deterministic mode: stream i uses Rng(seed).fork(i)
+    bool deterministic = false;   // false: the server forks from its own RNG
+    float temperature = -1.0f;    // sampler overrides; negative = slice default
+    float top_p = -1.0f;
+    std::uint32_t max_stream_len = 0;  // 0 = slice default
+    std::uint32_t deadline_ms = 0;     // 0 = server default
+    std::string ue_prefix = "serve";   // streams are labelled "<prefix>-%06zu"
+};
+
+struct GenerateResponse {
+    Status status = Status::kOk;
+    std::string error;  // human-readable detail when status != kOk
+    std::vector<trace::Stream> streams;
+};
+
+// ---- payload encode/decode (excludes the u32 frame length) ----
+std::vector<std::uint8_t> encode_generate_request(const GenerateRequest& req);
+std::vector<std::uint8_t> encode_generate_response(const GenerateResponse& resp);
+std::vector<std::uint8_t> encode_stats_request();
+std::vector<std::uint8_t> encode_stats_response(const std::string& json);
+
+// First payload byte; throws std::runtime_error on an empty or unknown-typed
+// payload.
+MsgType peek_type(std::span<const std::uint8_t> payload);
+
+// Decoders throw std::runtime_error on truncated or malformed payloads.
+GenerateRequest decode_generate_request(std::span<const std::uint8_t> payload);
+GenerateResponse decode_generate_response(std::span<const std::uint8_t> payload);
+std::string decode_stats_response(std::span<const std::uint8_t> payload);
+
+// ---- framing over a connected socket fd ----
+// Reads one frame; returns false on clean EOF at a frame boundary, throws on
+// I/O errors, truncation mid-frame, or frames above kMaxFrameBytes.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+void write_frame(int fd, std::span<const std::uint8_t> payload);
+
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // defensive cap
+
+}  // namespace cpt::serve

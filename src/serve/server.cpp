@@ -1,0 +1,434 @@
+#include "server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <thread>
+
+#include "core/sampler.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace cpt::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Ticket layout: request serial in the high bits, stream index in the low 20
+// (max_request_streams is clamped to this in the Server constructor).
+constexpr std::uint64_t kStreamIndexBits = 20;
+constexpr std::uint64_t kStreamIndexMask = (1ULL << kStreamIndexBits) - 1;
+
+std::string slice_name(trace::DeviceType device, int hour) {
+    return std::string(trace::to_string(device)) + "/h" + std::to_string(hour);
+}
+
+}  // namespace
+
+// ---- Engine: one slice's continuous-batching worker ------------------------
+
+class Server::Engine {
+public:
+    Engine(const ServeConfig& cfg, core::CptGpt::Package pkg, trace::DeviceType device,
+           int hour)
+        : cfg_(&cfg),
+          device_(device),
+          hour_(hour),
+          pkg_(std::move(pkg)),
+          sampler_(*pkg_.model, pkg_.tokenizer, pkg_.initial_event_dist,
+                   make_sampler_config(cfg, device, hour)),
+          server_rng_(cfg.server_seed ^ (static_cast<std::uint64_t>(device) * 24 + hour)),
+          worker_([this] { run(); }) {}
+
+    ~Engine() { stop_and_join(); }
+
+    GenerateResponse submit(const GenerateRequest& req) {
+        auto rq = std::make_shared<Request>();
+        std::future<GenerateResponse> fut = rq->promise.get_future();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (stop_) {
+                return {Status::kShuttingDown, "server is draining", {}};
+            }
+            if (queue_.size() + inflight_.size() >= cfg_->queue_capacity) {
+                ++requests_rejected_;
+                return {Status::kQueueFull,
+                        "admission queue at capacity (" +
+                            std::to_string(cfg_->queue_capacity) + ")",
+                        {}};
+            }
+            rq->req = req;
+            rq->serial = next_serial_++;
+            rq->submitted = Clock::now();
+            const std::uint32_t deadline_ms =
+                req.deadline_ms != 0 ? req.deadline_ms : cfg_->default_deadline_ms;
+            rq->deadline = rq->submitted + std::chrono::milliseconds(deadline_ms);
+            rq->deterministic = cfg_->deterministic || req.deterministic;
+            rq->base_rng = util::Rng(req.seed);
+            queue_.push_back(rq);
+        }
+        cv_.notify_one();
+        return fut.get();
+    }
+
+    void stop_and_join() {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (stop_ && !worker_.joinable()) return;
+            stop_ = true;
+        }
+        cv_.notify_one();
+        if (worker_.joinable()) worker_.join();
+    }
+
+    using StatsSnapshot = Server::SliceStats;
+
+    StatsSnapshot stats() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        StatsSnapshot s;
+        s.device = device_;
+        s.hour = hour_;
+        s.streams = streams_done_;
+        s.tokens = tokens_done_;
+        s.requests_done = requests_done_;
+        s.requests_timeout = requests_timeout_;
+        s.requests_rejected = requests_rejected_;
+        s.queue_depth = queue_.size() + inflight_.size();
+        s.latency = latency_;
+        return s;
+    }
+
+private:
+    struct Request {
+        GenerateRequest req;
+        std::uint64_t serial = 0;
+        Clock::time_point submitted;
+        Clock::time_point deadline;
+        bool deterministic = false;
+        util::Rng base_rng{1};
+        std::size_t admitted = 0;     // streams admitted into slots so far
+        std::size_t outstanding = 0;  // admitted but neither finished nor evicted
+        std::vector<std::pair<std::size_t, trace::Stream>> done;  // (index, stream)
+        std::promise<GenerateResponse> promise;
+    };
+    using RequestPtr = std::shared_ptr<Request>;
+
+    static core::SamplerConfig make_sampler_config(const ServeConfig& cfg,
+                                                   trace::DeviceType device, int hour) {
+        core::SamplerConfig sc;
+        sc.batch = cfg.slot_capacity;
+        sc.device = device;
+        sc.hour_of_day = hour;
+        sc.max_stream_len = std::min<std::size_t>(500, cfg.model.max_seq_len);
+        return sc;
+    }
+
+    // Completes a request: sorts its streams back into submission order and
+    // fulfils the promise. Caller holds mu_ and has already detached the
+    // request from queue_/inflight_.
+    void complete_locked(const RequestPtr& rq, Status status, const std::string& error) {
+        std::sort(rq->done.begin(), rq->done.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        GenerateResponse resp;
+        resp.status = status;
+        resp.error = error;
+        resp.streams.reserve(rq->done.size());
+        for (auto& [idx, stream] : rq->done) resp.streams.push_back(std::move(stream));
+        if (status == Status::kOk) {
+            ++requests_done_;
+            latency_.record(std::chrono::duration<double>(Clock::now() - rq->submitted).count());
+        } else {
+            ++requests_timeout_;
+        }
+        rq->promise.set_value(std::move(resp));
+    }
+
+    // Evicts expired requests (queued and in-flight) at a step boundary.
+    void expire_locked(core::Sampler::SlotBatch& batch, const Clock::time_point& now,
+                       std::vector<core::Sampler::SlotBatch::Finished>& scratch) {
+        // Collect expired serials first so the eviction predicate is a set
+        // lookup, then drop their queue entries and live slots.
+        expired_.clear();
+        for (const auto& rq : queue_) {
+            if (now >= rq->deadline) expired_.push_back(rq);
+        }
+        for (const auto& [serial, rq] : inflight_) {
+            if (now >= rq->deadline &&
+                std::find(expired_.begin(), expired_.end(), rq) == expired_.end()) {
+                expired_.push_back(rq);
+            }
+        }
+        if (expired_.empty()) return;
+        scratch.clear();
+        batch.evict(
+            [&](std::uint64_t ticket) {
+                const std::uint64_t serial = ticket >> kStreamIndexBits;
+                return std::any_of(expired_.begin(), expired_.end(),
+                                   [&](const RequestPtr& rq) { return rq->serial == serial; });
+            },
+            scratch);
+        // Evicted partials are dropped: the response only carries streams the
+        // model finished before the deadline.
+        for (const auto& rq : expired_) {
+            queue_.erase(std::remove(queue_.begin(), queue_.end(), rq), queue_.end());
+            inflight_.erase(rq->serial);
+            complete_locked(rq, Status::kDeadline,
+                            "deadline exceeded with " + std::to_string(rq->done.size()) +
+                                "/" + std::to_string(rq->req.count) + " streams done");
+        }
+    }
+
+    // Fills free slots from the head request (FIFO; stream order within a
+    // request is preserved, and a single-request run admits exactly the
+    // serial RNG-fork order generate_batch uses).
+    void admit_locked(core::Sampler::SlotBatch& batch) {
+        while (batch.free_slots() > 0 && !queue_.empty()) {
+            const RequestPtr& rq = queue_.front();
+            core::Sampler::SlotBatch::AdmitParams params;
+            if (rq->req.max_stream_len != 0) params.max_len = rq->req.max_stream_len;
+            params.temperature = rq->req.temperature;
+            params.top_p = rq->req.top_p;
+            const std::size_t want =
+                std::min<std::size_t>(params.max_len, sampler_.config().max_stream_len);
+            if (batch.live() > 0 && want > batch.admissible_len()) {
+                // The head stream no longer fits the shared context; let the
+                // batch drain (admit() rewinds the context once it empties).
+                break;
+            }
+            const std::size_t idx = rq->admitted;
+            util::Rng rng = rq->deterministic ? rq->base_rng.fork(idx)
+                                              : server_rng_.fork(stream_salt_++);
+            char id[80];
+            std::snprintf(id, sizeof(id), "%s-%06zu", rq->req.ue_prefix.c_str(), idx);
+            batch.admit(std::move(rng), id, (rq->serial << kStreamIndexBits) | idx, params);
+            ++rq->admitted;
+            ++rq->outstanding;
+            inflight_[rq->serial] = rq;
+            if (rq->admitted == rq->req.count) queue_.pop_front();
+        }
+    }
+
+    void deliver_locked(core::Sampler::SlotBatch::Finished&& f) {
+        const std::uint64_t serial = f.ticket >> kStreamIndexBits;
+        const auto it = inflight_.find(serial);
+        CPT_CHECK(it != inflight_.end(), "serve::Engine: finished stream for unknown request ",
+                  serial);
+        const RequestPtr rq = it->second;
+        --rq->outstanding;
+        ++streams_done_;
+        tokens_done_ += f.stream.events.size();
+        rq->done.emplace_back(f.ticket & kStreamIndexMask, std::move(f.stream));
+        if (rq->admitted == rq->req.count && rq->outstanding == 0) {
+            inflight_.erase(it);
+            complete_locked(rq, Status::kOk, "");
+        }
+    }
+
+    void run() {
+        core::Sampler::SlotBatch batch = sampler_.make_slot_batch(cfg_->slot_capacity);
+        std::vector<core::Sampler::SlotBatch::Finished> finished;
+        std::vector<core::Sampler::SlotBatch::Finished> evict_scratch;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_.wait(lk, [&] { return stop_ || !queue_.empty() || !inflight_.empty(); });
+                if (queue_.empty() && inflight_.empty()) {
+                    if (stop_) return;
+                    continue;
+                }
+                expire_locked(batch, Clock::now(), evict_scratch);
+                admit_locked(batch);
+                if (batch.live() == 0) continue;  // everything expired or queue blocked
+            }
+            // The decode step — the expensive part — runs without the lock;
+            // the batch is touched only by this thread.
+            finished.clear();
+            batch.step(finished);
+            if (!finished.empty()) {
+                std::lock_guard<std::mutex> lk(mu_);
+                for (auto& f : finished) deliver_locked(std::move(f));
+            }
+        }
+    }
+
+    const ServeConfig* cfg_;
+    trace::DeviceType device_;
+    int hour_;
+    core::CptGpt::Package pkg_;
+    core::Sampler sampler_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<RequestPtr> queue_;                    // head is being admitted
+    std::map<std::uint64_t, RequestPtr> inflight_;    // serial -> partially decoded
+    std::vector<RequestPtr> expired_;                 // expire_locked scratch
+    bool stop_ = false;
+    std::uint64_t next_serial_ = 0;
+    util::Rng server_rng_;
+    std::uint64_t stream_salt_ = 0;
+
+    std::uint64_t streams_done_ = 0;
+    std::uint64_t tokens_done_ = 0;
+    std::uint64_t requests_done_ = 0;
+    std::uint64_t requests_timeout_ = 0;
+    std::uint64_t requests_rejected_ = 0;
+    util::LatencyHistogram latency_;
+
+    std::thread worker_;  // last member: starts after every field it reads
+};
+
+// ---- Server ----------------------------------------------------------------
+
+Server::Server(ServeConfig config) : config_(std::move(config)), hub_(config_.hub_dir) {
+    config_.max_request_streams =
+        std::min<std::size_t>(config_.max_request_streams, kStreamIndexMask + 1);
+    CPT_CHECK_GT(config_.slot_capacity, std::size_t{0}, " serve::Server: slot_capacity");
+    CPT_CHECK_GT(config_.queue_capacity, std::size_t{0}, " serve::Server: queue_capacity");
+    start_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+            .count());
+}
+
+Server::~Server() { drain(); }
+
+Server::Engine* Server::engine_for(trace::DeviceType device, int hour, std::string* error) {
+    std::lock_guard<std::mutex> lk(engines_mutex_);
+    if (draining_) {
+        *error = "server is draining";
+        return nullptr;
+    }
+    // Resolve the slice, applying the nearest-published-hour fallback the hub
+    // offers (an operator that only retrained peak hours still serves 3am).
+    int serve_hour = hour;
+    if (!hub_.has(device, hour)) {
+        int best = -1;
+        int best_dist = 25;
+        if (config_.nearest_hour_fallback) {
+            for (const auto& e : hub_.entries()) {
+                if (e.device != device) continue;
+                const int raw = std::abs(e.hour_of_day - hour);
+                const int dist = std::min(raw, 24 - raw);
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    best = e.hour_of_day;
+                }
+            }
+        }
+        if (best < 0) {
+            *error = "no release for slice " + slice_name(device, hour) + " in hub '" +
+                     hub_.directory() + "'";
+            return nullptr;
+        }
+        serve_hour = best;
+    }
+    const int key = static_cast<int>(device) * 24 + serve_hour;
+    auto it = engines_.find(key);
+    if (it == engines_.end()) {
+        auto pkg = hub_.load(device, serve_hour, config_.model);
+        it = engines_
+                 .emplace(key, std::make_unique<Engine>(config_, std::move(pkg), device,
+                                                        serve_hour))
+                 .first;
+    }
+    return it->second.get();
+}
+
+GenerateResponse Server::generate(const GenerateRequest& request) {
+    if (request.count == 0 || request.count > config_.max_request_streams) {
+        return {Status::kBadRequest,
+                "count must be in [1, " + std::to_string(config_.max_request_streams) + "]",
+                {}};
+    }
+    if (request.hour_of_day < 0 || request.hour_of_day > 23) {
+        return {Status::kBadRequest, "hour_of_day must be in [0, 23]", {}};
+    }
+    if (request.top_p > 1.0f) {
+        return {Status::kBadRequest, "top_p must be in (0, 1]", {}};
+    }
+    std::string error;
+    Engine* engine = engine_for(request.device, request.hour_of_day, &error);
+    if (engine == nullptr) {
+        const Status s = error == "server is draining" ? Status::kShuttingDown
+                                                       : Status::kNoModel;
+        return {s, error, {}};
+    }
+    return engine->submit(request);
+}
+
+void Server::drain() {
+    std::map<int, std::unique_ptr<Engine>> engines;
+    {
+        std::lock_guard<std::mutex> lk(engines_mutex_);
+        if (draining_ && engines_.empty()) return;
+        draining_ = true;
+        engines.swap(engines_);
+    }
+    for (auto& [key, engine] : engines) engine->stop_and_join();
+    // Keep the final per-slice counters so the stats surface survives the
+    // drain (the daemon prints stats_json() after SIGTERM).
+    std::lock_guard<std::mutex> lk(engines_mutex_);
+    for (auto& [key, engine] : engines) drained_stats_.push_back(engine->stats());
+}
+
+std::string Server::stats_json() const {
+    std::vector<Engine::StatsSnapshot> slices;
+    {
+        std::lock_guard<std::mutex> lk(engines_mutex_);
+        slices.reserve(engines_.size() + drained_stats_.size());
+        slices = drained_stats_;
+        for (const auto& [key, engine] : engines_) slices.push_back(engine->stats());
+    }
+    const auto now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+            .count());
+    const double uptime = static_cast<double>(now_ns - start_ns_) * 1e-9;
+    const double rate_div = uptime > 0.0 ? uptime : 1.0;
+
+    util::LatencyHistogram latency;
+    std::uint64_t requests_done = 0, requests_timeout = 0, requests_rejected = 0;
+    std::size_t queue_depth = 0;
+    char buf[256];
+    std::string json = "{\n";
+    std::snprintf(buf, sizeof(buf), "  \"uptime_seconds\": %.3f,\n  \"slices\": [", uptime);
+    json += buf;
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        const auto& s = slices[i];
+        latency.merge(s.latency);
+        requests_done += s.requests_done;
+        requests_timeout += s.requests_timeout;
+        requests_rejected += s.requests_rejected;
+        queue_depth += s.queue_depth;
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n    {\"device\": \"%.*s\", \"hour\": %d, \"streams\": %llu, "
+                      "\"tokens\": %llu, \"streams_per_sec\": %.2f, \"tokens_per_sec\": %.2f, "
+                      "\"queue_depth\": %zu}",
+                      i == 0 ? "" : ",",
+                      static_cast<int>(trace::to_string(s.device).size()),
+                      trace::to_string(s.device).data(), s.hour,
+                      static_cast<unsigned long long>(s.streams),
+                      static_cast<unsigned long long>(s.tokens),
+                      static_cast<double>(s.streams) / rate_div,
+                      static_cast<double>(s.tokens) / rate_div, s.queue_depth);
+        json += buf;
+    }
+    json += slices.empty() ? "],\n" : "\n  ],\n";
+    const auto pct = latency.percentiles();
+    std::snprintf(buf, sizeof(buf),
+                  "  \"queue_depth\": %zu,\n"
+                  "  \"requests\": {\"completed\": %llu, \"timed_out\": %llu, "
+                  "\"rejected\": %llu},\n"
+                  "  \"latency_seconds\": {\"count\": %zu, \"mean\": %.6f, \"p50\": %.6f, "
+                  "\"p95\": %.6f, \"p99\": %.6f, \"max\": %.6f}\n}",
+                  queue_depth, static_cast<unsigned long long>(requests_done),
+                  static_cast<unsigned long long>(requests_timeout),
+                  static_cast<unsigned long long>(requests_rejected), latency.count(),
+                  latency.mean(), pct.p50, pct.p95, pct.p99, latency.max());
+    json += buf;
+    return json;
+}
+
+}  // namespace cpt::serve

@@ -148,4 +148,60 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
     return cov / (sx.stddev * sy.stddev);
 }
 
+LatencyHistogram::LatencyHistogram(double min_value, double growth, std::size_t buckets)
+    : min_value_(min_value),
+      inv_log_growth_(1.0 / std::log(growth)),
+      growth_(growth),
+      counts_(buckets, 0) {
+    if (!(min_value > 0.0) || !(growth > 1.0) || buckets < 2) {
+        throw std::invalid_argument("LatencyHistogram: need min_value > 0, growth > 1, "
+                                    "buckets >= 2");
+    }
+}
+
+void LatencyHistogram::record(double x) {
+    if (!(x >= 0.0)) x = 0.0;  // negative or NaN clock skew -> underflow bucket
+    std::size_t idx = 0;
+    if (x >= min_value_) {
+        idx = 1 + static_cast<std::size_t>(std::log(x / min_value_) * inv_log_growth_);
+        idx = std::min(idx, counts_.size() - 1);
+    }
+    ++counts_[idx];
+    ++count_;
+    total_ += x;
+    max_ = std::max(max_, x);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+    if (other.counts_.size() != counts_.size() || other.min_value_ != min_value_ ||
+        other.growth_ != growth_) {
+        throw std::invalid_argument("LatencyHistogram::merge: geometry mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    total_ += other.total_;
+    max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= rank && counts_[i] > 0) {
+            if (i == 0) return min_value_;
+            if (i == counts_.size() - 1) return max_;  // overflow bucket: exact max
+            return min_value_ * std::pow(growth_, static_cast<double>(i));
+        }
+    }
+    return max_;
+}
+
+LatencyHistogram::Percentiles LatencyHistogram::percentiles() const {
+    return {quantile(0.50), quantile(0.95), quantile(0.99)};
+}
+
 }  // namespace cpt::util

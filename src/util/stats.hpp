@@ -75,4 +75,48 @@ double total_variation(std::span<const double> p, std::span<const double> q);
 // Pearson correlation of two equal-length samples; 0 if degenerate.
 double pearson(std::span<const double> xs, std::span<const double> ys);
 
+// Streaming latency/percentile histogram -------------------------------------
+//
+// Geometric-bucket histogram for long-running latency accounting (the serve
+// stats surface): O(1) record, O(buckets) quantile, fixed memory, no sample
+// retention. Bucket 0 is [0, min_value); bucket i >= 1 is
+// [min_value*growth^(i-1), min_value*growth^i); the last bucket absorbs
+// overflow. quantile() returns the upper edge of the bucket holding the
+// requested rank, so its relative error is bounded by `growth - 1`
+// (5% by default) — the standard HdrHistogram-style trade-off.
+class LatencyHistogram {
+public:
+    explicit LatencyHistogram(double min_value = 1e-6, double growth = 1.05,
+                              std::size_t buckets = 400);
+
+    void record(double x);
+    void merge(const LatencyHistogram& other);  // requires identical geometry
+
+    std::size_t count() const { return count_; }
+    double total() const { return total_; }
+    double mean() const { return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_); }
+    double max() const { return max_; }
+
+    // q in [0, 1] -> upper edge of the bucket containing the q-quantile
+    // recorded value (the exact maximum for the overflow bucket). 0 when
+    // empty.
+    double quantile(double q) const;
+
+    struct Percentiles {
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double p99 = 0.0;
+    };
+    Percentiles percentiles() const;
+
+private:
+    double min_value_;
+    double inv_log_growth_;
+    double growth_;
+    std::vector<std::size_t> counts_;
+    std::size_t count_ = 0;
+    double total_ = 0.0;
+    double max_ = 0.0;
+};
+
 }  // namespace cpt::util

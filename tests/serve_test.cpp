@@ -1,0 +1,440 @@
+// Tests for the cpt-serve subsystem: the SlotBatch continuous-batching
+// scheduler core (including the determinism pin against generate_batch — the
+// contract that admission timing cannot perturb stream content), the wire
+// protocol, and the Server/TcpServer end-to-end paths.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <thread>
+
+#include "core/model_hub.hpp"
+#include "core/sampler.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "trace/synthetic.hpp"
+
+namespace cpt {
+namespace {
+
+core::CptGptConfig tiny_config() {
+    core::CptGptConfig cfg;
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.blocks = 1;
+    cfg.max_seq_len = 32;
+    cfg.head_hidden = 16;
+    return cfg;
+}
+
+// generate_batch returns streams in completion order; re-sort by ue_id
+// (which encodes the serial index) for stable comparison.
+std::vector<trace::Stream> sorted_by_ue(std::vector<trace::Stream> streams) {
+    std::sort(streams.begin(), streams.end(),
+              [](const trace::Stream& a, const trace::Stream& b) { return a.ue_id < b.ue_id; });
+    return streams;
+}
+
+void expect_streams_identical(const trace::Stream& a, const trace::Stream& b) {
+    EXPECT_EQ(a.ue_id, b.ue_id);
+    EXPECT_EQ(a.device, b.device);
+    EXPECT_EQ(a.hour_of_day, b.hour_of_day);
+    ASSERT_EQ(a.events.size(), b.events.size()) << a.ue_id;
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        // Byte-identical, not approximately equal: the determinism contract.
+        EXPECT_EQ(a.events[i].timestamp, b.events[i].timestamp) << a.ue_id << " event " << i;
+        EXPECT_EQ(a.events[i].type, b.events[i].type) << a.ue_id << " event " << i;
+    }
+}
+
+// Shared tiny released model: built once, published into a temp hub.
+struct ServeFixture : ::testing::Test {
+    static void SetUpTestSuite() {
+        // Per-process hub: ctest runs this binary's cases as separate
+        // concurrent processes, each with its own SetUpTestSuite.
+        dir = (std::filesystem::temp_directory_path() /
+               ("cpt_serve_test_hub_" + std::to_string(::getpid())))
+                  .string();
+        std::filesystem::remove_all(dir);
+        trace::SyntheticWorldConfig w;
+        w.population = {40, 0, 0};
+        const auto data = trace::SyntheticWorldGenerator(w).generate();
+        const auto tok = core::Tokenizer::fit(data);
+        util::Rng rng(21);
+        const core::CptGpt model(tok, tiny_config(), rng);
+        core::ModelHub hub(dir);
+        hub.publish(model, tok, data.initial_event_distribution(), trace::DeviceType::kPhone, 9);
+    }
+    static void TearDownTestSuite() { std::filesystem::remove_all(dir); }
+
+    // A sampler over the *released* package (same floats the server decodes
+    // with), for reference generate_batch runs.
+    static core::CptGpt::Package load_package() {
+        core::ModelHub hub(dir);
+        return hub.load(trace::DeviceType::kPhone, 9, tiny_config());
+    }
+    static core::SamplerConfig slice_sampler_config(std::size_t batch) {
+        core::SamplerConfig sc;
+        sc.batch = batch;
+        sc.device = trace::DeviceType::kPhone;
+        sc.hour_of_day = 9;
+        return sc;
+    }
+
+    static std::string dir;
+};
+std::string ServeFixture::dir;
+
+// ---- SlotBatch scheduler core ----------------------------------------------
+
+TEST_F(ServeFixture, SlotBatchMatchesGenerateBatchByteForByte) {
+    const auto pkg = load_package();
+    const core::Sampler sampler(*pkg.model, pkg.tokenizer, pkg.initial_event_dist,
+                                slice_sampler_config(8));
+
+    constexpr std::size_t kStreams = 8;
+    std::vector<util::Rng> rngs;
+    util::Rng root(42);
+    for (std::size_t i = 0; i < kStreams; ++i) rngs.push_back(root.fork(i));
+    auto rngs_copy = rngs;
+    const auto want = sorted_by_ue(sampler.generate_batch(std::span(rngs_copy), "pin", 0));
+    ASSERT_EQ(want.size(), kStreams);
+
+    auto batch = sampler.make_slot_batch(kStreams);
+    char id[64];
+    for (std::size_t i = 0; i < kStreams; ++i) {
+        std::snprintf(id, sizeof(id), "pin-%06zu", i);
+        batch.admit(rngs[i], id, i);
+    }
+    std::vector<core::Sampler::SlotBatch::Finished> finished;
+    while (batch.live() > 0) batch.step(finished);
+
+    ASSERT_EQ(finished.size(), kStreams);
+    std::map<std::uint64_t, const trace::Stream*> by_ticket;
+    for (const auto& f : finished) {
+        EXPECT_FALSE(f.evicted);
+        by_ticket[f.ticket] = &f.stream;
+    }
+    for (std::size_t i = 0; i < kStreams; ++i) {
+        ASSERT_TRUE(by_ticket.count(i));
+        expect_streams_identical(*by_ticket[i], want[i]);
+    }
+}
+
+TEST_F(ServeFixture, AdmissionTimingDoesNotPerturbStreamContent) {
+    const auto pkg = load_package();
+    const core::Sampler sampler(*pkg.model, pkg.tokenizer, pkg.initial_event_dist,
+                                slice_sampler_config(4));
+
+    // A common per-stream length cap, so the solo and mid-admitted decodes
+    // share the same finish rule (and the cap fits the remaining context at
+    // every admission point below).
+    core::Sampler::SlotBatch::AdmitParams params;
+    params.max_len = 16;
+
+    // Reference: each stream decoded alone, from context position 0.
+    util::Rng root(7);
+    std::vector<util::Rng> rngs;
+    for (std::size_t i = 0; i < 4; ++i) rngs.push_back(root.fork(i));
+    std::vector<trace::Stream> alone;
+    for (std::size_t i = 0; i < 4; ++i) {
+        auto solo = sampler.make_slot_batch(1);
+        solo.admit(rngs[i], "ue-" + std::to_string(i), i, params);
+        std::vector<core::Sampler::SlotBatch::Finished> fin;
+        while (solo.live() > 0) solo.step(fin);
+        ASSERT_EQ(fin.size(), 1u);
+        alone.push_back(std::move(fin[0].stream));
+    }
+
+    // Same four streams, but two join mid-decode (slot refill at a step
+    // boundary): content must be identical despite the different admission
+    // times and batch companions.
+    auto batch = sampler.make_slot_batch(4);
+    batch.admit(rngs[0], "ue-0", 0, params);
+    batch.admit(rngs[1], "ue-1", 1, params);
+    std::vector<core::Sampler::SlotBatch::Finished> fin;
+    batch.step(fin);
+    batch.step(fin);
+    ASSERT_GE(batch.admissible_len(), params.max_len);
+    batch.admit(rngs[2], "ue-2", 2, params);
+    batch.step(fin);
+    ASSERT_GE(batch.admissible_len(), params.max_len);
+    batch.admit(rngs[3], "ue-3", 3, params);
+    while (batch.live() > 0) batch.step(fin);
+
+    std::map<std::uint64_t, const trace::Stream*> by_ticket;
+    for (const auto& f : fin) by_ticket[f.ticket] = &f.stream;
+    ASSERT_EQ(by_ticket.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        expect_streams_identical(*by_ticket[i], alone[i]);
+    }
+}
+
+TEST_F(ServeFixture, EvictReturnsPartialStreamsMarkedEvicted) {
+    const auto pkg = load_package();
+    const core::Sampler sampler(*pkg.model, pkg.tokenizer, pkg.initial_event_dist,
+                                slice_sampler_config(2));
+    auto batch = sampler.make_slot_batch(2);
+    util::Rng root(3);
+    batch.admit(root.fork(0), "a", 100);
+    batch.admit(root.fork(1), "b", 200);
+    std::vector<core::Sampler::SlotBatch::Finished> fin;
+    batch.step(fin);
+
+    // Stream 100 may have finished on its own in step 1; otherwise eviction
+    // must hand back its partial stream flagged as evicted.
+    const bool done_naturally = std::any_of(fin.begin(), fin.end(),
+                                            [](const auto& f) { return f.ticket == 100; });
+    std::vector<core::Sampler::SlotBatch::Finished> evicted;
+    const std::size_t n = batch.evict([](std::uint64_t t) { return t == 100; }, evicted);
+    EXPECT_EQ(n, done_naturally ? 0u : 1u);
+    if (!done_naturally) {
+        ASSERT_EQ(evicted.size(), 1u);
+        EXPECT_TRUE(evicted[0].evicted);
+        EXPECT_EQ(evicted[0].ticket, 100u);
+        EXPECT_GE(evicted[0].stream.events.size(), 1u);
+    }
+    const std::size_t live = batch.live();
+    std::vector<core::Sampler::SlotBatch::Finished> rest;
+    EXPECT_EQ(batch.evict([](std::uint64_t) { return true; }, rest), live);
+    EXPECT_EQ(batch.live(), 0u);
+}
+
+TEST_F(ServeFixture, AdmissibleLenShrinksAndRecoversOnDrain) {
+    const auto pkg = load_package();
+    const core::Sampler sampler(*pkg.model, pkg.tokenizer, pkg.initial_event_dist,
+                                slice_sampler_config(2));
+    auto batch = sampler.make_slot_batch(2);
+    const std::size_t full = batch.admissible_len();
+    EXPECT_GE(full, 2u);
+    util::Rng root(5);
+    batch.admit(root.fork(0), "a", 0);
+    std::vector<core::Sampler::SlotBatch::Finished> fin;
+    batch.step(fin);
+    batch.step(fin);  // two steps: context length 2 eats into admissible length
+    if (batch.live() > 0) {
+        EXPECT_LT(batch.admissible_len(), full);  // shared context advanced
+    }
+    std::vector<core::Sampler::SlotBatch::Finished> evicted;
+    batch.evict([](std::uint64_t) { return true; }, evicted);
+    EXPECT_EQ(batch.admissible_len(), full);  // empty batch rewinds the context
+}
+
+// ---- wire protocol ----------------------------------------------------------
+
+TEST(ServeProtocolTest, GenerateRequestRoundTrip) {
+    serve::GenerateRequest req;
+    req.device = trace::DeviceType::kTablet;
+    req.hour_of_day = 21;
+    req.count = 17;
+    req.seed = 0xdeadbeefULL;
+    req.deterministic = true;
+    req.temperature = 0.8f;
+    req.top_p = 0.95f;
+    req.max_stream_len = 64;
+    req.deadline_ms = 1500;
+    req.ue_prefix = "lt";
+    const auto bytes = serve::encode_generate_request(req);
+    EXPECT_EQ(serve::peek_type(bytes), serve::MsgType::kGenerateRequest);
+    const auto back = serve::decode_generate_request(bytes);
+    EXPECT_EQ(back.device, req.device);
+    EXPECT_EQ(back.hour_of_day, req.hour_of_day);
+    EXPECT_EQ(back.count, req.count);
+    EXPECT_EQ(back.seed, req.seed);
+    EXPECT_EQ(back.deterministic, req.deterministic);
+    EXPECT_EQ(back.temperature, req.temperature);
+    EXPECT_EQ(back.top_p, req.top_p);
+    EXPECT_EQ(back.max_stream_len, req.max_stream_len);
+    EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+    EXPECT_EQ(back.ue_prefix, req.ue_prefix);
+}
+
+TEST(ServeProtocolTest, GenerateResponseRoundTripAndTruncationThrows) {
+    serve::GenerateResponse resp;
+    resp.status = serve::Status::kDeadline;
+    resp.error = "deadline exceeded";
+    trace::Stream s;
+    s.ue_id = "pin-000001";
+    s.device = trace::DeviceType::kPhone;
+    s.hour_of_day = 9;
+    s.events.push_back({0.0, 3});
+    s.events.push_back({1.25, 7});
+    resp.streams.push_back(s);
+    const auto bytes = serve::encode_generate_response(resp);
+    const auto back = serve::decode_generate_response(bytes);
+    EXPECT_EQ(back.status, resp.status);
+    EXPECT_EQ(back.error, resp.error);
+    ASSERT_EQ(back.streams.size(), 1u);
+    expect_streams_identical(back.streams[0], s);
+
+    for (const std::size_t cut : {std::size_t{1}, bytes.size() / 2, bytes.size() - 1}) {
+        const std::span<const std::uint8_t> trunc(bytes.data(), cut);
+        EXPECT_THROW(serve::decode_generate_response(trunc), std::runtime_error) << cut;
+    }
+    EXPECT_THROW(serve::peek_type(std::span<const std::uint8_t>()), std::runtime_error);
+}
+
+TEST(ServeProtocolTest, StatsRoundTrip) {
+    const auto req = serve::encode_stats_request();
+    EXPECT_EQ(serve::peek_type(req), serve::MsgType::kStatsRequest);
+    const std::string json = "{\"queue_depth\": 0}";
+    const auto resp = serve::encode_stats_response(json);
+    EXPECT_EQ(serve::decode_stats_response(resp), json);
+}
+
+// ---- Server end-to-end -------------------------------------------------------
+
+serve::ServeConfig base_config(const std::string& dir) {
+    serve::ServeConfig cfg;
+    cfg.hub_dir = dir;
+    cfg.model = tiny_config();
+    cfg.slot_capacity = 8;
+    return cfg;
+}
+
+TEST_F(ServeFixture, DeterministicRequestReproducesGenerateBatch) {
+    // Reference decode with the released package, exactly as the docs
+    // prescribe: stream i <- Rng(seed).fork(i), ue_id "<prefix>-%06zu" % i.
+    const auto pkg = load_package();
+    const core::Sampler ref(*pkg.model, pkg.tokenizer, pkg.initial_event_dist,
+                            slice_sampler_config(8));
+    util::Rng root(42);
+    std::vector<util::Rng> rngs;
+    for (std::size_t i = 0; i < 5; ++i) rngs.push_back(root.fork(i));
+    const auto want = sorted_by_ue(ref.generate_batch(std::span(rngs), "pin", 0));
+
+    serve::Server server(base_config(dir));
+    serve::GenerateRequest req;
+    req.device = trace::DeviceType::kPhone;
+    req.hour_of_day = 9;
+    req.count = 5;
+    req.seed = 42;
+    req.deterministic = true;
+    req.ue_prefix = "pin";
+    const auto resp = server.generate(req);
+    ASSERT_EQ(resp.status, serve::Status::kOk) << resp.error;
+    ASSERT_EQ(resp.streams.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        expect_streams_identical(resp.streams[i], want[i]);
+    }
+
+    // Stats reflect the work.
+    const std::string stats = server.stats_json();
+    EXPECT_NE(stats.find("\"streams\": 5"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"p99\""), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"completed\": 1"), std::string::npos) << stats;
+    server.drain();
+    EXPECT_EQ(server.generate(req).status, serve::Status::kShuttingDown);
+}
+
+TEST_F(ServeFixture, MissingSliceReportsSliceAndHubDirectory) {
+    serve::Server server(base_config(dir));
+    serve::GenerateRequest req;
+    req.device = trace::DeviceType::kTablet;
+    req.hour_of_day = 3;
+    const auto resp = server.generate(req);
+    EXPECT_EQ(resp.status, serve::Status::kNoModel);
+    EXPECT_NE(resp.error.find("tablet"), std::string::npos) << resp.error;
+    EXPECT_NE(resp.error.find(dir), std::string::npos) << resp.error;
+}
+
+TEST_F(ServeFixture, BadRequestsAreRejectedUpFront) {
+    serve::Server server(base_config(dir));
+    serve::GenerateRequest req;
+    req.device = trace::DeviceType::kPhone;
+    req.hour_of_day = 9;
+    req.count = 0;
+    EXPECT_EQ(server.generate(req).status, serve::Status::kBadRequest);
+    req.count = 1;
+    req.hour_of_day = 24;
+    EXPECT_EQ(server.generate(req).status, serve::Status::kBadRequest);
+    req.hour_of_day = 9;
+    req.top_p = 1.5f;
+    EXPECT_EQ(server.generate(req).status, serve::Status::kBadRequest);
+}
+
+TEST_F(ServeFixture, DeadlineEvictsAndReturnsCompletedPrefix) {
+    auto cfg = base_config(dir);
+    cfg.slot_capacity = 4;
+    serve::Server server(cfg);
+    serve::GenerateRequest req;
+    req.device = trace::DeviceType::kPhone;
+    req.hour_of_day = 9;
+    req.count = 100000;  // far more than 1ms of decode
+    req.seed = 9;
+    req.deadline_ms = 1;
+    const auto resp = server.generate(req);
+    EXPECT_EQ(resp.status, serve::Status::kDeadline) << resp.error;
+    EXPECT_LT(resp.streams.size(), req.count);
+    const std::string stats = server.stats_json();
+    EXPECT_NE(stats.find("\"timed_out\": 1"), std::string::npos) << stats;
+}
+
+TEST_F(ServeFixture, QueueFullAppliesBackpressure) {
+    auto cfg = base_config(dir);
+    cfg.queue_capacity = 1;
+    cfg.slot_capacity = 2;
+    serve::Server server(cfg);
+    serve::GenerateRequest big;
+    big.device = trace::DeviceType::kPhone;
+    big.hour_of_day = 9;
+    big.count = 50000;
+    big.deadline_ms = 500;  // evicted long before 50000 tiny-model streams finish
+
+    std::thread first([&] {
+        const auto resp = server.generate(big);
+        EXPECT_NE(resp.status, serve::Status::kQueueFull);
+    });
+    // Give the big request time to occupy the single queue slot, then expect
+    // backpressure until its deadline clears it out.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    serve::GenerateRequest small = big;
+    small.count = 1;
+    serve::GenerateResponse resp;
+    for (int i = 0; i < 300; ++i) {
+        resp = server.generate(small);
+        if (resp.status == serve::Status::kQueueFull) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(resp.status, serve::Status::kQueueFull);
+    first.join();
+    server.drain();
+}
+
+TEST_F(ServeFixture, TcpTransportMatchesInProcess) {
+    serve::Server server(base_config(dir));
+    serve::TcpServer tcp(server, "127.0.0.1", 0);
+    ASSERT_GT(tcp.port(), 0);
+    std::thread accept_thread([&] { tcp.serve_forever(); });
+
+    serve::GenerateRequest req;
+    req.device = trace::DeviceType::kPhone;
+    req.hour_of_day = 9;
+    req.count = 3;
+    req.seed = 1234;
+    req.deterministic = true;
+    req.ue_prefix = "tcp";
+
+    const auto in_process = server.generate(req);
+    ASSERT_EQ(in_process.status, serve::Status::kOk) << in_process.error;
+    {
+        serve::TcpClient client("127.0.0.1", tcp.port());
+        const auto over_tcp = client.generate(req);
+        ASSERT_EQ(over_tcp.status, serve::Status::kOk) << over_tcp.error;
+        ASSERT_EQ(over_tcp.streams.size(), in_process.streams.size());
+        for (std::size_t i = 0; i < over_tcp.streams.size(); ++i) {
+            expect_streams_identical(over_tcp.streams[i], in_process.streams[i]);
+        }
+        const std::string stats = client.stats_json();
+        EXPECT_NE(stats.find("latency_seconds"), std::string::npos) << stats;
+    }
+    tcp.stop();
+    accept_thread.join();
+    server.drain();
+}
+
+}  // namespace
+}  // namespace cpt

@@ -217,6 +217,81 @@ TEST(AsciiTest, CdfPlotMentionsLegend) {
     EXPECT_NE(plot.find("real"), std::string::npos);
 }
 
+TEST(LatencyHistogramTest, EmptyIsAllZero) {
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinGrowthError) {
+    // Uniform grid over [1ms, 1s): the bucketed quantile must sit within one
+    // growth factor of the exact sample quantile.
+    LatencyHistogram h;
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = 1e-3 + (1.0 - 1e-3) * i / 999.0;
+        xs.push_back(x);
+        h.record(x);
+    }
+    EXPECT_EQ(h.count(), 1000u);
+    for (double q : {0.5, 0.95, 0.99}) {
+        const double exact = quantile(xs, q);
+        const double approx = h.quantile(q);
+        // Upper-edge convention with growth 1.05; allow one bucket of slack
+        // for rank discretization between the two quantile definitions.
+        EXPECT_GE(approx, exact * 0.94) << q;
+        EXPECT_LE(approx, exact * 1.12) << q;
+    }
+    const auto p = h.percentiles();
+    EXPECT_EQ(p.p50, h.quantile(0.50));
+    EXPECT_EQ(p.p95, h.quantile(0.95));
+    EXPECT_EQ(p.p99, h.quantile(0.99));
+    EXPECT_LE(p.p50, p.p95);
+    EXPECT_LE(p.p95, p.p99);
+}
+
+TEST(LatencyHistogramTest, MeanMaxAndNegativeClamp) {
+    LatencyHistogram h;
+    h.record(0.010);
+    h.record(0.030);
+    h.record(-1.0);  // clamped to 0, lands in the underflow bucket
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_NEAR(h.total(), 0.040, 1e-12);
+    EXPECT_NEAR(h.mean(), 0.040 / 3.0, 1e-12);
+    EXPECT_NEAR(h.max(), 0.030, 1e-12);
+    // The clamped negative sits in the underflow bucket, whose upper edge is
+    // min_value — the lowest quantile reports that edge.
+    EXPECT_NEAR(h.quantile(0.0), 1e-6, 1e-15);
+}
+
+TEST(LatencyHistogramTest, OverflowBucketReportsExactMax) {
+    LatencyHistogram h(1e-6, 1.05, 16);  // tiny range: top edge ~ 2.1e-6
+    h.record(123.0);
+    EXPECT_NEAR(h.quantile(0.99), 123.0, 1e-9);
+    EXPECT_NEAR(h.max(), 123.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+    LatencyHistogram a, b, both;
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.exponential(0.05);
+        (i % 2 == 0 ? a : b).record(x);
+        both.record(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_NEAR(a.total(), both.total(), 1e-9);
+    EXPECT_EQ(a.quantile(0.5), both.quantile(0.5));
+    EXPECT_EQ(a.quantile(0.99), both.quantile(0.99));
+    EXPECT_EQ(a.max(), both.max());
+
+    LatencyHistogram other_geometry(1e-3, 1.1, 100);
+    EXPECT_THROW(a.merge(other_geometry), std::invalid_argument);
+}
+
 TEST(CliTest, ParsesArgsWithFallback) {
     const char* argv[] = {"prog", "--ues=500", "--full"};
     Options opt(3, argv);
