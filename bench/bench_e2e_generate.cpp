@@ -49,6 +49,13 @@ struct DecodeRow {
     double tokens_per_sec = 0.0;
 };
 
+// Per-stage attribution of the generate workload (Sampler::StageTimes),
+// accumulated over the same stream count as the e2e rows.
+struct StageRow {
+    const char* tier;
+    cpt::core::Sampler::StageTimes times;
+};
+
 }  // namespace
 
 int main() {
@@ -78,6 +85,7 @@ int main() {
     const std::size_t threads = util::configured_threads();
 
     std::vector<E2eRow> e2e_rows;
+    std::vector<StageRow> stage_rows;
     std::vector<DecodeRow> decode_rows;
     for (util::SimdTier tier : available_tiers()) {
         const util::SimdTier prev = util::set_simd_tier(tier);
@@ -100,6 +108,30 @@ int main() {
                         "-> %8.1f streams/s  %9.1f tokens/s\n",
                         row.tier, row.streams, row.tokens, row.seconds, row.streams_per_sec,
                         row.tokens_per_sec);
+        }
+
+        // Stage attribution: the same workload as the e2e row, driven through
+        // generate_batch with a StageTimes accumulator so tier-to-tier
+        // differences can be pinned to a stage. The e2e workload's batches
+        // shrink as streams stop (mean stream length is ~3 tokens here), so
+        // its decode stage runs mostly tiny shapes — unlike the held-full
+        // decode_engine row below.
+        {
+            util::Rng root(42);
+            std::vector<util::Rng> rngs;
+            rngs.reserve(n_streams);
+            for (std::size_t i = 0; i < n_streams; ++i) rngs.push_back(root.fork(i));
+            StageRow row{util::simd_tier_name(tier), {}};
+            for (std::size_t b0 = 0; b0 < n_streams; b0 += scfg.batch) {
+                const std::size_t b1 = std::min(b0 + scfg.batch, n_streams);
+                sampler.generate_batch(std::span(rngs).subspan(b0, b1 - b0), "stage", b0,
+                                       &row.times);
+            }
+            stage_rows.push_back(row);
+            const auto& t = row.times;
+            std::printf("stage_times   tier %-6s  %zu steps: bootstrap %.4f s  decode %.4f s  "
+                        "sample %.4f s  compact %.4f s\n",
+                        row.tier, t.steps, t.bootstrap, t.decode, t.sample, t.compact);
         }
 
         // Decode engine only: full batch held for a fixed step count.
@@ -139,6 +171,15 @@ int main() {
                      "\"seconds\": %.4f, \"streams_per_sec\": %.1f, \"tokens_per_sec\": %.1f}%s\n",
                      r.tier, r.streams, r.tokens, r.seconds, r.streams_per_sec, r.tokens_per_sec,
                      i + 1 < e2e_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"stage_rows\": [\n");
+    for (std::size_t i = 0; i < stage_rows.size(); ++i) {
+        const auto& r = stage_rows[i];
+        std::fprintf(f,
+                     "    {\"tier\": \"%s\", \"steps\": %zu, \"bootstrap_sec\": %.4f, "
+                     "\"decode_sec\": %.4f, \"sample_sec\": %.4f, \"compact_sec\": %.4f}%s\n",
+                     r.tier, r.times.steps, r.times.bootstrap, r.times.decode, r.times.sample,
+                     r.times.compact, i + 1 < stage_rows.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"decode_rows\": [\n");
     for (std::size_t i = 0; i < decode_rows.size(); ++i) {

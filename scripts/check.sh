@@ -2,7 +2,7 @@
 # Correctness gate: warnings-as-errors build, clang-tidy (when installed), and
 # a sanitizer ctest matrix. Run from anywhere inside the repo:
 #
-#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan + simd + serve
+#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan + simd + serve + train
 #   scripts/check.sh werror      # just the -Werror build + full test suite
 #   scripts/check.sh tidy        # just clang-tidy over the compile database
 #   scripts/check.sh ubsan       # UBSan build (recovery disabled) + full suite
@@ -10,6 +10,7 @@
 #   scripts/check.sh tsan        # TSan build + concurrency-labeled tests
 #   scripts/check.sh simd        # Release build; parity+determinism per forced SIMD tier
 #   scripts/check.sh serve       # serve-labeled tests + daemon smoke (loadtest, clean drain)
+#   scripts/check.sh train       # train-labeled tests, then rerun determinism with CPT_THREADS=2
 #
 # Each stage configures into its own build directory (build-check-<stage>) so
 # repeat runs are incremental. The script stops at the first failing stage.
@@ -152,9 +153,19 @@ stage_serve() {
     echo "serve smoke: loadtest ok, clean drain confirmed on port $port"
 }
 
+stage_train() {
+    echo "== stage: train (labeled tests, then determinism rerun with CPT_THREADS=2) =="
+    local dir="$ROOT/build-check-train"
+    configure_and_build "$dir"
+    run_ctest "$dir" -L train
+    # The training-path determinism contract says CPT_THREADS is a pure
+    # performance knob; rerun the pinning suite with a pool configured.
+    CPT_THREADS=2 run_ctest "$dir" -R 'TrainDeterminism'
+}
+
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(werror tidy ubsan asan tsan simd serve)
+    stages=(werror tidy ubsan asan tsan simd serve train)
 fi
 for s in "${stages[@]}"; do
     case "$s" in
@@ -165,8 +176,9 @@ for s in "${stages[@]}"; do
         tsan) stage_tsan ;;
         simd) stage_simd ;;
         serve) stage_serve ;;
+        train) stage_train ;;
         *)
-            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan simd serve)" >&2
+            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan simd serve train)" >&2
             exit 2
             ;;
     esac

@@ -1,0 +1,122 @@
+#include "hub_trainer.hpp"
+
+#include <exception>
+#include <memory>
+#include <optional>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cpt::core {
+
+namespace {
+
+// Per-slice working state, filled in by the parallel phase and consumed
+// serially afterwards (publication, result collection).
+struct SliceWork {
+    std::unique_ptr<CptGpt> model;
+    std::optional<Tokenizer> tokenizer;
+    TrainResult result;
+    std::exception_ptr error;
+};
+
+// Deterministic per-slice seed: a pure function of the base seed and the
+// slice index, so results do not depend on scheduling or thread count.
+std::uint64_t slice_seed(std::uint64_t base, std::size_t index) {
+    return base + static_cast<std::uint64_t>(index) * 0x9E3779B97F4A7C15ull;
+}
+
+}  // namespace
+
+HubTrainer::HubTrainer(ModelHub& hub, HubTrainOptions options)
+    : hub_(&hub), options_(std::move(options)) {}
+
+std::vector<HubSliceResult> HubTrainer::train_all(std::span<const HubSlice> slices) {
+    for (const auto& s : slices) {
+        CPT_CHECK(s.data != nullptr, "HubTrainer::train_all: slice has null dataset");
+    }
+    // Serial pre-fork: every slice's init RNG is drawn from the root before
+    // any parallel work starts, the same idiom the sharded generator uses.
+    util::Rng root(options_.train.seed);
+    std::vector<util::Rng> init_rngs;
+    init_rngs.reserve(slices.size());
+    for (std::size_t i = 0; i < slices.size(); ++i) init_rngs.push_back(root.fork(i));
+
+    std::vector<SliceWork> work(slices.size());
+    util::global_pool().parallel_for(slices.size(), 1, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            try {
+                const HubSlice& s = slices[i];
+                work[i].tokenizer = Tokenizer::fit(*s.data);
+                work[i].model = std::make_unique<CptGpt>(*work[i].tokenizer, options_.model,
+                                                         init_rngs[i]);
+                TrainConfig cfg = options_.train;
+                cfg.seed = slice_seed(options_.train.seed, i);
+                Trainer trainer(*work[i].model, *work[i].tokenizer, cfg);
+                work[i].result = trainer.train(*s.data);
+            } catch (...) {
+                work[i].error = std::current_exception();
+            }
+        }
+    });
+
+    std::vector<HubSliceResult> out;
+    out.reserve(slices.size());
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        if (work[i].error) std::rethrow_exception(work[i].error);
+        if (options_.publish) {
+            hub_->publish(*work[i].model, *work[i].tokenizer,
+                          slices[i].data->initial_event_distribution(), slices[i].device,
+                          slices[i].hour_of_day);
+        }
+        out.push_back({slices[i].device, slices[i].hour_of_day, std::move(work[i].result)});
+    }
+    return out;
+}
+
+std::vector<HubSliceResult> HubTrainer::fine_tune_all(const CptGpt& pretrained,
+                                                      const Tokenizer& tokenizer,
+                                                      std::span<const HubSlice> slices) {
+    for (const auto& s : slices) {
+        CPT_CHECK(s.data != nullptr, "HubTrainer::fine_tune_all: slice has null dataset");
+    }
+    util::Rng root(options_.train.seed);
+    std::vector<util::Rng> init_rngs;
+    init_rngs.reserve(slices.size());
+    for (std::size_t i = 0; i < slices.size(); ++i) init_rngs.push_back(root.fork(i));
+
+    std::vector<SliceWork> work(slices.size());
+    util::global_pool().parallel_for(slices.size(), 1, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            try {
+                const HubSlice& s = slices[i];
+                // Fresh skeleton seeded with the pretrained weights; the init
+                // RNG only shapes the skeleton, the copy overwrites it.
+                work[i].model = std::make_unique<CptGpt>(tokenizer, options_.model, init_rngs[i]);
+                copy_weights(pretrained, *work[i].model);
+                TrainConfig cfg = options_.train;
+                cfg.seed = slice_seed(options_.train.seed, i);
+                Trainer trainer(*work[i].model, tokenizer, cfg);
+                work[i].result =
+                    trainer.fine_tune(*s.data, options_.ft_lr_scale, options_.ft_epoch_scale);
+            } catch (...) {
+                work[i].error = std::current_exception();
+            }
+        }
+    });
+
+    std::vector<HubSliceResult> out;
+    out.reserve(slices.size());
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        if (work[i].error) std::rethrow_exception(work[i].error);
+        if (options_.publish) {
+            hub_->publish(*work[i].model, tokenizer,
+                          slices[i].data->initial_event_distribution(), slices[i].device,
+                          slices[i].hour_of_day);
+        }
+        out.push_back({slices[i].device, slices[i].hour_of_day, std::move(work[i].result)});
+    }
+    return out;
+}
+
+}  // namespace cpt::core

@@ -1,0 +1,66 @@
+// HubTrainer — parallel per-slice training and fine-tuning over the ModelHub.
+//
+// The paper's operational architecture (§4.5, Fig. 4) has the operator train
+// one model per (device type, hour) traffic slice and release them all
+// through the hub. The slices are independent, so the fleet trains
+// concurrently on the process thread pool: each slice gets its own
+// pre-forked RNG, its own tape arena (thread-local ArenaScope), and its own
+// model, and the per-slice loss trajectory is byte-identical to running that
+// slice alone on one thread (pinned by tests/train_determinism_test.cpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model_hub.hpp"
+#include "trainer.hpp"
+
+namespace cpt::core {
+
+// One (device, hour) traffic slice and the dataset to train it on. `data`
+// must outlive the HubTrainer call.
+struct HubSlice {
+    trace::DeviceType device = trace::DeviceType::kPhone;
+    int hour_of_day = 0;
+    const trace::Dataset* data = nullptr;
+};
+
+struct HubTrainOptions {
+    TrainConfig train;
+    CptGptConfig model;
+    // Design-3 fine-tune scaling, forwarded to Trainer::fine_tune.
+    double ft_lr_scale = 0.5;
+    double ft_epoch_scale = 0.4;
+    // Release each trained slice into the hub (serially, after the parallel
+    // phase completes). Disable for benchmarking.
+    bool publish = true;
+};
+
+struct HubSliceResult {
+    trace::DeviceType device = trace::DeviceType::kPhone;
+    int hour_of_day = 0;
+    TrainResult result;
+};
+
+class HubTrainer {
+public:
+    HubTrainer(ModelHub& hub, HubTrainOptions options);
+
+    // Trains one model per slice from scratch (per-slice tokenizer fit +
+    // fresh init) and publishes each to the hub. Results are returned in
+    // slice order regardless of scheduling.
+    std::vector<HubSliceResult> train_all(std::span<const HubSlice> slices);
+
+    // Design 3: seeds every slice's model with `pretrained`'s weights (which
+    // must match options.model and share `tokenizer`) and fine-tunes each on
+    // its slice data with the reduced lr/epoch budget.
+    std::vector<HubSliceResult> fine_tune_all(const CptGpt& pretrained,
+                                              const Tokenizer& tokenizer,
+                                              std::span<const HubSlice> slices);
+
+private:
+    ModelHub* hub_;
+    HubTrainOptions options_;
+};
+
+}  // namespace cpt::core

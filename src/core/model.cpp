@@ -167,4 +167,19 @@ CptGpt::Package CptGpt::load_package(const std::string& path, cellular::Generati
     return pkg;
 }
 
+void copy_weights(const CptGpt& src, CptGpt& dst) {
+    const auto from = src.named_parameters();
+    const auto to = dst.named_parameters();
+    CPT_CHECK_EQ(from.size(), to.size(), " copy_weights: parameter count mismatch");
+    for (std::size_t i = 0; i < from.size(); ++i) {
+        CPT_CHECK(from[i].name == to[i].name, "copy_weights: parameter ", i, " name mismatch: ",
+                  from[i].name, " vs ", to[i].name);
+        CPT_CHECK(from[i].param->value.same_shape(to[i].param->value),
+                  "copy_weights: shape mismatch for ", from[i].name);
+        auto s = from[i].param->value.data();
+        auto d = to[i].param->value.data();
+        std::copy(s.begin(), s.end(), d.begin());
+    }
+}
+
 }  // namespace cpt::core

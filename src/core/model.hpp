@@ -122,4 +122,10 @@ private:
     nn::Mlp stop_head_;
 };
 
+// Copies every parameter value of `src` into `dst` in place (both models
+// must have identical architecture: parameter names and shapes are checked).
+// This is how a pretrained model seeds per-slice fine-tuning (Design 3)
+// without a save/load round trip through disk.
+void copy_weights(const CptGpt& src, CptGpt& dst);
+
 }  // namespace cpt::core

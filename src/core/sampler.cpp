@@ -1,6 +1,7 @@
 #include "sampler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
@@ -105,11 +106,33 @@ RowSample sample_row(const CptGpt::DecodeOutput& pred, std::size_t i, std::size_
     return out;
 }
 
+// Accumulates wall-clock into `*slot` on destruction; no-op when `slot` is
+// null, so untimed generate_batch calls never touch the clock.
+class StageTimer {
+public:
+    explicit StageTimer(double* slot)
+        : slot_(slot), t0_(slot ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{}) {}
+    ~StageTimer() {
+        if (slot_) {
+            *slot_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+                          .count();
+        }
+    }
+    StageTimer(const StageTimer&) = delete;
+    StageTimer& operator=(const StageTimer&) = delete;
+
+private:
+    double* slot_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
 }  // namespace
 
 std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
                                                    const std::string& ue_prefix,
-                                                   std::size_t first_serial) const {
+                                                   std::size_t first_serial,
+                                                   StageTimes* times) const {
     const std::size_t batch = rngs.size();
     const std::size_t d_token = tokenizer_->d_token();
     const std::size_t num_events = tokenizer_->num_event_types();
@@ -123,21 +146,25 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
     };
     std::vector<Active> active;
     active.reserve(batch);
-    for (std::size_t i = 0; i < batch; ++i) {
-        Active a{.stream = {}, .rng = rngs[i], .next_token = {}, .t = 0.0};
-        char id[64];
-        std::snprintf(id, sizeof(id), "%s-%06zu", ue_prefix.c_str(), first_serial + i);
-        a.stream.ue_id = id;
-        a.stream.device = config_.device;
-        a.stream.hour_of_day = config_.hour_of_day;
-        // Bootstrap token (§4.5): sampled initial event, interarrival 0, stop 0.
-        const auto first_event = static_cast<cellular::EventId>(
-            a.rng.categorical(std::span<const double>(initial_event_dist_)));
-        a.next_token.resize(d_token, 0.0f);
-        tokenizer_->encode_token(first_event, 0.0, false,
-                                 std::span<float>(a.next_token.data(), d_token));
-        a.stream.events.push_back({0.0, first_event});
-        active.push_back(std::move(a));
+    {
+        StageTimer timer(times ? &times->bootstrap : nullptr);
+        for (std::size_t i = 0; i < batch; ++i) {
+            Active a{.stream = {}, .rng = rngs[i], .next_token = {}, .t = 0.0};
+            char id[64];
+            std::snprintf(id, sizeof(id), "%s-%06zu", ue_prefix.c_str(), first_serial + i);
+            a.stream.ue_id = id;
+            a.stream.device = config_.device;
+            a.stream.hour_of_day = config_.hour_of_day;
+            // Bootstrap token (§4.5): sampled initial event, interarrival 0,
+            // stop 0.
+            const auto first_event = static_cast<cellular::EventId>(
+                a.rng.categorical(std::span<const double>(initial_event_dist_)));
+            a.next_token.resize(d_token, 0.0f);
+            tokenizer_->encode_token(first_event, 0.0, false,
+                                     std::span<float>(a.next_token.data(), d_token));
+            a.stream.events.push_back({0.0, first_event});
+            active.push_back(std::move(a));
+        }
     }
 
     // Incremental decoding: each step feeds one new token per active stream
@@ -164,28 +191,37 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
                           dst.begin() + static_cast<std::ptrdiff_t>(i * d_token));
             }
         }
-        const auto& pred = model_->decode_step(decoder, input, decode_scratch);
+        const CptGpt::DecodeOutput* pred = nullptr;
+        {
+            StageTimer timer(times ? &times->decode : nullptr);
+            pred = &model_->decode_step(decoder, input, decode_scratch);
+        }
+        if (times) ++times->steps;
 
         keep_rows.clear();
         std::size_t live = 0;  // rows of `active` kept, compacted in place
-        for (std::size_t i = 0; i < b; ++i) {
-            Active& a = active[i];
-            const RowSample s = sample_row(pred, i, num_events, dist_head, *tokenizer_,
-                                           config_.temperature, config_.top_p, a.rng,
-                                           sample_scratch);
-            a.t += s.interarrival;
-            a.stream.events.push_back({a.t, s.event});
-            if (s.stop || a.stream.events.size() >= config_.max_stream_len) {
-                done.push_back(std::move(a.stream));
-                continue;
+        {
+            StageTimer timer(times ? &times->sample : nullptr);
+            for (std::size_t i = 0; i < b; ++i) {
+                Active& a = active[i];
+                const RowSample s = sample_row(*pred, i, num_events, dist_head, *tokenizer_,
+                                               config_.temperature, config_.top_p, a.rng,
+                                               sample_scratch);
+                a.t += s.interarrival;
+                a.stream.events.push_back({a.t, s.event});
+                if (s.stop || a.stream.events.size() >= config_.max_stream_len) {
+                    done.push_back(std::move(a.stream));
+                    continue;
+                }
+                tokenizer_->encode_token(s.event, s.interarrival, false,
+                                         std::span<float>(a.next_token.data(), d_token));
+                keep_rows.push_back(i);
+                if (live != i) active[live] = std::move(a);
+                ++live;
             }
-            tokenizer_->encode_token(s.event, s.interarrival, false,
-                                     std::span<float>(a.next_token.data(), d_token));
-            keep_rows.push_back(i);
-            if (live != i) active[live] = std::move(a);
-            ++live;
         }
         if (live != b) {
+            StageTimer timer(times ? &times->compact : nullptr);
             decoder.compact(keep_rows);
             active.resize(live);
         }

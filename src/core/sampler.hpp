@@ -58,6 +58,29 @@ public:
     Sampler(const CptGpt& model, const Tokenizer& tokenizer,
             std::vector<double> initial_event_dist, SamplerConfig config = {});
 
+    // Wall-clock attribution of a generate_batch call, summed across decode
+    // steps. The stages partition the batch loop: `bootstrap` covers RNG
+    // bootstrap draws and first-token encoding, `decode` the KV-cached
+    // transformer + head forward, `sample` the per-row categorical/normal
+    // draws and next-token re-encoding, `compact` the KV-cache compaction of
+    // finished rows. bench_e2e_generate uses this to attribute tier-to-tier
+    // differences to a stage instead of guessing from end-to-end totals.
+    struct StageTimes {
+        double bootstrap = 0.0;
+        double decode = 0.0;
+        double sample = 0.0;
+        double compact = 0.0;
+        std::size_t steps = 0;  // decode steps executed
+        StageTimes& operator+=(const StageTimes& o) {
+            bootstrap += o.bootstrap;
+            decode += o.decode;
+            sample += o.sample;
+            compact += o.compact;
+            steps += o.steps;
+            return *this;
+        }
+    };
+
     // Generates a single stream (convenience; batched internally for n = 1).
     trace::Stream sample_stream(const std::string& ue_id, util::Rng& rng) const;
 
@@ -69,9 +92,12 @@ public:
     // pre-forked by the caller; stream i is labelled `first_serial + i`
     // (ue_id "<ue_prefix>-%06zu"). Public so serving-layer schedulers and
     // their tests can pin SlotBatch output against the drain-style batch.
+    // When `times` is non-null, per-stage wall-clock is accumulated into it
+    // (timers only run when requested, so the default path pays nothing).
     std::vector<trace::Stream> generate_batch(std::span<util::Rng> rngs,
                                               const std::string& ue_prefix,
-                                              std::size_t first_serial) const;
+                                              std::size_t first_serial,
+                                              StageTimes* times = nullptr) const;
 
     // Continuous-batching decode session over this sampler's model — the
     // slot-refill entry point beside generate_batch() that src/serve builds

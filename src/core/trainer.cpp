@@ -31,12 +31,19 @@ struct EncodedStream {
     std::vector<int> stop_flags;     // len
 };
 
+// One training batch. The tensors are first_rows() views into capacity-sized
+// backing storage owned by the same struct, so an epoch's batches reuse one
+// allocation: fill_batch() resizes the views and rewrites the contents
+// in place instead of allocating per step.
 struct Batch {
-    nn::Tensor tokens;               // [B, W, d_token]
+    nn::Tensor tokens;               // [B, W, d_token] (view)
     std::vector<int> event_targets;  // B*W, kIgnoreIndex padded
-    nn::Tensor ia_targets;           // [B*W]
+    nn::Tensor ia_targets;           // [B*W] (view)
     std::vector<float> ia_mask;      // B*W
     std::vector<int> stop_targets;   // B*W
+
+    nn::Tensor cap_tokens;  // [Bmax, W, d_token] backing storage
+    nn::Tensor cap_ia;      // [Bmax * W] backing storage
 };
 
 std::vector<EncodedStream> encode_streams(const trace::Dataset& ds, const Tokenizer& tok,
@@ -74,18 +81,24 @@ std::vector<Window> make_windows(const std::vector<EncodedStream>& streams, std:
     return out;
 }
 
-Batch build_batch(const std::vector<EncodedStream>& streams, std::span<const Window> windows,
-                  std::size_t window_len, std::size_t d_token) {
+void fill_batch(Batch& batch, const std::vector<EncodedStream>& streams,
+                std::span<const Window> windows, std::size_t window_len, std::size_t d_token,
+                std::size_t capacity) {
     const std::size_t b = windows.size();
-    Batch batch;
-    batch.tokens = nn::Tensor({b, window_len, d_token});
+    if (batch.cap_tokens.numel() != capacity * window_len * d_token) {
+        batch.cap_tokens = nn::Tensor({capacity, window_len, d_token});
+        batch.cap_ia = nn::Tensor({capacity * window_len});
+    }
+    batch.tokens = batch.cap_tokens.first_rows(b);
+    batch.ia_targets = batch.cap_ia.first_rows(b * window_len);
     batch.event_targets.assign(b * window_len, nn::kIgnoreIndex);
-    batch.ia_targets = nn::Tensor({b * window_len});
     batch.ia_mask.assign(b * window_len, 0.0f);
     batch.stop_targets.assign(b * window_len, nn::kIgnoreIndex);
 
     auto tokens = batch.tokens.data();
+    std::fill(tokens.begin(), tokens.end(), 0.0f);
     auto ia_targets = batch.ia_targets.data();
+    std::fill(ia_targets.begin(), ia_targets.end(), 0.0f);
     for (std::size_t row = 0; row < b; ++row) {
         const Window& w = windows[row];
         const EncodedStream& s = streams[w.stream];
@@ -104,19 +117,44 @@ Batch build_batch(const std::vector<EncodedStream>& streams, std::span<const Win
             batch.stop_targets[flat] = s.stop_flags[tgt];
         }
     }
-    return batch;
 }
 
 }  // namespace
 
 Trainer::Trainer(CptGpt& model, const Tokenizer& tokenizer, TrainConfig config)
     : model_(&model), tokenizer_(&tokenizer), config_(config) {
+    CPT_CHECK_GT(config_.batch_size, std::size_t{0}, " Trainer: batch_size must be > 0");
+    CPT_CHECK_GE(config_.window, std::size_t{2},
+                 " Trainer: window must be >= 2 (a context token and a target)");
     if (config_.window > model.config().max_seq_len) {
         config_.window = model.config().max_seq_len;
     }
+    CPT_CHECK_GE(config_.window, std::size_t{2},
+                 " Trainer: window clamped to max_seq_len ", model.config().max_seq_len,
+                 " must still be >= 2");
+    CPT_CHECK(config_.val_fraction >= 0.0 && config_.val_fraction < 1.0,
+              "Trainer: val_fraction must be in [0, 1), got ", config_.val_fraction);
+    // lr == 0 is allowed: it trains without progress, which tests use to
+    // exercise the early-stopping path.
+    CPT_CHECK_GE(config_.lr, 0.0f, " Trainer: lr must be >= 0");
+    CPT_CHECK_GE(config_.max_epochs, 1, " Trainer: max_epochs must be >= 1");
+    CPT_CHECK_GE(config_.patience, 1, " Trainer: patience must be >= 1");
+    CPT_CHECK_GT(config_.grad_clip, 0.0f, " Trainer: grad_clip must be > 0");
+    CPT_CHECK(config_.min_lr_fraction > 0.0f && config_.min_lr_fraction <= 1.0f,
+              "Trainer: min_lr_fraction must be in (0, 1], got ", config_.min_lr_fraction);
     CPT_CHECK_GE(config_.max_stream_len, std::size_t{2},
                  " Trainer: max_stream_len must be >= 2 (a stream needs a context token and a "
                  "target)");
+}
+
+float Trainer::cosine_lr(const TrainConfig& config, int epoch) {
+    if (!config.lr_decay || config.max_epochs <= 1) return config.lr;
+    // Cosine decay from lr to lr * min_lr_fraction.
+    const double progress = static_cast<double>(epoch) / (config.max_epochs - 1);
+    const double factor =
+        config.min_lr_fraction +
+        (1.0 - config.min_lr_fraction) * 0.5 * (1.0 + std::cos(progress * 3.14159265));
+    return static_cast<float>(config.lr * factor);
 }
 
 TrainResult Trainer::train(const trace::Dataset& data) {
@@ -161,44 +199,61 @@ TrainResult Trainer::train(const trace::Dataset& data) {
     // wiring, not of any particular batch.
     bool graph_linted = !util::kDebugChecksEnabled;
 
-    auto batch_loss = [&](const Batch& batch, bool backprop) -> LossParts {
-        nn::Var tokens = nn::make_var(batch.tokens);
-        const auto out = model_->forward(tokens);
-        nn::Var event_ce = nn::cross_entropy(out.event_logits, batch.event_targets);
-        nn::Var ia_loss =
-            dist_head
-                ? nn::gaussian_nll(out.ia_mu, out.ia_logvar, batch.ia_targets, batch.ia_mask)
-                : nn::mse_masked(out.ia_mu, batch.ia_targets, batch.ia_mask);
-        nn::Var stop_ce = nn::cross_entropy(out.stop_logits, batch.stop_targets);
-        nn::Var loss = nn::add(nn::scale(event_ce, config_.w_event),
-                               nn::add(nn::scale(ia_loss, config_.w_interarrival),
-                                       nn::scale(stop_ce, config_.w_stop)));
-        if (!graph_linted) {
-            graph_linted = true;
-            const auto lint = nn::lint_graph(loss, params);
-            if (!lint.clean()) util::warn(lint.summary());
+    TrainResult result;
+
+    // One arena and one batch buffer for the whole run: the tape's tensor
+    // shapes repeat every step, so after the first batch the graph is built
+    // entirely from recycled storage.
+    nn::TapeArena arena;
+    Batch batch;
+
+    auto batch_loss = [&](bool backprop) -> LossParts {
+        LossParts parts;
+        {
+            nn::ArenaScope tape_scope(arena);
+            nn::Var tokens = nn::make_var(batch.tokens);
+            const auto out = model_->forward(tokens);
+            nn::Var event_ce = nn::cross_entropy(out.event_logits, batch.event_targets);
+            nn::Var ia_loss =
+                dist_head
+                    ? nn::gaussian_nll(out.ia_mu, out.ia_logvar, batch.ia_targets, batch.ia_mask)
+                    : nn::mse_masked(out.ia_mu, batch.ia_targets, batch.ia_mask);
+            nn::Var stop_ce = nn::cross_entropy(out.stop_logits, batch.stop_targets);
+            nn::Var loss = nn::add(nn::scale(event_ce, config_.w_event),
+                                   nn::add(nn::scale(ia_loss, config_.w_interarrival),
+                                           nn::scale(stop_ce, config_.w_stop)));
+            if (!graph_linted) {
+                graph_linted = true;
+                const auto lint = nn::lint_graph(loss, params);
+                if (!lint.clean()) util::warn(lint.summary());
+            }
+            parts = LossParts{loss->value[0], event_ce->value[0], ia_loss->value[0],
+                              stop_ce->value[0]};
+            CPT_CHECK_FINITE(parts.total, "Trainer: batch loss");
+            if (backprop) {
+                opt.zero_grad();
+                nn::backward(loss);
+                // Fused clip+update: one gradient pass instead of three.
+                opt.step_clipped(config_.grad_clip);
+                ++result.steps;
+            }
         }
-        LossParts parts{loss->value[0], event_ce->value[0], ia_loss->value[0],
-                        stop_ce->value[0]};
-        CPT_CHECK_FINITE(parts.total, "Trainer: batch loss");
-        if (backprop) {
-            opt.zero_grad();
-            nn::backward(loss);
-            nn::clip_grad_norm(params, config_.grad_clip);
-            opt.step();
-        }
+        // The graph (and every arena tensor it pinned) is released; reclaim
+        // the step's buffers for the next one.
+        arena.reset();
         return parts;
     };
 
-    auto run_epoch = [&](std::vector<Window>& windows, bool backprop,
+    auto run_epoch = [&](const std::vector<Window>& windows, bool backprop,
                          const std::vector<EncodedStream>& source) -> LossParts {
         LossParts total;
         std::size_t batches = 0;
         for (std::size_t i = 0; i < windows.size(); i += config_.batch_size) {
             const std::size_t count = std::min(config_.batch_size, windows.size() - i);
-            const Batch batch = build_batch(source, {windows.data() + i, count}, config_.window,
-                                            d_token);
-            const LossParts p = batch_loss(batch, backprop);
+            fill_batch(batch, source, {windows.data() + i, count}, config_.window, d_token,
+                       config_.batch_size);
+            const LossParts p = batch_loss(backprop);
+            if (backprop) result.tokens += count * config_.window;
             total.total += p.total;
             total.event_ce += p.event_ce;
             total.ia += p.ia;
@@ -215,23 +270,14 @@ TrainResult Trainer::train(const trace::Dataset& data) {
         return total;
     };
 
-    TrainResult result;
     double best_val = std::numeric_limits<double>::max();
     int since_best = 0;
     for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
-        if (config_.lr_decay && config_.max_epochs > 1) {
-            // Cosine decay from lr to lr * min_lr_fraction.
-            const double progress = static_cast<double>(epoch) / (config_.max_epochs - 1);
-            const double factor =
-                config_.min_lr_fraction +
-                (1.0 - config_.min_lr_fraction) * 0.5 * (1.0 + std::cos(progress * 3.14159265));
-            opt.set_lr(static_cast<float>(config_.lr * factor));
-        }
+        opt.set_lr(cosine_lr(config_, epoch));
         rng.shuffle(train_windows);
         const LossParts train_parts = run_epoch(train_windows, true, train_streams);
-        auto vw = val_windows;
         const LossParts val_parts =
-            vw.empty() ? train_parts : run_epoch(vw, false, val_streams);
+            val_windows.empty() ? train_parts : run_epoch(val_windows, false, val_streams);
         result.train_loss.push_back(train_parts.total);
         result.val_loss.push_back(val_parts.total);
         result.final_event_ce = train_parts.event_ce;

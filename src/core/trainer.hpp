@@ -40,6 +40,8 @@ struct TrainResult {
     int epochs_run = 0;
     int best_epoch = 0;   // epoch index (0-based) with the lowest val loss
     double seconds = 0.0; // wall-clock training time
+    std::size_t steps = 0;   // optimizer updates performed
+    std::size_t tokens = 0;  // window positions processed by those updates
     std::vector<double> train_loss;  // per epoch (weighted total)
     std::vector<double> val_loss;    // per epoch
     // Unweighted per-field training losses at the final epoch, useful for
@@ -51,7 +53,15 @@ struct TrainResult {
 
 class Trainer {
 public:
+    // Validates `config` up front (positive batch size and learning rate,
+    // window >= 2, val_fraction in [0, 1), ...); violations throw
+    // std::invalid_argument.
     Trainer(CptGpt& model, const Tokenizer& tokenizer, TrainConfig config);
+
+    // The learning rate used at `epoch` under the config's cosine schedule:
+    // decays from lr to lr * min_lr_fraction across max_epochs (returns lr
+    // unchanged when lr_decay is off or max_epochs == 1).
+    static float cosine_lr(const TrainConfig& config, int epoch);
 
     // Trains from the model's current weights (so calling it on a pretrained
     // model IS transfer learning).

@@ -17,6 +17,22 @@ namespace {
 // Shorthand for shape diagnostics in the CPT_CHECK messages below.
 std::string sstr(const Tensor& t) { return shape_to_string(t.shape()); }
 
+// Active arena for this thread (installed by ArenaScope). Null outside any
+// scope, in which case the helpers below degrade to plain allocations.
+thread_local TapeArena* tls_arena = nullptr;
+
+// Every tensor an op materializes (outputs, gradients, backward scratch)
+// funnels through these two helpers so a scoped arena can recycle them.
+Tensor tape_tensor(Shape shape) {
+    if (tls_arena != nullptr) return tls_arena->alloc(std::move(shape));
+    return Tensor(std::move(shape));
+}
+
+Tensor tape_clone(const Tensor& src) {
+    if (tls_arena != nullptr) return tls_arena->clone(src);
+    return src.clone();
+}
+
 // Creates the output node for an op. Chokepoint for every differentiable op's
 // forward result, so the debug-build NaN/Inf guard lives here.
 Var make_node(Tensor value, std::vector<Var> parents) {
@@ -57,8 +73,68 @@ void batched_gemm(GemmFn fn, const float* a, const float* b, float* c, std::size
 
 }  // namespace
 
+// ---- TapeArena ----------------------------------------------------------------
+
+TensorStorage TapeArena::take(std::size_t numel) {
+    auto it = free_.find(numel);
+    if (it != free_.end() && !it->second.empty()) {
+        TensorStorage s = std::move(it->second.back());
+        it->second.pop_back();
+        ++stats_.reused;
+        lent_.push_back(s);
+        return s;
+    }
+    ++stats_.fresh;
+    stats_.held_bytes += numel * sizeof(float);
+    auto s = std::make_shared<std::vector<float>>(numel, 0.0f);
+    lent_.push_back(s);
+    return s;
+}
+
+Tensor TapeArena::alloc(Shape shape) {
+    const std::size_t n = shape_numel(shape);
+    TensorStorage s = take(n);
+    // Recycled buffers carry the previous step's values; re-zero so the
+    // result is bit-identical to a fresh Tensor(shape).
+    std::fill(s->begin(), s->end(), 0.0f);
+    return Tensor::adopt(std::move(s), std::move(shape));
+}
+
+Tensor TapeArena::clone(const Tensor& src) {
+    TensorStorage s = take(src.numel());
+    auto d = src.data();
+    std::copy(d.begin(), d.end(), s->begin());
+    return Tensor::adopt(std::move(s), src.shape());
+}
+
+void TapeArena::reset() {
+    std::vector<TensorStorage> still;
+    still.reserve(lent_.size());
+    for (auto& s : lent_) {
+        if (s.use_count() == 1) {
+            free_[s->size()].push_back(std::move(s));
+        } else {
+            still.push_back(std::move(s));
+        }
+    }
+    lent_ = std::move(still);
+}
+
+TapeArena::Stats TapeArena::stats() const {
+    Stats s = stats_;
+    s.lent = lent_.size();
+    return s;
+}
+
+ArenaScope::ArenaScope(TapeArena& arena) {
+    CPT_CHECK(tls_arena == nullptr, "ArenaScope: scopes do not nest");
+    tls_arena = &arena;
+}
+
+ArenaScope::~ArenaScope() { tls_arena = nullptr; }
+
 Tensor& Node::ensure_grad() {
-    if (grad.numel() != value.numel()) grad = Tensor(value.shape());
+    if (grad.numel() != value.numel()) grad = tape_tensor(value.shape());
     return grad;
 }
 
@@ -128,7 +204,7 @@ void zero_grad(std::span<const Var> params) {
 Var add(const Var& a, const Var& b) {
     CPT_CHECK(a->value.same_shape(b->value), "add: shape mismatch ", sstr(a->value), " vs ",
               sstr(b->value));
-    Tensor out = a->value.clone();
+    Tensor out = tape_clone(a->value);
     out.add_(b->value);
     Var node = make_node(std::move(out), {a, b});
     if (!node->requires_grad) return node;
@@ -143,7 +219,7 @@ Var add(const Var& a, const Var& b) {
 Var sub(const Var& a, const Var& b) {
     CPT_CHECK(a->value.same_shape(b->value), "sub: shape mismatch ", sstr(a->value), " vs ",
               sstr(b->value));
-    Tensor out = a->value.clone();
+    Tensor out = tape_clone(a->value);
     {
         auto dst = out.data();
         auto src = b->value.data();
@@ -166,7 +242,7 @@ Var sub(const Var& a, const Var& b) {
 Var mul(const Var& a, const Var& b) {
     CPT_CHECK(a->value.same_shape(b->value), "mul: shape mismatch ", sstr(a->value), " vs ",
               sstr(b->value));
-    Tensor out(a->value.shape());
+    Tensor out = tape_tensor(a->value.shape());
     {
         auto dst = out.data();
         auto xa = a->value.data();
@@ -193,7 +269,7 @@ Var mul(const Var& a, const Var& b) {
 }
 
 Var scale(const Var& a, float s) {
-    Tensor out = a->value.clone();
+    Tensor out = tape_clone(a->value);
     out.scale_(s);
     Var node = make_node(std::move(out), {a});
     if (!node->requires_grad) return node;
@@ -207,7 +283,7 @@ Var scale(const Var& a, float s) {
 }
 
 Var add_scalar(const Var& a, float s) {
-    Tensor out = a->value.clone();
+    Tensor out = tape_clone(a->value);
     for (float& x : out.data()) x += s;
     Var node = make_node(std::move(out), {a});
     if (!node->requires_grad) return node;
@@ -226,19 +302,16 @@ Var add_bias(const Var& x, const Var& bias) {
               "add_bias: x ", sstr(x->value), " incompatible with bias ", sstr(bias->value));
     const std::size_t d = xs.back();
     const std::size_t rows = x->value.numel() / d;
-    Tensor out = x->value.clone();
+    Tensor out = tape_clone(x->value);
     kernels::add_bias_rows(out.data().data(), bias->value.data().data(), rows, d);
     Var node = make_node(std::move(out), {x, bias});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
     node->backward_fn = [raw, x, bias, rows, d] {
-        auto g = raw->grad.data();
         if (x->requires_grad) x->ensure_grad().add_(raw->grad);
         if (bias->requires_grad) {
-            auto dst = bias->ensure_grad().data();
-            for (std::size_t r = 0; r < rows; ++r) {
-                for (std::size_t j = 0; j < d; ++j) dst[j] += g[r * d + j];
-            }
+            kernels::col_sum_rows(raw->grad.data().data(), bias->ensure_grad().data().data(),
+                                  rows, d, &util::global_pool());
         }
     };
     return node;
@@ -266,7 +339,7 @@ Var matmul(const Var& a, const Var& b) {
     Shape out_shape(as.begin(), as.end() - 2);
     out_shape.push_back(m_dim);
     out_shape.push_back(n_dim);
-    Tensor out(out_shape);
+    Tensor out = tape_tensor(out_shape);
     batched_gemm(gemm_nn, a->value.data().data(), b->value.data().data(), out.data().data(),
                  batch, m_dim * k_dim, k_dim * n_dim, m_dim * n_dim, m_dim, k_dim, n_dim);
     Var node = make_node(std::move(out), {a, b});
@@ -283,6 +356,42 @@ Var matmul(const Var& a, const Var& b) {
             // dB = A^T * dC
             batched_gemm(gemm_tn, a->value.data().data(), g, b->ensure_grad().data().data(),
                          batch, m_dim * k_dim, m_dim * n_dim, k_dim * n_dim, k_dim, m_dim, n_dim);
+        }
+    };
+    return node;
+}
+
+Var matmul_nt(const Var& x, const Var& b) {
+    const auto& xs = x->value.shape();
+    const auto& bs = b->value.shape();
+    CPT_CHECK(!xs.empty() && bs.size() == 2, "matmul_nt: x ", sstr(x->value), " vs b ",
+              sstr(b->value));
+    const std::size_t k_dim = xs.back();
+    CPT_CHECK_EQ(bs[1], k_dim, " matmul_nt: inner dims differ: ", sstr(x->value), " vs ",
+                 sstr(b->value));
+    const std::size_t n_dim = bs[0];
+    // b is shared across all leading dims of x, so the whole input flattens
+    // into one [rows, k] x [n, k]^T GEMM regardless of batch structure.
+    const std::size_t rows = x->value.numel() / k_dim;
+    Shape out_shape(xs.begin(), xs.end() - 1);
+    out_shape.push_back(n_dim);
+    Tensor out = tape_tensor(out_shape);
+    gemm_nt(x->value.data().data(), b->value.data().data(), out.data().data(), rows, k_dim, n_dim,
+            nullptr);
+    Var node = make_node(std::move(out), {x, b});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, x, b, rows, k_dim, n_dim] {
+        const float* g = raw->grad.data().data();
+        if (x->requires_grad) {
+            // dX = dY · B  ([rows, n] x [n, k])
+            gemm_nn(g, b->value.data().data(), x->ensure_grad().data().data(), rows, n_dim, k_dim,
+                    nullptr);
+        }
+        if (b->requires_grad) {
+            // dB = dYᵀ · X  ([n, rows] x [rows, k])
+            gemm_tn(g, x->value.data().data(), b->ensure_grad().data().data(), n_dim, rows, k_dim,
+                    nullptr);
         }
     };
     return node;
@@ -315,14 +424,14 @@ Var transpose_last2(const Var& a) {
     for (std::size_t i = 0; i + 2 < as.size(); ++i) batch *= as[i];
     Shape out_shape = as;
     std::swap(out_shape[out_shape.size() - 2], out_shape[out_shape.size() - 1]);
-    Tensor out(out_shape);
+    Tensor out = tape_tensor(out_shape);
     transpose_copy(a->value.data().data(), out.data().data(), batch, rows, cols);
     Var node = make_node(std::move(out), {a});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
     node->backward_fn = [raw, a, batch, rows, cols] {
         // Gradient of a transpose is the transpose of the gradient.
-        Tensor tmp(a->value.shape());
+        Tensor tmp = tape_tensor(a->value.shape());
         transpose_copy(raw->grad.data().data(), tmp.data().data(), batch, cols, rows);
         a->ensure_grad().add_(tmp);
     };
@@ -339,53 +448,24 @@ Var reshape(const Var& a, Shape shape) {
 }
 
 // ---- Softmax family -----------------------------------------------------------
-
-namespace {
-
-// Forward softmax lives in kernels::softmax_row (shared with the decoder and
-// tier-dispatched); only the backward stays here.
-
-// dL/dx_j = y_j * (g_j - sum_k g_k y_k), restricted to `valid` entries.
-void softmax_backward_row(const float* y, const float* g, float* dx, std::size_t len,
-                          std::size_t valid) {
-    float dot = 0.0f;
-    for (std::size_t j = 0; j < valid; ++j) dot += g[j] * y[j];
-    for (std::size_t j = 0; j < valid; ++j) dx[j] += y[j] * (g[j] - dot);
-    (void)len;
-}
-
-}  // namespace
+// Forward softmax and the tier-dispatched backward both live in kernels.hpp,
+// shared with the decoder and parity-pinned against scalar references.
 
 Var softmax_lastdim(const Var& a) {
     const auto& as = a->value.shape();
     CPT_CHECK(!as.empty(), "softmax_lastdim: bad shape ", sstr(a->value));
     const std::size_t d = as.back();
     const std::size_t rows = a->value.numel() / d;
-    Tensor out(as);
-    {
-        const float* in = a->value.data().data();
-        float* o = out.data().data();
-        util::global_pool().parallel_for(rows, util::grain_for(8 * d),
-                                         [&](std::size_t r0, std::size_t r1) {
-                                             for (std::size_t r = r0; r < r1; ++r) {
-                                                 kernels::softmax_row(in + r * d, o + r * d, d, d);
-                                             }
-                                         });
-    }
+    Tensor out = tape_tensor(as);
+    kernels::softmax_rows(a->value.data().data(), out.data().data(), rows, d,
+                          &util::global_pool());
     Var node = make_node(std::move(out), {a});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
     node->backward_fn = [raw, a, rows, d] {
-        const float* y = raw->value.data().data();
-        const float* g = raw->grad.data().data();
-        float* dx = a->ensure_grad().data().data();
-        util::global_pool().parallel_for(rows, util::grain_for(4 * d),
-                                         [&](std::size_t r0, std::size_t r1) {
-                                             for (std::size_t r = r0; r < r1; ++r) {
-                                                 softmax_backward_row(y + r * d, g + r * d,
-                                                                      dx + r * d, d, d);
-                                             }
-                                         });
+        kernels::softmax_backward_rows(raw->value.data().data(), raw->grad.data().data(),
+                                       a->ensure_grad().data().data(), rows, d,
+                                       &util::global_pool());
     };
     return node;
 }
@@ -396,7 +476,7 @@ Var softmax_causal(const Var& scores) {
               "softmax_causal: scores must be [..., T, T], got ", sstr(scores->value));
     const std::size_t t = ss.back();
     const std::size_t mats = scores->value.numel() / (t * t);
-    Tensor out(ss);
+    Tensor out = tape_tensor(ss);
     {
         const float* in = scores->value.data().data();
         float* o = out.data().data();
@@ -414,18 +494,9 @@ Var softmax_causal(const Var& scores) {
     if (!node->requires_grad) return node;
     Node* raw = node.get();
     node->backward_fn = [raw, scores, mats, t] {
-        const float* y = raw->value.data().data();
-        const float* g = raw->grad.data().data();
-        float* dx = scores->ensure_grad().data().data();
-        util::global_pool().parallel_for(
-            mats, util::grain_for(2 * t * t), [&](std::size_t m0, std::size_t m1) {
-                for (std::size_t m = m0; m < m1; ++m) {
-                    for (std::size_t r = 0; r < t; ++r) {
-                        const std::size_t off = (m * t + r) * t;
-                        softmax_backward_row(y + off, g + off, dx + off, t, r + 1);
-                    }
-                }
-            });
+        kernels::softmax_backward_causal(raw->value.data().data(), raw->grad.data().data(),
+                                         scores->ensure_grad().data().data(), mats, t,
+                                         &util::global_pool());
     };
     return node;
 }
@@ -440,75 +511,22 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
               "layer_norm: gain ", sstr(gain->value), " / bias ", sstr(bias->value),
               " must both have ", d, " elements");
     const std::size_t rows = x->value.numel() / d;
-    Tensor out(xs);
-    // Cache per-row mean and inverse stddev for backward.
-    auto stats = std::make_shared<std::vector<float>>(rows * 2);
+    Tensor out = tape_tensor(xs);
+    // Cache per-row {mean, inv_std} for backward in an arena-recycled tensor.
+    Tensor stats = tape_tensor({rows, 2});
     kernels::layer_norm_rows(x->value.data().data(), out.data().data(),
                              gain->value.data().data(), bias->value.data().data(), rows, d, eps,
-                             stats->data());
+                             stats.data().data());
     Var node = make_node(std::move(out), {x, gain, bias});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
     node->backward_fn = [raw, x, gain, bias, rows, d, stats] {
-        const float* in = x->value.data().data();
-        const float* gw = gain->value.data().data();
-        const float* g = raw->grad.data().data();
         float* dgain = gain->requires_grad ? gain->ensure_grad().data().data() : nullptr;
         float* dbias = bias->requires_grad ? bias->ensure_grad().data().data() : nullptr;
         float* dx = x->requires_grad ? x->ensure_grad().data().data() : nullptr;
-        auto& pool = util::global_pool();
-        const std::size_t grain = util::grain_for(10 * d);
-        // dgain/dbias reduce across rows: accumulate per-chunk partials and
-        // merge them in chunk order, so the result is deterministic for a
-        // fixed thread count (dx rows are disjoint and need no partials).
-        const std::size_t chunks = pool.num_chunks(rows, grain);
-        std::vector<float> partial((dgain || dbias) ? chunks * 2 * d : 0, 0.0f);
-        pool.parallel_chunks(
-            rows, grain, [&](std::size_t chunk, std::size_t r0, std::size_t r1) {
-                float* pgain = partial.empty() ? nullptr : partial.data() + chunk * 2 * d;
-                float* pbias = pgain ? pgain + d : nullptr;
-                for (std::size_t r = r0; r < r1; ++r) {
-                    const float mean = (*stats)[r * 2];
-                    const float inv = (*stats)[r * 2 + 1];
-                    const float* row = in + r * d;
-                    const float* grow = g + r * d;
-                    // xhat_j = (x_j - mean) * inv
-                    if (pgain) {
-                        for (std::size_t j = 0; j < d; ++j) {
-                            const float xhat = (row[j] - mean) * inv;
-                            pgain[j] += grow[j] * xhat;
-                            pbias[j] += grow[j];
-                        }
-                    }
-                    if (dx) {
-                        // dL/dx = inv/d * (d*gy - sum(gy) - xhat * sum(gy*xhat)),
-                        // where gy_j = g_j * gain_j.
-                        float sum_gy = 0.0f;
-                        float sum_gy_xhat = 0.0f;
-                        for (std::size_t j = 0; j < d; ++j) {
-                            const float gy = grow[j] * gw[j];
-                            const float xhat = (row[j] - mean) * inv;
-                            sum_gy += gy;
-                            sum_gy_xhat += gy * xhat;
-                        }
-                        float* dxrow = dx + r * d;
-                        const float dn = static_cast<float>(d);
-                        for (std::size_t j = 0; j < d; ++j) {
-                            const float gy = grow[j] * gw[j];
-                            const float xhat = (row[j] - mean) * inv;
-                            dxrow[j] += inv / dn * (dn * gy - sum_gy - xhat * sum_gy_xhat);
-                        }
-                    }
-                }
-            });
-        for (std::size_t c = 0; c < chunks && !partial.empty(); ++c) {
-            const float* pgain = partial.data() + c * 2 * d;
-            const float* pbias = pgain + d;
-            for (std::size_t j = 0; j < d; ++j) {
-                if (dgain) dgain[j] += pgain[j];
-                if (dbias) dbias[j] += pbias[j];
-            }
-        }
+        kernels::layer_norm_backward_rows(x->value.data().data(), gain->value.data().data(),
+                                          raw->grad.data().data(), stats.data().data(), dx, dgain,
+                                          dbias, rows, d, &util::global_pool());
     };
     return node;
 }
@@ -521,7 +539,7 @@ namespace {
 // and backward are element-disjoint, so both shard over elements.
 template <typename F, typename DF>
 Var pointwise(const Var& a, F f, DF df) {
-    Tensor out(a->value.shape());
+    Tensor out = tape_tensor(a->value.shape());
     {
         auto in = a->value.data();
         auto o = out.data();
@@ -555,6 +573,34 @@ Var gelu(const Var& a) {
     return pointwise(
         a, [](float x) { return kernels::gelu_scalar(x); },
         [](float x, float /*y*/) { return kernels::gelu_grad_scalar(x); });
+}
+
+Var bias_gelu(const Var& x, const Var& bias) {
+    const auto& xs = x->value.shape();
+    CPT_CHECK(!xs.empty() && bias->value.rank() == 1 && bias->value.dim(0) == xs.back(),
+              "bias_gelu: x ", sstr(x->value), " incompatible with bias ", sstr(bias->value));
+    const std::size_t d = xs.back();
+    const std::size_t rows = x->value.numel() / d;
+    Tensor out = tape_clone(x->value);
+    kernels::bias_gelu_rows(out.data().data(), bias->value.data().data(), rows, d,
+                            &util::global_pool());
+    Var node = make_node(std::move(out), {x, bias});
+    if (!node->requires_grad) return node;
+    Node* raw = node.get();
+    node->backward_fn = [raw, x, bias, rows, d] {
+        // scratch holds t = g * gelu'(x + bias); dx accumulates it directly
+        // and dbias reduces it column-wise.
+        Tensor scratch = tape_tensor(x->value.shape());
+        float* dx = x->requires_grad ? x->ensure_grad().data().data() : nullptr;
+        kernels::bias_gelu_backward_rows(x->value.data().data(), bias->value.data().data(),
+                                         raw->grad.data().data(), dx, scratch.data().data(),
+                                         rows, d, &util::global_pool());
+        if (bias->requires_grad) {
+            kernels::col_sum_rows(scratch.data().data(), bias->ensure_grad().data().data(),
+                                  rows, d, &util::global_pool());
+        }
+    };
+    return node;
 }
 
 Var relu(const Var& a) {
@@ -595,7 +641,7 @@ Var slice_lastdim(const Var& x, std::size_t start, std::size_t len) {
     const std::size_t rows = x->value.numel() / d;
     Shape out_shape = xs;
     out_shape.back() = len;
-    Tensor out(out_shape);
+    Tensor out = tape_tensor(out_shape);
     {
         const float* in = x->value.data().data();
         float* o = out.data().data();
@@ -630,7 +676,7 @@ Var concat_lastdim(const std::vector<Var>& xs) {
     }
     Shape out_shape = first;
     out_shape.back() = total_d;
-    Tensor out(out_shape);
+    Tensor out = tape_tensor(out_shape);
     {
         float* o = out.data().data();
         std::size_t offset = 0;
@@ -671,7 +717,7 @@ Var add_position(const Var& x, const Var& pos) {
     const std::size_t b = xs[0];
     const std::size_t t = xs[1];
     const std::size_t d = xs[2];
-    Tensor out = x->value.clone();
+    Tensor out = tape_clone(x->value);
     {
         float* o = out.data().data();
         const float* p = pos->value.data().data();
@@ -728,14 +774,14 @@ Var split_heads(const Var& x, std::size_t heads) {
     const std::size_t b = xs[0];
     const std::size_t t = xs[1];
     const std::size_t dh = xs[2] / heads;
-    Tensor out({b, heads, t, dh});
+    Tensor out = tape_tensor({b, heads, t, dh});
     // [B, T, H*Dh] viewed as [B, T, H, Dh]; permute to [B, H, T, Dh].
     permute_0213(x->value.data().data(), out.data().data(), b, t, heads, dh);
     Var node = make_node(std::move(out), {x});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
     node->backward_fn = [raw, x, b, t, heads, dh] {
-        Tensor tmp(x->value.shape());
+        Tensor tmp = tape_tensor(x->value.shape());
         permute_0213(raw->grad.data().data(), tmp.data().data(), b, heads, t, dh);
         x->ensure_grad().add_(tmp);
     };
@@ -749,13 +795,13 @@ Var merge_heads(const Var& x) {
     const std::size_t h = xs[1];
     const std::size_t t = xs[2];
     const std::size_t dh = xs[3];
-    Tensor out({b, t, h * dh});
+    Tensor out = tape_tensor({b, t, h * dh});
     permute_0213(x->value.data().data(), out.data().data(), b, h, t, dh);
     Var node = make_node(std::move(out), {x});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
     node->backward_fn = [raw, x, b, t, h, dh] {
-        Tensor tmp(x->value.shape());
+        Tensor tmp = tape_tensor(x->value.shape());
         permute_0213(raw->grad.data().data(), tmp.data().data(), b, t, h, dh);
         x->ensure_grad().add_(tmp);
     };
@@ -791,49 +837,34 @@ Var cross_entropy(const Var& logits, const std::vector<int>& targets) {
               sstr(logits->value), " vs ", targets.size(), " targets");
     const std::size_t n = ls[0];
     const std::size_t c = ls[1];
-    auto probs = std::make_shared<Tensor>(Shape{n, c});
+    // Validate targets and count active rows serially up front, then let the
+    // fused kernel compute row-disjoint softmax + per-row loss in parallel.
     std::size_t active = 0;
-    double loss = 0.0;
-    {
-        const float* in = logits->value.data().data();
-        float* p = probs->data().data();
-        // Probabilities are row-disjoint and shard across the pool; the loss
-        // reduction stays serial so its value is thread-count independent.
-        util::global_pool().parallel_for(n, util::grain_for(8 * c),
-                                         [&](std::size_t r0, std::size_t r1) {
-                                             for (std::size_t r = r0; r < r1; ++r) {
-                                                 kernels::softmax_row(in + r * c, p + r * c, c, c);
-                                             }
-                                         });
-        for (std::size_t r = 0; r < n; ++r) {
-            const int tgt = targets[r];
-            if (tgt == kIgnoreIndex) continue;
-            CPT_CHECK(tgt >= 0 && static_cast<std::size_t>(tgt) < c,
-                      "cross_entropy: target ", tgt, " out of range for ", c, " classes at row ",
-                      r);
-            ++active;
-            loss -= std::log(std::max(p[r * c + static_cast<std::size_t>(tgt)], 1e-12f));
-        }
+    for (std::size_t r = 0; r < n; ++r) {
+        const int tgt = targets[r];
+        if (tgt == kIgnoreIndex) continue;
+        CPT_CHECK(tgt >= 0 && static_cast<std::size_t>(tgt) < c,
+                  "cross_entropy: target ", tgt, " out of range for ", c, " classes at row ", r);
+        ++active;
     }
+    Tensor probs = tape_tensor({n, c});
+    // Per-row losses land in a reusable buffer and are reduced serially in
+    // ascending row order, keeping the loss value thread-count independent.
+    static thread_local std::vector<double> rowloss;
+    rowloss.assign(n, 0.0);
+    kernels::softmax_xent_rows(logits->value.data().data(), probs.data().data(), targets.data(),
+                               kIgnoreIndex, rowloss.data(), n, c, &util::global_pool());
+    double loss = 0.0;
+    for (std::size_t r = 0; r < n; ++r) loss += rowloss[r];
     const float denom = active > 0 ? static_cast<float>(active) : 1.0f;
     Var node = make_node(Tensor::scalar(static_cast<float>(loss) / denom), {logits});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
     node->backward_fn = [raw, logits, targets, probs, n, c, denom] {
         const float g = raw->grad[0] / denom;
-        const float* p = probs->data().data();
-        float* dx = logits->ensure_grad().data().data();
-        util::global_pool().parallel_for(
-            n, util::grain_for(3 * c), [&](std::size_t r0, std::size_t r1) {
-                for (std::size_t r = r0; r < r1; ++r) {
-                    const int tgt = targets[r];
-                    if (tgt == kIgnoreIndex) continue;
-                    for (std::size_t j = 0; j < c; ++j) {
-                        const float onehot = (static_cast<std::size_t>(tgt) == j) ? 1.0f : 0.0f;
-                        dx[r * c + j] += g * (p[r * c + j] - onehot);
-                    }
-                }
-            });
+        kernels::xent_backward_rows(probs.data().data(), targets.data(), kIgnoreIndex,
+                                    logits->ensure_grad().data().data(), g, n, c,
+                                    &util::global_pool());
     };
     return node;
 }
@@ -861,7 +892,7 @@ Var gaussian_nll(const Var& mu, const Var& logvar, const Tensor& target,
     Var node = make_node(Tensor::scalar(static_cast<float>(loss) / denom), {mu, logvar});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
-    Tensor target_copy = target.clone();
+    Tensor target_copy = tape_clone(target);
     node->backward_fn = [raw, mu, logvar, target_copy, mask, n, denom] {
         const float g = raw->grad[0] / denom;
         const float* pm = mu->value.data().data();
@@ -900,7 +931,7 @@ Var mse_masked(const Var& pred, const Tensor& target, const std::vector<float>& 
     Var node = make_node(Tensor::scalar(static_cast<float>(loss) / denom), {pred});
     if (!node->requires_grad) return node;
     Node* raw = node.get();
-    Tensor target_copy = target.clone();
+    Tensor target_copy = tape_clone(target);
     node->backward_fn = [raw, pred, target_copy, mask, n, denom] {
         const float g = raw->grad[0] / denom;
         const float* pp = pred->value.data().data();

@@ -12,9 +12,11 @@
 // accumulation, GAN generator/discriminator alternation).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor.hpp"
@@ -23,6 +25,71 @@ namespace cpt::nn {
 
 struct Node;
 using Var = std::shared_ptr<Node>;
+
+// ---- Tape arena ---------------------------------------------------------------
+// Recycles tensor storage across training steps. The tape built by one
+// forward/backward pass allocates the same sequence of activation and
+// gradient buffers every step (the shapes are a pure function of the batch
+// and window sizes), so a trainer can size the tape once on the first step
+// and then reuse the freed buffers instead of hitting the allocator — the
+// training-path analogue of the decoder's zero-alloc DecodeScratch arena.
+//
+// Usage (see core/trainer.cpp): create one TapeArena per training loop, open
+// an ArenaScope for each step's tape, release the step's graph (let the loss
+// Var go out of scope), then call reset() to reclaim the step's buffers.
+// Buffers still referenced after reset() — parameter gradients, cached loss
+// values — simply stay checked out and are reconsidered at the next reset.
+//
+// Recycled buffers are re-zeroed on reuse, so arena-backed results are
+// bit-identical to fresh Tensor allocations (pinned by
+// tests/train_determinism_test.cpp). The arena is not thread-safe; the
+// active-arena pointer an ArenaScope installs is thread-local, which is what
+// lets hub_trainer workers each run their own scoped arena concurrently.
+class TapeArena {
+public:
+    TapeArena() = default;
+    TapeArena(const TapeArena&) = delete;
+    TapeArena& operator=(const TapeArena&) = delete;
+
+    // Zero-filled tensor of `shape` (same contract as Tensor(shape)), backed
+    // by a recycled buffer of the exact byte size when one is free.
+    Tensor alloc(Shape shape);
+    // Arena-backed deep copy of `src`.
+    Tensor clone(const Tensor& src);
+
+    // Reclaims every lent buffer whose only remaining reference is the
+    // arena's (the graph released it); still-referenced buffers stay lent.
+    void reset();
+
+    struct Stats {
+        std::size_t fresh = 0;       // allocations that hit the heap
+        std::size_t reused = 0;      // allocations served from the free lists
+        std::size_t held_bytes = 0;  // total bytes ever allocated through the arena
+        std::size_t lent = 0;        // buffers currently checked out
+    };
+    Stats stats() const;
+
+private:
+    TensorStorage take(std::size_t numel);
+
+    // Free buffers keyed by exact element count, LIFO per size class.
+    std::unordered_map<std::size_t, std::vector<TensorStorage>> free_;
+    // Every storage currently checked out (graph tensors, param grads, ...).
+    std::vector<TensorStorage> lent_;
+    Stats stats_;
+};
+
+// RAII: routes the tensor allocations of every autograd op on this thread
+// through `arena` for the scope's lifetime. Scopes do not nest. Ops called
+// outside any scope allocate normally, so inference and non-training code
+// paths are unaffected.
+class ArenaScope {
+public:
+    explicit ArenaScope(TapeArena& arena);
+    ~ArenaScope();
+    ArenaScope(const ArenaScope&) = delete;
+    ArenaScope& operator=(const ArenaScope&) = delete;
+};
 
 struct Node {
     Tensor value;
@@ -66,6 +133,14 @@ Var add_bias(const Var& x, const Var& bias);
 // batch dims must match exactly (or both operands are rank 2).
 Var matmul(const Var& a, const Var& b);
 
+// y = x · bᵀ with b stored [N, K] and shared across all leading dims of
+// x [..., K] -> [..., N]. Equivalent to matmul(x, transpose_last2(b)) without
+// materializing the transposed weight on either the forward or the backward
+// path: forward runs the NT kernel and backward the NN/TN kernels directly
+// (dX = dY·B, dB = dYᵀ·X), so training linear layers hits the same
+// tier-dispatched GEMMs as inference.
+Var matmul_nt(const Var& x, const Var& b);
+
 // Swap the last two dims (copying).
 Var transpose_last2(const Var& a);
 
@@ -82,6 +157,11 @@ Var softmax_causal(const Var& scores);
 Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps = 1e-5f);
 
 Var gelu(const Var& a);      // tanh approximation
+// Fused gelu(x + bias) over the last dimension (bias: [D]); one node and no
+// intermediate pre-activation tensor, with the same per-element math as
+// gelu(add_bias(x, bias)). The backward recomputes x + bias instead of
+// storing it.
+Var bias_gelu(const Var& x, const Var& bias);
 Var relu(const Var& a);
 Var sigmoid(const Var& a);
 Var tanh_op(const Var& a);

@@ -168,8 +168,9 @@ void gemm_tn_avx2(const float* a, const float* b, float* c, std::size_t m_dim, s
 
 void gemm_nt_avx2(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
                   std::size_t n_dim, util::ThreadPool& pool) {
-    if (m_dim < 4) {
-        // Too few rows to amortise a B transpose; dot kernels read B once.
+    if (m_dim < 8) {
+        // Too few rows to amortise a B transpose (the pack is ~1/m of the
+        // packed path's work); dot kernels read B once.
         pool.parallel_for(m_dim, row_grain(k_dim, n_dim), [&](std::size_t r0, std::size_t r1) {
             for (std::size_t m = r0; m < r1; ++m) {
                 gemm_nt_row(a + m * k_dim, b, c + m * n_dim, k_dim, n_dim);
@@ -186,11 +187,17 @@ void gemm_nt_avx2(const float* a, const float* b, float* c, std::size_t m_dim, s
     static thread_local std::vector<float> bt;
     for (std::size_t n0 = 0; n0 < n_dim; n0 += kNc) {
         const std::size_t nb = std::min(kNc, n_dim - n0);
-        bt.resize(k_dim * nb);
+        // Pad the packed panel's leading dimension so the micro-kernel's
+        // k-walk stride is not a power of two: at ldbt = 256 floats (1 KiB)
+        // consecutive k rows alias to only 4 L1 sets and the tile walk
+        // thrashes the cache (measured 6-9x slowdown at m <= 16). Two ymm
+        // lanes of padding advance the set index by 17 per row instead.
+        const std::size_t ldbt = nb + 16;
+        bt.resize(k_dim * ldbt);
         float* btp = bt.data();
         for (std::size_t j = 0; j < nb; ++j) {
             const float* brow = b + (n0 + j) * k_dim;
-            for (std::size_t k = 0; k < k_dim; ++k) btp[k * nb + j] = brow[k];
+            for (std::size_t k = 0; k < k_dim; ++k) btp[k * ldbt + j] = brow[k];
         }
         pool.parallel_for(m_dim, row_grain(k_dim, nb), [&](std::size_t r0, std::size_t r1) {
             for (std::size_t m0 = r0; m0 < r1; m0 += kMr) {
@@ -200,12 +207,12 @@ void gemm_nt_avx2(const float* a, const float* b, float* c, std::size_t m_dim, s
                 std::size_t j0 = 0;
                 if (mr == kMr) {
                     for (; j0 + kNr <= nb; j0 += kNr) {
-                        micro_bcast_fixed<false>(atile, k_dim, btp + j0, nb, crow + j0, n_dim,
+                        micro_bcast_fixed<false>(atile, k_dim, btp + j0, ldbt, crow + j0, n_dim,
                                                  k_dim);
                     }
                 }
                 for (; j0 < nb; j0 += kNr) {
-                    micro_bcast_edge<false>(atile, k_dim, btp + j0, nb, crow + j0, n_dim, k_dim,
+                    micro_bcast_edge<false>(atile, k_dim, btp + j0, ldbt, crow + j0, n_dim, k_dim,
                                             mr, std::min(kNr, nb - j0));
                 }
             }

@@ -69,4 +69,90 @@ void gelu_rows(float* x, std::size_t n, util::ThreadPool* pool = nullptr);
 void bias_gelu_rows(float* y, const float* bias, std::size_t rows, std::size_t d,
                     util::ThreadPool* pool = nullptr);
 
+// ---- Backward kernels (training path) ----------------------------------------
+// Each dispatched kernel keeps a scalar reference (*_ref) beside it, like the
+// gemm_*_ref kernels, pinned by tests/nn_train_kernels_test.cpp. Reductions
+// that cross rows (bias-style gradients) shard over COLUMNS with an
+// ascending-row accumulation per column, so their results are bit-identical
+// for every thread count — not merely for a fixed one.
+
+// Softmax backward for one row restricted to the first `valid` entries:
+// dx_j += y_j * (g_j - sum_k g_k y_k), with an ascending serial dot.
+void softmax_backward_row_ref(const float* y, const float* g, float* dx, std::size_t valid);
+// Row-parallel softmax backward over [rows, d] (full rows valid).
+void softmax_backward_rows(const float* y, const float* g, float* dx, std::size_t rows,
+                           std::size_t d, util::ThreadPool* pool = nullptr);
+// Causal variant over [mats, t, t]: row r of every matrix has r+1 valid
+// entries (the attention backward of softmax_causal).
+void softmax_backward_causal(const float* y, const float* g, float* dx, std::size_t mats,
+                             std::size_t t, util::ThreadPool* pool = nullptr);
+
+// Fused softmax + cross-entropy forward over logits [rows, c]: writes each
+// row's softmax into probs and its negative log-likelihood into rowloss
+// (0.0 for rows whose target equals ignore_index). Row-parallel; the caller
+// reduces rowloss serially, keeping the loss value thread-count independent.
+void softmax_xent_rows(const float* logits, float* probs, const int* targets, int ignore_index,
+                       double* rowloss, std::size_t rows, std::size_t c,
+                       util::ThreadPool* pool = nullptr);
+// Cross-entropy backward: dx[r,:] += gscale * (probs[r,:] - onehot(target_r))
+// for rows whose target is not ignore_index.
+void xent_backward_rows(const float* probs, const int* targets, int ignore_index, float* dx,
+                        float gscale, std::size_t rows, std::size_t c,
+                        util::ThreadPool* pool = nullptr);
+void xent_backward_row_ref(const float* probs, int target, float* dx, float gscale,
+                           std::size_t c);
+
+// LayerNorm backward over rows of width d, given the forward's cached
+// {mean, inv_std} pairs at stats2[r*2]. Accumulates (gy_j = g_j * gain_j,
+// xhat_j = (x_j - mean) * inv):
+//   dx[r,j]  += inv/d * (d*gy_j - sum(gy) - xhat_j * sum(gy*xhat))
+//   dgain[j] += sum_r g[r,j] * xhat[r,j]      (ascending r per column)
+//   dbias[j] += sum_r g[r,j]                  (ascending r per column)
+// dx rows are disjoint and shard over rows; dgain/dbias shard over columns.
+// Any of dx/dgain/dbias may be null.
+void layer_norm_backward_rows(const float* x, const float* gain, const float* g,
+                              const float* stats2, float* dx, float* dgain, float* dbias,
+                              std::size_t rows, std::size_t d,
+                              util::ThreadPool* pool = nullptr);
+// One row of the dx formula above (scalar reference).
+void layer_norm_backward_row_ref(const float* x, const float* gain, const float* g, float mean,
+                                 float inv, float* dx, std::size_t d);
+
+// dst[j] += sum_r src[r,j] (ascending r per column, column-parallel): the
+// bias-gradient reduction shared by add_bias and bias+GELU backward.
+void col_sum_rows(const float* src, float* dst, std::size_t rows, std::size_t d,
+                  util::ThreadPool* pool = nullptr);
+
+// Fused bias+GELU backward: recomputes u = x[r,j] + bias[j] (no stored
+// pre-activation), writes t = g[r,j] * gelu'(u) into scratch [rows, d] and
+// accumulates dx[r,j] += t (dx may be null). The caller reduces scratch with
+// col_sum_rows for dbias.
+void bias_gelu_backward_rows(const float* x, const float* bias, const float* g, float* dx,
+                             float* scratch, std::size_t rows, std::size_t d,
+                             util::ThreadPool* pool = nullptr);
+
+// ---- Optimizer kernels --------------------------------------------------------
+
+// carry + sum(x[i]^2) with double-precision ascending accumulation on the
+// scalar/sse2 tiers — chaining calls over parameter tensors reproduces the
+// historical clip_grad_norm loop bit-for-bit. avx2 uses four double lanes
+// with a fixed combine order (tolerance, still thread-count independent —
+// the function is single-threaded either way).
+double sqnorm(const float* x, std::size_t n, double carry = 0.0);
+
+// Fused Adam/AdamW update over one parameter segment; single pass, with the
+// global-norm clip factor folded into the gradient read:
+//   g' = g[j] * gscale
+//   m[j] = beta1*m[j] + (1-beta1)*g'
+//   v[j] = beta2*v[j] + (1-beta2)*g'*g'
+//   w[j] -= lr * ((m[j]/bc1) / (sqrt(v[j]/bc2) + eps) + weight_decay*w[j])
+// On scalar/sse2 this is bit-identical to scaling the gradient in place and
+// running the historical per-element Adam loop.
+void adam_update(float* w, const float* g, float* m, float* v, std::size_t n, float lr,
+                 float beta1, float beta2, float eps, float weight_decay, float bc1, float bc2,
+                 float gscale);
+void adam_update_ref(float* w, const float* g, float* m, float* v, std::size_t n, float lr,
+                     float beta1, float beta2, float eps, float weight_decay, float bc1,
+                     float bc2, float gscale);
+
 }  // namespace cpt::nn::kernels

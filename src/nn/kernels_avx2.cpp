@@ -10,6 +10,7 @@
 #include "simd_avx2_inl.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace cpt::nn::detail {
@@ -99,6 +100,132 @@ void add_bias_row_avx2(float* row, const float* bias, std::size_t d) {
     for (; i < d; ++i) row[i] += bias[i];
 }
 
+void softmax_backward_row_avx2(const float* y, const float* g, float* dx, std::size_t n) {
+    const float dot = dot_fma(y, g, n);
+    const __m256 vdot = _mm256_set1_ps(dot);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(g + i), vdot);
+        _mm256_storeu_ps(dx + i,
+                         _mm256_fmadd_ps(_mm256_loadu_ps(y + i), diff, _mm256_loadu_ps(dx + i)));
+    }
+    for (; i < n; ++i) dx[i] = std::fma(y[i], g[i] - dot, dx[i]);
+}
+
+void layer_norm_backward_row_avx2(const float* x, const float* gain, const float* g, float mean,
+                                  float inv, float* dx, std::size_t d) {
+    const __m256 vmean = _mm256_set1_ps(mean);
+    const __m256 vinv = _mm256_set1_ps(inv);
+    __m256 vsum_gy = _mm256_setzero_ps();
+    __m256 vsum_gyx = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+        const __m256 gy = _mm256_mul_ps(_mm256_loadu_ps(g + i), _mm256_loadu_ps(gain + i));
+        const __m256 xhat = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vmean), vinv);
+        vsum_gy = _mm256_add_ps(vsum_gy, gy);
+        vsum_gyx = _mm256_fmadd_ps(gy, xhat, vsum_gyx);
+    }
+    float sum_gy = hsum8(vsum_gy);
+    float sum_gyx = hsum8(vsum_gyx);
+    for (; i < d; ++i) {
+        const float gy = g[i] * gain[i];
+        const float xhat = (x[i] - mean) * inv;
+        sum_gy += gy;
+        sum_gyx = std::fma(gy, xhat, sum_gyx);
+    }
+    const float dn = static_cast<float>(d);
+    const float scl = inv / dn;
+    const __m256 vdn = _mm256_set1_ps(dn);
+    const __m256 vsgy = _mm256_set1_ps(sum_gy);
+    const __m256 vsgyx = _mm256_set1_ps(sum_gyx);
+    const __m256 vscl = _mm256_set1_ps(scl);
+    for (i = 0; i + 8 <= d; i += 8) {
+        const __m256 gy = _mm256_mul_ps(_mm256_loadu_ps(g + i), _mm256_loadu_ps(gain + i));
+        const __m256 xhat = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vmean), vinv);
+        // d*gy - sum_gy - xhat*sum_gy_xhat
+        const __m256 core =
+            _mm256_fnmadd_ps(xhat, vsgyx, _mm256_fmsub_ps(vdn, gy, vsgy));
+        _mm256_storeu_ps(dx + i, _mm256_fmadd_ps(vscl, core, _mm256_loadu_ps(dx + i)));
+    }
+    for (; i < d; ++i) {
+        const float gy = g[i] * gain[i];
+        const float xhat = (x[i] - mean) * inv;
+        const float core = std::fma(-xhat, sum_gyx, std::fma(dn, gy, -sum_gy));
+        dx[i] = std::fma(scl, core, dx[i]);
+    }
+}
+
+namespace {
+
+inline double hsum4d(__m256d v) {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    __m128d s = _mm_add_pd(lo, hi);
+    s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+    return _mm_cvtsd_f64(s);
+}
+
+}  // namespace
+
+double sqnorm_avx2(const float* x, std::size_t n) {
+    // Two 4-double accumulators fed by cvtps_pd halves of each 8-float block;
+    // combined with one fixed tree, so the result depends only on n. The
+    // float*float products are exact in double (24-bit mantissas), so fma
+    // vs mul+add is immaterial here.
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v = _mm256_loadu_ps(x + i);
+        const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+        const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+        acc0 = _mm256_fmadd_pd(lo, lo, acc0);
+        acc1 = _mm256_fmadd_pd(hi, hi, acc1);
+    }
+    double s = hsum4d(_mm256_add_pd(acc0, acc1));
+    for (; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
+    return s;
+}
+
+void adam_update_avx2(float* w, const float* g, float* m, float* v, std::size_t n, float lr,
+                      float beta1, float beta2, float eps, float weight_decay, float bc1,
+                      float bc2, float gscale) {
+    const __m256 vb1 = _mm256_set1_ps(beta1);
+    const __m256 vomb1 = _mm256_set1_ps(1.0f - beta1);
+    const __m256 vb2 = _mm256_set1_ps(beta2);
+    const __m256 vomb2 = _mm256_set1_ps(1.0f - beta2);
+    const __m256 vgs = _mm256_set1_ps(gscale);
+    const __m256 vbc1 = _mm256_set1_ps(bc1);
+    const __m256 vbc2 = _mm256_set1_ps(bc2);
+    const __m256 veps = _mm256_set1_ps(eps);
+    const __m256 vwd = _mm256_set1_ps(weight_decay);
+    const __m256 vlr = _mm256_set1_ps(lr);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 gp = _mm256_mul_ps(_mm256_loadu_ps(g + i), vgs);
+        const __m256 mv = _mm256_fmadd_ps(vb1, _mm256_loadu_ps(m + i), _mm256_mul_ps(vomb1, gp));
+        const __m256 vv = _mm256_fmadd_ps(vb2, _mm256_loadu_ps(v + i),
+                                          _mm256_mul_ps(vomb2, _mm256_mul_ps(gp, gp)));
+        _mm256_storeu_ps(m + i, mv);
+        _mm256_storeu_ps(v + i, vv);
+        const __m256 mhat = _mm256_div_ps(mv, vbc1);
+        const __m256 vhat = _mm256_div_ps(vv, vbc2);
+        const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+        const __m256 wv = _mm256_loadu_ps(w + i);
+        const __m256 upd = _mm256_fmadd_ps(vwd, wv, _mm256_div_ps(mhat, denom));
+        _mm256_storeu_ps(w + i, _mm256_fnmadd_ps(vlr, upd, wv));
+    }
+    for (; i < n; ++i) {
+        const float gp = g[i] * gscale;
+        m[i] = std::fma(beta1, m[i], (1.0f - beta1) * gp);
+        v[i] = std::fma(beta2, v[i], (1.0f - beta2) * gp * gp);
+        const float mhat = m[i] / bc1;
+        const float vhat = v[i] / bc2;
+        const float upd = std::fma(weight_decay, w[i], mhat / (std::sqrt(vhat) + eps));
+        w[i] = std::fma(-lr, upd, w[i]);
+    }
+}
+
 }  // namespace cpt::nn::detail
 
 #else  // !(__AVX2__ && __FMA__)
@@ -118,6 +245,16 @@ void layer_norm_row_avx2(const float*, float*, const float*, const float*, std::
     missing();
 }
 void add_bias_row_avx2(float*, const float*, std::size_t) { missing(); }
+void softmax_backward_row_avx2(const float*, const float*, float*, std::size_t) { missing(); }
+void layer_norm_backward_row_avx2(const float*, const float*, const float*, float, float, float*,
+                                  std::size_t) {
+    missing();
+}
+double sqnorm_avx2(const float*, std::size_t) { missing(); }
+void adam_update_avx2(float*, const float*, float*, float*, std::size_t, float, float, float,
+                      float, float, float, float, float) {
+    missing();
+}
 
 }  // namespace cpt::nn::detail
 

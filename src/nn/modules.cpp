@@ -39,13 +39,10 @@ Var Linear::forward(const Var& x) const {
     const auto& xs = x->value.shape();
     CPT_CHECK(!xs.empty() && xs.back() == in_, "Linear::forward: expected last dim ", in_,
               ", got ", shape_to_string(xs));
-    const std::size_t rows = x->value.numel() / in_;
-    Var flat = reshape(x, {rows, in_});
-    Var y = matmul(flat, transpose_last2(weight_));
-    y = add_bias(y, bias_);
-    Shape out_shape = xs;
-    out_shape.back() = out_;
-    return reshape(y, std::move(out_shape));
+    // matmul_nt consumes the [out, in] weight directly (one NT GEMM over the
+    // flattened rows), so the training path no longer materializes the
+    // transposed weight or the reshape nodes on either pass.
+    return add_bias(matmul_nt(x, weight_), bias_);
 }
 
 void Linear::forward_rows(const float* x, float* y, std::size_t rows,
@@ -78,7 +75,12 @@ void LayerNorm::collect(const std::string& prefix, std::vector<NamedParam>& out)
 Mlp::Mlp(std::size_t in, std::size_t hidden, std::size_t out, util::Rng& rng)
     : fc1_(in, hidden, rng), fc2_(hidden, out, rng) {}
 
-Var Mlp::forward(const Var& x) const { return fc2_.forward(gelu(fc1_.forward(x))); }
+Var Mlp::forward(const Var& x) const {
+    // Fused bias+GELU epilogue on fc1, mirroring forward_rows: same
+    // per-element math as matmul -> add_bias -> gelu with two fewer
+    // activation tensors on the tape.
+    return fc2_.forward(bias_gelu(matmul_nt(x, fc1_.weight()), fc1_.bias()));
+}
 
 void Mlp::forward_rows(const float* x, float* hidden, float* y, std::size_t rows,
                        util::ThreadPool* pool) const {

@@ -2,19 +2,31 @@
 
 #include <cmath>
 
+#include "kernels.hpp"
 #include "util/check.hpp"
 
 namespace cpt::nn {
 
-double clip_grad_norm(std::span<const Var> params, double max_norm) {
-    CPT_CHECK_GT(max_norm, 0.0, " clip_grad_norm: max_norm must be > 0");
+namespace {
+
+// Joint squared L2 norm across all parameter gradients: one running double
+// accumulation chained across tensors in parameter order (carry), identical
+// to the historical single serial loop.
+double grad_sqnorm(std::span<const Var> params) {
     double sq = 0.0;
     for (const auto& p : params) {
         CPT_CHECK(p != nullptr, "clip_grad_norm: null parameter");
         if (p->grad.numel() == 0) continue;
-        for (float g : p->grad.data()) sq += static_cast<double>(g) * g;
+        sq = kernels::sqnorm(p->grad.data().data(), p->grad.numel(), sq);
     }
-    const double norm = std::sqrt(sq);
+    return sq;
+}
+
+}  // namespace
+
+double clip_grad_norm(std::span<const Var> params, double max_norm) {
+    CPT_CHECK_GT(max_norm, 0.0, " clip_grad_norm: max_norm must be > 0");
+    const double norm = std::sqrt(grad_sqnorm(params));
     if (norm > max_norm && norm > 0.0) {
         const auto factor = static_cast<float>(max_norm / norm);
         for (const auto& p : params) {
@@ -63,7 +75,18 @@ Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2, float ep
     }
 }
 
-void Adam::step() {
+void Adam::step() { apply(1.0f); }
+
+double Adam::step_clipped(double max_norm) {
+    CPT_CHECK_GT(max_norm, 0.0, " Adam::step_clipped: max_norm must be > 0");
+    const double norm = std::sqrt(grad_sqnorm(params_));
+    const float gscale =
+        (norm > max_norm && norm > 0.0) ? static_cast<float>(max_norm / norm) : 1.0f;
+    apply(gscale);
+    return norm;
+}
+
+void Adam::apply(float gscale) {
     ++t_;
     const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
     const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -71,16 +94,9 @@ void Adam::step() {
         auto& p = params_[i];
         if (p->grad.numel() == 0) continue;
         auto w = p->value.data();
-        auto g = p->grad.data();
-        auto m = m_[i].data();
-        auto v = v_[i].data();
-        for (std::size_t j = 0; j < w.size(); ++j) {
-            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
-            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
-            const float mhat = m[j] / bc1;
-            const float vhat = v[j] / bc2;
-            w[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[j]);
-        }
+        kernels::adam_update(w.data(), p->grad.data().data(), m_[i].data().data(),
+                             v_[i].data().data(), w.size(), lr_, beta1_, beta2_, eps_,
+                             weight_decay_, bc1, bc2, gscale);
         CPT_DCHECK_FINITE(w, "Adam::step: updated parameter");
     }
 }

@@ -44,10 +44,22 @@ public:
          float eps = 1e-8f, float weight_decay = 0.0f);
     void step() override;
 
+    // Fused global-norm clip + update: computes the joint gradient L2 norm
+    // (one pass, no gradient mutation), folds the clip factor into the Adam
+    // update as a gradient scale, and applies it in a single pass per
+    // parameter via the tier-dispatched kernels. Equivalent to
+    // clip_grad_norm(params, max_norm) followed by step() — the fold is a
+    // bit-exact identity on the scalar/sse2 tiers — but touches each gradient
+    // element once instead of three times. Returns the pre-clip norm.
+    double step_clipped(double max_norm);
+
     void set_lr(float lr) { lr_ = lr; }
     float lr() const { return lr_; }
 
 private:
+    // One update pass with gradients scaled by `gscale` on the fly.
+    void apply(float gscale);
+
     float lr_;
     float beta1_;
     float beta2_;

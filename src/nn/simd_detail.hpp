@@ -45,4 +45,17 @@ void layer_norm_row_avx2(const float* in, float* out, const float* gain, const f
                          std::size_t d, float eps, float* stats2);
 void add_bias_row_avx2(float* row, const float* bias, std::size_t d);
 
+// Backward-pass helpers used by the training kernels in kernels.cpp.
+// One softmax backward row: dx += y * (g - dot(g, y)).
+void softmax_backward_row_avx2(const float* y, const float* g, float* dx, std::size_t n);
+// One LayerNorm backward row (the dx formula; see kernels.hpp).
+void layer_norm_backward_row_avx2(const float* x, const float* gain, const float* g, float mean,
+                                  float inv, float* dx, std::size_t d);
+// sum(x[i]^2) in double precision: four double lanes, fixed combine order.
+double sqnorm_avx2(const float* x, std::size_t n);
+// Fused Adam update over one segment (semantics in kernels.hpp).
+void adam_update_avx2(float* w, const float* g, float* m, float* v, std::size_t n, float lr,
+                      float beta1, float beta2, float eps, float weight_decay, float bc1,
+                      float bc2, float gscale);
+
 }  // namespace cpt::nn::detail

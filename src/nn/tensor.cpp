@@ -56,6 +56,17 @@ Tensor Tensor::from(std::vector<float> values, Shape shape) {
     return t;
 }
 
+Tensor Tensor::adopt(TensorStorage storage, Shape shape) {
+    const std::size_t n = shape_numel(shape);
+    CPT_CHECK(storage != nullptr && storage->size() == n, " Tensor::adopt: storage size ",
+              storage ? storage->size() : 0, " vs shape ", shape_to_string(shape));
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.numel_ = n;
+    t.storage_ = std::move(storage);
+    return t;
+}
+
 std::span<float> Tensor::data() {
     if (!storage_) return {};
     return {storage_->data(), numel_};

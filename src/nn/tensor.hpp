@@ -15,6 +15,10 @@
 namespace cpt::nn {
 
 using Shape = std::vector<std::size_t>;
+// The underlying storage block of a Tensor. Exposed so the autograd
+// TapeArena (autograd.hpp) can pool and re-issue buffers across training
+// steps without copying.
+using TensorStorage = std::shared_ptr<std::vector<float>>;
 
 std::string shape_to_string(const Shape& s);
 std::size_t shape_numel(const Shape& s);
@@ -36,6 +40,9 @@ public:
     // Takes ownership of `values`; values.size() must equal numel(shape).
     static Tensor from(std::vector<float> values, Shape shape);
     static Tensor scalar(float value) { return from({value}, {1}); }
+    // Wraps existing storage (size must equal numel(shape)) without copying;
+    // contents are taken as-is. The arena recycling entry point.
+    static Tensor adopt(TensorStorage storage, Shape shape);
 
     const Shape& shape() const { return shape_; }
     std::size_t rank() const { return shape_.size(); }
@@ -70,10 +77,14 @@ public:
 
     bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
+    // The shared storage handle (null for empty tensors); use_count on it is
+    // how the TapeArena decides a lent buffer has been released by the graph.
+    const TensorStorage& storage() const { return storage_; }
+
 private:
     Shape shape_;
     std::size_t numel_ = 0;
-    std::shared_ptr<std::vector<float>> storage_;
+    TensorStorage storage_;
 };
 
 }  // namespace cpt::nn

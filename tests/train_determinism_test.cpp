@@ -1,0 +1,174 @@
+// Bit-determinism of the training path: identical loss trajectories and
+// final weights across repeated runs and across thread counts, for both the
+// single-model Trainer and the parallel HubTrainer. This is the contract that
+// makes `CPT_THREADS` a pure performance knob for training.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hub_trainer.hpp"
+#include "core/model.hpp"
+#include "core/model_hub.hpp"
+#include "core/trainer.hpp"
+#include "trace/synthetic.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cpt::core {
+namespace {
+
+trace::Dataset phone_world(std::size_t n, std::uint64_t seed = 77) {
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {n, 0, 0};
+    cfg.seed = seed;
+    return trace::SyntheticWorldGenerator(cfg).generate();
+}
+
+CptGptConfig tiny_config() {
+    CptGptConfig cfg;
+    cfg.d_model = 24;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 48;
+    cfg.blocks = 1;
+    cfg.max_seq_len = 64;
+    cfg.head_hidden = 24;
+    return cfg;
+}
+
+TrainConfig tiny_train_config() {
+    TrainConfig cfg;
+    cfg.max_epochs = 3;
+    cfg.patience = 10;
+    cfg.window = 32;
+    cfg.batch_size = 8;
+    return cfg;
+}
+
+// Restores the single-thread pool on scope exit so later tests see the
+// default configuration.
+struct ThreadCountGuard {
+    ~ThreadCountGuard() { util::set_global_threads(1); }
+};
+
+std::vector<std::vector<float>> snapshot_weights(const CptGpt& model) {
+    std::vector<std::vector<float>> out;
+    for (const auto& np : model.named_parameters()) {
+        const auto d = np.param->value.data();
+        out.emplace_back(d.begin(), d.end());
+    }
+    return out;
+}
+
+// Trains a fresh tiny model on `data` and returns the loss trajectory plus a
+// snapshot of the final weights.
+std::pair<TrainResult, std::vector<std::vector<float>>> train_once(const trace::Dataset& data) {
+    const auto tok = Tokenizer::fit(data);
+    util::Rng rng(9);
+    CptGpt model(tok, tiny_config(), rng);
+    Trainer trainer(model, tok, tiny_train_config());
+    TrainResult r = trainer.train(data);
+    return {std::move(r), snapshot_weights(model)};
+}
+
+void expect_identical(const std::pair<TrainResult, std::vector<std::vector<float>>>& a,
+                      const std::pair<TrainResult, std::vector<std::vector<float>>>& b) {
+    ASSERT_EQ(a.first.train_loss.size(), b.first.train_loss.size());
+    for (std::size_t e = 0; e < a.first.train_loss.size(); ++e) {
+        EXPECT_EQ(a.first.train_loss[e], b.first.train_loss[e]) << "train epoch " << e;
+    }
+    ASSERT_EQ(a.first.val_loss.size(), b.first.val_loss.size());
+    for (std::size_t e = 0; e < a.first.val_loss.size(); ++e) {
+        EXPECT_EQ(a.first.val_loss[e], b.first.val_loss[e]) << "val epoch " << e;
+    }
+    EXPECT_EQ(a.first.steps, b.first.steps);
+    EXPECT_EQ(a.first.tokens, b.first.tokens);
+    ASSERT_EQ(a.second.size(), b.second.size());
+    for (std::size_t p = 0; p < a.second.size(); ++p) {
+        ASSERT_EQ(a.second[p].size(), b.second[p].size());
+        for (std::size_t j = 0; j < a.second[p].size(); ++j) {
+            ASSERT_EQ(a.second[p][j], b.second[p][j]) << "param " << p << " elem " << j;
+        }
+    }
+}
+
+TEST(TrainDeterminismTest, RepeatedRunsAreBitIdentical) {
+    const auto world = phone_world(40);
+    expect_identical(train_once(world), train_once(world));
+}
+
+TEST(TrainDeterminismTest, LossAndWeightsInvariantAcrossThreadCounts) {
+    ThreadCountGuard guard;
+    const auto world = phone_world(40);
+    util::set_global_threads(1);
+    const auto single = train_once(world);
+    util::set_global_threads(4);
+    const auto pooled = train_once(world);
+    expect_identical(single, pooled);
+}
+
+TEST(TrainDeterminismTest, HubFineTuneMatchesSerialPerSlice) {
+    ThreadCountGuard guard;
+    const auto pretrain_world = phone_world(40, 101);
+    const auto slice_a = phone_world(25, 102);
+    const auto slice_b = phone_world(25, 103);
+    const auto tok = Tokenizer::fit(pretrain_world);
+
+    HubTrainOptions options;
+    options.model = tiny_config();
+    options.train = tiny_train_config();
+    options.publish = false;  // determinism of training, not hub IO
+
+    util::Rng rng(11);
+    CptGpt pretrained(tok, options.model, rng);
+    Trainer(pretrained, tok, options.train).train(pretrain_world);
+
+    const std::vector<HubSlice> slices = {
+        {trace::DeviceType::kPhone, 8, &slice_a},
+        {trace::DeviceType::kPhone, 20, &slice_b},
+    };
+
+    ModelHub hub("unused_hub_dir");
+    HubTrainer hub_trainer(hub, options);
+    util::set_global_threads(1);
+    const auto serial = hub_trainer.fine_tune_all(pretrained, tok, slices);
+    util::set_global_threads(4);
+    const auto parallel = hub_trainer.fine_tune_all(pretrained, tok, slices);
+
+    ASSERT_EQ(serial.size(), slices.size());
+    ASSERT_EQ(parallel.size(), slices.size());
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        EXPECT_EQ(serial[i].device, parallel[i].device);
+        EXPECT_EQ(serial[i].hour_of_day, parallel[i].hour_of_day);
+        ASSERT_EQ(serial[i].result.train_loss.size(), parallel[i].result.train_loss.size());
+        for (std::size_t e = 0; e < serial[i].result.train_loss.size(); ++e) {
+            EXPECT_EQ(serial[i].result.train_loss[e], parallel[i].result.train_loss[e])
+                << "slice " << i << " epoch " << e;
+        }
+        EXPECT_EQ(serial[i].result.steps, parallel[i].result.steps);
+    }
+
+    // The hub's parallel fine-tune must reproduce what a plain serial
+    // Trainer::fine_tune produces for each slice, seeded the same way.
+    util::set_global_threads(1);
+    util::Rng root(options.train.seed);
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        util::Rng init = root.fork(i);
+        CptGpt model(tok, options.model, init);
+        copy_weights(pretrained, model);
+        TrainConfig cfg = options.train;
+        cfg.seed = options.train.seed + i * 0x9E3779B97F4A7C15ull;
+        Trainer trainer(model, tok, cfg);
+        const auto ref = trainer.fine_tune(*slices[i].data, options.ft_lr_scale,
+                                           options.ft_epoch_scale);
+        ASSERT_EQ(ref.train_loss.size(), serial[i].result.train_loss.size());
+        for (std::size_t e = 0; e < ref.train_loss.size(); ++e) {
+            EXPECT_EQ(ref.train_loss[e], serial[i].result.train_loss[e])
+                << "slice " << i << " epoch " << e;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace cpt::core

@@ -1,0 +1,154 @@
+// Trainer control-flow contract: up-front config validation, early stopping
+// on a plateaued validation loss, the cosine learning-rate floor, fine-tuning
+// resuming from pretrained weights, and the step/token accounting the
+// training benchmarks report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace cpt::core {
+namespace {
+
+trace::Dataset phone_world(std::size_t n, std::uint64_t seed = 33) {
+    trace::SyntheticWorldConfig cfg;
+    cfg.population = {n, 0, 0};
+    cfg.seed = seed;
+    return trace::SyntheticWorldGenerator(cfg).generate();
+}
+
+CptGptConfig tiny_config() {
+    CptGptConfig cfg;
+    cfg.d_model = 24;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 48;
+    cfg.blocks = 1;
+    cfg.max_seq_len = 64;
+    cfg.head_hidden = 24;
+    return cfg;
+}
+
+TEST(TrainerConfigTest, RejectsInvalidConfigUpFront) {
+    const auto world = phone_world(20);
+    const auto tok = Tokenizer::fit(world);
+    util::Rng rng(1);
+    CptGpt model(tok, tiny_config(), rng);
+
+    auto with = [](auto mutate) {
+        TrainConfig cfg;
+        mutate(cfg);
+        return cfg;
+    };
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.batch_size = 0; })),
+                 std::invalid_argument);
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.window = 1; })),
+                 std::invalid_argument);
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.val_fraction = 1.0; })),
+                 std::invalid_argument);
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.val_fraction = -0.1; })),
+                 std::invalid_argument);
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.lr = -1e-3f; })),
+                 std::invalid_argument);
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.max_epochs = 0; })),
+                 std::invalid_argument);
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.patience = 0; })),
+                 std::invalid_argument);
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.grad_clip = 0.0f; })),
+                 std::invalid_argument);
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.min_lr_fraction = 0.0f; })),
+                 std::invalid_argument);
+    EXPECT_THROW(Trainer(model, tok, with([](TrainConfig& c) { c.max_stream_len = 1; })),
+                 std::invalid_argument);
+    // The defaults are valid.
+    EXPECT_NO_THROW(Trainer(model, tok, TrainConfig{}));
+}
+
+TEST(TrainerControlFlowTest, EarlyStopsOnPlateauedValLoss) {
+    const auto world = phone_world(30);
+    const auto tok = Tokenizer::fit(world);
+    util::Rng rng(2);
+    CptGpt model(tok, tiny_config(), rng);
+    TrainConfig cfg;
+    cfg.max_epochs = 50;
+    cfg.patience = 2;
+    cfg.window = 32;
+    // A vanishing learning rate cannot move the val loss past the 1e-4
+    // improvement threshold, so the run must stop after the first epoch's
+    // best plus `patience` stale epochs.
+    cfg.lr = 1e-8f;
+    cfg.lr_decay = false;
+    Trainer trainer(model, tok, cfg);
+    const auto r = trainer.train(world);
+    EXPECT_EQ(r.epochs_run, cfg.patience + 1);
+    EXPECT_EQ(r.best_epoch, 0);
+}
+
+TEST(TrainerControlFlowTest, CosineScheduleHitsFloorAtFinalEpoch) {
+    TrainConfig cfg;
+    cfg.lr = 2e-3f;
+    cfg.max_epochs = 10;
+    cfg.min_lr_fraction = 0.25f;
+    EXPECT_FLOAT_EQ(Trainer::cosine_lr(cfg, 0), cfg.lr);
+    const float floor = cfg.lr * cfg.min_lr_fraction;
+    EXPECT_NEAR(Trainer::cosine_lr(cfg, cfg.max_epochs - 1), floor, 1e-6f * cfg.lr);
+    // Monotone non-increasing across the schedule.
+    for (int e = 1; e < cfg.max_epochs; ++e) {
+        EXPECT_LE(Trainer::cosine_lr(cfg, e), Trainer::cosine_lr(cfg, e - 1));
+    }
+    // Decay off -> constant lr.
+    cfg.lr_decay = false;
+    EXPECT_FLOAT_EQ(Trainer::cosine_lr(cfg, cfg.max_epochs - 1), cfg.lr);
+}
+
+TEST(TrainerControlFlowTest, FineTuneResumesFromPretrainedWeights) {
+    const auto pretrain_world = phone_world(50, 41);
+    const auto adapt_world = phone_world(40, 42);
+    const auto tok = Tokenizer::fit(pretrain_world);
+
+    TrainConfig cfg;
+    cfg.max_epochs = 4;
+    cfg.window = 32;
+
+    util::Rng rng_a(3);
+    CptGpt pretrained(tok, tiny_config(), rng_a);
+    Trainer(pretrained, tok, cfg).train(pretrain_world);
+
+    // Fine-tuning the pretrained model must start from a lower loss than
+    // training the same architecture from scratch on the adaptation data.
+    util::Rng rng_b(3);
+    CptGpt scratch(tok, tiny_config(), rng_b);
+    TrainConfig one_epoch = cfg;
+    one_epoch.max_epochs = 1;
+    one_epoch.lr_decay = false;
+    const auto scratch_first = Trainer(scratch, tok, one_epoch).train(adapt_world);
+
+    util::Rng rng_c(4);
+    CptGpt resumed(tok, tiny_config(), rng_c);
+    copy_weights(pretrained, resumed);
+    const auto ft = Trainer(resumed, tok, cfg).fine_tune(adapt_world);
+    ASSERT_FALSE(ft.train_loss.empty());
+    EXPECT_LT(ft.train_loss.front(), scratch_first.train_loss.front());
+}
+
+TEST(TrainerControlFlowTest, CountsStepsAndTokens) {
+    const auto world = phone_world(30);
+    const auto tok = Tokenizer::fit(world);
+    util::Rng rng(5);
+    CptGpt model(tok, tiny_config(), rng);
+    TrainConfig cfg;
+    cfg.max_epochs = 2;
+    cfg.window = 32;
+    cfg.lr_decay = false;
+    Trainer trainer(model, tok, cfg);
+    const auto r = trainer.train(world);
+    EXPECT_GT(r.steps, 0u);
+    EXPECT_GE(r.tokens, r.steps);  // every step covers at least one window
+    EXPECT_EQ(r.tokens % cfg.window, 0u);
+}
+
+}  // namespace
+}  // namespace cpt::core
