@@ -1,8 +1,11 @@
 // End-to-end generation throughput: Sampler::generate driven through the
 // KV-cached decoder and the SIMD kernel layer, reported as streams/sec and
-// tokens/sec per available SIMD tier (plus a raw decode-engine row that holds
-// the batch full for a fixed number of steps, isolating the kernel path from
-// stop-sampling variance). Emits BENCH_e2e_generate.json next to the binary.
+// tokens/sec per available SIMD tier and per decode precision — fp32 vs the
+// int8 weight-quantized path with fp16 KV storage (DESIGN.md §12). A raw
+// decode-engine row holds the batch full for a fixed number of steps,
+// isolating the kernel path from stop-sampling variance; the memory section
+// reports the resident bytes of decoder weights and KV cache in each mode.
+// Emits BENCH_e2e_generate.json next to the binary.
 //
 // The model is untrained — generation throughput depends on shapes, not on
 // weight values — so the bench needs no checkpoint and runs in seconds.
@@ -34,6 +37,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 struct E2eRow {
     const char* tier;
+    const char* precision;
     std::size_t streams = 0;
     std::size_t tokens = 0;
     double seconds = 0.0;
@@ -43,6 +47,7 @@ struct E2eRow {
 
 struct DecodeRow {
     const char* tier;
+    const char* precision;
     std::size_t batch = 0;
     std::size_t steps = 0;
     double seconds = 0.0;
@@ -53,6 +58,7 @@ struct DecodeRow {
 // accumulated over the same stream count as the e2e rows.
 struct StageRow {
     const char* tier;
+    const char* precision;
     cpt::core::Sampler::StageTimes times;
 };
 
@@ -73,85 +79,144 @@ int main() {
     cfg.blocks = 2;
     cfg.max_seq_len = 128;
     cfg.head_hidden = 128;
-    const core::CptGpt model(tok, cfg, init);
+    core::CptGpt model(tok, cfg, init);
+    model.quantize_weights();
 
     core::SamplerConfig scfg;
     scfg.batch = 32;
-    const core::Sampler sampler(model, tok, world.initial_event_distribution(), scfg);
+    const core::Sampler sampler_fp32(model, tok, world.initial_event_distribution(), scfg);
+    core::SamplerConfig qcfg = scfg;
+    qcfg.precision = nn::Precision::kInt8W8A32;
+    const core::Sampler sampler_int8(model, tok, world.initial_event_distribution(), qcfg);
 
     const std::size_t n_streams = 256;
     const std::size_t decode_batch = 32;
     const std::size_t decode_steps = 96;
     const std::size_t threads = util::configured_threads();
 
+    // Resident decode-path memory per mode: weight matrices (the tensors the
+    // decode GEMVs read) and the KV cache at `decode_batch` rows.
+    std::size_t weights_fp32_bytes = 0;
+    for (const auto& np : model.named_parameters("cptgpt.")) {
+        const auto& shape = np.param->value.shape();
+        if (shape.size() == 2 && np.name.size() > 7 &&
+            np.name.compare(np.name.size() - 7, 7, ".weight") == 0) {
+            weights_fp32_bytes += nn::shape_numel(shape) * sizeof(float);
+        }
+    }
+    const std::size_t weights_int8_bytes = model.quantized_weights().weight_bytes();
+    const std::size_t kv_fp32_bytes = model.make_decoder(decode_batch).kv_bytes();
+    const std::size_t kv_fp16_bytes =
+        model.make_decoder(decode_batch, nn::Precision::kInt8W8A32).kv_bytes();
+
+    struct Mode {
+        const char* name;
+        nn::Precision precision;
+        const core::Sampler* sampler;
+    };
+    const Mode modes[] = {
+        {"fp32", nn::Precision::kFp32, &sampler_fp32},
+        {"int8_w8a32", nn::Precision::kInt8W8A32, &sampler_int8},
+    };
+
     std::vector<E2eRow> e2e_rows;
     std::vector<StageRow> stage_rows;
     std::vector<DecodeRow> decode_rows;
     for (util::SimdTier tier : available_tiers()) {
         const util::SimdTier prev = util::set_simd_tier(tier);
+        for (const Mode& mode : modes) {
+            const core::Sampler& sampler = *mode.sampler;
 
-        // Full pipeline: bootstrap + decode + sampling + compaction.
-        {
-            util::Rng rng(42);
-            sampler.generate(8, rng);  // warm-up
-            util::Rng rng2(42);
-            const auto t0 = std::chrono::steady_clock::now();
-            const auto ds = sampler.generate(n_streams, rng2);
-            E2eRow row{util::simd_tier_name(tier)};
-            row.seconds = seconds_since(t0);
-            row.streams = ds.streams.size();
-            for (const auto& s : ds.streams) row.tokens += s.events.size();
-            row.streams_per_sec = static_cast<double>(row.streams) / row.seconds;
-            row.tokens_per_sec = static_cast<double>(row.tokens) / row.seconds;
-            e2e_rows.push_back(row);
-            std::printf("e2e_generate  tier %-6s  %zu streams (%zu tokens) in %.3f s  "
-                        "-> %8.1f streams/s  %9.1f tokens/s\n",
-                        row.tier, row.streams, row.tokens, row.seconds, row.streams_per_sec,
-                        row.tokens_per_sec);
-        }
-
-        // Stage attribution: the same workload as the e2e row, driven through
-        // generate_batch with a StageTimes accumulator so tier-to-tier
-        // differences can be pinned to a stage. The e2e workload's batches
-        // shrink as streams stop (mean stream length is ~3 tokens here), so
-        // its decode stage runs mostly tiny shapes — unlike the held-full
-        // decode_engine row below.
-        {
-            util::Rng root(42);
-            std::vector<util::Rng> rngs;
-            rngs.reserve(n_streams);
-            for (std::size_t i = 0; i < n_streams; ++i) rngs.push_back(root.fork(i));
-            StageRow row{util::simd_tier_name(tier), {}};
-            for (std::size_t b0 = 0; b0 < n_streams; b0 += scfg.batch) {
-                const std::size_t b1 = std::min(b0 + scfg.batch, n_streams);
-                sampler.generate_batch(std::span(rngs).subspan(b0, b1 - b0), "stage", b0,
-                                       &row.times);
+            // Full pipeline: bootstrap + decode + sampling + compaction.
+            {
+                util::Rng rng(42);
+                sampler.generate(8, rng);  // warm-up
+                util::Rng rng2(42);
+                const auto t0 = std::chrono::steady_clock::now();
+                const auto ds = sampler.generate(n_streams, rng2);
+                E2eRow row{util::simd_tier_name(tier), mode.name};
+                row.seconds = seconds_since(t0);
+                row.streams = ds.streams.size();
+                for (const auto& s : ds.streams) row.tokens += s.events.size();
+                row.streams_per_sec = static_cast<double>(row.streams) / row.seconds;
+                row.tokens_per_sec = static_cast<double>(row.tokens) / row.seconds;
+                e2e_rows.push_back(row);
+                std::printf("e2e_generate  tier %-6s %-10s  %zu streams (%zu tokens) in %.3f s  "
+                            "-> %8.1f streams/s  %9.1f tokens/s\n",
+                            row.tier, row.precision, row.streams, row.tokens, row.seconds,
+                            row.streams_per_sec, row.tokens_per_sec);
             }
-            stage_rows.push_back(row);
-            const auto& t = row.times;
-            std::printf("stage_times   tier %-6s  %zu steps: bootstrap %.4f s  decode %.4f s  "
-                        "sample %.4f s  compact %.4f s\n",
-                        row.tier, t.steps, t.bootstrap, t.decode, t.sample, t.compact);
-        }
 
-        // Decode engine only: full batch held for a fixed step count.
-        {
-            auto decoder = model.make_decoder(decode_batch);
-            auto scratch = model.make_decode_scratch(decode_batch);
-            nn::Tensor x = nn::Tensor::zeros({decode_batch, tok.d_token()});
-            const auto t0 = std::chrono::steady_clock::now();
-            for (std::size_t t = 0; t < decode_steps; ++t) model.decode_step(decoder, x, scratch);
-            DecodeRow row{util::simd_tier_name(tier), decode_batch, decode_steps};
-            row.seconds = seconds_since(t0);
-            row.tokens_per_sec =
-                static_cast<double>(decode_batch * decode_steps) / row.seconds;
-            decode_rows.push_back(row);
-            std::printf("decode_engine tier %-6s  batch %zu x %zu steps in %.3f s  "
-                        "-> %9.1f tokens/s\n",
-                        row.tier, row.batch, row.steps, row.seconds, row.tokens_per_sec);
+            // Stage attribution: the same workload as the e2e row, driven
+            // through generate_batch with a StageTimes accumulator so
+            // tier-to-tier and precision-to-precision differences can be
+            // pinned to a stage. The e2e workload's batches shrink as streams
+            // stop (mean stream length is ~3 tokens here), so its decode
+            // stage runs mostly tiny shapes — unlike the held-full
+            // decode_engine row below.
+            {
+                util::Rng root(42);
+                std::vector<util::Rng> rngs;
+                rngs.reserve(n_streams);
+                for (std::size_t i = 0; i < n_streams; ++i) rngs.push_back(root.fork(i));
+                StageRow row{util::simd_tier_name(tier), mode.name, {}};
+                for (std::size_t b0 = 0; b0 < n_streams; b0 += scfg.batch) {
+                    const std::size_t b1 = std::min(b0 + scfg.batch, n_streams);
+                    sampler.generate_batch(std::span(rngs).subspan(b0, b1 - b0), "stage", b0,
+                                           &row.times);
+                }
+                stage_rows.push_back(row);
+                const auto& t = row.times;
+                std::printf("stage_times   tier %-6s %-10s  %zu steps: bootstrap %.4f s  "
+                            "decode %.4f s  sample %.4f s  compact %.4f s\n",
+                            row.tier, row.precision, t.steps, t.bootstrap, t.decode, t.sample,
+                            t.compact);
+            }
+
+            // Decode engine only: full batch held for a fixed step count.
+            {
+                auto decoder = model.make_decoder(decode_batch, mode.precision);
+                auto scratch = model.make_decode_scratch(decode_batch, mode.precision);
+                nn::Tensor x = nn::Tensor::zeros({decode_batch, tok.d_token()});
+                const auto t0 = std::chrono::steady_clock::now();
+                for (std::size_t t = 0; t < decode_steps; ++t) {
+                    model.decode_step(decoder, x, scratch);
+                }
+                DecodeRow row{util::simd_tier_name(tier), mode.name, decode_batch, decode_steps};
+                row.seconds = seconds_since(t0);
+                row.tokens_per_sec =
+                    static_cast<double>(decode_batch * decode_steps) / row.seconds;
+                decode_rows.push_back(row);
+                std::printf("decode_engine tier %-6s %-10s  batch %zu x %zu steps in %.3f s  "
+                            "-> %9.1f tokens/s\n",
+                            row.tier, row.precision, row.batch, row.steps, row.seconds,
+                            row.tokens_per_sec);
+            }
         }
         util::set_simd_tier(prev);
     }
+
+    // int8 gain on the host's best tier (the last tier in available_tiers()).
+    // The e2e number is the served workload shape — batches shrink as streams
+    // stop, so decode runs mostly GEMV-shaped rows where int8 wins most; the
+    // engine number is the held-full batch-32 GEMM shape where fp32 AVX2 is
+    // already near peak and the gain is attention/overhead-diluted.
+    double e2e_speedup_int8 = 0.0;
+    double decode_engine_speedup_int8 = 0.0;
+    if (e2e_rows.size() >= 2 && decode_rows.size() >= 2) {
+        const auto& gen_fp32 = e2e_rows[e2e_rows.size() - 2];
+        const auto& gen_int8 = e2e_rows[e2e_rows.size() - 1];
+        e2e_speedup_int8 = gen_int8.tokens_per_sec / gen_fp32.tokens_per_sec;
+        const auto& eng_fp32 = decode_rows[decode_rows.size() - 2];
+        const auto& eng_int8 = decode_rows[decode_rows.size() - 1];
+        decode_engine_speedup_int8 = eng_int8.tokens_per_sec / eng_fp32.tokens_per_sec;
+        std::printf("int8 / fp32 speedup (tier %s): e2e tokens/s %.2fx, held-full engine %.2fx\n",
+                    gen_int8.tier, e2e_speedup_int8, decode_engine_speedup_int8);
+    }
+    std::printf("memory: weights fp32 %zu B -> int8 %zu B; kv fp32 %zu B -> fp16 %zu B "
+                "(batch %zu)\n",
+                weights_fp32_bytes, weights_int8_bytes, kv_fp32_bytes, kv_fp16_bytes,
+                decode_batch);
 
     const char* path = "BENCH_e2e_generate.json";
     std::FILE* f = std::fopen(path, "w");
@@ -162,35 +227,43 @@ int main() {
     std::fprintf(f,
                  "{\n  \"bench\": \"e2e_generate\",\n  \"threads_configured\": %zu,\n"
                  "  \"model\": {\"d_model\": %zu, \"mlp_hidden\": %zu, \"blocks\": %zu, "
-                 "\"max_seq_len\": %zu},\n  \"generate_rows\": [\n",
-                 threads, cfg.d_model, cfg.mlp_hidden, cfg.blocks, cfg.max_seq_len);
+                 "\"max_seq_len\": %zu},\n"
+                 "  \"memory\": {\"weights_fp32_bytes\": %zu, \"weights_int8_bytes\": %zu, "
+                 "\"kv_fp32_bytes\": %zu, \"kv_fp16_bytes\": %zu, \"kv_batch\": %zu},\n"
+                 "  \"generate_rows\": [\n",
+                 threads, cfg.d_model, cfg.mlp_hidden, cfg.blocks, cfg.max_seq_len,
+                 weights_fp32_bytes, weights_int8_bytes, kv_fp32_bytes, kv_fp16_bytes,
+                 decode_batch);
     for (std::size_t i = 0; i < e2e_rows.size(); ++i) {
         const auto& r = e2e_rows[i];
         std::fprintf(f,
-                     "    {\"tier\": \"%s\", \"streams\": %zu, \"tokens\": %zu, "
-                     "\"seconds\": %.4f, \"streams_per_sec\": %.1f, \"tokens_per_sec\": %.1f}%s\n",
-                     r.tier, r.streams, r.tokens, r.seconds, r.streams_per_sec, r.tokens_per_sec,
-                     i + 1 < e2e_rows.size() ? "," : "");
+                     "    {\"tier\": \"%s\", \"precision\": \"%s\", \"streams\": %zu, "
+                     "\"tokens\": %zu, \"seconds\": %.4f, \"streams_per_sec\": %.1f, "
+                     "\"tokens_per_sec\": %.1f}%s\n",
+                     r.tier, r.precision, r.streams, r.tokens, r.seconds, r.streams_per_sec,
+                     r.tokens_per_sec, i + 1 < e2e_rows.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"stage_rows\": [\n");
     for (std::size_t i = 0; i < stage_rows.size(); ++i) {
         const auto& r = stage_rows[i];
         std::fprintf(f,
-                     "    {\"tier\": \"%s\", \"steps\": %zu, \"bootstrap_sec\": %.4f, "
-                     "\"decode_sec\": %.4f, \"sample_sec\": %.4f, \"compact_sec\": %.4f}%s\n",
-                     r.tier, r.times.steps, r.times.bootstrap, r.times.decode, r.times.sample,
-                     r.times.compact, i + 1 < stage_rows.size() ? "," : "");
+                     "    {\"tier\": \"%s\", \"precision\": \"%s\", \"steps\": %zu, "
+                     "\"bootstrap_sec\": %.4f, \"decode_sec\": %.4f, \"sample_sec\": %.4f, "
+                     "\"compact_sec\": %.4f}%s\n",
+                     r.tier, r.precision, r.times.steps, r.times.bootstrap, r.times.decode,
+                     r.times.sample, r.times.compact, i + 1 < stage_rows.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"decode_rows\": [\n");
     for (std::size_t i = 0; i < decode_rows.size(); ++i) {
         const auto& r = decode_rows[i];
         std::fprintf(f,
-                     "    {\"tier\": \"%s\", \"batch\": %zu, \"steps\": %zu, "
-                     "\"seconds\": %.4f, \"tokens_per_sec\": %.1f}%s\n",
-                     r.tier, r.batch, r.steps, r.seconds, r.tokens_per_sec,
+                     "    {\"tier\": \"%s\", \"precision\": \"%s\", \"batch\": %zu, "
+                     "\"steps\": %zu, \"seconds\": %.4f, \"tokens_per_sec\": %.1f}%s\n",
+                     r.tier, r.precision, r.batch, r.steps, r.seconds, r.tokens_per_sec,
                      i + 1 < decode_rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n  \"e2e_speedup_int8\": %.3f,\n  \"decode_engine_speedup_int8\": %.3f\n}\n",
+                 e2e_speedup_int8, decode_engine_speedup_int8);
     std::fclose(f);
     std::printf("wrote %s\n", path);
     return 0;

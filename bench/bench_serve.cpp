@@ -233,14 +233,16 @@ int main() {
     const auto world = trace::SyntheticWorldGenerator(wcfg).generate();
     const auto tok = core::Tokenizer::fit(world);
 
+    // Flagship decode shape (matches bench_e2e_generate) so the schedule and
+    // precision comparisons run at the cost profile a serving engine pays.
     util::Rng init(11);
     core::CptGptConfig cfg;
-    cfg.d_model = 64;
+    cfg.d_model = 128;
     cfg.heads = 4;
-    cfg.mlp_hidden = 256;
+    cfg.mlp_hidden = 1024;
     cfg.blocks = 2;
     cfg.max_seq_len = 128;
-    cfg.head_hidden = 64;
+    cfg.head_hidden = 128;
     core::CptGpt model(tok, cfg, init);
 
     // Bias the stop head hard toward "continue" so every stream runs to its
@@ -253,10 +255,16 @@ int main() {
             bias[1] = -8.0f;  // stop
         }
     }
+    // Quantize after the bias edit so the int8 sampler sees the same stop
+    // behaviour (QuantMlp snapshots weights and biases at quantize time).
+    model.quantize_weights();
 
     core::SamplerConfig scfg;
     scfg.batch = kSlotCapacity;
     const core::Sampler sampler(model, tok, world.initial_event_distribution(), scfg);
+    core::SamplerConfig qcfg = scfg;
+    qcfg.precision = nn::Precision::kInt8W8A32;
+    const core::Sampler sampler_int8(model, tok, world.initial_event_distribution(), qcfg);
 
     std::printf("bench_serve: %zu streams (%zu short len=%zu, %zu long len=%zu), "
                 "slot capacity %zu, threads %zu\n",
@@ -271,12 +279,39 @@ int main() {
     const double speedup = cont.streams_per_sec / drain.streams_per_sec;
     const double speedup_vs_compacted = cont.streams_per_sec / compacted.streams_per_sec;
 
+    // Same continuous schedule through the int8 weight-quantized decode path
+    // with fp16 KV (DESIGN.md §12). The forced stop bias caps every stream's
+    // length exactly, so both precisions decode the same token count — only
+    // the kernel path differs.
+    run_continuous(sampler_int8);  // warm-up
+    const RunResult cont_int8 = run_continuous(sampler_int8);
+    const double int8_speedup = cont_int8.streams_per_sec / cont.streams_per_sec;
+    const std::size_t weights_int8_bytes = model.quantized_weights().weight_bytes();
+    const std::size_t kv_fp32_bytes = model.make_decoder(kSlotCapacity).kv_bytes();
+    const std::size_t kv_fp16_bytes =
+        model.make_decoder(kSlotCapacity, nn::Precision::kInt8W8A32).kv_bytes();
+    std::size_t weights_fp32_bytes = 0;
+    for (const auto& np : model.named_parameters("cptgpt.")) {
+        const auto& shape = np.param->value.shape();
+        if (shape.size() == 2 && np.name.size() > 7 &&
+            np.name.compare(np.name.size() - 7, 7, ".weight") == 0) {
+            weights_fp32_bytes += nn::shape_numel(shape) * sizeof(float);
+        }
+    }
+
     print_row("continuous", cont);
     print_row("drain_then_refill", drain);
     print_row("drain_compacted", compacted);
+    print_row("continuous_int8", cont_int8);
     std::printf("speedup (continuous / drain_then_refill): %.2fx\n", speedup);
     std::printf("speedup (continuous / drain_compacted):   %.2fx\n", speedup_vs_compacted);
+    std::printf("speedup (continuous int8 / fp32):         %.2fx\n", int8_speedup);
+    std::printf("memory: weights fp32 %zu B -> int8 %zu B; kv fp32 %zu B -> fp16 %zu B "
+                "(capacity %zu)\n",
+                weights_fp32_bytes, weights_int8_bytes, kv_fp32_bytes, kv_fp16_bytes,
+                kSlotCapacity);
     if (cont.streams != kStreams || drain.streams != kStreams || compacted.streams != kStreams ||
+        cont_int8.streams != kStreams || cont_int8.tokens != cont.tokens ||
         cont.tokens != drain.tokens || cont.tokens != compacted.tokens) {
         std::fprintf(stderr,
                      "bench_serve: schedules disagree on the workload "
@@ -302,9 +337,15 @@ int main() {
                  kLongLen, kSlotCapacity);
     json_row(f, "continuous", cont, false);
     json_row(f, "drain_then_refill", drain, false);
-    json_row(f, "drain_compacted", compacted, true);
-    std::fprintf(f, "  ],\n  \"speedup\": %.3f,\n  \"speedup_vs_compacted\": %.3f\n}\n", speedup,
-                 speedup_vs_compacted);
+    json_row(f, "drain_compacted", compacted, false);
+    json_row(f, "continuous_int8", cont_int8, true);
+    std::fprintf(f,
+                 "  ],\n  \"memory\": {\"weights_fp32_bytes\": %zu, \"weights_int8_bytes\": %zu, "
+                 "\"kv_fp32_bytes\": %zu, \"kv_fp16_bytes\": %zu, \"kv_capacity\": %zu},\n"
+                 "  \"speedup\": %.3f,\n  \"speedup_vs_compacted\": %.3f,\n"
+                 "  \"int8_speedup\": %.3f\n}\n",
+                 weights_fp32_bytes, weights_int8_bytes, kv_fp32_bytes, kv_fp16_bytes,
+                 kSlotCapacity, speedup, speedup_vs_compacted, int8_speedup);
     std::fclose(f);
     std::printf("wrote %s\n", path);
     return 0;

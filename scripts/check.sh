@@ -2,13 +2,14 @@
 # Correctness gate: warnings-as-errors build, clang-tidy (when installed), and
 # a sanitizer ctest matrix. Run from anywhere inside the repo:
 #
-#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan + simd + serve + train
+#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan + simd + quant + serve + train
 #   scripts/check.sh werror      # just the -Werror build + full test suite
 #   scripts/check.sh tidy        # just clang-tidy over the compile database
 #   scripts/check.sh ubsan       # UBSan build (recovery disabled) + full suite
 #   scripts/check.sh asan        # ASan build + full suite
 #   scripts/check.sh tsan        # TSan build + concurrency-labeled tests
 #   scripts/check.sh simd        # Release build; parity+determinism per forced SIMD tier
+#   scripts/check.sh quant       # quant-labeled tests (int8/fp16 decode) per forced SIMD tier
 #   scripts/check.sh serve       # serve-labeled tests + daemon smoke (loadtest, clean drain)
 #   scripts/check.sh train       # train-labeled tests, then rerun determinism with CPT_THREADS=2
 #
@@ -101,6 +102,23 @@ stage_simd() {
     done
 }
 
+stage_quant() {
+    echo "== stage: quant (int8/fp16 decode-path suite under each forced tier) =="
+    local dir="$ROOT/build-check-simd"
+    configure_and_build "$dir"
+    local tiers
+    tiers="$(host_simd_tiers)"
+    echo "host tiers: $tiers"
+    # The q8 kernels promise byte-identical logits on every tier (the int
+    # accumulation is exact and the float epilogue is tier-shared), so the
+    # whole quant label — parity bounds, fidelity drift, serialization —
+    # must pass with each tier forced.
+    for t in $tiers; do
+        echo "-- CPT_SIMD=$t: quant-labeled tests"
+        CPT_SIMD="$t" run_ctest "$dir" -L quant
+    done
+}
+
 stage_serve() {
     echo "== stage: serve (labeled tests + daemon smoke: loadtest, graceful drain) =="
     local dir="$ROOT/build-check-serve"
@@ -165,7 +183,7 @@ stage_train() {
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(werror tidy ubsan asan tsan simd serve train)
+    stages=(werror tidy ubsan asan tsan simd quant serve train)
 fi
 for s in "${stages[@]}"; do
     case "$s" in
@@ -175,10 +193,11 @@ for s in "${stages[@]}"; do
         asan) stage_asan ;;
         tsan) stage_tsan ;;
         simd) stage_simd ;;
+        quant) stage_quant ;;
         serve) stage_serve ;;
         train) stage_train ;;
         *)
-            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan simd serve train)" >&2
+            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan simd quant serve train)" >&2
             exit 2
             ;;
     esac

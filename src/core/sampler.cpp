@@ -27,6 +27,11 @@ Sampler::Sampler(const CptGpt& model, const Tokenizer& tokenizer,
     CPT_CHECK(config_.top_p > 0.0 && config_.top_p <= 1.0, "Sampler: top_p must be in (0, 1], got ",
               config_.top_p);
     if (config_.batch == 0) config_.batch = 1;
+    if (config_.precision == nn::Precision::kInt8W8A32) {
+        CPT_CHECK(model.has_quantized_weights(),
+                  "Sampler: precision int8_w8a32 requires CptGpt::quantize_weights() (or a "
+                  "quantized checkpoint) before constructing the sampler");
+    }
     config_.max_stream_len = std::min(config_.max_stream_len, model.config().max_seq_len);
     CPT_CHECK_GE(config_.max_stream_len, std::size_t{2},
                  " Sampler: max_stream_len must be >= 2 (after clamping to max_seq_len)");
@@ -172,8 +177,8 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
     // Everything on the per-step path — the input tensor, the decoder and
     // head scratch, and the sampling buffers — is allocated once up front,
     // so the steady-state loop is allocation-free outside of stream output.
-    nn::TransformerDecoder decoder = model_->make_decoder(batch);
-    CptGpt::DecodeScratch decode_scratch = model_->make_decode_scratch(batch);
+    nn::TransformerDecoder decoder = model_->make_decoder(batch, config_.precision);
+    CptGpt::DecodeScratch decode_scratch = model_->make_decode_scratch(batch, config_.precision);
     SampleScratch sample_scratch;
     nn::Tensor input_full({batch, d_token});
     nn::Tensor input = input_full;
@@ -247,8 +252,8 @@ struct Sampler::SlotBatch::Impl {
     explicit Impl(const Sampler& s, std::size_t cap)
         : sampler(&s),
           capacity(cap),
-          decoder(s.model_->make_decoder(cap)),
-          scratch(s.model_->make_decode_scratch(cap)),
+          decoder(s.model_->make_decoder(cap, s.config_.precision)),
+          scratch(s.model_->make_decode_scratch(cap, s.config_.precision)),
           input_full({cap, s.tokenizer_->d_token()}),
           input(input_full) {
         decoder.reset();  // start with every slot free
@@ -265,6 +270,7 @@ struct Sampler::SlotBatch::Impl {
     nn::Tensor input;
     std::vector<Slot> slots;  // index == decoder row
     std::vector<std::size_t> keep_rows;
+    StageTimes times;  // accumulated over every step(); see stage_times()
 };
 
 Sampler::SlotBatch::SlotBatch(const Sampler& sampler, std::size_t capacity)
@@ -343,35 +349,46 @@ std::size_t Sampler::SlotBatch::step(std::vector<Finished>& out) {
                       dst.begin() + static_cast<std::ptrdiff_t>(i * d_token));
         }
     }
-    const auto& pred = s.model_->decode_step(im.decoder, im.input, im.scratch);
+    const CptGpt::DecodeOutput* pred = nullptr;
+    {
+        StageTimer timer(&im.times.decode);
+        pred = &s.model_->decode_step(im.decoder, im.input, im.scratch);
+    }
+    ++im.times.steps;
 
     im.keep_rows.clear();
     std::size_t finished = 0;
     std::size_t live = 0;
-    for (std::size_t i = 0; i < b; ++i) {
-        Impl::Slot& slot = im.slots[i];
-        const RowSample rs = sample_row(pred, i, num_events, dist_head, *s.tokenizer_,
-                                        slot.temperature, slot.top_p, slot.rng,
-                                        im.sample_scratch);
-        slot.t += rs.interarrival;
-        slot.stream.events.push_back({slot.t, rs.event});
-        if (rs.stop || slot.stream.events.size() >= slot.max_len) {
-            out.push_back({std::move(slot.stream), slot.ticket, false});
-            ++finished;
-            continue;
+    {
+        StageTimer timer(&im.times.sample);
+        for (std::size_t i = 0; i < b; ++i) {
+            Impl::Slot& slot = im.slots[i];
+            const RowSample rs = sample_row(*pred, i, num_events, dist_head, *s.tokenizer_,
+                                            slot.temperature, slot.top_p, slot.rng,
+                                            im.sample_scratch);
+            slot.t += rs.interarrival;
+            slot.stream.events.push_back({slot.t, rs.event});
+            if (rs.stop || slot.stream.events.size() >= slot.max_len) {
+                out.push_back({std::move(slot.stream), slot.ticket, false});
+                ++finished;
+                continue;
+            }
+            s.tokenizer_->encode_token(rs.event, rs.interarrival, false,
+                                       std::span<float>(slot.next_token.data(), d_token));
+            im.keep_rows.push_back(i);
+            if (live != i) im.slots[live] = std::move(slot);
+            ++live;
         }
-        s.tokenizer_->encode_token(rs.event, rs.interarrival, false,
-                                   std::span<float>(slot.next_token.data(), d_token));
-        im.keep_rows.push_back(i);
-        if (live != i) im.slots[live] = std::move(slot);
-        ++live;
     }
     if (live != b) {
+        StageTimer timer(&im.times.compact);
         im.decoder.compact(im.keep_rows);
         im.slots.resize(live);
     }
     return finished;
 }
+
+const Sampler::StageTimes& Sampler::SlotBatch::stage_times() const { return impl_->times; }
 
 std::size_t Sampler::SlotBatch::evict(const std::function<bool(std::uint64_t)>& pred,
                                       std::vector<Finished>& out) {

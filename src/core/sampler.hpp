@@ -51,6 +51,11 @@ struct SamplerConfig {
     std::size_t batch = 32;            // streams generated per batched forward
     trace::DeviceType device = trace::DeviceType::kPhone;  // label for streams
     int hour_of_day = 0;
+    // Decode numeric mode (DESIGN.md §12). kInt8W8A32 runs the decoder and
+    // heads through the int8 weight path with an fp16 KV cache — the model
+    // must have quantized weights (quantize_weights() or a quantized
+    // checkpoint) before the Sampler is built.
+    nn::Precision precision = nn::Precision::kFp32;
 };
 
 class Sampler {
@@ -161,6 +166,13 @@ public:
         // streams are appended to `out` with evicted = true.
         std::size_t evict(const std::function<bool(std::uint64_t)>& pred,
                           std::vector<Finished>& out);
+
+        // Wall-clock attribution accumulated over every step() since
+        // construction: `decode` is the KV-cached transformer + head forward,
+        // `sample` the per-row draws, `compact` the cache compaction, and
+        // `steps` the step() calls that ran a decode. The serve layer folds
+        // decode / steps into per-slice stats (decode_ms_per_step).
+        const StageTimes& stage_times() const;
 
     private:
         struct Impl;

@@ -1,0 +1,83 @@
+// IEEE binary16 (fp16) conversion helpers for the half-precision KV cache.
+//
+// Both directions are pure bit manipulation with round-to-nearest-even, so
+// the stored half bits are a function of the input value alone — identical on
+// every SIMD tier, every thread count, and every host. The AVX2 kernel tier
+// may use F16C instructions instead (kernels_avx2.cpp); hardware
+// VCVTPS2PH/VCVTPH2PS implement exactly this rounding, so the two paths are
+// bit-interchangeable and the choice is purely a speed matter.
+//
+// Widening fp16 -> fp32 is exact (every half value is representable as a
+// float); narrowing fp32 -> fp16 rounds to nearest, ties to even, which gives
+// a relative error bound of 2^-11 for normal values (the error-bound argument
+// in DESIGN.md §12 builds on this).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace cpt::nn {
+
+// fp32 -> fp16 with round-to-nearest-even (matches VCVTPS2PH round-nearest).
+inline std::uint16_t fp16_encode_one(float f) {
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+    const auto sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000u);
+    const std::uint32_t abs = bits & 0x7fffffffu;
+    if (abs >= 0x47800000u) {  // >= 2^16 after rounding, or inf/NaN
+        if (abs > 0x7f800000u) {
+            // NaN: keep the top payload bits and force the quiet bit.
+            return static_cast<std::uint16_t>(sign | 0x7c00u | ((abs & 0x7fffffu) >> 13) |
+                                              0x200u);
+        }
+        return static_cast<std::uint16_t>(sign | 0x7c00u);  // +-inf / overflow
+    }
+    if (abs < 0x38800000u) {  // < 2^-14: half subnormal (or zero)
+        if (abs < 0x33000000u) return sign;  // < 2^-25 rounds to +-0 (tie at 2^-25 -> even)
+        // value = m * 2^(e-150) with the implicit bit restored; the half
+        // subnormal unit is 2^-24, so shift down by (126 - e) with RNE.
+        const std::uint32_t exp = abs >> 23;
+        const std::uint32_t mant = (abs & 0x7fffffu) | 0x800000u;
+        const std::uint32_t shift = 126u - exp;  // in [14, 24]
+        std::uint32_t q = mant >> shift;
+        const std::uint32_t rem = mant & ((1u << shift) - 1u);
+        const std::uint32_t half = 1u << (shift - 1u);
+        if (rem > half || (rem == half && (q & 1u))) ++q;
+        return static_cast<std::uint16_t>(sign | q);  // a carry lands in the exponent correctly
+    }
+    // Normal range: rebias the exponent, round the mantissa down to 10 bits.
+    const std::uint32_t exp = (abs >> 23) - 112u;  // 127 - 15
+    const std::uint32_t mant = abs & 0x7fffffu;
+    std::uint32_t half = (exp << 10) | (mant >> 13);
+    const std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // carry may round up to inf
+    return static_cast<std::uint16_t>(sign | half);
+}
+
+// fp16 -> fp32, exact (matches VCVTPH2PS).
+inline float fp16_decode_one(std::uint16_t h) {
+    const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1fu;
+    const std::uint32_t mant = h & 0x3ffu;
+    std::uint32_t bits;
+    if (exp == 0) {
+        if (mant == 0) {
+            bits = sign;  // +-0
+        } else {
+            // Subnormal half: normalize into a float with the implicit bit.
+            std::uint32_t m = mant;
+            std::uint32_t e = 113;  // 127 - 14
+            while ((m & 0x400u) == 0) {
+                m <<= 1;
+                --e;
+            }
+            bits = sign | (e << 23) | ((m & 0x3ffu) << 13);
+        }
+    } else if (exp == 31) {
+        bits = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+    } else {
+        bits = sign | ((exp + 112u) << 23) | (mant << 13);
+    }
+    return std::bit_cast<float>(bits);
+}
+
+}  // namespace cpt::nn

@@ -11,9 +11,20 @@
 namespace cpt::nn {
 
 TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t batch)
-    : model_(&model), capacity_(batch), batch_(batch) {
+    : TransformerDecoder(model, batch, DecodeOptions{}) {}
+
+TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t batch,
+                                       const DecodeOptions& opts)
+    : model_(&model), quant_(opts.quant), kv_fp16_(opts.kv_fp16), capacity_(batch),
+      batch_(batch) {
     const auto& cfg = model.config();
     CPT_CHECK_GT(batch, std::size_t{0}, " TransformerDecoder: batch must be > 0");
+    if (quant_ != nullptr) {
+        CPT_CHECK_EQ(quant_->blocks.size(), cfg.blocks,
+                     " TransformerDecoder: quantized weights do not match the model");
+        CPT_CHECK_EQ(quant_->input_proj.in, cfg.d_token,
+                     " TransformerDecoder: quantized weights do not match the model");
+    }
     caches_.resize(cfg.blocks);
     start_.assign(batch, 0);
     phys_.resize(batch);
@@ -21,8 +32,13 @@ TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t bat
     free_.reserve(batch);
     const std::size_t dh = cfg.d_model / cfg.heads;
     for (auto& c : caches_) {
-        c.k = Tensor({batch, cfg.heads, cfg.max_seq_len, dh});
-        c.v = Tensor({batch, cfg.heads, cfg.max_seq_len, dh});
+        if (kv_fp16_) {
+            c.kh.assign(batch * cfg.heads * cfg.max_seq_len * dh, 0);
+            c.vh.assign(batch * cfg.heads * cfg.max_seq_len * dh, 0);
+        } else {
+            c.k = Tensor({batch, cfg.heads, cfg.max_seq_len, dh});
+            c.v = Tensor({batch, cfg.heads, cfg.max_seq_len, dh});
+        }
     }
     std::size_t mlp_hidden = 0;
     for (const auto& block : model.blocks()) {
@@ -68,7 +84,11 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
     // the row-local position (t - row_start), so a row admitted mid-decode
     // sees exactly the embeddings a fresh decode would; when every row
     // started at 0 the uniform fast path adds one shared bias row.
-    model_->input_proj().forward_rows(x.data().data(), ph, batch_, &pool);
+    if (quant_ != nullptr) {
+        quant_->input_proj.forward_rows(x.data().data(), ph, batch_, qscratch_, &pool);
+    } else {
+        model_->input_proj().forward_rows(x.data().data(), ph, batch_, &pool);
+    }
     const float* pos = model_->positions()->value.data().data();
     if (uniform_start_) {
         kernels::add_bias_rows(ph, pos + t * d, batch_, d, &pool);
@@ -82,41 +102,53 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
 
     for (std::size_t bi = 0; bi < caches_.size(); ++bi) {
         const auto& block = *model_->blocks()[bi];
+        const TransformerQuant::Block* qb = quant_ != nullptr ? &quant_->blocks[bi] : nullptr;
         BlockCache& cache = caches_[bi];
+        // Projection dispatcher: int8 weights when quantized, fp32 otherwise.
+        const auto proj = [&](const Linear& fp, const QuantLinear* q, const float* in,
+                              float* out) {
+            if (q != nullptr) {
+                q->forward_rows(in, out, batch_, qscratch_, &pool);
+            } else {
+                fp.forward_rows(in, out, batch_, &pool);
+            }
+        };
+        // Scatter the fresh K or V rows into the cache at position t,
+        // converting to fp16 when the cache is half-precision (encoding is
+        // round-to-nearest-even — the same bits on every tier).
+        const auto append_kv = [&](const float* src_rows, float* dst32, std::uint16_t* dst16) {
+            pool.parallel_for(batch_ * h, util::grain_for(dh),
+                              [&](std::size_t i0, std::size_t i1) {
+                                  for (std::size_t i = i0; i < i1; ++i) {
+                                      const std::size_t r = i / h;
+                                      const std::size_t head = i % h;
+                                      const std::size_t off =
+                                          ((phys_[r] * h + head) * max_t + t) * dh;
+                                      const float* src = src_rows + r * d + head * dh;
+                                      if (dst16 != nullptr) {
+                                          kernels::fp16_encode(src, dst16 + off, dh);
+                                      } else {
+                                          std::copy_n(src, dh, dst32 + off);
+                                      }
+                                  }
+                              });
+        };
 
         // ---- attention branch: ln1 -> qkv -> cached causal attention -> wo
         kernels::layer_norm_rows(ph, pscratch, block.ln1().gain()->value.data().data(),
                                  block.ln1().bias()->value.data().data(), batch_, d, 1e-5f,
                                  nullptr, &pool);
-        block.attn().wq().forward_rows(pscratch, q_.data().data(), batch_, &pool);
+        proj(block.attn().wq(), qb != nullptr ? &qb->wq : nullptr, pscratch, q_.data().data());
         // New K/V rows go straight into the cache at position t.
         {
-            block.attn().wk().forward_rows(pscratch, kv_.data().data(), batch_, &pool);
-            const float* pk = kv_.data().data();
-            float* ck = cache.k.data().data();
-            pool.parallel_for(batch_ * h, util::grain_for(dh),
-                              [&](std::size_t i0, std::size_t i1) {
-                                  for (std::size_t i = i0; i < i1; ++i) {
-                                      const std::size_t r = i / h;
-                                      const std::size_t head = i % h;
-                                      float* dst = ck + ((phys_[r] * h + head) * max_t + t) * dh;
-                                      const float* src = pk + r * d + head * dh;
-                                      std::copy_n(src, dh, dst);
-                                  }
-                              });
-            block.attn().wv().forward_rows(pscratch, kv_.data().data(), batch_, &pool);
-            const float* pv = kv_.data().data();
-            float* cv = cache.v.data().data();
-            pool.parallel_for(batch_ * h, util::grain_for(dh),
-                              [&](std::size_t i0, std::size_t i1) {
-                                  for (std::size_t i = i0; i < i1; ++i) {
-                                      const std::size_t r = i / h;
-                                      const std::size_t head = i % h;
-                                      float* dst = cv + ((phys_[r] * h + head) * max_t + t) * dh;
-                                      const float* src = pv + r * d + head * dh;
-                                      std::copy_n(src, dh, dst);
-                                  }
-                              });
+            proj(block.attn().wk(), qb != nullptr ? &qb->wk : nullptr, pscratch,
+                 kv_.data().data());
+            append_kv(kv_.data().data(), kv_fp16_ ? nullptr : cache.k.data().data(),
+                      kv_fp16_ ? cache.kh.data() : nullptr);
+            proj(block.attn().wv(), qb != nullptr ? &qb->wv : nullptr, pscratch,
+                 kv_.data().data());
+            append_kv(kv_.data().data(), kv_fp16_ ? nullptr : cache.v.data().data(),
+                      kv_fp16_ ? cache.vh.data() : nullptr);
         }
         // Per-row, per-head attention over the row's own window [start, t].
         // Rows constructed together have start 0 (the full causal prefix);
@@ -129,8 +161,10 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
         {
             const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
             const float* pq = q_.data().data();
-            const float* ck = cache.k.data().data();
-            const float* cv = cache.v.data().data();
+            const float* ck = kv_fp16_ ? nullptr : cache.k.data().data();
+            const float* cv = kv_fp16_ ? nullptr : cache.v.data().data();
+            const std::uint16_t* ckh = kv_fp16_ ? cache.kh.data() : nullptr;
+            const std::uint16_t* cvh = kv_fp16_ ? cache.vh.data() : nullptr;
             float* ctx = pscratch;  // reuse as context output
             const std::size_t grain = util::grain_for(4 * (t + 1) * dh);
             const std::size_t chunks = pool.num_chunks(batch_ * h, grain);
@@ -144,22 +178,38 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
                         const std::size_t head = i % h;
                         const std::size_t n = t - start_[r] + 1;  // window length
                         const std::size_t cache_row = (phys_[r] * h + head) * max_t;
+                        const std::size_t win = (cache_row + start_[r]) * dh;
                         const float* qrow = pq + r * d + head * dh;
-                        const float* krows = ck + (cache_row + start_[r]) * dh;
-                        const float* vrows = cv + (cache_row + start_[r]) * dh;
-                        for (std::size_t p = 0; p < n; ++p) {
-                            scores[p] = kernels::dot(qrow, krows + p * dh, dh) * scale;
+                        if (kv_fp16_) {
+                            const std::uint16_t* krows = ckh + win;
+                            for (std::size_t p = 0; p < n; ++p) {
+                                scores[p] = kernels::dot_f16(qrow, krows + p * dh, dh) * scale;
+                            }
+                        } else {
+                            const float* krows = ck + win;
+                            for (std::size_t p = 0; p < n; ++p) {
+                                scores[p] = kernels::dot(qrow, krows + p * dh, dh) * scale;
+                            }
                         }
                         kernels::softmax_row(scores, scores, n, n);
                         float* crow = ctx + r * d + head * dh;
                         std::fill_n(crow, dh, 0.0f);
-                        for (std::size_t p = 0; p < n; ++p) {
-                            kernels::axpy(scores[p], vrows + p * dh, crow, dh);
+                        if (kv_fp16_) {
+                            const std::uint16_t* vrows = cvh + win;
+                            for (std::size_t p = 0; p < n; ++p) {
+                                kernels::axpy_f16(scores[p], vrows + p * dh, crow, dh);
+                            }
+                        } else {
+                            const float* vrows = cv + win;
+                            for (std::size_t p = 0; p < n; ++p) {
+                                kernels::axpy(scores[p], vrows + p * dh, crow, dh);
+                            }
                         }
                     }
                 });
         }
-        block.attn().wo().forward_rows(pscratch, attn_out_.data().data(), batch_, &pool);
+        proj(block.attn().wo(), qb != nullptr ? &qb->wo : nullptr, pscratch,
+             attn_out_.data().data());
         hstate_.add_(attn_out_);
 
         // ---- MLP branch: ln2 -> fc1 -> fused bias+gelu -> fc2
@@ -167,8 +217,13 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
                                  block.ln2().bias()->value.data().data(), batch_, d, 1e-5f,
                                  nullptr, &pool);
         // attn_out_ doubles as the MLP output buffer.
-        block.mlp().forward_rows(pscratch, mlp_hidden_.data().data(), attn_out_.data().data(),
-                                 batch_, &pool);
+        if (qb != nullptr) {
+            qb->mlp.forward_rows(pscratch, mlp_hidden_.data().data(), attn_out_.data().data(),
+                                 batch_, qscratch_, &pool);
+        } else {
+            block.mlp().forward_rows(pscratch, mlp_hidden_.data().data(), attn_out_.data().data(),
+                                     batch_, &pool);
+        }
         hstate_.add_(attn_out_);
     }
 
@@ -177,6 +232,15 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
                              nullptr, &pool);
     ++len_;
     return hstate_;
+}
+
+std::size_t TransformerDecoder::kv_bytes() const {
+    std::size_t total = 0;
+    for (const auto& c : caches_) {
+        total += c.k.numel() * sizeof(float) + c.v.numel() * sizeof(float);
+        total += (c.kh.size() + c.vh.size()) * sizeof(std::uint16_t);
+    }
+    return total;
 }
 
 void TransformerDecoder::compact(const std::vector<std::size_t>& keep_rows) {

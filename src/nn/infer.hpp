@@ -23,11 +23,24 @@
 // (pinned by tests/serve_test.cpp).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "modules.hpp"
+#include "quant.hpp"
 
 namespace cpt::nn {
+
+// Numeric options for a decoder instance (DESIGN.md §12). `quant` swaps every
+// projection matmul (input proj, q/k/v/o, MLP) for the int8 weight-quantized
+// path; `kv_fp16` stores the KV cache as IEEE binary16 (encode on append,
+// widen to fp32 inside the attention dot/axpy kernels), halving KV bandwidth
+// and memory. The two are independent knobs at this layer; the public
+// Precision::kInt8W8A32 mode enables both.
+struct DecodeOptions {
+    const TransformerQuant* quant = nullptr;  // borrowed; must outlive the decoder
+    bool kv_fp16 = false;
+};
 
 class TransformerDecoder {
 public:
@@ -35,6 +48,7 @@ public:
     // and KV cache are sized for `batch` (the capacity); compact() can only
     // shrink below it.
     TransformerDecoder(const Transformer& model, std::size_t batch);
+    TransformerDecoder(const Transformer& model, std::size_t batch, const DecodeOptions& opts);
 
     // Feeds one token per row (x: [B, d_token]) and returns the final-layer
     // hidden state for that position ([B, d_model]). The returned tensor is
@@ -47,6 +61,14 @@ public:
     std::size_t length() const { return len_; }
     std::size_t batch() const { return batch_; }
     std::size_t capacity() const { return capacity_; }
+
+    // True when projections run through the int8 weight path.
+    bool quantized() const { return quant_ != nullptr; }
+    // True when the KV cache stores binary16 instead of fp32.
+    bool kv_fp16() const { return kv_fp16_; }
+    // Bytes held by the KV cache (all blocks, full capacity) — halved in
+    // fp16 mode; reported by the benches alongside weight bytes.
+    std::size_t kv_bytes() const;
 
     // Position at which row r was admitted; 0 for construction-time rows.
     std::size_t row_start(std::size_t r) const { return start_[r]; }
@@ -74,15 +96,24 @@ public:
 private:
     struct BlockCache {
         // K/V laid out [capacity, H, maxT, Dh] (row-major, preallocated);
-        // only the first batch_ rows are live.
+        // only the first batch_ rows are live. fp32 mode fills k/v and leaves
+        // kh/vh empty; fp16 mode allocates only the half-width kh/vh.
         Tensor k;
         Tensor v;
+        std::vector<std::uint16_t> kh;
+        std::vector<std::uint16_t> vh;
     };
 
     // Re-points the batch-sized arena views at the first batch_ rows.
     void rebind_views();
 
     const Transformer* model_;
+    // Numeric mode (fixed at construction). quant_ borrows the caller's
+    // quantized weights; qscratch_ holds the per-step activation codes so the
+    // quantized hot loop stays allocation-free after warm-up.
+    const TransformerQuant* quant_ = nullptr;
+    bool kv_fp16_ = false;
+    QuantScratch qscratch_;
     std::size_t capacity_ = 0;
     std::size_t batch_ = 0;
     std::size_t len_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fp16.hpp"
 #include "simd_detail.hpp"
 #include "util/cpu.hpp"
 #include "util/thread_pool.hpp"
@@ -35,6 +36,31 @@ void axpy(float alpha, const float* x, float* y, std::size_t n) {
         return;
     }
     for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void fp16_encode(const float* src, std::uint16_t* dst, std::size_t n) {
+    if (util::active_simd_tier() == SimdTier::kAvx2) {
+        detail::fp16_encode_avx2(src, dst, n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) dst[i] = fp16_encode_one(src[i]);
+}
+
+float dot_f16(const float* a, const std::uint16_t* b, std::size_t n) {
+    if (util::active_simd_tier() == SimdTier::kAvx2) return detail::dot_f16_avx2(a, b, n);
+    // Ascending serial accumulation with an exact widen per element, mirroring
+    // the fp32 dot's scalar/sse2 contract.
+    float s = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) s += a[i] * fp16_decode_one(b[i]);
+    return s;
+}
+
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n) {
+    if (util::active_simd_tier() == SimdTier::kAvx2) {
+        detail::axpy_f16_avx2(alpha, x, y, n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * fp16_decode_one(x[i]);
 }
 
 void softmax_row(const float* in, float* out, std::size_t len, std::size_t valid) {

@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 namespace cpt::util {
 class ThreadPool;
@@ -40,6 +41,16 @@ inline float gelu_grad_scalar(float x) {
 // dot/axpy along contiguous spans, tier-dispatched (decoder attention).
 float dot(const float* a, const float* b, std::size_t n);
 void axpy(float alpha, const float* x, float* y, std::size_t n);
+
+// fp16-storage KV-cache kernels (infer.cpp). Encoding rounds fp32 to
+// nearest-even binary16 — the SAME bits on every tier (software converter on
+// scalar/sse2, VCVTPS2PH or the identical software fallback on avx2), so the
+// cache contents never depend on the tier. dot_f16/axpy_f16 widen the halves
+// exactly and then follow the fp32 dot/axpy tier conventions: ascending
+// scalar on scalar/sse2 (bit-identical to each other), FMA forms on avx2.
+void fp16_encode(const float* src, std::uint16_t* dst, std::size_t n);
+float dot_f16(const float* a, const std::uint16_t* b, std::size_t n);
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n);
 
 // Stable softmax over the first `valid` of `len` entries; entries past
 // `valid` are zeroed. The exp/sum stage is scalar on every tier (the sum is

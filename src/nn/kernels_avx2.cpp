@@ -11,7 +11,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+
+#include "fp16.hpp"
 
 namespace cpt::nn::detail {
 
@@ -98,6 +101,77 @@ void add_bias_row_avx2(float* row, const float* bias, std::size_t d) {
         _mm256_storeu_ps(row + i, _mm256_add_ps(_mm256_loadu_ps(row + i), _mm256_loadu_ps(bias + i)));
     }
     for (; i < d; ++i) row[i] += bias[i];
+}
+
+// ---- fp16 KV-cache kernels ----------------------------------------------------
+// The binary may carry F16C instructions (-mf16c is appended to this TU's
+// flags when the compiler accepts it) on a CPU that lacks the feature — F16C
+// is a separate CPUID bit from AVX2 — so the hardware path is gated at
+// runtime too. The software fallback produces bit-identical halves (both
+// round to nearest-even), so which path runs is unobservable in the encode;
+// the dot fallback keeps a fixed scalar FMA chain, consistent per host.
+
+namespace {
+
+inline bool host_has_f16c() {
+    static const bool ok = __builtin_cpu_supports("f16c");
+    return ok;
+}
+
+}  // namespace
+
+void fp16_encode_avx2(const float* src, std::uint16_t* dst, std::size_t n) {
+#if defined(__F16C__)
+    if (host_has_f16c()) {
+        std::size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            _mm_storeu_si128(
+                reinterpret_cast<__m128i*>(dst + i),
+                _mm256_cvtps_ph(_mm256_loadu_ps(src + i),
+                                _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+        }
+        for (; i < n; ++i) dst[i] = fp16_encode_one(src[i]);
+        return;
+    }
+#endif
+    for (std::size_t i = 0; i < n; ++i) dst[i] = fp16_encode_one(src[i]);
+}
+
+float dot_f16_avx2(const float* a, const std::uint16_t* b, std::size_t n) {
+#if defined(__F16C__)
+    if (host_has_f16c()) {
+        const std::size_t n8 = n & ~std::size_t{7};
+        __m256 acc = _mm256_setzero_ps();
+        for (std::size_t i = 0; i < n8; i += 8) {
+            const __m256 bv =
+                _mm256_cvtph_ps(_mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), bv, acc);
+        }
+        float s = hsum8(acc);
+        for (std::size_t t = n8; t < n; ++t) s = std::fma(a[t], fp16_decode_one(b[t]), s);
+        return s;
+    }
+#endif
+    float s = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) s = std::fma(a[i], fp16_decode_one(b[i]), s);
+    return s;
+}
+
+void axpy_f16_avx2(float alpha, const std::uint16_t* x, float* y, std::size_t n) {
+#if defined(__F16C__)
+    if (host_has_f16c()) {
+        const __m256 av = _mm256_set1_ps(alpha);
+        std::size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            const __m256 xv =
+                _mm256_cvtph_ps(_mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i)));
+            _mm256_storeu_ps(y + i, _mm256_fmadd_ps(av, xv, _mm256_loadu_ps(y + i)));
+        }
+        for (; i < n; ++i) y[i] = std::fma(alpha, fp16_decode_one(x[i]), y[i]);
+        return;
+    }
+#endif
+    for (std::size_t i = 0; i < n; ++i) y[i] = std::fma(alpha, fp16_decode_one(x[i]), y[i]);
 }
 
 void softmax_backward_row_avx2(const float* y, const float* g, float* dx, std::size_t n) {
@@ -245,6 +319,9 @@ void layer_norm_row_avx2(const float*, float*, const float*, const float*, std::
     missing();
 }
 void add_bias_row_avx2(float*, const float*, std::size_t) { missing(); }
+void fp16_encode_avx2(const float*, std::uint16_t*, std::size_t) { missing(); }
+float dot_f16_avx2(const float*, const std::uint16_t*, std::size_t) { missing(); }
+void axpy_f16_avx2(float, const std::uint16_t*, float*, std::size_t) { missing(); }
 void softmax_backward_row_avx2(const float*, const float*, float*, std::size_t) { missing(); }
 void layer_norm_backward_row_avx2(const float*, const float*, const float*, float, float, float*,
                                   std::size_t) {

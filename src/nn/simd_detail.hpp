@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace cpt::util {
 class ThreadPool;
@@ -44,6 +45,21 @@ void scale_avx2(float* x, std::size_t n, float s);
 void layer_norm_row_avx2(const float* in, float* out, const float* gain, const float* bias,
                          std::size_t d, float eps, float* stats2);
 void add_bias_row_avx2(float* row, const float* bias, std::size_t d);
+
+// Int8 decode path (quant.cpp): idot[j] = sum_k a[k] * w[j,k] over 7-bit
+// offset-64 activation codes and int8 weights — VPMADDUBSW + VPMADDWD, exact
+// integers (codes are small enough that the saturating i16 stage cannot
+// fire), so the result matches the scalar/sse2 forms bit for bit.
+void gemv_q8_dots_avx2(const std::uint8_t* a, const std::int8_t* w, std::int32_t* idot,
+                       std::size_t k_dim, std::size_t n_dim);
+
+// fp16 KV-cache kernels (infer.cpp via kernels.cpp). Encode rounds to
+// nearest-even exactly like the software converter in fp16.hpp (VCVTPS2PH
+// when the host has F16C, bit-identical fallback otherwise); dot/axpy widen
+// exactly and then follow the fp32 AVX2 FMA conventions.
+void fp16_encode_avx2(const float* src, std::uint16_t* dst, std::size_t n);
+float dot_f16_avx2(const float* a, const std::uint16_t* b, std::size_t n);
+void axpy_f16_avx2(float alpha, const std::uint16_t* x, float* y, std::size_t n);
 
 // Backward-pass helpers used by the training kernels in kernels.cpp.
 // One softmax backward row: dx += y * (g - dot(g, y)).

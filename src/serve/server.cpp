@@ -34,13 +34,15 @@ std::string slice_name(trace::DeviceType device, int hour) {
 class Server::Engine {
 public:
     Engine(const ServeConfig& cfg, core::CptGpt::Package pkg, trace::DeviceType device,
-           int hour)
+           int hour, nn::Precision precision)
         : cfg_(&cfg),
           device_(device),
           hour_(hour),
+          precision_(pkg.quantized ? nn::Precision::kInt8W8A32 : precision),
           pkg_(std::move(pkg)),
-          sampler_(*pkg_.model, pkg_.tokenizer, pkg_.initial_event_dist,
-                   make_sampler_config(cfg, device, hour)),
+          sampler_(prepare_model(*pkg_.model, precision_), pkg_.tokenizer,
+                   pkg_.initial_event_dist,
+                   make_sampler_config(cfg, device, hour, precision_)),
           server_rng_(cfg.server_seed ^ (static_cast<std::uint64_t>(device) * 24 + hour)),
           worker_([this] { run(); }) {}
 
@@ -92,6 +94,9 @@ public:
         StatsSnapshot s;
         s.device = device_;
         s.hour = hour_;
+        s.precision = precision_;
+        s.decode_seconds = times_.decode;
+        s.steps = times_.steps;
         s.streams = streams_done_;
         s.tokens = tokens_done_;
         s.requests_done = requests_done_;
@@ -118,13 +123,26 @@ private:
     using RequestPtr = std::shared_ptr<Request>;
 
     static core::SamplerConfig make_sampler_config(const ServeConfig& cfg,
-                                                   trace::DeviceType device, int hour) {
+                                                   trace::DeviceType device, int hour,
+                                                   nn::Precision precision) {
         core::SamplerConfig sc;
         sc.batch = cfg.slot_capacity;
         sc.device = device;
         sc.hour_of_day = hour;
         sc.max_stream_len = std::min<std::size_t>(500, cfg.model.max_seq_len);
+        sc.precision = precision;
         return sc;
+    }
+
+    // Ensures the quantized mirror exists before the Sampler (which asserts
+    // it for int8 mode) is constructed. A model loaded from a quantized
+    // checkpoint already carries the exact released payload; a fp32 release
+    // opted into int8 via config is quantized here at slice spin-up.
+    static core::CptGpt& prepare_model(core::CptGpt& model, nn::Precision precision) {
+        if (precision == nn::Precision::kInt8W8A32 && !model.has_quantized_weights()) {
+            model.quantize_weights();
+        }
+        return model;
     }
 
     // Completes a request: sorts its streams back into submission order and
@@ -236,6 +254,9 @@ private:
             {
                 std::unique_lock<std::mutex> lk(mu_);
                 cv_.wait(lk, [&] { return stop_ || !queue_.empty() || !inflight_.empty(); });
+                // Fold the batch's decode-stage clock into the stats surface
+                // while the lock is held (stats() reads times_ under mu_).
+                times_ = batch.stage_times();
                 if (queue_.empty() && inflight_.empty()) {
                     if (stop_) return;
                     continue;
@@ -258,8 +279,10 @@ private:
     const ServeConfig* cfg_;
     trace::DeviceType device_;
     int hour_;
+    nn::Precision precision_;
     core::CptGpt::Package pkg_;
     core::Sampler sampler_;
+    core::Sampler::StageTimes times_;  // snapshot of the batch's stage clock
 
     mutable std::mutex mu_;
     std::condition_variable cv_;
@@ -329,9 +352,12 @@ Server::Engine* Server::engine_for(trace::DeviceType device, int hour, std::stri
     auto it = engines_.find(key);
     if (it == engines_.end()) {
         auto pkg = hub_.load(device, serve_hour, config_.model);
+        nn::Precision precision = config_.precision;
+        const auto pit = config_.slice_precision.find(slice_name(device, serve_hour));
+        if (pit != config_.slice_precision.end()) precision = pit->second;
         it = engines_
                  .emplace(key, std::make_unique<Engine>(config_, std::move(pkg), device,
-                                                        serve_hour))
+                                                        serve_hour, precision))
                  .first;
     }
     return it->second.get();
@@ -391,7 +417,7 @@ std::string Server::stats_json() const {
     util::LatencyHistogram latency;
     std::uint64_t requests_done = 0, requests_timeout = 0, requests_rejected = 0;
     std::size_t queue_depth = 0;
-    char buf[256];
+    char buf[384];
     std::string json = "{\n";
     std::snprintf(buf, sizeof(buf), "  \"uptime_seconds\": %.3f,\n  \"slices\": [", uptime);
     json += buf;
@@ -402,17 +428,23 @@ std::string Server::stats_json() const {
         requests_timeout += s.requests_timeout;
         requests_rejected += s.requests_rejected;
         queue_depth += s.queue_depth;
+        const double decode_ms_per_step =
+            s.steps > 0 ? s.decode_seconds * 1e3 / static_cast<double>(s.steps) : 0.0;
         std::snprintf(buf, sizeof(buf),
-                      "%s\n    {\"device\": \"%.*s\", \"hour\": %d, \"streams\": %llu, "
+                      "%s\n    {\"device\": \"%.*s\", \"hour\": %d, \"precision\": \"%s\", "
+                      "\"streams\": %llu, "
                       "\"tokens\": %llu, \"streams_per_sec\": %.2f, \"tokens_per_sec\": %.2f, "
+                      "\"decode_ms_per_step\": %.3f, \"steps\": %llu, "
                       "\"queue_depth\": %zu}",
                       i == 0 ? "" : ",",
                       static_cast<int>(trace::to_string(s.device).size()),
                       trace::to_string(s.device).data(), s.hour,
+                      nn::precision_name(s.precision),
                       static_cast<unsigned long long>(s.streams),
                       static_cast<unsigned long long>(s.tokens),
                       static_cast<double>(s.streams) / rate_div,
-                      static_cast<double>(s.tokens) / rate_div, s.queue_depth);
+                      static_cast<double>(s.tokens) / rate_div, decode_ms_per_step,
+                      static_cast<unsigned long long>(s.steps), s.queue_depth);
         json += buf;
     }
     json += slices.empty() ? "],\n" : "\n  ],\n";

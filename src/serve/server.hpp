@@ -50,6 +50,13 @@ struct ServeConfig {
     bool nearest_hour_fallback = false;  // serve the nearest published hour
     bool deterministic = false;          // force deterministic mode on every request
     std::uint64_t server_seed = 0x5eedULL;  // base RNG for non-deterministic requests
+    // Decode precision (DESIGN.md §12): `precision` is the default for every
+    // slice; `slice_precision` overrides individual slices by name
+    // ("<device>/h<hour>", e.g. "phone/h13"), so an operator can opt hot
+    // slices into int8 while the rest stay fp32. Quantized checkpoints always
+    // serve int8 regardless of these knobs (their fp32 weights never existed).
+    nn::Precision precision = nn::Precision::kFp32;
+    std::map<std::string, nn::Precision> slice_precision;
 };
 
 class Server {
@@ -83,12 +90,17 @@ private:
     struct SliceStats {
         trace::DeviceType device = trace::DeviceType::kPhone;
         int hour = 0;
+        nn::Precision precision = nn::Precision::kFp32;  // active decode mode
         std::uint64_t streams = 0;
         std::uint64_t tokens = 0;
         std::uint64_t requests_done = 0;
         std::uint64_t requests_timeout = 0;
         std::uint64_t requests_rejected = 0;
         std::size_t queue_depth = 0;
+        // Decode-stage attribution folded from Sampler::StageTimes: seconds
+        // spent in the KV-cached decode across `steps` step() calls.
+        double decode_seconds = 0.0;
+        std::uint64_t steps = 0;
         util::LatencyHistogram latency;
     };
 

@@ -1,7 +1,12 @@
 // Tests pinning the KV-cached TransformerDecoder to the autograd forward:
 // step-by-step decoding must reproduce Transformer::forward()'s last-position
-// outputs, including after compaction.
+// outputs, including after compaction — plus the admit/evict churn property:
+// under any randomized schedule of admissions and compactions, every live
+// row's output is byte-identical to a fresh decoder fed the same stream.
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
 
 #include "core/model.hpp"
 #include "core/sampler.hpp"
@@ -103,6 +108,116 @@ TEST(TransformerDecoderTest, RejectsOverflowAndBadShapes) {
     EXPECT_THROW(decoder.step(Tensor::zeros({2, 7})), std::logic_error);
     EXPECT_THROW(decoder.compact({1, 0}), std::invalid_argument);  // not ascending
     EXPECT_THROW(decoder.compact({5}), std::invalid_argument);     // out of range
+}
+
+// Property test for the logical->physical row map + free list behind
+// compact()/admit(): under a randomized admit/evict churn schedule, every
+// surviving row's per-step output must be BYTE-identical to a fresh batch=1
+// decoder fed that row's token history from position 0 (the invariance that
+// lets a serving scheduler refill freed slots mid-decode). Exercised in both
+// KV modes — fp32 and fp16 storage — because the fp16 path indexes the same
+// phys_[r] map through its own half-width buffers.
+void run_churn_property(const DecodeOptions& opts, unsigned schedule_seed) {
+    util::Rng rng(6);
+    TransformerConfig cfg = small_config();
+    cfg.max_seq_len = 20;
+    const Transformer model(cfg, rng);
+    const std::size_t cap = 4;
+    const std::size_t dt = cfg.d_token;
+    const std::size_t dm = cfg.d_model;
+
+    struct StreamLog {
+        std::vector<float> tokens;   // concatenated [d_token] inputs
+        std::vector<float> outputs;  // concatenated [d_model] hidden states
+    };
+
+    std::mt19937 gen(schedule_seed);
+    std::uniform_real_distribution<float> tok_dist(-0.8f, 0.8f);
+    TransformerDecoder churned(model, cap, opts);
+    churned.reset();
+    std::vector<StreamLog> live;       // index == decoder row
+    std::vector<StreamLog> survivors;  // rows evicted or drained, kept for checking
+
+    const std::size_t steps = cfg.max_seq_len;
+    for (std::size_t t = 0; t < steps; ++t) {
+        // Randomly evict a subset (keeping >= 1 row when any are live).
+        if (live.size() > 1) {
+            std::vector<std::size_t> keep;
+            for (std::size_t r = 0; r < live.size(); ++r) {
+                if (keep.size() + (live.size() - r) > 1 && gen() % 4 == 0) {
+                    survivors.push_back(std::move(live[r]));  // evicted mid-decode
+                } else {
+                    keep.push_back(r);
+                }
+            }
+            if (keep.size() != live.size()) {
+                churned.compact(keep);
+                std::vector<StreamLog> kept;
+                kept.reserve(keep.size());
+                for (std::size_t r : keep) kept.push_back(std::move(live[r]));
+                live = std::move(kept);
+            }
+        }
+        // Randomly admit into free slots (always admit when empty). A row
+        // admitted at position s can still decode max_seq_len - s tokens.
+        const std::size_t remaining = cfg.max_seq_len - churned.length();
+        if (remaining >= 2) {
+            std::size_t want = 0;
+            for (std::size_t f = live.size(); f < cap; ++f) {
+                if (live.empty() || gen() % 3 == 0) ++want;
+            }
+            if (want > 0) {
+                churned.admit(want);
+                for (std::size_t i = 0; i < want; ++i) live.emplace_back();
+            }
+        }
+        if (live.empty()) break;
+
+        Tensor x({live.size(), dt});
+        for (std::size_t r = 0; r < live.size(); ++r) {
+            for (std::size_t j = 0; j < dt; ++j) {
+                const float v = tok_dist(gen);
+                x[r * dt + j] = v;
+                live[r].tokens.push_back(v);
+            }
+        }
+        const Tensor& h = churned.step(x);
+        for (std::size_t r = 0; r < live.size(); ++r) {
+            const auto row = h.data().subspan(r * dm, dm);
+            live[r].outputs.insert(live[r].outputs.end(), row.begin(), row.end());
+        }
+    }
+    for (auto& s : live) survivors.push_back(std::move(s));
+
+    // Every stream the churned decoder produced must match a fresh batch=1
+    // decode of the same tokens, bit for bit.
+    ASSERT_GT(survivors.size(), cap);  // the schedule actually churned
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+        const auto& log = survivors[s];
+        const std::size_t len = log.tokens.size() / dt;
+        ASSERT_EQ(log.outputs.size(), len * dm);
+        if (len == 0) continue;
+        TransformerDecoder fresh(model, 1, opts);
+        for (std::size_t t = 0; t < len; ++t) {
+            Tensor x({1, dt});
+            std::copy_n(log.tokens.data() + t * dt, dt, x.data().data());
+            const Tensor& h = fresh.step(x);
+            ASSERT_EQ(std::memcmp(h.data().data(), log.outputs.data() + t * dm,
+                                  dm * sizeof(float)),
+                      0)
+                << "stream " << s << " step " << t << " of " << len;
+        }
+    }
+}
+
+TEST(TransformerDecoderTest, ChurnRowMapPropertyFp32Kv) {
+    for (unsigned seed : {101u, 202u, 303u}) run_churn_property(DecodeOptions{}, seed);
+}
+
+TEST(TransformerDecoderTest, ChurnRowMapPropertyFp16Kv) {
+    DecodeOptions opts;
+    opts.kv_fp16 = true;
+    for (unsigned seed : {404u, 505u, 606u}) run_churn_property(opts, seed);
 }
 
 TEST(CptGptDecodeTest, DecodeStepMatchesForwardHeads) {
