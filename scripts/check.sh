@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Correctness gate: warnings-as-errors build, clang-tidy (when installed), and
-# a sanitizer ctest matrix. Run from anywhere inside the repo:
+# Correctness gate: warnings-as-errors build, static analysis, and a
+# sanitizer ctest matrix. Run from anywhere inside the repo:
 #
-#   scripts/check.sh             # full gate: werror + tidy + ubsan + asan + tsan + simd + quant + serve + train
+#   scripts/check.sh             # full gate, all stages in order (see below)
 #   scripts/check.sh werror      # just the -Werror build + full test suite
 #   scripts/check.sh tidy        # just clang-tidy over the compile database
+#   scripts/check.sh annotate    # clang -Wthread-safety build (CPT_THREAD_SAFETY=ON)
+#   scripts/check.sh sa          # cpt_sa project-invariant linter + static-labeled tests
 #   scripts/check.sh ubsan       # UBSan build (recovery disabled) + full suite
 #   scripts/check.sh asan        # ASan build + full suite
 #   scripts/check.sh tsan        # TSan build + concurrency-labeled tests
@@ -13,8 +15,13 @@
 #   scripts/check.sh serve       # serve-labeled tests + daemon smoke (loadtest, clean drain)
 #   scripts/check.sh train       # train-labeled tests, then rerun determinism with CPT_THREADS=2
 #
-# Each stage configures into its own build directory (build-check-<stage>) so
-# repeat runs are incremental. The script stops at the first failing stage.
+# Any subset may be requested by name (`scripts/check.sh sa tsan`). Each stage
+# configures into its own build directory (build-check-<stage>) so repeat runs
+# are incremental. All requested stages run even after a failure; the script
+# ends with a per-stage PASS/FAIL summary table and exits nonzero naming the
+# first failed stage. The two clang-only stages (tidy, annotate) pass
+# vacuously — with a notice — when no clang is installed, so the gate stays
+# runnable on GCC-only hosts.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -36,6 +43,18 @@ run_ctest() { # <dir> [extra ctest args...]
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "$@"
 }
 
+find_clangxx() {
+    local c
+    for c in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16 \
+        clang++-15 clang++-14; do
+        if command -v "$c" >/dev/null 2>&1; then
+            echo "$c"
+            return 0
+        fi
+    done
+    return 1
+}
+
 stage_werror() {
     echo "== stage: werror (all warnings are errors, full test suite) =="
     configure_and_build "$ROOT/build-check-werror" -DCPT_WERROR=ON -DCPT_DEBUG_CHECKS=ON
@@ -52,9 +71,37 @@ stage_tidy() {
     if [ ! -f "$db/compile_commands.json" ]; then
         configure_and_build "$db" -DCPT_WERROR=ON -DCPT_DEBUG_CHECKS=ON
     fi
-    # First-party translation units only; the config file scopes the checks.
-    (cd "$ROOT" && find src examples bench -name '*.cpp' -print0 |
+    # First-party translation units only (src covers serve; tools covers the
+    # cpt_sa linter itself); the config file scopes the checks.
+    (cd "$ROOT" && find src examples bench tools -name '*.cpp' -print0 |
         xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$db" --quiet)
+}
+
+stage_annotate() {
+    echo "== stage: annotate (clang thread-safety analysis as errors) =="
+    local clangxx
+    if ! clangxx="$(find_clangxx)"; then
+        echo "no clang++ on PATH; -Wthread-safety unavailable (stage passes vacuously)"
+        return 0
+    fi
+    echo "using $clangxx"
+    # CPT_THREAD_SAFETY=ON turns every CPT_GUARDED_BY/CPT_REQUIRES violation
+    # into a compile error, so "the build succeeds" is the whole check.
+    configure_and_build "$ROOT/build-check-annotate" \
+        -DCMAKE_CXX_COMPILER="$clangxx" -DCPT_THREAD_SAFETY=ON -DCPT_WERROR=ON
+    # The negative-compile fixtures skip without clang; rerun them here where
+    # one is guaranteed, proving the gate actually rejects unguarded access.
+    run_ctest "$ROOT/build-check-annotate" -L static
+}
+
+stage_sa() {
+    echo "== stage: sa (cpt_sa project-invariant linter + static-labeled tests) =="
+    local dir="$ROOT/build-check-sa"
+    configure_and_build "$dir"
+    run_ctest "$dir" -L static
+    # The real tree must lint clean: sync-types, avx2-isolation, avx2-flags,
+    # determinism, raw-stderr (tools/cpt_sa/sa_lint.hpp documents each).
+    (cd "$ROOT" && "$dir/tools/cpt_sa" src CMakeLists.txt)
 }
 
 stage_ubsan() {
@@ -181,14 +228,14 @@ stage_train() {
     CPT_THREADS=2 run_ctest "$dir" -R 'TrainDeterminism'
 }
 
-stages=("$@")
-if [ ${#stages[@]} -eq 0 ]; then
-    stages=(werror tidy ubsan asan tsan simd quant serve train)
-fi
-for s in "${stages[@]}"; do
-    case "$s" in
+all_stages=(werror tidy annotate sa ubsan asan tsan simd quant serve train)
+
+run_stage() {
+    case "$1" in
         werror) stage_werror ;;
         tidy) stage_tidy ;;
+        annotate) stage_annotate ;;
+        sa) stage_sa ;;
         ubsan) stage_ubsan ;;
         asan) stage_asan ;;
         tsan) stage_tsan ;;
@@ -197,9 +244,62 @@ for s in "${stages[@]}"; do
         serve) stage_serve ;;
         train) stage_train ;;
         *)
-            echo "unknown stage '$s' (expected: werror tidy ubsan asan tsan simd quant serve train)" >&2
+            echo "unknown stage '$1' (expected: ${all_stages[*]})" >&2
+            exit 2
+            ;;
+    esac
+}
+
+# Internal single-stage entry point. The driver below re-execs itself with
+# --stage for each requested stage: `if bash "$0" --stage x` keeps errexit
+# live inside the stage (bash disables `set -e` recursively inside functions
+# called from an `if` condition, so running the stage function directly under
+# the driver's pass/fail capture would silently ignore mid-stage failures).
+if [ "${1:-}" = "--stage" ]; then
+    if [ $# -ne 2 ]; then
+        echo "--stage takes exactly one stage name" >&2
+        exit 2
+    fi
+    run_stage "$2"
+    exit 0
+fi
+
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+    stages=("${all_stages[@]}")
+fi
+for s in "${stages[@]}"; do
+    case " ${all_stages[*]} " in
+        *" $s "*) ;;
+        *)
+            echo "unknown stage '$s' (expected: ${all_stages[*]})" >&2
             exit 2
             ;;
     esac
 done
+
+declare -a stage_status=()
+first_failed=""
+failed_count=0
+for s in "${stages[@]}"; do
+    if bash "$0" --stage "$s"; then
+        stage_status+=("PASS")
+    else
+        stage_status+=("FAIL")
+        failed_count=$((failed_count + 1))
+        if [ -z "$first_failed" ]; then
+            first_failed="$s"
+        fi
+    fi
+done
+
+echo
+echo "== stage summary =="
+for i in "${!stages[@]}"; do
+    printf '  %-10s %s\n' "${stages[$i]}" "${stage_status[$i]}"
+done
+if [ "$failed_count" -gt 0 ]; then
+    echo "FAILED: first failing stage was '$first_failed' ($failed_count of ${#stages[@]} stages failed)" >&2
+    exit 1
+fi
 echo "== all requested stages passed =="

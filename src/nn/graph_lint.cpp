@@ -39,17 +39,25 @@ std::string GraphLintReport::summary() const {
 namespace {
 
 // Iterative DFS over all parent edges. `grad_path` restricts the walk to the
-// requires_grad edges backward() actually follows.
-void collect(Node* root, bool grad_path, std::unordered_set<Node*>& visited) {
+// requires_grad edges backward() actually follows. `order` records nodes in
+// discovery order: the hash set is membership-only, so finding order — and
+// therefore report ordering — is a pure function of the graph, never of
+// pointer hashing (the `determinism` rule tools/cpt_sa enforces on src/nn).
+void collect(Node* root, bool grad_path, std::unordered_set<Node*>& visited,
+             std::vector<Node*>* order) {
     std::vector<Node*> stack{root};
     visited.insert(root);
+    if (order) order->push_back(root);
     while (!stack.empty()) {
         Node* n = stack.back();
         stack.pop_back();
         for (const auto& p : n->parents) {
             if (!p) continue;
             if (grad_path && !p->requires_grad) continue;
-            if (visited.insert(p.get()).second) stack.push_back(p.get());
+            if (visited.insert(p.get()).second) {
+                if (order) order->push_back(p.get());
+                stack.push_back(p.get());
+            }
         }
     }
 }
@@ -60,15 +68,16 @@ GraphLintReport lint_graph(const Var& root, std::span<const Var> params) {
     CPT_CHECK(root != nullptr, "lint_graph: null root");
     GraphLintReport report;
 
-    std::unordered_set<Node*> all;
-    collect(root.get(), /*grad_path=*/false, all);
+    std::unordered_set<Node*> seen;
+    std::vector<Node*> all;
+    collect(root.get(), /*grad_path=*/false, seen, &all);
     report.nodes_visited = all.size();
 
     // Mirror backward()'s pruned traversal: only these nodes ever see a
     // gradient. Leaves outside this set are what kUnreachableParam reports.
     std::unordered_set<Node*> grad_reach;
     if (root->requires_grad || !root->parents.empty()) {
-        collect(root.get(), /*grad_path=*/true, grad_reach);
+        collect(root.get(), /*grad_path=*/true, grad_reach, nullptr);
     }
 
     for (Node* n : all) {

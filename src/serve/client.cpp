@@ -66,7 +66,7 @@ TcpServer::~TcpServer() {
     // early), join whatever is left here.
     std::vector<std::thread> threads;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        util::LockGuard lk(mu_);
         threads.swap(conn_threads_);
     }
     for (auto& t : threads) {
@@ -76,20 +76,26 @@ TcpServer::~TcpServer() {
 
 void TcpServer::serve_forever(const std::function<bool()>& interrupt) {
     for (;;) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        int lfd = -1;
+        {
+            util::LockGuard lk(mu_);
+            if (stopping_) break;
+            lfd = listen_fd_;
+        }
+        const int fd = ::accept(lfd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR) {
                 if (interrupt && interrupt()) break;
                 continue;
             }
             // stop() closed the listening socket under us.
-            std::lock_guard<std::mutex> lk(mu_);
+            util::LockGuard lk(mu_);
             if (stopping_) break;
             throw_errno("accept");
         }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        std::lock_guard<std::mutex> lk(mu_);
+        util::LockGuard lk(mu_);
         if (stopping_) {
             ::close(fd);
             break;
@@ -102,7 +108,7 @@ void TcpServer::serve_forever(const std::function<bool()>& interrupt) {
     stop();
     std::vector<std::thread> threads;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        util::LockGuard lk(mu_);
         threads.swap(conn_threads_);
     }
     for (auto& t : threads) {
@@ -111,7 +117,7 @@ void TcpServer::serve_forever(const std::function<bool()>& interrupt) {
 }
 
 void TcpServer::stop() {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     if (stopping_) return;
     stopping_ = true;
     if (listen_fd_ >= 0) {
@@ -146,7 +152,7 @@ void TcpServer::handle_connection(int fd) {
         // must outlive misbehaving clients.
     }
     ::close(fd);
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
         if (*it == fd) {
             conn_fds_.erase(it);

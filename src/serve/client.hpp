@@ -14,12 +14,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server.hpp"
+#include "util/sync.hpp"
 
 namespace cpt::serve {
 
@@ -46,15 +46,17 @@ public:
     void stop();
 
 private:
-    void handle_connection(int fd);
+    void handle_connection(int fd) CPT_EXCLUDES(mu_);
 
     Server& server_;
-    int listen_fd_ = -1;
     std::uint16_t port_ = 0;
-    std::mutex mu_;
-    bool stopping_ = false;
-    std::vector<int> conn_fds_;
-    std::vector<std::thread> conn_threads_;
+    util::Mutex mu_;
+    // Closed and set to -1 by stop(); the accept loop re-reads it under mu_
+    // each iteration so a concurrent stop() cannot race the accept(2) fd.
+    int listen_fd_ CPT_GUARDED_BY(mu_) = -1;
+    bool stopping_ CPT_GUARDED_BY(mu_) = false;
+    std::vector<int> conn_fds_ CPT_GUARDED_BY(mu_);
+    std::vector<std::thread> conn_threads_ CPT_GUARDED_BY(mu_);
 };
 
 class TcpClient {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <future>
@@ -11,6 +10,7 @@
 #include "core/sampler.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/sync.hpp"
 
 namespace cpt::serve {
 
@@ -48,11 +48,11 @@ public:
 
     ~Engine() { stop_and_join(); }
 
-    GenerateResponse submit(const GenerateRequest& req) {
+    GenerateResponse submit(const GenerateRequest& req) CPT_EXCLUDES(mu_) {
         auto rq = std::make_shared<Request>();
         std::future<GenerateResponse> fut = rq->promise.get_future();
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            util::LockGuard lk(mu_);
             if (stop_) {
                 return {Status::kShuttingDown, "server is draining", {}};
             }
@@ -77,9 +77,9 @@ public:
         return fut.get();
     }
 
-    void stop_and_join() {
+    void stop_and_join() CPT_EXCLUDES(mu_) {
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            util::LockGuard lk(mu_);
             if (stop_ && !worker_.joinable()) return;
             stop_ = true;
         }
@@ -89,8 +89,8 @@ public:
 
     using StatsSnapshot = Server::SliceStats;
 
-    StatsSnapshot stats() const {
-        std::lock_guard<std::mutex> lk(mu_);
+    StatsSnapshot stats() const CPT_EXCLUDES(mu_) {
+        util::LockGuard lk(mu_);
         StatsSnapshot s;
         s.device = device_;
         s.hour = hour_;
@@ -148,7 +148,8 @@ private:
     // Completes a request: sorts its streams back into submission order and
     // fulfils the promise. Caller holds mu_ and has already detached the
     // request from queue_/inflight_.
-    void complete_locked(const RequestPtr& rq, Status status, const std::string& error) {
+    void complete_locked(const RequestPtr& rq, Status status, const std::string& error)
+        CPT_REQUIRES(mu_) {
         std::sort(rq->done.begin(), rq->done.end(),
                   [](const auto& a, const auto& b) { return a.first < b.first; });
         GenerateResponse resp;
@@ -167,7 +168,8 @@ private:
 
     // Evicts expired requests (queued and in-flight) at a step boundary.
     void expire_locked(core::Sampler::SlotBatch& batch, const Clock::time_point& now,
-                       std::vector<core::Sampler::SlotBatch::Finished>& scratch) {
+                       std::vector<core::Sampler::SlotBatch::Finished>& scratch)
+        CPT_REQUIRES(mu_) {
         // Collect expired serials first so the eviction predicate is a set
         // lookup, then drop their queue entries and live slots.
         expired_.clear();
@@ -203,7 +205,7 @@ private:
     // Fills free slots from the head request (FIFO; stream order within a
     // request is preserved, and a single-request run admits exactly the
     // serial RNG-fork order generate_batch uses).
-    void admit_locked(core::Sampler::SlotBatch& batch) {
+    void admit_locked(core::Sampler::SlotBatch& batch) CPT_REQUIRES(mu_) {
         while (batch.free_slots() > 0 && !queue_.empty()) {
             const RequestPtr& rq = queue_.front();
             core::Sampler::SlotBatch::AdmitParams params;
@@ -230,7 +232,7 @@ private:
         }
     }
 
-    void deliver_locked(core::Sampler::SlotBatch::Finished&& f) {
+    void deliver_locked(core::Sampler::SlotBatch::Finished&& f) CPT_REQUIRES(mu_) {
         const std::uint64_t serial = f.ticket >> kStreamIndexBits;
         const auto it = inflight_.find(serial);
         CPT_CHECK(it != inflight_.end(), "serve::Engine: finished stream for unknown request ",
@@ -246,14 +248,14 @@ private:
         }
     }
 
-    void run() {
+    void run() CPT_EXCLUDES(mu_) {
         core::Sampler::SlotBatch batch = sampler_.make_slot_batch(cfg_->slot_capacity);
         std::vector<core::Sampler::SlotBatch::Finished> finished;
         std::vector<core::Sampler::SlotBatch::Finished> evict_scratch;
         for (;;) {
             {
-                std::unique_lock<std::mutex> lk(mu_);
-                cv_.wait(lk, [&] { return stop_ || !queue_.empty() || !inflight_.empty(); });
+                util::LockGuard lk(mu_);
+                while (!stop_ && queue_.empty() && inflight_.empty()) cv_.wait(mu_);
                 // Fold the batch's decode-stage clock into the stats surface
                 // while the lock is held (stats() reads times_ under mu_).
                 times_ = batch.stage_times();
@@ -270,7 +272,7 @@ private:
             finished.clear();
             batch.step(finished);
             if (!finished.empty()) {
-                std::lock_guard<std::mutex> lk(mu_);
+                util::LockGuard lk(mu_);
                 for (auto& f : finished) deliver_locked(std::move(f));
             }
         }
@@ -282,24 +284,28 @@ private:
     nn::Precision precision_;
     core::CptGpt::Package pkg_;
     core::Sampler sampler_;
-    core::Sampler::StageTimes times_;  // snapshot of the batch's stage clock
+    // Snapshot of the batch's stage clock (folded in run(), read by stats()).
+    core::Sampler::StageTimes times_ CPT_GUARDED_BY(mu_);
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<RequestPtr> queue_;                    // head is being admitted
-    std::map<std::uint64_t, RequestPtr> inflight_;    // serial -> partially decoded
-    std::vector<RequestPtr> expired_;                 // expire_locked scratch
-    bool stop_ = false;
-    std::uint64_t next_serial_ = 0;
-    util::Rng server_rng_;
-    std::uint64_t stream_salt_ = 0;
+    mutable util::Mutex mu_;
+    util::CondVar cv_;
+    // head is being admitted
+    std::deque<RequestPtr> queue_ CPT_GUARDED_BY(mu_);
+    // serial -> partially decoded
+    std::map<std::uint64_t, RequestPtr> inflight_ CPT_GUARDED_BY(mu_);
+    // expire_locked scratch
+    std::vector<RequestPtr> expired_ CPT_GUARDED_BY(mu_);
+    bool stop_ CPT_GUARDED_BY(mu_) = false;
+    std::uint64_t next_serial_ CPT_GUARDED_BY(mu_) = 0;
+    util::Rng server_rng_ CPT_GUARDED_BY(mu_);
+    std::uint64_t stream_salt_ CPT_GUARDED_BY(mu_) = 0;
 
-    std::uint64_t streams_done_ = 0;
-    std::uint64_t tokens_done_ = 0;
-    std::uint64_t requests_done_ = 0;
-    std::uint64_t requests_timeout_ = 0;
-    std::uint64_t requests_rejected_ = 0;
-    util::LatencyHistogram latency_;
+    std::uint64_t streams_done_ CPT_GUARDED_BY(mu_) = 0;
+    std::uint64_t tokens_done_ CPT_GUARDED_BY(mu_) = 0;
+    std::uint64_t requests_done_ CPT_GUARDED_BY(mu_) = 0;
+    std::uint64_t requests_timeout_ CPT_GUARDED_BY(mu_) = 0;
+    std::uint64_t requests_rejected_ CPT_GUARDED_BY(mu_) = 0;
+    util::LatencyHistogram latency_ CPT_GUARDED_BY(mu_);
 
     std::thread worker_;  // last member: starts after every field it reads
 };
@@ -319,7 +325,7 @@ Server::Server(ServeConfig config) : config_(std::move(config)), hub_(config_.hu
 Server::~Server() { drain(); }
 
 Server::Engine* Server::engine_for(trace::DeviceType device, int hour, std::string* error) {
-    std::lock_guard<std::mutex> lk(engines_mutex_);
+    util::LockGuard lk(engines_mutex_);
     if (draining_) {
         *error = "server is draining";
         return nullptr;
@@ -388,7 +394,7 @@ GenerateResponse Server::generate(const GenerateRequest& request) {
 void Server::drain() {
     std::map<int, std::unique_ptr<Engine>> engines;
     {
-        std::lock_guard<std::mutex> lk(engines_mutex_);
+        util::LockGuard lk(engines_mutex_);
         if (draining_ && engines_.empty()) return;
         draining_ = true;
         engines.swap(engines_);
@@ -396,14 +402,14 @@ void Server::drain() {
     for (auto& [key, engine] : engines) engine->stop_and_join();
     // Keep the final per-slice counters so the stats surface survives the
     // drain (the daemon prints stats_json() after SIGTERM).
-    std::lock_guard<std::mutex> lk(engines_mutex_);
+    util::LockGuard lk(engines_mutex_);
     for (auto& [key, engine] : engines) drained_stats_.push_back(engine->stats());
 }
 
 std::string Server::stats_json() const {
     std::vector<Engine::StatsSnapshot> slices;
     {
-        std::lock_guard<std::mutex> lk(engines_mutex_);
+        util::LockGuard lk(engines_mutex_);
         slices.reserve(engines_.size() + drained_stats_.size());
         slices = drained_stats_;
         for (const auto& [key, engine] : engines_) slices.push_back(engine->stats());

@@ -30,13 +30,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/model_hub.hpp"
 #include "protocol.hpp"
 #include "util/stats.hpp"
+#include "util/sync.hpp"
 
 namespace cpt::serve {
 
@@ -104,14 +104,17 @@ private:
         util::LatencyHistogram latency;
     };
 
-    Engine* engine_for(trace::DeviceType device, int hour, std::string* error);
+    Engine* engine_for(trace::DeviceType device, int hour, std::string* error)
+        CPT_EXCLUDES(engines_mutex_);
 
     ServeConfig config_;
     core::ModelHub hub_;
-    mutable std::mutex engines_mutex_;
-    std::map<int, std::unique_ptr<Engine>> engines_;  // key: device * 24 + hour
-    std::vector<SliceStats> drained_stats_;           // engines retired by drain()
-    bool draining_ = false;
+    mutable util::Mutex engines_mutex_;
+    // key: device * 24 + hour
+    std::map<int, std::unique_ptr<Engine>> engines_ CPT_GUARDED_BY(engines_mutex_);
+    // engines retired by drain()
+    std::vector<SliceStats> drained_stats_ CPT_GUARDED_BY(engines_mutex_);
+    bool draining_ CPT_GUARDED_BY(engines_mutex_) = false;
     std::uint64_t start_ns_ = 0;  // steady-clock epoch for rate accounting
 };
 

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 
 #include "check.hpp"
 #include "log.hpp"
+#include "sync.hpp"
 
 namespace cpt::util {
 
@@ -23,9 +23,11 @@ SimdTier best_supported_tier() {
 #endif
 }
 
-// -1 = unresolved; otherwise holds a SimdTier enumerator.
+// -1 = unresolved; otherwise holds a SimdTier enumerator. The atomic is the
+// published value; g_resolve_mutex only serializes the one-time resolution
+// (env parsing + the single "simd tier" log line).
 std::atomic<int> g_active{-1};
-std::mutex g_resolve_mutex;
+Mutex g_resolve_mutex;
 
 bool parse_tier(const std::string& name, SimdTier& out) {
     if (name == "scalar") {
@@ -86,7 +88,7 @@ bool simd_tier_available(SimdTier tier) {
 SimdTier active_simd_tier() {
     int cur = g_active.load(std::memory_order_acquire);
     if (cur >= 0) return static_cast<SimdTier>(cur);
-    const std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    const LockGuard lock(g_resolve_mutex);
     cur = g_active.load(std::memory_order_acquire);
     if (cur >= 0) return static_cast<SimdTier>(cur);
     const SimdTier tier = resolve_active_tier();

@@ -4,9 +4,17 @@
 #include <cstdio>
 #include <string>
 
+#include "sync.hpp"
+
 namespace cpt::util {
 
 namespace {
+
+// Serializes every emitted line. A single fwrite is atomic for lines shorter
+// than the stdio buffer, but stderr is unbuffered by default, so two serve
+// workers warning at once could still shear their lines char-by-char; the
+// annotated mutex makes the whole line a critical section.
+Mutex g_log_mu;
 
 void emit_line(std::string_view prefix, std::string_view message) {
     std::string line;
@@ -14,8 +22,7 @@ void emit_line(std::string_view prefix, std::string_view message) {
     line.append(prefix);
     line.append(message);
     line.push_back('\n');
-    // One fwrite so concurrent warnings from pool workers do not interleave
-    // mid-line.
+    const LockGuard lock(g_log_mu);
     std::fwrite(line.data(), 1, line.size(), stderr);
 }
 

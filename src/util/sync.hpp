@@ -1,0 +1,124 @@
+// Capability-annotated synchronization primitives (DESIGN.md §13).
+//
+// Every mutex in the project goes through these wrappers so Clang's Thread
+// Safety Analysis (-Wthread-safety, enabled as errors by the CPT_THREAD_SAFETY
+// CMake option) can prove lock discipline at compile time: fields annotated
+// CPT_GUARDED_BY(mu) may only be touched while `mu` is held, and private
+// *_locked helpers annotated CPT_REQUIRES(mu) may only be called under it.
+// On compilers without the analysis (GCC) the attributes expand to nothing
+// and the wrappers compile down to the std types they hold, so the annotated
+// tree costs nothing off clang.
+//
+// Project rule (enforced by tools/cpt_sa, rule `sync-types`): this header is
+// the only file in src/ allowed to name std::mutex / std::condition_variable
+// / std::lock_guard / std::unique_lock — everything else uses util::Mutex,
+// util::CondVar, and util::LockGuard so no lock can escape the analysis.
+//
+// Condition-variable idiom under the analysis: predicate lambdas passed to a
+// wait() would be analyzed as separate functions that do not inherit the
+// caller's lock set, so guarded reads inside them would (correctly) be
+// flagged. Write the loop inline instead, where the analysis tracks the
+// capability:
+//
+//   util::LockGuard lock(mu_);
+//   while (!ready_) cv_.wait(mu_);   // ready_ is CPT_GUARDED_BY(mu_)
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---- Thread-safety capability attribute macros ------------------------------
+// No-ops everywhere except clang; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for semantics.
+#if defined(__clang__)
+#define CPT_TSA_ATTR(x) __attribute__((x))
+#else
+#define CPT_TSA_ATTR(x)
+#endif
+
+// Declares a type to be a capability (lockable).
+#define CPT_CAPABILITY(x) CPT_TSA_ATTR(capability(x))
+// Declares an RAII type that acquires a capability in its constructor and
+// releases it in its destructor.
+#define CPT_SCOPED_CAPABILITY CPT_TSA_ATTR(scoped_lockable)
+// Field may only be accessed while the named capability is held.
+#define CPT_GUARDED_BY(x) CPT_TSA_ATTR(guarded_by(x))
+// Pointer field whose pointee may only be accessed while held.
+#define CPT_PT_GUARDED_BY(x) CPT_TSA_ATTR(pt_guarded_by(x))
+// Function may only be called while holding the named capabilities.
+#define CPT_REQUIRES(...) CPT_TSA_ATTR(requires_capability(__VA_ARGS__))
+// Function acquires the capability (and it must not already be held).
+#define CPT_ACQUIRE(...) CPT_TSA_ATTR(acquire_capability(__VA_ARGS__))
+// Function releases the capability (and it must be held on entry).
+#define CPT_RELEASE(...) CPT_TSA_ATTR(release_capability(__VA_ARGS__))
+// Function acquires the capability iff it returns the given value.
+#define CPT_TRY_ACQUIRE(...) CPT_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+// Caller must NOT hold the named capabilities (deadlock prevention).
+#define CPT_EXCLUDES(...) CPT_TSA_ATTR(locks_excluded(__VA_ARGS__))
+// Function returns a reference to the named capability.
+#define CPT_RETURN_CAPABILITY(x) CPT_TSA_ATTR(lock_returned(x))
+// Escape hatch: disables the analysis for one function. Use only with a
+// comment explaining why the discipline holds anyway.
+#define CPT_NO_THREAD_SAFETY_ANALYSIS CPT_TSA_ATTR(no_thread_safety_analysis)
+
+namespace cpt::util {
+
+class CondVar;
+
+// std::mutex with the capability attribute so the analysis can track it.
+class CPT_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() CPT_ACQUIRE() { mu_.lock(); }
+    void unlock() CPT_RELEASE() { mu_.unlock(); }
+    bool try_lock() CPT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+// RAII lock for util::Mutex (the std::lock_guard replacement). Scoped
+// capability: the analysis treats the guarded region as the guard's lexical
+// scope, including early returns.
+class CPT_SCOPED_CAPABILITY LockGuard {
+public:
+    explicit LockGuard(Mutex& mu) CPT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~LockGuard() CPT_RELEASE() { mu_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+private:
+    Mutex& mu_;
+};
+
+// Condition variable over util::Mutex. wait() requires the capability so a
+// missing lock around the predicate loop is a compile error under clang; it
+// atomically releases the underlying std::mutex for the duration of the block
+// exactly like std::condition_variable::wait.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    // Caller must hold `mu` (typically via LockGuard or Mutex::lock) and must
+    // re-check its predicate in a loop: spurious wakeups are allowed.
+    void wait(Mutex& mu) CPT_REQUIRES(mu) {
+        std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+        cv_.wait(native);
+        native.release();  // ownership stays with the caller's guard
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace cpt::util

@@ -1,13 +1,13 @@
 #include "thread_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "sync.hpp"
 
 namespace cpt::util {
 
@@ -47,42 +47,44 @@ ChunkPlan plan_chunks(std::size_t n, std::size_t grain, std::size_t threads) {
 // chunk 0 by the caller, so assignment is static and deterministic.
 struct ThreadPool::Impl {
     std::vector<std::thread> workers;
-    std::mutex mu;
-    std::condition_variable start_cv;
-    std::condition_variable done_cv;
+    Mutex mu;
+    CondVar start_cv;
+    CondVar done_cv;
 
     // Region state, guarded by mu.
-    std::uint64_t generation = 0;
-    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn = nullptr;
-    ChunkPlan plan;
-    std::size_t pending = 0;
-    std::exception_ptr error;
-    bool shutdown = false;
+    std::uint64_t generation CPT_GUARDED_BY(mu) = 0;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn CPT_GUARDED_BY(mu) =
+        nullptr;
+    ChunkPlan plan CPT_GUARDED_BY(mu);
+    std::size_t pending CPT_GUARDED_BY(mu) = 0;
+    std::exception_ptr error CPT_GUARDED_BY(mu);
+    bool shutdown CPT_GUARDED_BY(mu) = false;
 
     void worker_loop(std::size_t worker_id) {
         tls_in_worker = true;
         std::uint64_t seen = 0;
-        std::unique_lock lock(mu);
+        mu.lock();
         for (;;) {
-            start_cv.wait(lock, [&] { return shutdown || generation != seen; });
-            if (shutdown) return;
+            while (!shutdown && generation == seen) start_cv.wait(mu);
+            if (shutdown) break;
             seen = generation;
             const std::size_t chunk = worker_id + 1;
             if (chunk < plan.chunks) {
                 const auto* f = fn;
-                lock.unlock();
+                const auto [b, e] = plan.range(chunk);
+                mu.unlock();
                 std::exception_ptr err;
                 try {
-                    const auto [b, e] = plan.range(chunk);
                     (*f)(chunk, b, e);
                 } catch (...) {
                     err = std::current_exception();
                 }
-                lock.lock();
+                mu.lock();
                 if (err && !error) error = err;
                 if (--pending == 0) done_cv.notify_one();
             }
         }
+        mu.unlock();
     }
 };
 
@@ -98,7 +100,7 @@ ThreadPool::ThreadPool(std::size_t threads) : threads_(threads == 0 ? 1 : thread
 ThreadPool::~ThreadPool() {
     if (!impl_) return;
     {
-        std::lock_guard lock(impl_->mu);
+        LockGuard lock(impl_->mu);
         impl_->shutdown = true;
     }
     impl_->start_cv.notify_all();
@@ -128,7 +130,7 @@ void ThreadPool::parallel_chunks(
     }
 
     {
-        std::lock_guard lock(impl_->mu);
+        LockGuard lock(impl_->mu);
         impl_->fn = &fn;
         impl_->plan = plan;
         impl_->pending = plan.chunks - 1;
@@ -149,11 +151,13 @@ void ThreadPool::parallel_chunks(
     }
     tls_in_worker = was_in_worker;
 
-    std::unique_lock lock(impl_->mu);
-    impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
-    impl_->fn = nullptr;
-    std::exception_ptr err = my_error ? my_error : impl_->error;
-    lock.unlock();
+    std::exception_ptr err;
+    {
+        LockGuard lock(impl_->mu);
+        while (impl_->pending != 0) impl_->done_cv.wait(impl_->mu);
+        impl_->fn = nullptr;
+        err = my_error ? my_error : impl_->error;
+    }
     if (err) std::rethrow_exception(err);
 }
 
@@ -175,14 +179,14 @@ std::size_t env_threads() {
     return hw > 0 ? hw : 1;
 }
 
-std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool;
-std::size_t g_pool_threads = 0;
+Mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool CPT_GUARDED_BY(g_pool_mu);
+std::size_t g_pool_threads CPT_GUARDED_BY(g_pool_mu) = 0;
 
 }  // namespace
 
 ThreadPool& global_pool() {
-    std::lock_guard lock(g_pool_mu);
+    LockGuard lock(g_pool_mu);
     if (!g_pool) {
         g_pool_threads = env_threads();
         g_pool = std::make_unique<ThreadPool>(g_pool_threads);
@@ -191,13 +195,13 @@ ThreadPool& global_pool() {
 }
 
 std::size_t configured_threads() {
-    std::lock_guard lock(g_pool_mu);
+    LockGuard lock(g_pool_mu);
     return g_pool ? g_pool_threads : env_threads();
 }
 
 void set_global_threads(std::size_t threads) {
     if (threads == 0) threads = 1;
-    std::lock_guard lock(g_pool_mu);
+    LockGuard lock(g_pool_mu);
     g_pool.reset();  // join old workers before replacing
     g_pool_threads = threads;
     g_pool = std::make_unique<ThreadPool>(threads);

@@ -1,0 +1,91 @@
+# Negative-compile / negative-lint harness, run via `cmake -P` from ctest
+# (label "static"). Three modes:
+#
+#   tsa_neg  compile FIXTURE with clang thread-safety analysis as errors and
+#            assert it is REJECTED with a thread-safety diagnostic. Proves the
+#            CPT_GUARDED_BY annotations actually bite — a silently vacuous
+#            gate (wrong flags, macros not expanding) fails this test.
+#   tsa_pos  compile the matching well-locked control and assert it is
+#            ACCEPTED — distinguishes "neg fixture rejected because the
+#            analysis works" from "rejected because the harness is broken".
+#   sa_neg   run TOOL (cpt_sa) over TREE and assert nonzero exit plus
+#            EXPECT_RULE in the report — the linter-side negative test.
+#
+# The tsa modes need a clang; when the configured compiler is not clang we
+# look for one on PATH, and if none exists we print CPT_SA_SKIP, which the
+# test's SKIP_REGULAR_EXPRESSION turns into a ctest skip (this container
+# builds with GCC, so these tests skip here and run wherever clang exists —
+# notably the `annotate` stage environment).
+#
+# Usage:
+#   cmake -DMODE=tsa_neg -DCXX=<c++> -DSRC=<repo>/src -DFIXTURE=<file> -P sa_compile_test.cmake
+#   cmake -DMODE=tsa_pos -DCXX=<c++> -DSRC=<repo>/src -DFIXTURE=<file> -P sa_compile_test.cmake
+#   cmake -DMODE=sa_neg  -DTOOL=<cpt_sa> -DTREE=<dir> -DEXPECT_RULE=<rule> -P sa_compile_test.cmake
+
+if(MODE STREQUAL "tsa_neg" OR MODE STREQUAL "tsa_pos")
+  # Resolve a clang++: the configured compiler if it is clang, else PATH.
+  set(clangxx "")
+  if(CXX)
+    execute_process(COMMAND ${CXX} --version
+                    OUTPUT_VARIABLE version_out ERROR_VARIABLE version_err
+                    RESULT_VARIABLE version_rc)
+    string(TOLOWER "${version_out}" version_lower)
+    if(version_rc EQUAL 0 AND version_lower MATCHES "clang")
+      set(clangxx "${CXX}")
+    endif()
+  endif()
+  if(NOT clangxx)
+    find_program(CPT_SA_CLANGXX NAMES clang++ clang++-20 clang++-19 clang++-18
+                 clang++-17 clang++-16 clang++-15 clang++-14)
+    if(CPT_SA_CLANGXX)
+      set(clangxx "${CPT_SA_CLANGXX}")
+    endif()
+  endif()
+  if(NOT clangxx)
+    message(STATUS "CPT_SA_SKIP: no clang++ available; thread-safety analysis cannot run")
+    return()
+  endif()
+
+  execute_process(
+    COMMAND ${clangxx} -std=c++20 -fsyntax-only "-I${SRC}"
+            -Wthread-safety -Wthread-safety-beta
+            -Werror=thread-safety-analysis -Werror=thread-safety-attributes
+            -Werror=thread-safety-precise
+            ${FIXTURE}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+
+  if(MODE STREQUAL "tsa_neg")
+    if(rc EQUAL 0)
+      message(FATAL_ERROR
+        "negative fixture ${FIXTURE} compiled clean — the thread-safety gate is vacuous")
+    endif()
+    if(NOT "${err}" MATCHES "thread-safety")
+      message(FATAL_ERROR
+        "negative fixture failed, but not from thread-safety analysis:\n${err}")
+    endif()
+    message(STATUS "negative fixture rejected by thread-safety analysis, as required")
+  else()
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "positive control ${FIXTURE} failed to compile — harness broken, not gate working:\n${err}")
+    endif()
+    message(STATUS "positive control accepted, harness sound")
+  endif()
+
+elseif(MODE STREQUAL "sa_neg")
+  execute_process(COMMAND ${TOOL} "--root=${TREE}" src CMakeLists.txt
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "cpt_sa exited 0 on the violating fixture tree:\n${out}")
+  endif()
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "cpt_sa failed to run (exit ${rc}): ${err}")
+  endif()
+  if(NOT "${out}" MATCHES "\\[${EXPECT_RULE}\\]")
+    message(FATAL_ERROR "cpt_sa report is missing rule '${EXPECT_RULE}':\n${out}")
+  endif()
+  message(STATUS "cpt_sa rejected the fixture tree with [${EXPECT_RULE}], as required")
+
+else()
+  message(FATAL_ERROR "sa_compile_test.cmake: unknown MODE '${MODE}'")
+endif()

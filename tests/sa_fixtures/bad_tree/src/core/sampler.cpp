@@ -1,0 +1,32 @@
+// Fixture: nondeterminism in a deterministic path (src/core/sampler.*).
+// Expected: determinism at rand/srand/time/std::time and at both iteration
+// sites; NOT at the member call, the prefixed identifier, or the lookup.
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+namespace fixture {
+
+int draw() {
+    srand(static_cast<unsigned>(time(nullptr)));
+    const auto stamp = std::time(nullptr);
+    (void)stamp;
+    return rand();
+}
+
+int histogram() {
+    std::unordered_map<int, int> counts;
+    counts[1] = 2;  // lookup/insert is fine; only iteration order is unstable
+    int total = 0;
+    for (const auto& kv : counts) total += kv.second;
+    for (auto it = counts.begin(); it != counts.end(); ++it) total += it->second;
+    return total;
+}
+
+template <typename Clock>
+long fine(Clock& c) {
+    long stage_times = c.time(0);  // member call + distinct identifier: clean
+    return stage_times;
+}
+
+}  // namespace fixture

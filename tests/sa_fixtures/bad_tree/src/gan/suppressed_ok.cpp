@@ -1,0 +1,16 @@
+// Fixture: every violation here carries a cpt-sa-allow marker, so this file
+// must contribute ZERO findings — it proves suppression works per-line and
+// per-rule.
+#include <mutex>  // cpt-sa-allow(sync-types)
+#include <cstdio>
+
+namespace fixture {
+
+// cpt-sa-allow(sync-types)
+std::mutex g_reviewed_exception;
+
+void reviewed_diagnostic() {
+    std::fprintf(stderr, "reviewed\n");  // cpt-sa-allow(*)
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: raw stderr writes outside src/util/log.cpp. Expected: raw-stderr
+// at the fprintf and the std::cerr; NOT at the stdout printf.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void warn_badly(const char* what) {
+    std::fprintf(stderr, "oops: %s\n", what);
+    std::cerr << "also oops: " << what << "\n";
+    std::printf("stdout output is data, not diagnostics: %s\n", what);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: AVX2 leakage into a baseline TU. Expected: avx2-isolation at both
+// includes (the intrinsics header and the _avx2 kernel header).
+#include <immintrin.h>
+
+#include "kernels_avx2.hpp"
+
+namespace fixture {
+
+float sum8(const float* p) {
+    __m256 v = _mm256_loadu_ps(p);
+    (void)v;
+    return p[0];
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: names std sync primitives outside src/util/sync.hpp.
+// Expected: sync-types at the include and at each std:: mention.
+#include <mutex>
+#include <condition_variable>
+
+namespace fixture {
+
+std::mutex g_mu;
+
+int bump(int v) {
+    std::lock_guard<std::mutex> lock(g_mu);
+    return v + 1;
+}
+
+// Mentions in comments (std::mutex) and strings must NOT be flagged:
+const char* kDoc = "prefer util::Mutex over std::mutex";
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Negative fixture for the thread-safety annotation gate: `hits` is declared
+// CPT_GUARDED_BY(mu) but bump_unlocked() touches it without holding mu.
+// Under clang -Wthread-safety -Werror=thread-safety-analysis this file MUST
+// fail to compile; tests/sa_compile_test.cmake (MODE=tsa_neg) asserts that.
+// Under GCC the macros are no-ops and it compiles — which is exactly why the
+// harness skips when no clang is available instead of passing vacuously.
+#include "util/sync.hpp"
+
+struct Counter {
+    cpt::util::Mutex mu;
+    int hits CPT_GUARDED_BY(mu) = 0;
+
+    void bump_unlocked() { hits += 1; }  // BAD: no lock held
+
+    int read() {
+        cpt::util::LockGuard lock(mu);
+        return hits;
+    }
+};
+
+int main() {
+    Counter c;
+    c.bump_unlocked();
+    return c.read();
+}

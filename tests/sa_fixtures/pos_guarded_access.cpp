@@ -1,0 +1,27 @@
+// Positive control for tests/sa_compile_test.cmake (MODE=tsa_pos): identical
+// shape to neg_guarded_access.cpp but every access holds the lock, so the
+// thread-safety analysis must accept it. If this control ever fails, the
+// negative test's rejection is meaningless (the harness would be failing on
+// setup, not on the seeded bug).
+#include "util/sync.hpp"
+
+struct Counter {
+    cpt::util::Mutex mu;
+    int hits CPT_GUARDED_BY(mu) = 0;
+
+    void bump() {
+        cpt::util::LockGuard lock(mu);
+        hits += 1;
+    }
+
+    int read() {
+        cpt::util::LockGuard lock(mu);
+        return hits;
+    }
+};
+
+int main() {
+    Counter c;
+    c.bump();
+    return c.read();
+}
