@@ -1,0 +1,212 @@
+// Million-UE streaming-substrate scale sweep (DESIGN.md §14): generates
+// synthetic worlds of growing population straight to the columnar trace
+// format via SyntheticWorldGenerator::generate_to, replays them through the
+// streaming trace linter, and evaluates streaming fidelity against a fixed
+// in-RAM reference world — all in O(chunk + sketches) memory, so peak RSS
+// stays flat while the population grows 100x. Reports events/s generated,
+// events/s replayed, file bytes, and peak RSS per row; emits BENCH_scale.json
+// next to the binary (collected by scripts/bench.sh).
+//
+// Options (CLI --key=value or env CPT_KEY):
+//   --pops=10000,50000,200000   comma-separated populations, swept ascending
+//   --chunk-ues=8192            generation chunk (UEs in flight per chunk)
+//   --chunk-streams=4096        columnar writer chunk (streams per block)
+//   --ref-ues=2000              in-RAM reference world for the fidelity leg
+//   --assert-rss-mb=0           if > 0, exit nonzero when peak RSS exceeds
+//                               this bound (scripts/check.sh scale smoke)
+//   --keep-files                keep the .cpt trace files instead of deleting
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "lint/trace_lint.hpp"
+#include "metrics/fidelity.hpp"
+#include "trace/columnar.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace cpt;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Peak resident set size (VmHWM) in MiB from /proc/self/status; 0.0 when the
+// file is unavailable (non-Linux). Monotone over the process lifetime, which
+// is why the sweep runs ascending: the per-row snapshot is dominated by the
+// row itself, and the final value bounds the whole sweep.
+double peak_rss_mb() {
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (!f) return 0.0;
+    char line[256];
+    double mb = 0.0;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            long kb = 0;
+            if (std::sscanf(line + 6, "%ld", &kb) == 1) mb = static_cast<double>(kb) / 1024.0;
+            break;
+        }
+    }
+    std::fclose(f);
+    return mb;
+}
+
+std::vector<std::size_t> parse_pops(const std::string& s) {
+    std::vector<std::size_t> pops;
+    std::size_t start = 0;
+    while (start < s.size()) {
+        std::size_t end = s.find(',', start);
+        if (end == std::string::npos) end = s.size();
+        if (end > start) pops.push_back(static_cast<std::size_t>(std::stoull(s.substr(start, end - start))));
+        start = end + 1;
+    }
+    return pops;
+}
+
+struct ScaleRow {
+    std::size_t population = 0;
+    std::size_t streams = 0;
+    std::size_t events = 0;
+    double gen_seconds = 0.0;
+    double gen_events_per_sec = 0.0;
+    double replay_seconds = 0.0;
+    double replay_events_per_sec = 0.0;
+    double fidelity_seconds = 0.0;
+    double mean_sojourn_maxy = 0.0;
+    std::size_t file_bytes = 0;
+    double bytes_per_event = 0.0;
+    double peak_rss_mb = 0.0;
+};
+
+trace::SyntheticWorldConfig world_config(std::size_t population) {
+    trace::SyntheticWorldConfig cfg;
+    // Keep the paper's device ratio (phones : cars : tablets ~ 700:280:100).
+    cfg.population[0] = population * 700 / 1080;
+    cfg.population[1] = population * 280 / 1080;
+    cfg.population[2] = population - cfg.population[0] - cfg.population[1];
+    cfg.seed = 42;
+    return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Options opt(argc, argv);
+    const auto pops = parse_pops(opt.get("pops", "10000,50000,200000"));
+    const auto chunk_ues = static_cast<std::size_t>(opt.get_int("chunk-ues", 8192));
+    const auto chunk_streams = static_cast<std::size_t>(opt.get_int("chunk-streams", 4096));
+    const auto ref_ues = static_cast<std::size_t>(opt.get_int("ref-ues", 2000));
+    const double assert_rss_mb = opt.get_double("assert-rss-mb", 0.0);
+    const bool keep_files = opt.get_flag("keep-files");
+    const std::size_t threads = util::global_pool().threads();
+
+    // Fixed in-RAM reference world for the fidelity leg: its accumulator is
+    // built once and reused for every row.
+    const trace::SyntheticWorldGenerator ref_gen(world_config(ref_ues));
+    metrics::FidelityAccumulator ref_acc(cellular::Generation::kLte4G);
+    ref_acc.add(ref_gen.generate());
+
+    std::printf("bench_scale: threads=%zu chunk_ues=%zu chunk_streams=%zu ref_ues=%zu\n", threads,
+                chunk_ues, chunk_streams, ref_ues);
+    std::printf("%10s %10s %12s %12s %14s %12s %10s %10s\n", "population", "streams", "events",
+                "gen_ev/s", "replay_ev/s", "fidelity_s", "MiB/file", "rss_MiB");
+
+    std::vector<ScaleRow> rows;
+    for (std::size_t pop : pops) {
+        ScaleRow row;
+        row.population = pop;
+        const std::string path = "bench_scale_" + std::to_string(pop) + ".cpt";
+        const trace::SyntheticWorldGenerator gen(world_config(pop));
+
+        auto t0 = std::chrono::steady_clock::now();
+        trace::ColumnarStats stats;
+        {
+            trace::ColumnarWriter writer(path, cellular::Generation::kLte4G, chunk_streams);
+            gen.generate_to(writer, chunk_ues);
+            stats = writer.finish();
+        }
+        row.gen_seconds = seconds_since(t0);
+        row.streams = stats.streams;
+        row.events = stats.events;
+        row.file_bytes = stats.bytes;
+        row.bytes_per_event =
+            stats.events ? static_cast<double>(stats.bytes) / static_cast<double>(stats.events)
+                         : 0.0;
+        row.gen_events_per_sec =
+            row.gen_seconds > 0.0 ? static_cast<double>(stats.events) / row.gen_seconds : 0.0;
+
+        trace::ColumnarReader reader(path);
+        t0 = std::chrono::steady_clock::now();
+        const auto report = lint::TraceLinter(reader.generation()).lint(reader);
+        row.replay_seconds = seconds_since(t0);
+        row.replay_events_per_sec =
+            row.replay_seconds > 0.0
+                ? static_cast<double>(report.total_events) / row.replay_seconds
+                : 0.0;
+        if (report.violating_events != 0) {
+            std::fprintf(stderr, "bench_scale: generator produced %zu violations at pop %zu\n",
+                         report.violating_events, pop);
+            return 1;
+        }
+
+        t0 = std::chrono::steady_clock::now();
+        const auto acc = metrics::accumulate_fidelity(reader);
+        const auto fr = metrics::evaluate_fidelity(acc, ref_acc);
+        row.fidelity_seconds = seconds_since(t0);
+        row.mean_sojourn_maxy = fr.mean_sojourn_maxy();
+
+        row.peak_rss_mb = peak_rss_mb();
+        if (!keep_files) std::remove(path.c_str());
+
+        std::printf("%10zu %10zu %12zu %12.0f %14.0f %12.2f %10.1f %10.1f\n", row.population,
+                    row.streams, row.events, row.gen_events_per_sec, row.replay_events_per_sec,
+                    row.fidelity_seconds, static_cast<double>(row.file_bytes) / (1024.0 * 1024.0),
+                    row.peak_rss_mb);
+        rows.push_back(row);
+    }
+
+    const char* path = "BENCH_scale.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_scale: cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"scale\",\n  \"threads_configured\": %zu,\n"
+                 "  \"chunk_ues\": %zu,\n  \"chunk_streams\": %zu,\n  \"ref_ues\": %zu,\n"
+                 "  \"rows\": [\n",
+                 threads, chunk_ues, chunk_streams, ref_ues);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        std::fprintf(f,
+                     "    {\"population\": %zu, \"streams\": %zu, \"events\": %zu, "
+                     "\"gen_seconds\": %.3f, \"gen_events_per_sec\": %.0f, "
+                     "\"replay_seconds\": %.3f, \"replay_events_per_sec\": %.0f, "
+                     "\"fidelity_seconds\": %.3f, \"mean_sojourn_maxy\": %.4f, "
+                     "\"file_bytes\": %zu, \"bytes_per_event\": %.2f, \"peak_rss_mb\": %.1f}%s\n",
+                     r.population, r.streams, r.events, r.gen_seconds, r.gen_events_per_sec,
+                     r.replay_seconds, r.replay_events_per_sec, r.fidelity_seconds,
+                     r.mean_sojourn_maxy, r.file_bytes, r.bytes_per_event, r.peak_rss_mb,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"peak_rss_mb\": %.1f\n}\n", peak_rss_mb());
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+
+    if (assert_rss_mb > 0.0) {
+        const double rss = peak_rss_mb();
+        if (rss > assert_rss_mb) {
+            std::fprintf(stderr,
+                         "bench_scale: peak RSS %.1f MiB exceeds the asserted bound %.1f MiB\n",
+                         rss, assert_rss_mb);
+            return 1;
+        }
+        std::printf("peak RSS %.1f MiB within asserted bound %.1f MiB\n", rss, assert_rss_mb);
+    }
+    return 0;
+}

@@ -1,14 +1,22 @@
-// Trace toolbox: generate / load / validate / summarize control-plane traces
-// on the command line — the utility an operator or MCN researcher would use
-// around the generator library.
+// Trace toolbox: generate / load / validate / summarize / convert
+// control-plane traces on the command line — the utility an operator or MCN
+// researcher would use around the generator library.
 //
 //   trace_tools --mode=generate --out=trace.csv --ues=300 --hour=9
-//   trace_tools --mode=validate --in=trace.csv
+//   trace_tools --mode=generate --out=trace.cpt --ues=1000000   # streamed
+//   trace_tools --mode=validate --in=trace.csv                  # or .cpt
 //   trace_tools --mode=summary  --in=trace.csv
+//   trace_tools --mode=convert  --in=trace.csv --out=trace.cpt  # either way
+//
+// Files ending in .cpt use the columnar binary format (DESIGN.md §14);
+// validate streams them chunk-at-a-time, so million-UE traces lint in
+// O(chunk) memory.
 #include <cstdio>
 #include <string>
 
+#include "lint/trace_lint.hpp"
 #include "metrics/fidelity.hpp"
+#include "trace/columnar.hpp"
 #include "trace/io.hpp"
 #include "trace/synthetic.hpp"
 #include "util/ascii.hpp"
@@ -19,6 +27,10 @@ namespace {
 
 using namespace cpt;
 
+bool is_columnar_path(const std::string& path) {
+    return path.size() >= 4 && path.compare(path.size() - 4, 4, ".cpt") == 0;
+}
+
 int do_generate(const util::Options& opt) {
     trace::SyntheticWorldConfig cfg;
     const auto total = static_cast<std::size_t>(opt.get_int("ues", 300));
@@ -27,8 +39,22 @@ int do_generate(const util::Options& opt) {
                       total - total * 65 / 100 - total * 26 / 100};
     cfg.hour_of_day = static_cast<int>(opt.get_int("hour", 9));
     cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
-    const auto ds = trace::SyntheticWorldGenerator(cfg).generate();
+    const trace::SyntheticWorldGenerator gen(cfg);
     const std::string out = opt.get("out", "trace.csv");
+    if (is_columnar_path(out)) {
+        // Streamed: never holds more than one chunk of streams, so --ues can
+        // be millions. Produces bytes identical to the in-RAM path.
+        trace::ColumnarWriter writer(out, cfg.generation);
+        gen.generate_to(writer);
+        const auto stats = writer.finish();
+        std::printf("wrote %llu streams / %llu events to %s (%llu chunks, %.1f MiB)\n",
+                    static_cast<unsigned long long>(stats.streams),
+                    static_cast<unsigned long long>(stats.events), out.c_str(),
+                    static_cast<unsigned long long>(stats.chunks),
+                    static_cast<double>(stats.bytes) / (1024.0 * 1024.0));
+        return 0;
+    }
+    const auto ds = gen.generate();
     trace::write_csv_file(out, ds);
     std::printf("wrote %zu streams / %zu events to %s\n", ds.streams.size(), ds.total_events(),
                 out.c_str());
@@ -36,20 +62,30 @@ int do_generate(const util::Options& opt) {
 }
 
 int do_validate(const util::Options& opt) {
-    const auto ds = trace::read_csv_file(opt.get("in", "trace.csv"));
-    const auto v = metrics::semantic_violations(ds);
-    std::printf("streams %zu, counted events %zu\n", v.total_streams, v.counted_events);
-    std::printf("event violations:  %s\n", util::fmt_pct(v.event_fraction(), 3).c_str());
-    std::printf("stream violations: %s\n", util::fmt_pct(v.stream_fraction(), 2).c_str());
-    for (const auto& c : v.top_categories) {
-        std::printf("  (%s, %s): %s of events\n", c.state.c_str(), c.event.c_str(),
-                    util::fmt_pct(c.event_fraction, 3).c_str());
+    const std::string in = opt.get("in", "trace.csv");
+    lint::TraceLintReport report;
+    if (is_columnar_path(in)) {
+        trace::ColumnarReader reader(in);
+        report = lint::TraceLinter(reader.generation()).lint(reader);
+    } else {
+        const auto ds = trace::read_csv_file(in);
+        report = lint::TraceLinter(ds.generation).lint(ds);
     }
-    return v.violating_events == 0 ? 0 : 1;
+    std::printf("streams %zu, counted events %zu\n", report.total_streams, report.counted_events);
+    std::printf("event violations:  %s\n", util::fmt_pct(report.event_fraction(), 3).c_str());
+    std::printf("stream violations: %s\n", util::fmt_pct(report.stream_fraction(), 2).c_str());
+    const auto& vocab = cellular::vocabulary(report.generation);
+    for (const auto& c : report.top_categories(report.top_k)) {
+        std::printf("  (%s, %s): %s of events\n", std::string(to_string(c.state)).c_str(),
+                    vocab.name(c.event).c_str(), util::fmt_pct(c.event_fraction, 3).c_str());
+    }
+    return report.violating_events == 0 ? 0 : 1;
 }
 
 int do_summary(const util::Options& opt) {
-    const auto ds = trace::read_csv_file(opt.get("in", "trace.csv"));
+    const std::string in = opt.get("in", "trace.csv");
+    const auto ds =
+        is_columnar_path(in) ? trace::read_columnar_file(in) : trace::read_csv_file(in);
     const auto& vocab = cellular::vocabulary(ds.generation);
     std::printf("streams %zu, events %zu\n\n", ds.streams.size(), ds.total_events());
 
@@ -76,6 +112,32 @@ int do_summary(const util::Options& opt) {
     return 0;
 }
 
+int do_convert(const util::Options& opt) {
+    const std::string in = opt.get("in", "trace.csv");
+    const std::string out = opt.get("out", "trace.cpt");
+    const bool in_col = is_columnar_path(in);
+    const bool out_col = is_columnar_path(out);
+    if (in_col == out_col) {
+        std::fprintf(stderr,
+                     "convert needs one CSV side and one columnar (.cpt) side "
+                     "(got --in=%s --out=%s)\n",
+                     in.c_str(), out.c_str());
+        return 2;
+    }
+    if (out_col) {
+        const auto stats = trace::csv_to_columnar(in, out);
+        std::printf("wrote %llu streams / %llu events to %s (%llu chunks, %.1f MiB)\n",
+                    static_cast<unsigned long long>(stats.streams),
+                    static_cast<unsigned long long>(stats.events), out.c_str(),
+                    static_cast<unsigned long long>(stats.chunks),
+                    static_cast<double>(stats.bytes) / (1024.0 * 1024.0));
+    } else {
+        trace::columnar_to_csv(in, out);
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,10 +147,12 @@ int main(int argc, char** argv) {
         if (mode == "generate") return do_generate(opt);
         if (mode == "validate") return do_validate(opt);
         if (mode == "summary") return do_summary(opt);
+        if (mode == "convert") return do_convert(opt);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
-    std::fprintf(stderr, "unknown --mode=%s (generate | validate | summary)\n", mode.c_str());
+    std::fprintf(stderr, "unknown --mode=%s (generate | validate | summary | convert)\n",
+                 mode.c_str());
     return 2;
 }

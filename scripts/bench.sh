@@ -5,7 +5,7 @@
 # anywhere inside the repo:
 #
 #   scripts/bench.sh                 # run all perf benches -> bench_results/
-#   scripts/bench.sh e2e_generate    # just one bench (micro_nn|e2e_generate|serve|train)
+#   scripts/bench.sh e2e_generate    # just one bench (micro_nn|e2e_generate|serve|train|scale)
 #   CPT_BENCH_OUT=/tmp/r scripts/bench.sh   # collect somewhere else
 #
 # Each bench writes its BENCH_<name>.json into the build directory; this
@@ -19,13 +19,13 @@ OUT="${CPT_BENCH_OUT:-$ROOT/bench_results}"
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-    benches=(micro_nn e2e_generate serve train)
+    benches=(micro_nn e2e_generate serve train scale)
 fi
 for b in "${benches[@]}"; do
     case "$b" in
-        micro_nn | e2e_generate | serve | train) ;;
+        micro_nn | e2e_generate | serve | train | scale) ;;
         *)
-            echo "unknown bench '$b' (expected: micro_nn e2e_generate serve train)" >&2
+            echo "unknown bench '$b' (expected: micro_nn e2e_generate serve train scale)" >&2
             exit 2
             ;;
     esac

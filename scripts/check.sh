@@ -14,6 +14,7 @@
 #   scripts/check.sh quant       # quant-labeled tests (int8/fp16 decode) per forced SIMD tier
 #   scripts/check.sh serve       # serve-labeled tests + daemon smoke (loadtest, clean drain)
 #   scripts/check.sh train       # train-labeled tests, then rerun determinism with CPT_THREADS=2
+#   scripts/check.sh scale       # scale-labeled tests + 50k-UE streaming smoke under an RSS bound
 #
 # Any subset may be requested by name (`scripts/check.sh sa tsan`). Each stage
 # configures into its own build directory (build-check-<stage>) so repeat runs
@@ -228,7 +229,20 @@ stage_train() {
     CPT_THREADS=2 run_ctest "$dir" -R 'TrainDeterminism'
 }
 
-all_stages=(werror tidy annotate sa ubsan asan tsan simd quant serve train)
+stage_scale() {
+    echo "== stage: scale (scale-labeled tests + 50k-UE streaming smoke with RSS bound) =="
+    local dir="$ROOT/build-check-scale"
+    configure_and_build "$dir"
+    run_ctest "$dir" -L scale
+    # End-to-end streaming smoke: generate a 50k-UE world straight to the
+    # columnar format, replay it through the streaming linter, and evaluate
+    # streaming fidelity — all of which must stay under the RSS bound, proving
+    # the O(chunk + sketches) memory contract (DESIGN.md §14). The bound is
+    # ~7x the measured peak, so it only trips on an actual O(population) leak.
+    (cd "$dir/bench" && ./bench_scale --pops=50000 --assert-rss-mb=200)
+}
+
+all_stages=(werror tidy annotate sa ubsan asan tsan simd quant serve train scale)
 
 run_stage() {
     case "$1" in
@@ -243,6 +257,7 @@ run_stage() {
         quant) stage_quant ;;
         serve) stage_serve ;;
         train) stage_train ;;
+        scale) stage_scale ;;
         *)
             echo "unknown stage '$1' (expected: ${all_stages[*]})" >&2
             exit 2

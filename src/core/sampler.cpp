@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "trace/columnar.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -421,13 +422,12 @@ trace::Stream Sampler::sample_stream(const std::string& ue_id, util::Rng& rng) c
     return streams.front();
 }
 
-trace::Dataset Sampler::generate(std::size_t n, util::Rng& rng,
-                                 const std::string& ue_prefix) const {
-    trace::Dataset ds;
-    ds.generation = tokenizer_->generation();
+std::size_t Sampler::generate_impl(std::size_t n, util::Rng& rng, const std::string& ue_prefix,
+                                   const std::function<void(trace::Stream&&)>& sink) const {
+    std::size_t kept = 0;
     std::size_t serial = 0;
-    while (ds.streams.size() < n) {
-        const std::size_t want = n - ds.streams.size();
+    while (kept < n) {
+        const std::size_t want = n - kept;
         // One round is several decode batches so multiple workers can run
         // whole batches concurrently. Round size depends only on `want`, never
         // on the thread count, and every stream's RNG is forked here —
@@ -451,20 +451,41 @@ trace::Dataset Sampler::generate(std::size_t n, util::Rng& rng,
         serial += round;
         for (auto& part : parts) {
             for (auto& s : part) {
-                if (s.length() >= 2 && ds.streams.size() < n) ds.streams.push_back(std::move(s));
+                if (s.length() >= 2 && kept < n) {
+                    sink(std::move(s));
+                    ++kept;
+                }
             }
         }
-        if (ds.streams.size() < n && serial > 20 * n + 100) {
+        if (kept < n && serial > 20 * n + 100) {
             // Degenerate model: nearly all draws are shorter than 2 events.
             // Give up with a diagnostic instead of looping forever (documented
             // in sampler.hpp).
             util::warnf("Sampler::generate gave up after %zu draws with only "
                         "%zu/%zu usable streams (model emits stop immediately?)",
-                        serial, ds.streams.size(), n);
+                        serial, kept, n);
             break;
         }
     }
+    return kept;
+}
+
+trace::Dataset Sampler::generate(std::size_t n, util::Rng& rng,
+                                 const std::string& ue_prefix) const {
+    trace::Dataset ds;
+    ds.generation = tokenizer_->generation();
+    ds.streams.reserve(n);
+    generate_impl(n, rng, ue_prefix,
+                  [&](trace::Stream&& s) { ds.streams.push_back(std::move(s)); });
     return ds;
+}
+
+std::size_t Sampler::generate_to(trace::ColumnarWriter& writer, std::size_t n, util::Rng& rng,
+                                 const std::string& ue_prefix) const {
+    CPT_CHECK(writer.generation() == tokenizer_->generation(),
+              "Sampler::generate_to: writer generation does not match the model's generation");
+    return generate_impl(n, rng, ue_prefix,
+                         [&](trace::Stream&& s) { writer.append(std::move(s)); });
 }
 
 }  // namespace cpt::core

@@ -42,6 +42,10 @@
 #include "model.hpp"
 #include "trace/stream.hpp"
 
+namespace cpt::trace {
+class ColumnarWriter;
+}
+
 namespace cpt::core {
 
 struct SamplerConfig {
@@ -91,6 +95,16 @@ public:
 
     // Generates `n` streams (length >= 2; shorter draws are dropped).
     trace::Dataset generate(std::size_t n, util::Rng& rng,
+                            const std::string& ue_prefix = "cptgpt") const;
+
+    // Streaming variant: same sampling loop (shared round/fork/filter core,
+    // so the two entry points cannot drift), but kept streams go straight to
+    // `writer` instead of a Dataset — memory stays O(batch round), not O(n).
+    // Byte-identical file to write_columnar_file(path, generate(n, ...)) at
+    // equal seeds for every CPT_THREADS. Does not finish() the writer.
+    // Returns the number of streams appended (< n only if the model is so
+    // degenerate the loop gave up; see the header comment).
+    std::size_t generate_to(trace::ColumnarWriter& writer, std::size_t n, util::Rng& rng,
                             const std::string& ue_prefix = "cptgpt") const;
 
     // Runs one batched decode over `rngs.size()` streams whose RNGs were
@@ -184,6 +198,12 @@ public:
     const SamplerConfig& config() const { return config_; }
 
 private:
+    // Shared round/fork/filter loop behind generate() and generate_to():
+    // kept streams are handed to `sink` in serial order. Returns the number
+    // of streams kept.
+    std::size_t generate_impl(std::size_t n, util::Rng& rng, const std::string& ue_prefix,
+                              const std::function<void(trace::Stream&&)>& sink) const;
+
     const CptGpt* model_;
     const Tokenizer* tokenizer_;
     std::vector<double> initial_event_dist_;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "trace/columnar.hpp"
 #include "util/ascii.hpp"
 #include "util/check.hpp"
 
@@ -18,12 +19,13 @@ constexpr std::size_t kNumSubStates = static_cast<std::size_t>(SubState::kNumSub
 
 // Re-walks one stream with the replayer's exact semantics (bootstrap scan,
 // stay-in-state on violation) to recover the position of its first violation.
-FirstOffender locate_first_offender(const cellular::StateMachine& m, const trace::Stream& s,
-                                    std::size_t stream_index) {
+FirstOffender locate_first_offender(const cellular::StateMachine& m,
+                                    std::span<const cellular::ControlEvent> events,
+                                    const std::string& ue_id, std::size_t stream_index) {
     SubState state = SubState::kDeregistered;
     bool bootstrapped = false;
-    for (std::size_t k = 0; k < s.events.size(); ++k) {
-        const auto& ev = s.events[k];
+    for (std::size_t k = 0; k < events.size(); ++k) {
+        const auto& ev = events[k];
         if (!bootstrapped) {
             const auto boot = m.bootstrap_state(ev.type);
             if (boot) {
@@ -34,12 +36,12 @@ FirstOffender locate_first_offender(const cellular::StateMachine& m, const trace
         }
         const auto next = m.step(state, ev.type);
         if (!next) {
-            return {stream_index, s.ue_id, k, ev.timestamp, state, ev.type};
+            return {stream_index, ue_id, k, ev.timestamp, state, ev.type};
         }
         state = *next;
     }
     // The caller only asks for streams the replayer reported as violating.
-    CPT_CHECK(false, "locate_first_offender: stream ", s.ue_id,
+    CPT_CHECK(false, "locate_first_offender: stream ", ue_id,
               " has no violation on re-walk (replayer disagreement)");
 }
 
@@ -238,9 +240,57 @@ TraceLintReport TraceLinter::lint(const trace::Dataset& ds, const TraceLintConfi
         }
     }
     if (first_violating_stream) {
+        const auto& s = ds.streams[*first_violating_stream];
         report.first_offender =
-            locate_first_offender(m, ds.streams[*first_violating_stream], *first_violating_stream);
+            locate_first_offender(m, s.events, s.ue_id, *first_violating_stream);
     }
+    return report;
+}
+
+TraceLintReport TraceLinter::lint(trace::ColumnarReader& reader,
+                                  const TraceLintConfig& config) const {
+    const auto& m = *machine_;
+    CPT_CHECK(reader.generation() == m.generation(),
+              "TraceLinter::lint: trace generation does not match the linter's machine");
+    CPT_CHECK(!config.per_ue,
+              "TraceLinter::lint(ColumnarReader): per-UE summaries are O(streams) and not "
+              "available on the streaming path");
+
+    TraceLintReport report;
+    report.generation = reader.generation();
+    report.top_k = config.top_k;
+    report.violations_by_state_event.assign(kNumSubStates * m.num_events(), 0);
+
+    reader.rewind();
+    trace::StreamBatch batch;
+    std::vector<std::span<const cellular::ControlEvent>> streams;
+    std::size_t base = 0;
+    while (reader.next(batch)) {
+        streams.clear();
+        streams.reserve(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) streams.push_back(batch.events_of(i));
+        const auto results = StateMachineReplayer(m).replay_all(streams);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto& r = results[i];
+            report.total_events += streams[i].size();
+            report.pre_bootstrap_events += r.pre_bootstrap_events;
+            report.counted_events += r.counted_events;
+            report.violating_events += r.violations;
+            if (r.has_violation()) {
+                ++report.violating_streams;
+                if (!report.first_offender) {
+                    report.first_offender = locate_first_offender(m, streams[i], batch.ue_ids[i],
+                                                                  base + i);
+                }
+            }
+            if (!r.bootstrapped) ++report.unbootstrapped_streams;
+            for (std::size_t k = 0; k < report.violations_by_state_event.size(); ++k) {
+                report.violations_by_state_event[k] += r.violation_by_state_event[k];
+            }
+        }
+        base += batch.size();
+    }
+    report.total_streams = base;
     return report;
 }
 

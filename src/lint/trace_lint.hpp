@@ -17,6 +17,10 @@
 #include "cellular/state_machine.hpp"
 #include "trace/stream.hpp"
 
+namespace cpt::trace {
+class ColumnarReader;
+}
+
 namespace cpt::lint {
 
 // One (sub-state, event) violation category with its aggregate count.
@@ -99,6 +103,13 @@ public:
 
     // Replays every stream (sharded over the thread pool) and aggregates.
     TraceLintReport lint(const trace::Dataset& ds, const TraceLintConfig& config = {}) const;
+
+    // Streaming overload: replays a columnar trace one chunk at a time
+    // (rewinding the reader first), holding O(chunk) memory. Produces the
+    // same report as the in-RAM overload on the same streams, except that
+    // per-UE summaries are unavailable (they are O(streams) by definition,
+    // so TraceLintConfig::per_ue is rejected here).
+    TraceLintReport lint(trace::ColumnarReader& reader, const TraceLintConfig& config = {}) const;
 
 private:
     const cellular::StateMachine* machine_;

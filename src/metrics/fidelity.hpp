@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "cellular/state_machine.hpp"
+#include "trace/columnar.hpp"
 #include "trace/stream.hpp"
+#include "util/sketch.hpp"
 #include "util/stats.hpp"
 
 namespace cpt::metrics {
@@ -80,7 +82,74 @@ struct FidelityReport {
 
 FidelityReport evaluate_fidelity(const trace::Dataset& synthesized, const trace::Dataset& real);
 
+// ---- Streaming fidelity (DESIGN.md §14) -----------------------------------------
+//
+// FidelityAccumulator builds the Table-2 statistics incrementally: exact
+// counters (event-type breakdown, violation tallies) plus deterministic
+// quantile sketches (per-UE mean sojourns, flow lengths). Chunks can be
+// accumulated on pool workers into per-chunk accumulators and merge()d in
+// ascending chunk order — counters are exact under any grouping, sketches are
+// reproducible under the canonical fold order (see util/sketch.hpp). Memory
+// is O(sketches), independent of the trace size.
+class FidelityAccumulator {
+public:
+    explicit FidelityAccumulator(cellular::Generation gen, std::size_t sketch_k = 1024);
+
+    // Replays one decoded chunk (sharded over the thread pool) and folds its
+    // statistics in.
+    void add(const trace::StreamBatch& batch);
+    // In-RAM bridge: folds a whole dataset (via Dataset::for_each_stream).
+    void add(const trace::Dataset& ds);
+
+    // Canonical merge; both sides must share the generation and sketch k.
+    void merge(const FidelityAccumulator& other);
+
+    cellular::Generation generation() const { return gen_; }
+    std::uint64_t total_streams() const { return total_streams_; }
+    std::uint64_t total_events() const { return event_counts_.total(); }
+
+    // Worst-case rank error (fraction of count) across this accumulator's
+    // sketches — the documented ε for the quantile-based distances below.
+    double sketch_rank_error() const;
+
+    bool operator==(const FidelityAccumulator& other) const = default;
+
+    // The evaluator needs the raw pieces.
+    friend FidelityReport evaluate_fidelity(const FidelityAccumulator& synthesized,
+                                            const FidelityAccumulator& real);
+
+private:
+    void add_streams(std::span<const std::span<const cellular::ControlEvent>> streams);
+
+    cellular::Generation gen_;
+    util::CountTable event_counts_;  // per event type (exact)
+    std::uint64_t total_streams_ = 0;
+    std::uint64_t counted_events_ = 0;
+    std::uint64_t violating_events_ = 0;
+    std::uint64_t violating_streams_ = 0;
+    util::QuantileSketch per_ue_mean_connected_;
+    util::QuantileSketch per_ue_mean_idle_;
+    util::QuantileSketch flow_all_;
+    util::QuantileSketch flow_srv_req_;
+    util::QuantileSketch flow_s1_rel_;
+};
+
+// The streaming counterpart of evaluate_fidelity(Dataset, Dataset): exact for
+// violation fractions and breakdown_diff, within sketch_rank_error() of the
+// exact statistic for the five max-y distances.
+FidelityReport evaluate_fidelity(const FidelityAccumulator& synthesized,
+                                 const FidelityAccumulator& real);
+
+// Accumulates a whole columnar trace chunk-at-a-time (rewinding first).
+FidelityAccumulator accumulate_fidelity(trace::ColumnarReader& reader,
+                                        std::size_t sketch_k = 1024);
+
+// End-to-end streaming evaluation of two columnar traces in O(chunk) memory.
+FidelityReport evaluate_fidelity_streaming(trace::ColumnarReader& synthesized,
+                                           trace::ColumnarReader& real);
+
 // Renders a report as an aligned text block (used by benches/examples).
 std::string render_report(const FidelityReport& report, const trace::Dataset& reference);
+std::string render_report(const FidelityReport& report, cellular::Generation generation);
 
 }  // namespace cpt::metrics

@@ -1,0 +1,528 @@
+#include "columnar.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "io.hpp"
+#include "util/check.hpp"
+
+namespace cpt::trace {
+
+namespace {
+
+constexpr char kFileMagic[4] = {'C', 'P', 'T', 'C'};
+constexpr char kChunkMagic[4] = {'C', 'H', 'N', 'K'};
+constexpr char kIndexMagic[4] = {'C', 'I', 'D', 'X'};
+constexpr char kEndMagic[4] = {'C', 'P', 'T', 'E'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 12;  // magic + version u32 + gen u8 + width u8 + vocab u16
+constexpr std::size_t kChunkHeaderBytes = 24;  // magic + streams u32 + events u64 + payload u64
+constexpr std::size_t kEndTailBytes = 12;      // footer offset u64 + end magic
+
+// Little-endian scalar append (the build targets are little-endian, but going
+// through explicit byte shifts keeps the format well-defined everywhere).
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+// LEB128 unsigned varint.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+    return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+// Bounds-checked decode cursor over one chunk payload. Every failure names
+// the absolute file byte offset of the defect.
+struct Cursor {
+    const std::uint8_t* data;
+    std::size_t size;
+    std::size_t pos = 0;
+    std::uint64_t file_base;       // file offset of data[0]
+    const std::string& file_path;  // for error messages
+
+    std::uint64_t file_offset() const { return file_base + pos; }
+
+    void need(std::size_t n, const char* what) const {
+        CPT_CHECK(pos + n <= size, "columnar trace '", file_path, "': truncated ", what,
+                  " at byte offset ", file_offset(), " (need ", n, " bytes, ", size - pos,
+                  " left in chunk)");
+    }
+
+    std::uint8_t u8(const char* what) {
+        need(1, what);
+        return data[pos++];
+    }
+
+    std::uint16_t u16(const char* what) {
+        need(2, what);
+        std::uint16_t v = static_cast<std::uint16_t>(data[pos]) |
+                          static_cast<std::uint16_t>(data[pos + 1]) << 8;
+        pos += 2;
+        return v;
+    }
+
+    std::uint32_t u32(const char* what) {
+        need(4, what);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t varint(const char* what) {
+        std::uint64_t v = 0;
+        int shift = 0;
+        while (true) {
+            need(1, what);
+            const std::uint8_t b = data[pos++];
+            CPT_CHECK(shift < 64, "columnar trace '", file_path, "': overlong varint in ", what,
+                      " at byte offset ", file_offset());
+            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if ((b & 0x80) == 0) return v;
+            shift += 7;
+        }
+    }
+
+    std::string_view bytes(std::size_t n, const char* what) {
+        need(n, what);
+        auto v = std::string_view(reinterpret_cast<const char*>(data + pos), n);
+        pos += n;
+        return v;
+    }
+};
+
+std::size_t event_width_for(std::size_t vocab_size) { return vocab_size > 256 ? 2 : 1; }
+
+}  // namespace
+
+std::int64_t timestamp_to_ticks(double seconds) {
+    return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+double ticks_to_timestamp(std::int64_t ticks) { return static_cast<double>(ticks) * 1e-6; }
+
+std::span<const cellular::ControlEvent> StreamBatch::events_of(std::size_t i) const {
+    CPT_CHECK_LT(i, size(), " StreamBatch::events_of: stream index out of range");
+    return std::span<const cellular::ControlEvent>(events)
+        .subspan(offsets[i], offsets[i + 1] - offsets[i]);
+}
+
+Stream StreamBatch::stream(std::size_t i) const {
+    CPT_CHECK_LT(i, size(), " StreamBatch::stream: stream index out of range");
+    Stream s;
+    s.ue_id = ue_ids[i];
+    s.device = devices[i];
+    s.hour_of_day = hours[i];
+    const auto evs = events_of(i);
+    s.events.assign(evs.begin(), evs.end());
+    return s;
+}
+
+// ---- writer --------------------------------------------------------------------
+
+struct ColumnarWriter::File {
+    std::FILE* f = nullptr;
+    ~File() {
+        if (f != nullptr) std::fclose(f);
+    }
+};
+
+ColumnarWriter::ColumnarWriter(const std::string& path, cellular::Generation generation,
+                               std::size_t chunk_streams)
+    : path_(path),
+      generation_(generation),
+      chunk_streams_(chunk_streams),
+      file_(std::make_unique<File>()) {
+    CPT_CHECK_GE(chunk_streams_, std::size_t{1}, " ColumnarWriter: chunk_streams must be >= 1");
+    file_->f = std::fopen(path.c_str(), "wb");
+    if (file_->f == nullptr) {
+        throw std::runtime_error("ColumnarWriter: cannot open '" + path + "'");
+    }
+    buffer_.reserve(chunk_streams_);
+    const auto& vocab = cellular::vocabulary(generation_);
+    std::vector<std::uint8_t> header;
+    header.insert(header.end(), kFileMagic, kFileMagic + 4);
+    put_u32(header, kFormatVersion);
+    header.push_back(static_cast<std::uint8_t>(generation_));
+    header.push_back(static_cast<std::uint8_t>(event_width_for(vocab.size())));
+    put_u16(header, static_cast<std::uint16_t>(vocab.size()));
+    write_raw(header.data(), header.size());
+}
+
+ColumnarWriter::~ColumnarWriter() {
+    if (!finished_) {
+        try {
+            finish();
+        } catch (...) {  // destructor must not throw; finish() explicitly to observe errors
+        }
+    }
+}
+
+void ColumnarWriter::write_raw(const void* data, std::size_t size) {
+    if (size == 0) return;
+    const std::size_t n = std::fwrite(data, 1, size, file_->f);
+    if (n != size) {
+        throw std::runtime_error("ColumnarWriter: short write to '" + path_ + "'");
+    }
+    pos_ += size;
+}
+
+void ColumnarWriter::append(Stream s) {
+    CPT_CHECK(!finished_, "ColumnarWriter::append after finish() on '", path_, "'");
+    CPT_CHECK(s.hour_of_day >= 0 && s.hour_of_day < 24, "ColumnarWriter: stream '", s.ue_id,
+              "' has out-of-range hour_of_day ", s.hour_of_day);
+    buffer_.push_back(std::move(s));
+    if (buffer_.size() >= chunk_streams_) flush_chunk();
+}
+
+void ColumnarWriter::flush_chunk() {
+    CPT_CHECK(!finished_, "ColumnarWriter::flush_chunk after finish() on '", path_, "'");
+    if (buffer_.empty()) return;
+    const auto& vocab = cellular::vocabulary(generation_);
+    const std::size_t width = event_width_for(vocab.size());
+    std::uint64_t chunk_events = 0;
+    for (const auto& s : buffer_) chunk_events += s.events.size();
+
+    std::vector<std::uint8_t> payload;
+    payload.reserve(buffer_.size() * 16 + chunk_events * (width + 2));
+    // Column 1: ue ids (varint length + bytes, per stream).
+    for (const auto& s : buffer_) {
+        put_varint(payload, s.ue_id.size());
+        payload.insert(payload.end(), s.ue_id.begin(), s.ue_id.end());
+    }
+    // Columns 2+3: device and hour bytes.
+    for (const auto& s : buffer_) payload.push_back(static_cast<std::uint8_t>(s.device));
+    for (const auto& s : buffer_) payload.push_back(static_cast<std::uint8_t>(s.hour_of_day));
+    // Column 4: per-stream event counts (the offsets table, u32).
+    for (const auto& s : buffer_) {
+        CPT_CHECK_LE(s.events.size(), std::uint64_t{0xffffffff},
+                     " ColumnarWriter: stream too long for u32 offsets table");
+        put_u32(payload, static_cast<std::uint32_t>(s.events.size()));
+    }
+    // Column 5: event ids against the generation vocabulary.
+    for (const auto& s : buffer_) {
+        for (const auto& e : s.events) {
+            CPT_CHECK_LT(std::size_t{e.type}, vocab.size(), " ColumnarWriter: stream '", s.ue_id,
+                         "' event id outside the ", vocab.size(), "-event vocabulary");
+            if (width == 1) {
+                payload.push_back(static_cast<std::uint8_t>(e.type));
+            } else {
+                put_u16(payload, static_cast<std::uint16_t>(e.type));
+            }
+        }
+    }
+    // Column 6: delta-encoded microsecond ticks (zigzag first, plain deltas).
+    for (const auto& s : buffer_) {
+        std::int64_t prev = 0;
+        for (std::size_t i = 0; i < s.events.size(); ++i) {
+            const std::int64_t tick = timestamp_to_ticks(s.events[i].timestamp);
+            if (i == 0) {
+                put_varint(payload, zigzag(tick));
+            } else {
+                CPT_CHECK_GE(tick, prev, " ColumnarWriter: stream '", s.ue_id,
+                             "' has decreasing timestamps");
+                put_varint(payload, static_cast<std::uint64_t>(tick - prev));
+            }
+            prev = tick;
+        }
+    }
+
+    chunk_offsets_.push_back(pos_);
+    std::vector<std::uint8_t> head;
+    head.reserve(kChunkHeaderBytes);
+    head.insert(head.end(), kChunkMagic, kChunkMagic + 4);
+    put_u32(head, static_cast<std::uint32_t>(buffer_.size()));
+    put_u64(head, chunk_events);
+    put_u64(head, payload.size());
+    write_raw(head.data(), head.size());
+    write_raw(payload.data(), payload.size());
+    streams_ += buffer_.size();
+    events_ += chunk_events;
+    buffer_.clear();
+}
+
+ColumnarStats ColumnarWriter::finish() {
+    if (!finished_) {
+        flush_chunk();
+        std::vector<std::uint8_t> footer;
+        const std::uint64_t footer_offset = pos_;
+        footer.insert(footer.end(), kIndexMagic, kIndexMagic + 4);
+        put_u64(footer, chunk_offsets_.size());
+        for (std::uint64_t off : chunk_offsets_) put_u64(footer, off);
+        put_u64(footer, streams_);
+        put_u64(footer, events_);
+        put_u64(footer, footer_offset);
+        footer.insert(footer.end(), kEndMagic, kEndMagic + 4);
+        write_raw(footer.data(), footer.size());
+        finished_ = true;
+        if (std::fclose(file_->f) != 0) {
+            file_->f = nullptr;
+            throw std::runtime_error("ColumnarWriter: close failed for '" + path_ + "'");
+        }
+        file_->f = nullptr;
+    }
+    ColumnarStats st;
+    st.streams = streams_;
+    st.events = events_;
+    st.chunks = chunk_offsets_.size();
+    st.bytes = pos_;
+    return st;
+}
+
+// ---- reader --------------------------------------------------------------------
+
+struct ColumnarReader::File {
+    std::FILE* f = nullptr;
+    std::vector<std::uint8_t> chunk;  // reused per-chunk decode buffer
+    std::uint64_t file_size = 0;
+    ~File() {
+        if (f != nullptr) std::fclose(f);
+    }
+};
+
+ColumnarReader::ColumnarReader(const std::string& path)
+    : path_(path), file_(std::make_unique<File>()) {
+    file_->f = std::fopen(path.c_str(), "rb");
+    if (file_->f == nullptr) {
+        throw std::runtime_error("ColumnarReader: cannot open '" + path + "'");
+    }
+    std::FILE* f = file_->f;
+    // File size first: header, chunks, and footer reads are all bounds-checked
+    // against it so truncation fails loudly with the offset.
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+        throw std::runtime_error("ColumnarReader: seek failed on '" + path + "'");
+    }
+    file_->file_size = static_cast<std::uint64_t>(std::ftell(f));
+    // Minimal well-formed file: header + empty footer (index magic, chunk
+    // count, stream/event totals, end tail).
+    CPT_CHECK_GE(file_->file_size, std::uint64_t{kHeaderBytes + 4 + 8 + 2 * 8 + kEndTailBytes},
+                 " columnar trace '", path_, "': file too small to hold header and footer");
+
+    std::uint8_t header[kHeaderBytes];
+    std::fseek(f, 0, SEEK_SET);
+    CPT_CHECK_EQ(std::fread(header, 1, kHeaderBytes, f), std::size_t{kHeaderBytes},
+                 " columnar trace '", path_, "': truncated header at byte offset 0");
+    CPT_CHECK(std::memcmp(header, kFileMagic, 4) == 0, "columnar trace '", path_,
+              "': bad file magic at byte offset 0 (not a CPTC trace)");
+    std::uint32_t version = 0;
+    for (int i = 0; i < 4; ++i) version |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+    CPT_CHECK_EQ(version, kFormatVersion, " columnar trace '", path_,
+                 "': unsupported format version at byte offset 4");
+    CPT_CHECK_LE(header[8], std::uint8_t{1}, " columnar trace '", path_,
+                 "': unknown generation tag at byte offset 8");
+    generation_ = static_cast<cellular::Generation>(header[8]);
+    event_width_ = header[9];
+    CPT_CHECK(event_width_ == 1 || event_width_ == 2, "columnar trace '", path_,
+              "': bad event width at byte offset 9");
+    const std::uint16_t vocab_size = static_cast<std::uint16_t>(header[10]) |
+                                     static_cast<std::uint16_t>(header[11]) << 8;
+    CPT_CHECK_EQ(std::size_t{vocab_size}, cellular::vocabulary(generation_).size(),
+                 " columnar trace '", path_, "': vocabulary size at byte offset 10 does not match ",
+                 "this build's generation vocabulary");
+
+    // End tail: footer offset + end magic.
+    std::uint8_t tail[kEndTailBytes];
+    std::fseek(f, -static_cast<long>(kEndTailBytes), SEEK_END);
+    CPT_CHECK_EQ(std::fread(tail, 1, kEndTailBytes, f), std::size_t{kEndTailBytes},
+                 " columnar trace '", path_, "': truncated end tail");
+    CPT_CHECK(std::memcmp(tail + 8, kEndMagic, 4) == 0, "columnar trace '", path_,
+              "': bad end magic at byte offset ", file_->file_size - 4,
+              " (file truncated or not finish()ed)");
+    std::uint64_t footer_offset = 0;
+    for (int i = 0; i < 8; ++i) footer_offset |= static_cast<std::uint64_t>(tail[i]) << (8 * i);
+    CPT_CHECK(footer_offset >= kHeaderBytes && footer_offset < file_->file_size,
+              "columnar trace '", path_, "': footer offset ", footer_offset,
+              " at byte offset ", file_->file_size - kEndTailBytes, " is outside the file");
+
+    // Footer proper: chunk index + totals.
+    std::fseek(f, static_cast<long>(footer_offset), SEEK_SET);
+    std::uint8_t idx[12];
+    CPT_CHECK_EQ(std::fread(idx, 1, sizeof idx, f), sizeof idx, " columnar trace '", path_,
+                 "': truncated footer at byte offset ", footer_offset);
+    CPT_CHECK(std::memcmp(idx, kIndexMagic, 4) == 0, "columnar trace '", path_,
+              "': bad footer magic at byte offset ", footer_offset);
+    for (int i = 0; i < 8; ++i) num_chunks_ |= static_cast<std::uint64_t>(idx[4 + i]) << (8 * i);
+    const std::uint64_t expect_end = footer_offset + 4 + 8 + 8 * num_chunks_ + 3 * 8 + 4;
+    CPT_CHECK_EQ(expect_end, file_->file_size, " columnar trace '", path_,
+                 "': footer at byte offset ", footer_offset, " inconsistent with file size");
+    std::fseek(f, static_cast<long>(8 * num_chunks_), SEEK_CUR);  // offsets table (sequential read)
+    std::uint8_t totals[16];
+    CPT_CHECK_EQ(std::fread(totals, 1, sizeof totals, f), sizeof totals, " columnar trace '",
+                 path_, "': truncated footer totals");
+    for (int i = 0; i < 8; ++i) {
+        total_streams_ |= static_cast<std::uint64_t>(totals[i]) << (8 * i);
+        total_events_ |= static_cast<std::uint64_t>(totals[8 + i]) << (8 * i);
+    }
+    rewind();
+}
+
+ColumnarReader::~ColumnarReader() = default;
+
+void ColumnarReader::rewind() {
+    std::fseek(file_->f, kHeaderBytes, SEEK_SET);
+    pos_ = kHeaderBytes;
+    chunks_read_ = 0;
+}
+
+bool ColumnarReader::next(StreamBatch& out) {
+    if (chunks_read_ >= num_chunks_) return false;
+    std::FILE* f = file_->f;
+    std::uint8_t head[kChunkHeaderBytes];
+    CPT_CHECK_EQ(std::fread(head, 1, kChunkHeaderBytes, f), std::size_t{kChunkHeaderBytes},
+                 " columnar trace '", path_, "': truncated chunk header at byte offset ", pos_);
+    CPT_CHECK(std::memcmp(head, kChunkMagic, 4) == 0, "columnar trace '", path_,
+              "': bad chunk magic at byte offset ", pos_);
+    std::uint32_t num_streams = 0;
+    for (int i = 0; i < 4; ++i) num_streams |= static_cast<std::uint32_t>(head[4 + i]) << (8 * i);
+    std::uint64_t num_events = 0;
+    std::uint64_t payload_bytes = 0;
+    for (int i = 0; i < 8; ++i) {
+        num_events |= static_cast<std::uint64_t>(head[8 + i]) << (8 * i);
+        payload_bytes |= static_cast<std::uint64_t>(head[16 + i]) << (8 * i);
+    }
+    const std::uint64_t payload_base = pos_ + kChunkHeaderBytes;
+    CPT_CHECK_LE(payload_base + payload_bytes, file_->file_size, " columnar trace '", path_,
+                 "': chunk at byte offset ", pos_, " extends past end of file");
+    file_->chunk.resize(payload_bytes);
+    CPT_CHECK_EQ(std::fread(file_->chunk.data(), 1, payload_bytes, f), std::size_t{payload_bytes},
+                 " columnar trace '", path_, "': truncated chunk payload at byte offset ",
+                 payload_base);
+
+    Cursor c{file_->chunk.data(), payload_bytes, 0, payload_base, path_};
+    out.generation = generation_;
+    out.ue_ids.clear();
+    out.devices.clear();
+    out.hours.clear();
+    out.offsets.clear();
+    out.events.clear();
+    out.ue_ids.reserve(num_streams);
+    out.devices.reserve(num_streams);
+    out.hours.reserve(num_streams);
+    out.offsets.reserve(num_streams + 1);
+    out.events.resize(num_events);
+    for (std::uint32_t i = 0; i < num_streams; ++i) {
+        const std::uint64_t len = c.varint("ue_id length");
+        out.ue_ids.emplace_back(c.bytes(len, "ue_id bytes"));
+    }
+    for (std::uint32_t i = 0; i < num_streams; ++i) {
+        const std::uint8_t d = c.u8("device column");
+        CPT_CHECK_LT(std::size_t{d}, kNumDeviceTypes, " columnar trace '", path_,
+                     "': bad device id at byte offset ", c.file_offset() - 1);
+        out.devices.push_back(static_cast<DeviceType>(d));
+    }
+    for (std::uint32_t i = 0; i < num_streams; ++i) {
+        const std::uint8_t h = c.u8("hour column");
+        CPT_CHECK_LT(h, std::uint8_t{24}, " columnar trace '", path_,
+                     "': bad hour at byte offset ", c.file_offset() - 1);
+        out.hours.push_back(h);
+    }
+    out.offsets.push_back(0);
+    for (std::uint32_t i = 0; i < num_streams; ++i) {
+        const std::uint32_t count = c.u32("offsets table");
+        out.offsets.push_back(out.offsets.back() + count);
+    }
+    CPT_CHECK_EQ(out.offsets.back(), num_events, " columnar trace '", path_,
+                 "': offsets table of chunk at byte offset ", pos_,
+                 " does not sum to the chunk event count");
+    const std::size_t vocab_size = cellular::vocabulary(generation_).size();
+    for (std::uint64_t i = 0; i < num_events; ++i) {
+        const std::uint16_t id = event_width_ == 1 ? c.u8("event column") : c.u16("event column");
+        CPT_CHECK_LT(std::size_t{id}, vocab_size, " columnar trace '", path_,
+                     "': event id outside vocabulary at byte offset ",
+                     c.file_offset() - event_width_);
+        out.events[i].type = static_cast<cellular::EventId>(id);
+    }
+    std::uint64_t e = 0;
+    for (std::uint32_t i = 0; i < num_streams; ++i) {
+        const std::uint64_t count = out.offsets[i + 1] - out.offsets[i];
+        std::int64_t tick = 0;
+        for (std::uint64_t j = 0; j < count; ++j, ++e) {
+            if (j == 0) {
+                tick = unzigzag(c.varint("timestamp column"));
+            } else {
+                tick += static_cast<std::int64_t>(c.varint("timestamp column"));
+            }
+            out.events[e].timestamp = ticks_to_timestamp(tick);
+        }
+    }
+    CPT_CHECK_EQ(c.pos, c.size, " columnar trace '", path_, "': ", c.size - c.pos,
+                 " trailing bytes in chunk payload at byte offset ", c.file_offset());
+    pos_ = payload_base + payload_bytes;
+    ++chunks_read_;
+    return true;
+}
+
+// ---- bridges -------------------------------------------------------------------
+
+void write_columnar_file(const std::string& path, const Dataset& ds, std::size_t chunk_streams) {
+    ColumnarWriter w(path, ds.generation, chunk_streams);
+    for (const auto& s : ds.streams) w.append(s);
+    w.finish();
+}
+
+Dataset read_columnar_file(const std::string& path) {
+    ColumnarReader r(path);
+    Dataset ds;
+    ds.generation = r.generation();
+    ds.streams.reserve(r.total_streams());
+    StreamBatch batch;
+    while (r.next(batch)) {
+        for (std::size_t i = 0; i < batch.size(); ++i) ds.streams.push_back(batch.stream(i));
+    }
+    return ds;
+}
+
+ColumnarStats csv_to_columnar(const std::string& csv_path, const std::string& columnar_path,
+                              std::size_t chunk_streams) {
+    std::ifstream in(csv_path);
+    if (!in) throw std::runtime_error("csv_to_columnar: cannot open '" + csv_path + "'");
+    CsvStreamReader reader(in);
+    ColumnarWriter writer(columnar_path, reader.generation(), chunk_streams);
+    Stream s;
+    while (reader.next(s)) writer.append(std::move(s));
+    return writer.finish();
+}
+
+void columnar_to_csv(const std::string& columnar_path, const std::string& csv_path) {
+    ColumnarReader reader(columnar_path);
+    std::ofstream out(csv_path);
+    if (!out) throw std::runtime_error("columnar_to_csv: cannot open '" + csv_path + "'");
+    write_csv_header(out);
+    StreamBatch batch;
+    Stream s;
+    while (reader.next(batch)) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            s.ue_id = batch.ue_ids[i];
+            s.device = batch.devices[i];
+            s.hour_of_day = batch.hours[i];
+            const auto evs = batch.events_of(i);
+            s.events.assign(evs.begin(), evs.end());
+            write_csv_stream(out, s, batch.generation);
+        }
+    }
+}
+
+}  // namespace cpt::trace

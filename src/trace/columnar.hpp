@@ -1,0 +1,161 @@
+// Columnar binary trace format — the streaming substrate that carries
+// million-UE worlds in bounded memory (DESIGN.md §14).
+//
+// A `.cpt` trace file is a header, a sequence of self-describing chunks, and
+// a footer with a chunk index:
+//
+//   Header   magic "CPTC", format version, generation, event-id width,
+//            vocabulary size.
+//   Chunk    magic "CHNK" + counts, then per-column blocks for up to
+//            `chunk_streams` streams: ue_id blob (varint length-prefixed),
+//            device u8, hour u8, per-stream event counts u32 (the offsets
+//            table), event ids (u8, or u16 for vocabularies over 256), and
+//            delta-encoded timestamps (per stream: zigzag varint of the first
+//            event's microsecond tick, then plain varint tick deltas —
+//            non-decreasing timestamps make every delta non-negative).
+//   Footer   magic "CIDX", chunk count, per-chunk file offsets, stream/event
+//            totals, the footer's own offset, end magic "CPTE".
+//
+// Timestamps are quantized to microsecond ticks — exactly the resolution the
+// CSV format already commits to (write_csv prints %.6f), so CSV -> columnar
+// -> CSV is byte-stable. All integers are little-endian.
+//
+// ColumnarWriter buffers one chunk of streams and flushes it as a column
+// block; ColumnarReader decodes one chunk at a time into a StreamBatch.
+// Memory for either side is O(chunk), independent of the trace's size.
+// Malformed input is rejected with errors naming the byte offset of the
+// defect. The chunk structure of a file depends only on the append sequence
+// and `chunk_streams`, never on thread count — the chunked generators encode
+// on pool workers but append in serial order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream.hpp"
+
+namespace cpt::trace {
+
+inline constexpr std::size_t kDefaultChunkStreams = 4096;
+
+// Microsecond-tick quantization contract shared by the writer and the CSV
+// bridge. Round-trips every %.6f-printed timestamp exactly.
+std::int64_t timestamp_to_ticks(double seconds);
+double ticks_to_timestamp(std::int64_t ticks);
+
+// One decoded chunk: columnar stream metadata plus the concatenated events
+// with a per-stream offsets table.
+struct StreamBatch {
+    cellular::Generation generation = cellular::Generation::kLte4G;
+    std::vector<std::string> ue_ids;
+    std::vector<DeviceType> devices;
+    std::vector<int> hours;
+    // offsets.size() == size() + 1; stream i's events are
+    // events[offsets[i] .. offsets[i+1]).
+    std::vector<std::uint64_t> offsets;
+    std::vector<cellular::ControlEvent> events;
+
+    std::size_t size() const { return ue_ids.size(); }
+    std::size_t total_events() const { return events.size(); }
+    std::span<const cellular::ControlEvent> events_of(std::size_t i) const;
+    // Materializes one stream (copies its events).
+    Stream stream(std::size_t i) const;
+};
+
+struct ColumnarStats {
+    std::uint64_t streams = 0;
+    std::uint64_t events = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes = 0;  // final file size
+};
+
+class ColumnarWriter {
+public:
+    ColumnarWriter(const std::string& path, cellular::Generation generation,
+                   std::size_t chunk_streams = kDefaultChunkStreams);
+    ~ColumnarWriter();  // finishes the file if finish() was not called
+
+    ColumnarWriter(const ColumnarWriter&) = delete;
+    ColumnarWriter& operator=(const ColumnarWriter&) = delete;
+
+    // Buffers one stream; flushes a chunk every `chunk_streams` appends.
+    void append(Stream s);
+
+    // Forces a chunk boundary (no-op while the buffer is empty).
+    void flush_chunk();
+
+    // Writes the footer and closes the file. Idempotent; append() afterwards
+    // throws. Returns the final totals.
+    ColumnarStats finish();
+
+    const std::string& path() const { return path_; }
+    cellular::Generation generation() const { return generation_; }
+    std::uint64_t streams_written() const { return streams_; }
+    std::uint64_t events_written() const { return events_; }
+
+private:
+    void write_raw(const void* data, std::size_t size);
+
+    std::string path_;
+    cellular::Generation generation_;
+    std::size_t chunk_streams_;
+    std::vector<Stream> buffer_;
+    std::vector<std::uint64_t> chunk_offsets_;
+    std::uint64_t streams_ = 0;
+    std::uint64_t events_ = 0;
+    std::uint64_t pos_ = 0;
+    bool finished_ = false;
+    struct File;
+    std::unique_ptr<File> file_;
+};
+
+class ColumnarReader {
+public:
+    explicit ColumnarReader(const std::string& path);
+    ~ColumnarReader();
+
+    ColumnarReader(const ColumnarReader&) = delete;
+    ColumnarReader& operator=(const ColumnarReader&) = delete;
+
+    cellular::Generation generation() const { return generation_; }
+    std::uint64_t total_streams() const { return total_streams_; }
+    std::uint64_t total_events() const { return total_events_; }
+    std::uint64_t num_chunks() const { return num_chunks_; }
+    const std::string& path() const { return path_; }
+
+    // Decodes the next chunk into `out` (replacing its contents). Returns
+    // false once every chunk has been read. Chunks arrive in file order.
+    bool next(StreamBatch& out);
+
+    // Restarts iteration at the first chunk.
+    void rewind();
+
+private:
+    std::string path_;
+    cellular::Generation generation_ = cellular::Generation::kLte4G;
+    std::size_t event_width_ = 1;
+    std::uint64_t total_streams_ = 0;
+    std::uint64_t total_events_ = 0;
+    std::uint64_t num_chunks_ = 0;
+    std::uint64_t chunks_read_ = 0;
+    std::uint64_t pos_ = 0;
+    struct File;
+    std::unique_ptr<File> file_;
+};
+
+// Whole-dataset bridges for existing tools (these materialize everything and
+// are only meant for datasets that already fit in RAM).
+void write_columnar_file(const std::string& path, const Dataset& ds,
+                         std::size_t chunk_streams = kDefaultChunkStreams);
+Dataset read_columnar_file(const std::string& path);
+
+// Streaming CSV conversions: one stream (CSV side) / one chunk (columnar
+// side) in memory at a time.
+ColumnarStats csv_to_columnar(const std::string& csv_path, const std::string& columnar_path,
+                              std::size_t chunk_streams = kDefaultChunkStreams);
+void columnar_to_csv(const std::string& columnar_path, const std::string& csv_path);
+
+}  // namespace cpt::trace

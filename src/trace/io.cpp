@@ -16,26 +16,47 @@ std::string_view generation_tag(cellular::Generation g) {
     return g == cellular::Generation::kLte4G ? "4g" : "5g";
 }
 
+// Parsers below rethrow with line/field context, so raw failures here carry
+// just the value.
 cellular::Generation generation_from_tag(std::string_view tag) {
     if (tag == "4g") return cellular::Generation::kLte4G;
     if (tag == "5g") return cellular::Generation::kNr5G;
-    CPT_CHECK(false, "trace csv: unknown generation tag '", tag, "'");
+    CPT_CHECK(false, "unknown generation tag '", tag, "'");
+}
+
+// Runs `parse` and, on failure, rethrows with the row's 1-based line number
+// and the field name/value — satellite contract: every malformed-input branch
+// says *where*, not just *what*.
+template <typename Fn>
+auto parse_field(std::size_t line_no, std::string_view field, std::string_view raw, Fn&& parse) {
+    try {
+        return parse();
+    } catch (const std::invalid_argument& e) {
+        throw CheckError(util::check_detail::msg_cat("trace csv: line ", line_no, ": bad ", field,
+                                                     " field '", util::trim(raw), "': ", e.what()));
+    }
 }
 
 }  // namespace
 
-void write_csv(std::ostream& out, const Dataset& ds) {
-    const auto& vocab = cellular::vocabulary(ds.generation);
+void write_csv_header(std::ostream& out) {
     // Microsecond-resolution timestamps survive the round trip.
     out.setf(std::ios::fixed);
     out.precision(6);
     out << "generation,ue_id,device,hour,timestamp,event\n";
-    for (const auto& s : ds.streams) {
-        for (const auto& e : s.events) {
-            out << generation_tag(ds.generation) << ',' << s.ue_id << ',' << to_string(s.device)
-                << ',' << s.hour_of_day << ',' << e.timestamp << ',' << vocab.name(e.type) << '\n';
-        }
+}
+
+void write_csv_stream(std::ostream& out, const Stream& s, cellular::Generation generation) {
+    const auto& vocab = cellular::vocabulary(generation);
+    for (const auto& e : s.events) {
+        out << generation_tag(generation) << ',' << s.ue_id << ',' << to_string(s.device) << ','
+            << s.hour_of_day << ',' << e.timestamp << ',' << vocab.name(e.type) << '\n';
     }
+}
+
+void write_csv(std::ostream& out, const Dataset& ds) {
+    write_csv_header(out);
+    for (const auto& s : ds.streams) write_csv_stream(out, s, ds.generation);
 }
 
 void write_csv_file(const std::string& path, const Dataset& ds) {
@@ -44,47 +65,75 @@ void write_csv_file(const std::string& path, const Dataset& ds) {
     write_csv(out, ds);
 }
 
-Dataset read_csv(std::istream& in) {
+CsvStreamReader::CsvStreamReader(std::istream& in) : in_(in) {
     std::string line;
-    CPT_CHECK(static_cast<bool>(std::getline(in, line)), "trace csv: empty input");
+    CPT_CHECK(static_cast<bool>(std::getline(in_, line)), "trace csv: empty input");
     CPT_CHECK(util::trim(line) == "generation,ue_id,device,hour,timestamp,event",
-              "trace csv: unexpected header '", line, "'");
-    Dataset ds;
-    bool generation_set = false;
-    Stream* current = nullptr;
-    std::size_t line_no = 1;
-    while (std::getline(in, line)) {
-        ++line_no;
+              "trace csv: line 1: unexpected header '", line, "'");
+    has_pending_ = read_row(pending_);
+}
+
+bool CsvStreamReader::read_row(Row& row) {
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++line_no_;
         if (util::trim(line).empty()) continue;
         const auto cols = util::split(line, ',');
-        CPT_CHECK_EQ(cols.size(), std::size_t{6}, " trace csv: line ", line_no,
+        CPT_CHECK_EQ(cols.size(), std::size_t{6}, " trace csv: line ", line_no_,
                      ": expected 6 columns");
-        const auto gen = generation_from_tag(util::trim(cols[0]));
-        if (!generation_set) {
-            ds.generation = gen;
-            generation_set = true;
+        const auto gen = parse_field(line_no_, "generation", cols[0],
+                                     [&] { return generation_from_tag(util::trim(cols[0])); });
+        if (!generation_set_) {
+            generation_ = gen;
+            generation_set_ = true;
         } else {
-            CPT_CHECK(gen == ds.generation, "trace csv: line ", line_no,
+            CPT_CHECK(gen == generation_, "trace csv: line ", line_no_,
                       ": mixed generations in one file");
         }
-        const std::string ue_id(util::trim(cols[1]));
-        if (current == nullptr || current->ue_id != ue_id) {
-            ds.streams.emplace_back();
-            current = &ds.streams.back();
-            current->ue_id = ue_id;
-            current->device = device_type_from_string(util::trim(cols[2]));
-            current->hour_of_day = static_cast<int>(util::parse_int(cols[3]));
-        }
-        cellular::ControlEvent ev;
-        ev.timestamp = util::parse_double(cols[4]);
-        const auto& vocab = cellular::vocabulary(ds.generation);
+        row.ue_id = util::trim(cols[1]);
+        CPT_CHECK(!row.ue_id.empty(), "trace csv: line ", line_no_, ": empty ue_id field");
+        row.device = parse_field(line_no_, "device", cols[2],
+                                 [&] { return device_type_from_string(util::trim(cols[2])); });
+        row.hour = static_cast<int>(
+            parse_field(line_no_, "hour", cols[3], [&] { return util::parse_int(cols[3]); }));
+        row.event.timestamp = parse_field(line_no_, "timestamp", cols[4],
+                                          [&] { return util::parse_double(cols[4]); });
+        const auto& vocab = cellular::vocabulary(generation_);
         const auto id = vocab.id(util::trim(cols[5]));
-        CPT_CHECK(id.has_value(), "trace csv: line ", line_no, ": unknown event '", cols[5], "'");
-        ev.type = *id;
-        CPT_CHECK(current->events.empty() || ev.timestamp >= current->events.back().timestamp,
-                  "trace csv: line ", line_no, ": decreasing timestamp within stream ", ue_id);
-        current->events.push_back(ev);
+        CPT_CHECK(id.has_value(), "trace csv: line ", line_no_, ": unknown event '",
+                  util::trim(cols[5]), "'");
+        row.event.type = *id;
+        return true;
     }
+    return false;
+}
+
+bool CsvStreamReader::next(Stream& out) {
+    if (!has_pending_) return false;
+    out.ue_id = std::move(pending_.ue_id);
+    out.device = pending_.device;
+    out.hour_of_day = pending_.hour;
+    out.events.clear();
+    out.events.push_back(pending_.event);
+    Row row;
+    while ((has_pending_ = read_row(row))) {
+        if (row.ue_id != out.ue_id) {
+            pending_ = std::move(row);
+            break;
+        }
+        CPT_CHECK(row.event.timestamp >= out.events.back().timestamp, "trace csv: line ", line_no_,
+                  ": decreasing timestamp within stream ", out.ue_id);
+        out.events.push_back(row.event);
+    }
+    return true;
+}
+
+Dataset read_csv(std::istream& in) {
+    CsvStreamReader reader(in);
+    Dataset ds;
+    ds.generation = reader.generation();
+    Stream s;
+    while (reader.next(s)) ds.streams.push_back(std::move(s));
     return ds;
 }
 

@@ -6,6 +6,11 @@
 //
 // Event names are the generation's vocabulary strings, keeping files
 // self-describing and diffable.
+//
+// Two read paths share one parser: read_csv materializes a whole Dataset;
+// CsvStreamReader yields one Stream at a time so conversions and scale tools
+// never hold more than a single stream of the CSV side in memory. Malformed
+// input is rejected with the 1-based line number and the offending field.
 #pragma once
 
 #include <iosfwd>
@@ -18,8 +23,50 @@ namespace cpt::trace {
 void write_csv(std::ostream& out, const Dataset& ds);
 void write_csv_file(const std::string& path, const Dataset& ds);
 
-// Throws std::invalid_argument on malformed input (bad header, unknown event
-// or device names, decreasing timestamps within a stream).
+// Building blocks for streaming writers (columnar_to_csv): the header row and
+// one stream's rows. `out` must have been configured by write_csv_header
+// (fixed 6-decimal timestamps) before write_csv_stream.
+void write_csv_header(std::ostream& out);
+void write_csv_stream(std::ostream& out, const Stream& s, cellular::Generation generation);
+
+// Incremental CSV reader: validates the header up front and yields streams in
+// file order. Reads one row ahead, so generation() is correct immediately
+// after construction (it defaults to 4G for a data-less file). Throws
+// cpt::CheckError naming the 1-based line number and the offending field on
+// malformed input.
+class CsvStreamReader {
+public:
+    explicit CsvStreamReader(std::istream& in);
+
+    cellular::Generation generation() const { return generation_; }
+
+    // Fills `out` with the next stream (replacing its contents). Returns
+    // false at end of input.
+    bool next(Stream& out);
+
+    // Rows consumed so far, header included (== current 1-based line number
+    // of the last row read).
+    std::size_t line_no() const { return line_no_; }
+
+private:
+    struct Row {
+        std::string ue_id;
+        DeviceType device = DeviceType::kPhone;
+        int hour = 0;
+        cellular::ControlEvent event;
+    };
+    bool read_row(Row& row);
+
+    std::istream& in_;
+    cellular::Generation generation_ = cellular::Generation::kLte4G;
+    bool generation_set_ = false;
+    bool has_pending_ = false;
+    Row pending_;
+    std::size_t line_no_ = 1;
+};
+
+// Throws cpt::CheckError (an std::invalid_argument) on malformed input; every
+// message names the 1-based line and the field at fault.
 Dataset read_csv(std::istream& in);
 Dataset read_csv_file(const std::string& path);
 

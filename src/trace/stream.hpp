@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -48,8 +50,15 @@ struct Dataset {
 
     std::size_t total_events() const;
 
-    // Filtered copies (cheap relative to model training; streams are value
-    // types by design so slices own their data).
+    // Non-copying visitation: calls `fn` for every stream matching the given
+    // device and/or hour filters (std::nullopt = match all), in stream order.
+    // The aggregations below and the metrics/bench callers use this instead
+    // of materializing filtered copies.
+    void for_each_stream(std::optional<DeviceType> device, std::optional<int> hour,
+                         const std::function<void(const Stream&)>& fn) const;
+
+    // Filtered copies (streams are value types by design so slices own their
+    // data); prefer for_each_stream when the copy is not needed.
     Dataset filter_device(DeviceType d) const;
     Dataset filter_hour(int hour) const;
 

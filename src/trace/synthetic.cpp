@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numbers>
 
+#include "columnar.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,10 +20,21 @@ namespace lte = cellular::lte;
 
 double DelayModel::sample(util::Rng& rng, double scale) const {
     CPT_CHECK(!components.empty(), "DelayModel::sample: no components");
-    std::vector<double> ws;
-    ws.reserve(components.size());
-    for (const auto& c : components) ws.push_back(c.weight);
-    const auto& c = components[rng.categorical(std::span<const double>(ws))];
+    // Hot path (once per generated event): mixtures are tiny, so stage the
+    // weights on the stack instead of a per-call heap vector. The categorical
+    // draw happens either way, keeping the RNG stream unchanged.
+    std::size_t pick;
+    if (components.size() <= 8) {
+        double ws[8];
+        for (std::size_t i = 0; i < components.size(); ++i) ws[i] = components[i].weight;
+        pick = rng.categorical(std::span<const double>(ws, components.size()));
+    } else {
+        std::vector<double> ws;
+        ws.reserve(components.size());
+        for (const auto& c : components) ws.push_back(c.weight);
+        pick = rng.categorical(std::span<const double>(ws));
+    }
+    const auto& c = components[pick];
     return std::max(kMinDelay, rng.lognormal(c.mu, c.sigma) * scale);
 }
 
@@ -321,9 +334,10 @@ Stream SyntheticWorldGenerator::generate_stream(DeviceType d, const std::string&
 
     double t = 0.0;
     bool first = true;
+    std::vector<double> weights;  // reused across events; per-iteration copy, one allocation
     while (stream.events.size() < config_.max_events_per_stream) {
         const auto& base_weights = profile.event_weights[static_cast<std::size_t>(state)];
-        std::vector<double> weights(base_weights.begin(), base_weights.end());
+        weights.assign(base_weights.begin(), base_weights.end());
         // Mobility scales handover propensity (HO has id 4 in both 4G and 5G
         // vocabularies by construction).
         const cellular::EventId ho_id =
@@ -390,6 +404,55 @@ Dataset SyntheticWorldGenerator::generate() const {
         if (s.events.size() >= 2) ds.streams.push_back(std::move(s));
     }
     return ds;
+}
+
+std::size_t SyntheticWorldGenerator::generate_to(ColumnarWriter& writer,
+                                                 std::size_t chunk_ues) const {
+    CPT_CHECK_GE(chunk_ues, std::size_t{1}, " generate_to: chunk_ues must be >= 1");
+    CPT_CHECK(writer.generation() == config_.generation,
+              "generate_to: writer generation does not match the configured generation");
+    util::Rng rng(config_.seed ^
+                  (0x5bd1e995ULL * static_cast<std::uint64_t>(config_.hour_of_day + 1)));
+
+    // Device of UE i: populations are laid out device-major, exactly as in
+    // generate()'s jobs vector.
+    std::array<std::size_t, kNumDeviceTypes + 1> cum{};
+    for (std::size_t d = 0; d < kNumDeviceTypes; ++d) cum[d + 1] = cum[d] + config_.population[d];
+    const std::size_t total = cum[kNumDeviceTypes];
+    const auto device_of = [&](std::size_t i) {
+        std::size_t d = 0;
+        while (i >= cum[d + 1]) ++d;
+        return static_cast<DeviceType>(d);
+    };
+
+    // Chunk-by-chunk: fork this chunk's RNGs serially (salt = absolute UE
+    // index, so the parent RNG sees the same mutation sequence as generate()'s
+    // single pre-fork loop), generate on the pool, append kept streams in
+    // serial UE order. Peak memory is O(chunk_ues), not O(total).
+    std::size_t kept = 0;
+    std::vector<util::Rng> rngs;
+    std::vector<Stream> streams;
+    rngs.reserve(std::min(chunk_ues, total));
+    for (std::size_t base = 0; base < total; base += chunk_ues) {
+        const std::size_t n = std::min(chunk_ues, total - base);
+        rngs.clear();
+        for (std::size_t i = 0; i < n; ++i) rngs.push_back(rng.fork(base + i));
+        streams.resize(n);
+        util::global_pool().parallel_for(n, 1, [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                char id[32];
+                std::snprintf(id, sizeof(id), "ue-%06zu", base + i);
+                streams[i] = generate_stream(device_of(base + i), id, rngs[i]);
+            }
+        });
+        for (auto& s : streams) {
+            if (s.events.size() >= 2) {
+                writer.append(std::move(s));
+                ++kept;
+            }
+        }
+    }
+    return kept;
 }
 
 std::vector<Dataset> SyntheticWorldGenerator::generate_hours(int hours) const {

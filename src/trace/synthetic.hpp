@@ -26,6 +26,8 @@
 
 namespace cpt::trace {
 
+class ColumnarWriter;
+
 // A log-normal mixture over positive delays.
 struct DelayModel {
     struct Component {
@@ -96,6 +98,16 @@ public:
 
     // Generates one hourly slice for the configured population.
     Dataset generate() const;
+
+    // Streaming variant: generates the same world in fixed-size UE chunks
+    // (`chunk_ues` at a time) straight into `writer`, holding only one chunk
+    // of streams in memory. RNGs are forked serially per chunk with the UE's
+    // absolute index as salt — the same global fork order as generate() — and
+    // kept streams are appended in serial UE order, so the resulting file is
+    // byte-identical to write_columnar_file(path, generate(), ...) at equal
+    // seeds for every CPT_THREADS and every chunk_ues (pinned by test). Does
+    // not finish() the writer. Returns the number of streams appended.
+    std::size_t generate_to(ColumnarWriter& writer, std::size_t chunk_ues = 8192) const;
 
     // Generates a single stream for a UE of type `d`. Exposed for tests and
     // for the MCN example, which builds populations incrementally.

@@ -1,0 +1,182 @@
+#include "sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check.hpp"
+
+namespace cpt::util {
+
+QuantileSketch::QuantileSketch(std::size_t k) : k_(k < 8 ? 8 : k) {
+    levels_.emplace_back();
+    levels_.front().reserve(k_ + 1);
+    compactions_.push_back(0);
+}
+
+void QuantileSketch::add(double x) {
+    levels_[0].push_back(x);
+    ++count_;
+    if (levels_[0].size() > k_) compact_level(0);
+}
+
+void QuantileSketch::compact_level(std::size_t h) {
+    while (h < levels_.size() && levels_[h].size() > k_) {
+        // Grow levels_ before taking references into it: emplace_back may
+        // reallocate and would dangle them otherwise.
+        if (levels_.size() == h + 1) {
+            levels_.emplace_back();
+            compactions_.push_back(0);
+        }
+        auto& buf = levels_[h];
+        std::sort(buf.begin(), buf.end());
+        // Odd-sized buffers keep their largest item at this level so the sum
+        // of item weights stays exactly count_.
+        double leftover = 0.0;
+        bool has_leftover = false;
+        std::size_t n = buf.size();
+        if (n % 2 != 0) {
+            leftover = buf.back();
+            has_leftover = true;
+            --n;
+        }
+        // Alternate the surviving parity per compaction: consecutive
+        // compactions at a level push ranks in opposite directions, cancelling
+        // most of the deterministic drift.
+        const std::size_t start = compactions_[h] % 2;
+        auto& up = levels_[h + 1];
+        for (std::size_t i = start; i < n; i += 2) up.push_back(buf[i]);
+        ++compactions_[h];
+        buf.clear();
+        if (has_leftover) buf.push_back(leftover);
+        ++h;  // the promoted items may overflow the next level
+    }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+    CPT_CHECK_EQ(k_, other.k_, " QuantileSketch::merge: mismatched capacities");
+    if (other.levels_.size() > levels_.size()) {
+        levels_.resize(other.levels_.size());
+        compactions_.resize(other.levels_.size(), 0);
+    }
+    for (std::size_t h = 0; h < other.levels_.size(); ++h) {
+        levels_[h].insert(levels_[h].end(), other.levels_[h].begin(), other.levels_[h].end());
+        compactions_[h] += other.compactions_[h];
+    }
+    count_ += other.count_;
+    for (std::size_t h = 0; h < levels_.size(); ++h) {
+        if (levels_[h].size() > k_) compact_level(h);
+    }
+}
+
+QuantileSketch::Cdf QuantileSketch::cdf() const {
+    // Gather (value, weight) pairs, sort by value, accumulate.
+    std::vector<std::pair<double, double>> items;
+    std::size_t total_items = 0;
+    for (const auto& lvl : levels_) total_items += lvl.size();
+    items.reserve(total_items);
+    double w = 1.0;
+    for (const auto& lvl : levels_) {
+        for (double v : lvl) items.emplace_back(v, w);
+        w *= 2.0;
+    }
+    std::sort(items.begin(), items.end());
+    Cdf out;
+    out.values.reserve(items.size());
+    out.cum.reserve(items.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        acc += items[i].second;
+        // Collapse duplicate values into one support point.
+        if (!out.values.empty() && out.values.back() == items[i].first) {
+            out.cum.back() = acc;
+        } else {
+            out.values.push_back(items[i].first);
+            out.cum.push_back(acc);
+        }
+    }
+    out.total = acc;
+    return out;
+}
+
+double QuantileSketch::quantile(double q) const {
+    CPT_CHECK(!empty(), "QuantileSketch::quantile on an empty sketch");
+    q = std::clamp(q, 0.0, 1.0);
+    const Cdf c = cdf();
+    const double target = q * c.total;
+    for (std::size_t i = 0; i < c.values.size(); ++i) {
+        if (c.cum[i] >= target) return c.values[i];
+    }
+    return c.values.back();
+}
+
+double QuantileSketch::rank_error_bound() const {
+    if (count_ == 0) return 0.0;
+    double err = 0.0;
+    double w = 1.0;
+    for (std::size_t h = 0; h < compactions_.size(); ++h) {
+        err += static_cast<double>(compactions_[h]) * w;
+        w *= 2.0;
+    }
+    return err / static_cast<double>(count_);
+}
+
+bool QuantileSketch::operator==(const QuantileSketch& other) const {
+    return k_ == other.k_ && count_ == other.count_ && levels_ == other.levels_ &&
+           compactions_ == other.compactions_;
+}
+
+double max_cdf_y_distance(const QuantileSketch& a, const QuantileSketch& b) {
+    if (a.empty() && b.empty()) return 0.0;
+    if (a.empty() || b.empty()) return 1.0;
+    const auto ca = a.cdf();
+    const auto cb = b.cdf();
+    // Two-pointer sweep over the merged support, mirroring the exact-sample
+    // overload in stats.cpp but with weighted steps.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    double d = 0.0;
+    while (i < ca.values.size() || j < cb.values.size()) {
+        double x;
+        if (j >= cb.values.size()) {
+            x = ca.values[i];
+        } else if (i >= ca.values.size()) {
+            x = cb.values[j];
+        } else {
+            x = std::min(ca.values[i], cb.values[j]);
+        }
+        while (i < ca.values.size() && ca.values[i] <= x) ++i;
+        while (j < cb.values.size() && cb.values[j] <= x) ++j;
+        const double fa = i == 0 ? 0.0 : ca.cum[i - 1] / ca.total;
+        const double fb = j == 0 ? 0.0 : cb.cum[j - 1] / cb.total;
+        d = std::max(d, std::abs(fa - fb));
+    }
+    return d;
+}
+
+void CountTable::bump(std::size_t i, std::uint64_t by) {
+    if (i >= counts_.size()) counts_.resize(i + 1, 0);
+    counts_[i] += by;
+}
+
+void CountTable::merge(const CountTable& other) {
+    if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+std::uint64_t CountTable::total() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts_) t += c;
+    return t;
+}
+
+std::vector<double> CountTable::normalized(std::size_t size) const {
+    std::vector<double> out(size, 0.0);
+    const std::uint64_t t = total();
+    if (t == 0) return out;
+    for (std::size_t i = 0; i < counts_.size() && i < size; ++i) {
+        out[i] = static_cast<double>(counts_[i]) / static_cast<double>(t);
+    }
+    return out;
+}
+
+}  // namespace cpt::util

@@ -1,0 +1,118 @@
+// Mergeable streaming statistics for the scale substrate (DESIGN.md §14).
+//
+// QuantileSketch is a KLL-style quantile/ECDF summary with *deterministic*
+// compaction: items live in per-level buffers where level h carries weight
+// 2^h; when a buffer exceeds its capacity it is sorted and every second item
+// is promoted one level (the parity alternates per compaction, which cancels
+// most of the systematic rank drift). There is no randomness anywhere, so a
+// sketch's state is a pure function of the insertion sequence, and merging a
+// fixed sequence of sketches left-to-right is bit-reproducible — across runs
+// and across CPT_THREADS, because the streaming metrics pipeline always folds
+// per-chunk sketches in ascending chunk order regardless of which pool worker
+// built them. (Merge is deliberately NOT order-invariant: compaction is
+// lossy, so re-grouping merges can change which items survive. The canonical
+// fold order is part of the contract; see DESIGN.md §14.)
+//
+// Rank-error contract: every compaction at level h moves any fixed rank by at
+// most 2^h, so the worst-case rank error after n inserts is
+//     sum_h compactions(h) * 2^h  <=  levels * n / k     (k = level capacity)
+// i.e. a relative rank error of about log2(n/k)/k — under 2% for a billion
+// samples at the default k = 1024, and far smaller in practice thanks to the
+// alternating parity. rank_error_bound() reports the exact accumulated bound
+// for *this* sketch so callers (tests, the fidelity suite) can assert against
+// it instead of a hand-waved constant.
+//
+// CountTable is the exact half of the streaming metrics: a growable vector of
+// u64 counters whose merge is elementwise addition — a commutative monoid, so
+// event-type breakdowns and violation tallies are exact no matter how the
+// work was sharded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cpt::util {
+
+class QuantileSketch {
+public:
+    // `k` is the per-level buffer capacity; memory is O(k * log(n/k)).
+    explicit QuantileSketch(std::size_t k = 1024);
+
+    void add(double x);
+
+    // Canonical merge: appends `other`'s levels into this sketch and
+    // re-normalizes. Deterministic given (this, other); fold shards in a
+    // fixed (chunk) order for reproducible results.
+    void merge(const QuantileSketch& other);
+
+    // Number of add() calls represented (sum of item weights, exact).
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    std::size_t capacity_k() const { return k_; }
+
+    // Smallest retained value whose cumulative weight fraction reaches q
+    // (q clamped to [0, 1]). Requires a non-empty sketch.
+    double quantile(double q) const;
+
+    // The sketch's ECDF as weighted support points: values ascending,
+    // cum[i] = total weight of items <= values[i]. Empty when the sketch is.
+    struct Cdf {
+        std::vector<double> values;
+        std::vector<double> cum;
+        double total = 0.0;
+    };
+    Cdf cdf() const;
+
+    // Accumulated worst-case rank error as a fraction of count(): the sum of
+    // 2^h over every compaction performed at level h, divided by count().
+    // 0 while nothing has been compacted (the sketch is then exact).
+    double rank_error_bound() const;
+
+    // Bitwise state equality (levels, compaction parities, count) — the
+    // determinism tests' notion of "same sketch".
+    bool operator==(const QuantileSketch& other) const;
+
+private:
+    void compact_level(std::size_t h);
+
+    std::size_t k_;
+    std::vector<std::vector<double>> levels_;       // level h items, weight 2^h
+    std::vector<std::uint64_t> compactions_;        // per-level compaction count
+    std::uint64_t count_ = 0;
+};
+
+// Two-sample Kolmogorov-Smirnov statistic between two sketch ECDFs — the
+// paper's "max CDF y-distance" computed in O(retained items). Matches the
+// exact-sample overloads' edge semantics: 0 when both are empty, 1 when
+// exactly one is. The estimate differs from the exact statistic by at most
+// a.rank_error_bound() + b.rank_error_bound().
+double max_cdf_y_distance(const QuantileSketch& a, const QuantileSketch& b);
+
+// Exact mergeable counters (event-type breakdowns, violation tallies).
+class CountTable {
+public:
+    CountTable() = default;
+    explicit CountTable(std::size_t size) : counts_(size, 0) {}
+
+    // Adds `by` to counter `i`, growing the table as needed.
+    void bump(std::size_t i, std::uint64_t by = 1);
+
+    // Elementwise addition; grows to the larger size. Order-invariant.
+    void merge(const CountTable& other);
+
+    std::size_t size() const { return counts_.size(); }
+    std::uint64_t at(std::size_t i) const { return i < counts_.size() ? counts_[i] : 0; }
+    std::span<const std::uint64_t> counts() const { return counts_; }
+    std::uint64_t total() const;
+
+    // Counts as fractions of total() (zeros when empty), sized `size`.
+    std::vector<double> normalized(std::size_t size) const;
+
+    bool operator==(const CountTable& other) const = default;
+
+private:
+    std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace cpt::util

@@ -120,6 +120,19 @@ TEST(Determinism, FlagsUnorderedIterationButNotLookup) {
     EXPECT_EQ(vs[1].line, 4u);
 }
 
+TEST(Determinism, CoversColumnarAndSketchPaths) {
+    // The streaming substrate promises reproducible files and mergeable
+    // sketches, so src/trace/columnar.* and src/util/sketch.* sit inside the
+    // determinism scope alongside the nn and sampler paths.
+    const auto vs_col = lint("src/trace/columnar.cpp",
+                             "long f() { return std::time(nullptr); }\n");
+    EXPECT_EQ(count_rule(vs_col, "determinism"), 1u);
+    const auto vs_sk = lint("src/util/sketch.cpp",
+                            "std::unordered_map<int, int> m;\n"
+                            "int g() { int t = 0; for (auto& kv : m) t += kv.second; return t; }\n");
+    EXPECT_EQ(count_rule(vs_sk, "determinism"), 1u);
+}
+
 TEST(Determinism, OutsideDeterministicPathsIsUnscoped) {
     const auto vs = lint("src/serve/server.cpp",
                          "long f() { return std::time(nullptr); }\n"

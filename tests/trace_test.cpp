@@ -125,16 +125,54 @@ TEST(DatasetTest, FilterHourSelectsSlice) {
     EXPECT_TRUE(ds.filter_hour(12).streams.empty());
 }
 
-TEST(IoTest, RejectsMalformedInput) {
-    std::stringstream bad_header("nope\n");
-    EXPECT_THROW(read_csv(bad_header), std::invalid_argument);
-    std::stringstream bad_event(
-        "generation,ue_id,device,hour,timestamp,event\n4g,u1,phone,0,0.0,BOGUS\n");
-    EXPECT_THROW(read_csv(bad_event), std::invalid_argument);
-    std::stringstream decreasing(
-        "generation,ue_id,device,hour,timestamp,event\n"
-        "4g,u1,phone,0,5.0,SRV_REQ\n4g,u1,phone,0,1.0,S1_CONN_REL\n");
-    EXPECT_THROW(read_csv(decreasing), std::invalid_argument);
+// Asserts read_csv rejects `csv` with a message containing every expected
+// substring — the satellite contract: each malformed branch names the 1-based
+// line and the offending field.
+void expect_csv_rejected(const std::string& csv,
+                         const std::vector<std::string>& expected_substrings) {
+    std::stringstream in(csv);
+    try {
+        read_csv(in);
+        FAIL() << "input must be rejected:\n" << csv;
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        for (const auto& sub : expected_substrings) {
+            EXPECT_NE(what.find(sub), std::string::npos)
+                << "message '" << what << "' lacks '" << sub << "'";
+        }
+    }
+}
+
+constexpr const char* kCsvHeader = "generation,ue_id,device,hour,timestamp,event\n";
+
+TEST(IoTest, RejectsMalformedInputNamingLineAndField) {
+    expect_csv_rejected("", {"empty input"});
+    expect_csv_rejected("nope\n", {"line 1", "unexpected header"});
+    expect_csv_rejected(std::string(kCsvHeader) + "4g,u1,phone,0,0.0\n",
+                        {"line 2", "expected 6 columns"});
+    expect_csv_rejected(std::string(kCsvHeader) + "6g,u1,phone,0,0.0,SRV_REQ\n",
+                        {"line 2", "generation", "6g"});
+    expect_csv_rejected(std::string(kCsvHeader) + "4g,,phone,0,0.0,SRV_REQ\n",
+                        {"line 2", "empty ue_id"});
+    expect_csv_rejected(std::string(kCsvHeader) + "4g,u1,toaster,0,0.0,SRV_REQ\n",
+                        {"line 2", "device", "toaster"});
+    expect_csv_rejected(std::string(kCsvHeader) + "4g,u1,phone,noon,0.0,SRV_REQ\n",
+                        {"line 2", "hour", "noon"});
+    expect_csv_rejected(std::string(kCsvHeader) + "4g,u1,phone,0,sometime,SRV_REQ\n",
+                        {"line 2", "timestamp", "sometime"});
+    expect_csv_rejected(std::string(kCsvHeader) + "4g,u1,phone,0,0.0,BOGUS\n",
+                        {"line 2", "unknown event", "BOGUS"});
+    expect_csv_rejected(std::string(kCsvHeader) +
+                            "4g,u1,phone,0,5.0,SRV_REQ\n4g,u1,phone,0,1.0,S1_CONN_REL\n",
+                        {"line 3", "decreasing timestamp", "u1"});
+    expect_csv_rejected(std::string(kCsvHeader) +
+                            "4g,u1,phone,0,0.0,SRV_REQ\n5g,u2,phone,0,0.0,SRV_REQ\n",
+                        {"line 3", "mixed generations"});
+    // The error on a later row reports that row's line, not the first.
+    expect_csv_rejected(std::string(kCsvHeader) +
+                            "4g,u1,phone,0,0.0,SRV_REQ\n4g,u1,phone,0,1.0,SRV_REQ\n"
+                            "4g,u2,phone,0,0.0,BOGUS\n",
+                        {"line 4", "unknown event"});
 }
 
 // ---- Synthetic world ----------------------------------------------------------

@@ -333,7 +333,8 @@ void rule_avx2_isolation(const std::string& rel, const Source& src,
 // ---- rule: determinism -----------------------------------------------------
 
 bool in_deterministic_path(const std::string& rel) {
-    return rel.starts_with("src/nn/") || rel.starts_with("src/core/sampler.");
+    return rel.starts_with("src/nn/") || rel.starts_with("src/core/sampler.") ||
+           rel.starts_with("src/trace/columnar.") || rel.starts_with("src/util/sketch.");
 }
 
 constexpr std::array<const char*, 8> kNondetCalls = {

@@ -17,7 +17,8 @@
 //                   AVX2-named option variables, or
 //                   set_source_files_properties calls whose sources are all
 //                   *_avx2.cpp — no target- or directory-wide AVX2 flags.
-//   determinism     deterministic paths (src/nn/**, src/core/sampler.*) must
+//   determinism     deterministic paths (src/nn/**, src/core/sampler.*,
+//                   src/trace/columnar.*, src/util/sketch.*) must
 //                   not call rand()/srand()/time()/clock() or iterate
 //                   std::unordered_{map,set} (hash order is not a function
 //                   of the seed, so iteration breaks byte-identical
