@@ -24,18 +24,39 @@
 // model's stop head is biased hard toward "continue" so stream lengths are
 // exactly the per-stream caps, making the comparison deterministic. Stream
 // completion latency is measured from bench start (all requests are pending
-// at t0), so round barriers show up in the percentiles. Emits
-// BENCH_serve.json next to the binary.
+// at t0), so round barriers show up in the percentiles.
+//
+// On top of the scheduler comparison, two TCP-level sections (DESIGN.md §15):
+//
+//   * transport ladder: the same Server behind the thread-per-connection
+//     listener and behind the epoll event loop, at 16/64/256 concurrent
+//     connections under a fixed open-loop offered load — thread-per-conn is
+//     capped by its thread budget, the epoll loop carries the whole ladder
+//     on two event threads;
+//   * open-loop sweep: offered rates at fractions of the measured
+//     closed-loop capacity, reporting p50/p95/p99 from the scheduled arrival
+//     and the max rate that still meets the SLO.
+//
+// Emits BENCH_serve.json next to the binary.
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <filesystem>
+#include <thread>
 #include <vector>
 
 #include "core/model.hpp"
+#include "core/model_hub.hpp"
 #include "core/sampler.hpp"
 #include "core/tokenizer.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 #include "trace/synthetic.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -224,6 +245,88 @@ void json_row(std::FILE* f, const char* name, const RunResult& r, bool last) {
                  r.tokens_per_sec, pct.p50, pct.p95, pct.p99, r.latency.mean(), last ? "" : ",");
 }
 
+// ---- TCP transport ladder + open-loop sweep (DESIGN.md §15) ----------------
+//
+// Both listeners front the same Server instance and see the same open-loop
+// offered load, so only the transport differs. A point is "sustained" when
+// every request succeeded and p99 latency — measured from the scheduled
+// arrival, so queueing the server caused is charged to it — met the SLO.
+
+constexpr double kSloP99Seconds = 0.25;    // serving SLO for "sustained"
+constexpr double kLadderRps = 200.0;       // fixed offered load for the ladder
+constexpr std::size_t kThreadBudget = 64;  // threaded listener's connection cap
+constexpr std::size_t kLadder[] = {16, 64, 256};
+
+struct TransportPoint {
+    std::size_t connections = 0;
+    serve::LoadgenResult r;
+};
+
+struct OpenPoint {
+    double fraction = 0.0;     // of closed-loop capacity
+    double offered_rps = 0.0;  // fraction * capacity
+    serve::LoadgenResult r;
+};
+
+serve::LoadgenResult run_load(std::uint16_t port, std::size_t conns, std::size_t requests,
+                              double rate, std::uint64_t seed) {
+    serve::LoadgenConfig lcfg;
+    lcfg.port = port;
+    lcfg.connections = conns;
+    lcfg.requests = requests;
+    lcfg.rate = rate;
+    lcfg.seed = seed;
+    lcfg.hour_of_day = 9;
+    lcfg.count = 1;  // one short stream per request: transport cost dominates
+    lcfg.max_stream_len = 8;
+    lcfg.ue_prefix = "bench";
+    return serve::run_loadtest(lcfg);
+}
+
+std::vector<TransportPoint> run_ladder(std::uint16_t port, std::uint64_t seed) {
+    std::vector<TransportPoint> pts;
+    for (const std::size_t conns : kLadder) {
+        TransportPoint p;
+        p.connections = conns;
+        p.r = run_load(port, conns, std::max<std::size_t>(128, conns * 2), kLadderRps, seed++);
+        pts.push_back(std::move(p));
+    }
+    return pts;
+}
+
+std::size_t sustained_connections(const std::vector<TransportPoint>& pts) {
+    std::size_t best = 0;
+    for (const auto& p : pts) {
+        if (p.r.failed == 0 && p.r.latency.percentiles().p99 <= kSloP99Seconds) {
+            best = std::max(best, p.connections);
+        }
+    }
+    return best;
+}
+
+void print_transport_row(const char* transport, const TransportPoint& p) {
+    const auto pct = p.r.latency.percentiles();
+    std::printf("  %-8s %4zu conns: %4zu ok %4zu failed   p50 %.4fs  p99 %.4fs\n", transport,
+                p.connections, p.r.ok, p.r.failed, pct.p50, pct.p99);
+}
+
+void json_transport_row(std::FILE* f, const char* transport, const TransportPoint& p, bool last) {
+    const auto pct = p.r.latency.percentiles();
+    std::fprintf(f,
+                 "      {\"transport\": \"%s\", \"connections\": %zu, \"ok\": %zu, "
+                 "\"failed\": %zu, \"p50\": %.4f, \"p99\": %.4f}%s\n",
+                 transport, p.connections, p.r.ok, p.r.failed, pct.p50, pct.p99, last ? "" : ",");
+}
+
+void json_open_row(std::FILE* f, const OpenPoint& p, bool last) {
+    const auto pct = p.r.latency.percentiles();
+    std::fprintf(f,
+                 "      {\"fraction\": %.2f, \"offered_rps\": %.1f, \"achieved_rps\": %.1f, "
+                 "\"ok\": %zu, \"failed\": %zu, \"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}%s\n",
+                 p.fraction, p.offered_rps, p.r.achieved_rps, p.r.ok, p.r.failed, pct.p50,
+                 pct.p95, pct.p99, last ? "" : ",");
+}
+
 }  // namespace
 
 int main() {
@@ -321,6 +424,97 @@ int main() {
         return 1;
     }
 
+    // ---- TCP transport ladder + open-loop sweep ----------------------------
+    // The 256-connection points need client + server fds past the usual 1024
+    // soft cap; raise it to the hard cap.
+    struct rlimit nofile;
+    if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 && nofile.rlim_cur < nofile.rlim_max) {
+        nofile.rlim_cur = nofile.rlim_max;
+        ::setrlimit(RLIMIT_NOFILE, &nofile);
+    }
+
+    // Publish the (stop-biased) model into a scratch hub so the real Server —
+    // hub load, admission queue, engine threads — is what both listeners front.
+    const std::string hub_dir = (std::filesystem::temp_directory_path() /
+                                 ("cpt_bench_serve_hub_" + std::to_string(::getpid())))
+                                    .string();
+    std::filesystem::remove_all(hub_dir);
+    core::ModelHub(hub_dir).publish(model, tok, world.initial_event_distribution(),
+                                    trace::DeviceType::kPhone, 9);
+    serve::ServeConfig serve_cfg;
+    serve_cfg.hub_dir = hub_dir;
+    serve_cfg.model = cfg;
+    serve_cfg.slot_capacity = kSlotCapacity;
+    serve_cfg.queue_capacity = 1024;  // 256 concurrent conns must not trip kQueueFull
+    serve::Server server(serve_cfg);
+
+    std::vector<TransportPoint> threaded_pts;
+    {
+        serve::ThreadedTcpServer srv(server, "127.0.0.1", 0, kThreadBudget);
+        std::thread acceptor([&srv] { srv.serve_forever(); });
+        threaded_pts = run_ladder(srv.port(), 1000);
+        srv.stop();
+        acceptor.join();
+    }
+
+    std::vector<TransportPoint> epoll_pts;
+    serve::LoadgenResult closed_cap;
+    std::vector<OpenPoint> open_pts;
+    {
+        serve::TcpServer srv(server, "127.0.0.1", 0);
+        std::thread acceptor([&srv] { srv.serve_forever(); });
+        epoll_pts = run_ladder(srv.port(), 2000);
+
+        // Closed-loop capacity: 16 connections each keeping one request
+        // outstanding. achieved_rps is the operating point the open-loop
+        // sweep scales against.
+        closed_cap = run_load(srv.port(), 16, 256, 0.0, 3000);
+        std::uint64_t seed = 4000;
+        for (const double fraction : {0.5, 0.7, 0.85, 1.0}) {
+            OpenPoint p;
+            p.fraction = fraction;
+            p.offered_rps = closed_cap.achieved_rps * fraction;
+            const auto n = std::clamp<std::size_t>(static_cast<std::size_t>(p.offered_rps),
+                                                   std::size_t{128}, std::size_t{600});
+            p.r = run_load(srv.port(), 32, n, p.offered_rps, seed++);
+            open_pts.push_back(std::move(p));
+        }
+        srv.stop();
+        acceptor.join();
+    }
+    server.drain();
+    std::filesystem::remove_all(hub_dir);
+
+    const std::size_t threaded_sustained = sustained_connections(threaded_pts);
+    const std::size_t epoll_sustained = sustained_connections(epoll_pts);
+    const double conn_ratio =
+        threaded_sustained > 0
+            ? static_cast<double>(epoll_sustained) / static_cast<double>(threaded_sustained)
+            : 0.0;
+    double max_sustainable_rps = 0.0;
+    for (const auto& p : open_pts) {
+        if (p.r.failed == 0 && p.r.latency.percentiles().p99 <= kSloP99Seconds) {
+            max_sustainable_rps = std::max(max_sustainable_rps, p.offered_rps);
+        }
+    }
+
+    std::printf("transport ladder (open loop, %.0f req/s offered, SLO p99 <= %.0f ms, "
+                "thread budget %zu):\n",
+                kLadderRps, kSloP99Seconds * 1e3, kThreadBudget);
+    for (const auto& p : threaded_pts) print_transport_row("threaded", p);
+    for (const auto& p : epoll_pts) print_transport_row("epoll", p);
+    std::printf("sustained connections: threaded %zu, epoll %zu (%.1fx)\n", threaded_sustained,
+                epoll_sustained, conn_ratio);
+    std::printf("open-loop sweep (closed-loop capacity %.1f req/s over 16 conns):\n",
+                closed_cap.achieved_rps);
+    for (const auto& p : open_pts) {
+        const auto pct = p.r.latency.percentiles();
+        std::printf("  %.2fx -> %7.1f req/s offered: %4zu ok %3zu failed   p50 %.4fs  "
+                    "p99 %.4fs\n",
+                    p.fraction, p.offered_rps, p.r.ok, p.r.failed, pct.p50, pct.p99);
+    }
+    std::printf("max sustainable rate at SLO: %.1f req/s\n", max_sustainable_rps);
+
     const char* path = "BENCH_serve.json";
     std::FILE* f = std::fopen(path, "w");
     if (!f) {
@@ -343,9 +537,32 @@ int main() {
                  "  ],\n  \"memory\": {\"weights_fp32_bytes\": %zu, \"weights_int8_bytes\": %zu, "
                  "\"kv_fp32_bytes\": %zu, \"kv_fp16_bytes\": %zu, \"kv_capacity\": %zu},\n"
                  "  \"speedup\": %.3f,\n  \"speedup_vs_compacted\": %.3f,\n"
-                 "  \"int8_speedup\": %.3f\n}\n",
+                 "  \"int8_speedup\": %.3f,\n",
                  weights_fp32_bytes, weights_int8_bytes, kv_fp32_bytes, kv_fp16_bytes,
                  kSlotCapacity, speedup, speedup_vs_compacted, int8_speedup);
+    std::fprintf(f,
+                 "  \"transport\": {\n"
+                 "    \"offered_rps\": %.1f, \"slo_p99_seconds\": %.3f, \"thread_budget\": %zu,\n"
+                 "    \"rows\": [\n",
+                 kLadderRps, kSloP99Seconds, kThreadBudget);
+    for (const auto& p : threaded_pts) json_transport_row(f, "threaded", p, false);
+    for (std::size_t i = 0; i < epoll_pts.size(); ++i) {
+        json_transport_row(f, "epoll", epoll_pts[i], i + 1 == epoll_pts.size());
+    }
+    std::fprintf(f,
+                 "    ],\n"
+                 "    \"sustained_connections\": {\"threaded\": %zu, \"epoll\": %zu},\n"
+                 "    \"connection_ratio\": %.2f\n  },\n",
+                 threaded_sustained, epoll_sustained, conn_ratio);
+    std::fprintf(f,
+                 "  \"open_loop\": {\n"
+                 "    \"closed_loop_capacity_rps\": %.1f, \"slo_p99_seconds\": %.3f,\n"
+                 "    \"rows\": [\n",
+                 closed_cap.achieved_rps, kSloP99Seconds);
+    for (std::size_t i = 0; i < open_pts.size(); ++i) {
+        json_open_row(f, open_pts[i], i + 1 == open_pts.size());
+    }
+    std::fprintf(f, "    ],\n    \"max_sustainable_rps\": %.1f\n  }\n}\n", max_sustainable_rps);
     std::fclose(f);
     std::printf("wrote %s\n", path);
     return 0;

@@ -1,119 +1,71 @@
-// serve_loadtest — concurrent TCP load driver for cpt_serve.
+// serve_loadtest — TCP load driver for cpt_serve / cpt_router.
 //
-// Opens --threads connections, fires --requests generate requests of --count
-// streams each (round-robin across connections), and reports client-side
-// throughput and latency percentiles plus the server's own stats JSON.
-// Exit status is non-zero on transport errors or if no request succeeded,
-// so scripts/check.sh can use it as a smoke gate.
+// Closed loop (default): --threads connections each keep one request
+// outstanding until --requests have been fired; throughput measures
+// capacity. Open loop (--rate=N): requests arrive on a deterministic seeded
+// Poisson schedule at N/s regardless of how fast the server answers, and
+// latency is measured from the scheduled arrival — the honest number under
+// overload (no coordinated omission).
+//
+// Exit status is non-zero if no request succeeded; with --require-all it is
+// non-zero unless every request succeeded (the check.sh router smoke uses
+// this to assert zero dropped requests across a backend kill).
 //
 //   ./serve_loadtest --port=7433 --requests=16 --count=8 --threads=4
-#include <atomic>
-#include <chrono>
+//   ./serve_loadtest --port=7500 --rate=50 --requests=200 --require-all
 #include <cstdio>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "serve/client.hpp"
+#include "serve/loadgen.hpp"
 #include "util/cli.hpp"
-#include "util/stats.hpp"
-
-namespace {
-
-using namespace cpt;
-using Clock = std::chrono::steady_clock;
-
-struct WorkerResult {
-    std::size_t ok = 0;
-    std::size_t failed = 0;      // non-kOk service statuses
-    std::size_t transport = 0;   // connection/protocol errors
-    std::size_t streams = 0;
-    std::size_t events = 0;
-    util::LatencyHistogram latency;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
+    using namespace cpt;
     const util::Options opt(argc, argv);
-    const std::string host = opt.get("host", "127.0.0.1");
-    const auto port = static_cast<std::uint16_t>(opt.get_int("port", 7433));
-    const auto requests = static_cast<std::size_t>(opt.get_int("requests", 16));
-    const auto count = static_cast<std::uint32_t>(opt.get_int("count", 8));
-    const auto threads = static_cast<std::size_t>(opt.get_int("threads", 4));
 
-    serve::GenerateRequest base;
-    base.device = trace::device_type_from_string(opt.get("device", "phone"));
-    base.hour_of_day = static_cast<int>(opt.get_int("hour", 9));
-    base.count = count;
-    base.deterministic = opt.get_flag("deterministic");
-    base.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
-    base.temperature = static_cast<float>(opt.get_double("temperature", -1.0));
-    base.top_p = static_cast<float>(opt.get_double("top-p", -1.0));
-    base.max_stream_len = static_cast<std::uint32_t>(opt.get_int("max-len", 0));
-    base.deadline_ms = static_cast<std::uint32_t>(opt.get_int("deadline-ms", 0));
-    base.ue_prefix = opt.get("prefix", "lt");
+    serve::LoadgenConfig cfg;
+    cfg.host = opt.get("host", "127.0.0.1");
+    cfg.port = static_cast<std::uint16_t>(opt.get_int("port", 7433));
+    cfg.requests = static_cast<std::size_t>(opt.get_int("requests", 16));
+    cfg.connections = static_cast<std::size_t>(opt.get_int("threads", 4));
+    cfg.rate = opt.get_double("rate", 0.0);
+    cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+    cfg.device = trace::device_type_from_string(opt.get("device", "phone"));
+    cfg.hour_of_day = static_cast<int>(opt.get_int("hour", 9));
+    cfg.count = static_cast<std::uint32_t>(opt.get_int("count", 8));
+    cfg.deterministic = opt.get_flag("deterministic");
+    cfg.max_stream_len = static_cast<std::uint32_t>(opt.get_int("max-len", 0));
+    cfg.deadline_ms = static_cast<std::uint32_t>(opt.get_int("deadline-ms", 0));
+    cfg.ue_prefix = opt.get("prefix", "lt");
+    const bool require_all = opt.get_flag("require-all");
 
-    std::vector<WorkerResult> results(threads);
-    std::atomic<std::size_t> next{0};
-    const auto t0 = Clock::now();
-    std::vector<std::thread> workers;
-    for (std::size_t w = 0; w < threads; ++w) {
-        workers.emplace_back([&, w] {
-            auto& r = results[w];
-            try {
-                serve::TcpClient client(host, port);
-                for (;;) {
-                    const std::size_t i = next.fetch_add(1);
-                    if (i >= requests) break;
-                    serve::GenerateRequest req = base;
-                    req.seed = base.seed + i;
-                    const auto sent = Clock::now();
-                    const auto resp = client.generate(req);
-                    r.latency.record(std::chrono::duration<double>(Clock::now() - sent).count());
-                    if (resp.status == serve::Status::kOk) {
-                        ++r.ok;
-                        r.streams += resp.streams.size();
-                        for (const auto& s : resp.streams) r.events += s.events.size();
-                    } else {
-                        ++r.failed;
-                        std::fprintf(stderr, "serve_loadtest: request %zu -> %s (%s)\n", i,
-                                     serve::status_name(resp.status), resp.error.c_str());
-                    }
-                }
-            } catch (const std::exception& e) {
-                ++r.transport;
-                std::fprintf(stderr, "serve_loadtest: worker %zu transport error: %s\n", w,
-                             e.what());
-            }
-        });
+    const serve::LoadgenResult r = serve::run_loadtest(cfg);
+
+    const auto pct = r.latency.percentiles();
+    char mode[64];
+    if (cfg.rate > 0.0) {
+        std::snprintf(mode, sizeof(mode), "open loop, %.1f/s offered", cfg.rate);
+    } else {
+        std::snprintf(mode, sizeof(mode), "closed loop");
     }
-    for (auto& t : workers) t.join();
-    const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
-
-    WorkerResult total;
-    for (const auto& r : results) {
-        total.ok += r.ok;
-        total.failed += r.failed;
-        total.transport += r.transport;
-        total.streams += r.streams;
-        total.events += r.events;
-        total.latency.merge(r.latency);
+    std::printf("serve_loadtest: %zu ok, %zu failed in %.3fs (%s)\n", r.ok, r.failed,
+                r.wall_seconds, mode);
+    std::printf("  streams: %llu (%.1f/s)   requests: %.1f/s\n",
+                static_cast<unsigned long long>(r.streams),
+                static_cast<double>(r.streams) / r.wall_seconds, r.achieved_rps);
+    std::printf("  request latency%s: p50 %.4fs  p95 %.4fs  p99 %.4fs  mean %.4fs\n",
+                cfg.rate > 0.0 ? " (from scheduled arrival)" : "", pct.p50, pct.p95,
+                pct.p99, r.latency.mean());
+    if (!r.first_error.empty()) {
+        std::printf("  first failure: %s\n", r.first_error.c_str());
     }
-    const auto pct = total.latency.percentiles();
-    std::printf("serve_loadtest: %zu ok, %zu failed, %zu transport errors in %.3fs\n", total.ok,
-                total.failed, total.transport, elapsed);
-    std::printf("  streams: %zu (%.1f/s)   events: %zu (%.1f/s)\n", total.streams,
-                static_cast<double>(total.streams) / elapsed, total.events,
-                static_cast<double>(total.events) / elapsed);
-    std::printf("  request latency: p50 %.4fs  p95 %.4fs  p99 %.4fs  mean %.4fs\n", pct.p50,
-                pct.p95, pct.p99, total.latency.mean());
 
     try {
-        serve::TcpClient client(host, port);
+        serve::TcpClient client(cfg.host, cfg.port);
         std::printf("server stats:\n%s\n", client.stats_json().c_str());
     } catch (const std::exception& e) {
         std::fprintf(stderr, "serve_loadtest: stats fetch failed: %s\n", e.what());
     }
-    return (total.transport == 0 && total.ok > 0) ? 0 : 1;
+    if (require_all) return (r.failed == 0 && r.ok == cfg.requests) ? 0 : 1;
+    return r.ok > 0 ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #   scripts/check.sh simd        # Release build; parity+determinism per forced SIMD tier
 #   scripts/check.sh quant       # quant-labeled tests (int8/fp16 decode) per forced SIMD tier
 #   scripts/check.sh serve       # serve-labeled tests + daemon smoke (loadtest, clean drain)
+#   scripts/check.sh router      # 2 backends + router; kill one mid-load, assert clean failover
 #   scripts/check.sh train       # train-labeled tests, then rerun determinism with CPT_THREADS=2
 #   scripts/check.sh scale       # scale-labeled tests + 50k-UE streaming smoke under an RSS bound
 #
@@ -219,6 +220,135 @@ stage_serve() {
     echo "serve smoke: loadtest ok, clean drain confirmed on port $port"
 }
 
+# Waits for a daemon to print its "listening on" line and echoes the port.
+# Fails (empty output) if the daemon exits or stays silent.
+await_listen_port() { # <log> <pid> <daemon name as printed>
+    local log="$1" pid="$2" name="$3" port=""
+    for _ in $(seq 1 120); do
+        port="$(sed -n "s/^$name: listening on 127\.0\.0\.1:\([0-9]*\).*$/\1/p" "$log")"
+        [ -n "$port" ] && break
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.5
+    done
+    echo "$port"
+}
+
+stage_router() {
+    echo "== stage: router (sharded serving: 2 backends + router, mid-load backend kill) =="
+    local dir="$ROOT/build-check-serve"
+    configure_and_build "$dir"
+
+    local b1log="$dir/router_backend1.log" b2log="$dir/router_backend2.log"
+    local rlog="$dir/cpt_router.log" ltlog="$dir/router_loadtest.log"
+    rm -rf "$dir/router-hub"
+
+    # Backend 1 bootstraps the shared hub (phone/h9); backend 2 serves the
+    # same release — the byte-identical-failover precondition.
+    "$dir/examples/cpt_serve" --hub="$dir/router-hub" --bootstrap --ues=40 --port=0 \
+        >"$b1log" 2>&1 &
+    local b1=$!
+    local p1
+    p1="$(await_listen_port "$b1log" "$b1" cpt_serve)"
+    if [ -z "$p1" ]; then
+        echo "backend 1 never listened:" >&2
+        cat "$b1log" >&2
+        kill "$b1" 2>/dev/null || true
+        return 1
+    fi
+    "$dir/examples/cpt_serve" --hub="$dir/router-hub" --port=0 >"$b2log" 2>&1 &
+    local b2=$!
+    local p2
+    p2="$(await_listen_port "$b2log" "$b2" cpt_serve)"
+    if [ -z "$p2" ]; then
+        echo "backend 2 never listened:" >&2
+        cat "$b2log" >&2
+        kill "$b1" "$b2" 2>/dev/null || true
+        return 1
+    fi
+
+    # --print-owner names the slice's ring owner, i.e. the backend whose
+    # mid-load death the failover path must absorb.
+    "$dir/examples/cpt_router" --backends="127.0.0.1:$p1,127.0.0.1:$p2" --port=0 \
+        --print-owner=phone/h9 >"$rlog" 2>&1 &
+    local router=$!
+    local rport
+    rport="$(await_listen_port "$rlog" "$router" cpt_router)"
+    if [ -z "$rport" ]; then
+        echo "router never listened:" >&2
+        cat "$rlog" >&2
+        kill "$b1" "$b2" "$router" 2>/dev/null || true
+        return 1
+    fi
+    local owner_port victim
+    owner_port="$(sed -n 's/^cpt_router: owner(phone\/h9) = 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$rlog")"
+    if [ "$owner_port" = "$p1" ]; then
+        victim=$b1
+    elif [ "$owner_port" = "$p2" ]; then
+        victim=$b2
+    else
+        echo "router printed no usable owner (got '$owner_port'):" >&2
+        cat "$rlog" >&2
+        kill "$b1" "$b2" "$router" 2>/dev/null || true
+        return 1
+    fi
+
+    # Open-loop load through the router; SIGTERM the owner mid-run. The owner
+    # drains its in-flight work, later arrivals fail over to the survivor, and
+    # --require-all asserts zero dropped requests end to end.
+    "$dir/examples/serve_loadtest" --port="$rport" --rate=40 --requests=80 --threads=8 \
+        --count=2 --max-len=16 --require-all >"$ltlog" 2>&1 &
+    local lt=$!
+    sleep 0.7
+    kill -TERM "$victim"
+    local lt_status=0
+    wait "$lt" || lt_status=$?
+    local victim_status=0
+    wait "$victim" || victim_status=$?
+    if [ "$lt_status" -ne 0 ]; then
+        echo "loadtest dropped requests across the backend kill:" >&2
+        cat "$ltlog" >&2
+        kill "$b1" "$b2" "$router" 2>/dev/null || true
+        return 1
+    fi
+    if [ "$victim_status" -ne 0 ]; then
+        echo "killed backend exited with status $victim_status (expected clean drain)" >&2
+        kill "$b1" "$b2" "$router" 2>/dev/null || true
+        return 1
+    fi
+    local failovers
+    failovers="$(sed -n 's/.*"failovers": \([0-9]*\).*/\1/p' "$ltlog" | head -n 1)"
+    if [ -z "$failovers" ] || [ "$failovers" -lt 1 ]; then
+        echo "router stats show no failover (got '${failovers:-none}'):" >&2
+        cat "$ltlog" >&2
+        kill "$b1" "$b2" "$router" 2>/dev/null || true
+        return 1
+    fi
+
+    # Graceful teardown: router and surviving backend both drain cleanly.
+    kill -TERM "$router"
+    local status=0
+    wait "$router" || status=$?
+    if [ "$status" -ne 0 ] || ! grep -q "cpt_router: drained cleanly" "$rlog"; then
+        echo "router did not drain cleanly (status $status):" >&2
+        cat "$rlog" >&2
+        kill "$b1" "$b2" 2>/dev/null || true
+        return 1
+    fi
+    local survivor=$b1
+    [ "$victim" = "$b1" ] && survivor=$b2
+    kill -TERM "$survivor"
+    status=0
+    wait "$survivor" || status=$?
+    local slog="$b1log"
+    [ "$survivor" = "$b2" ] && slog="$b2log"
+    if [ "$status" -ne 0 ] || ! grep -q "cpt_serve: drained cleanly" "$slog"; then
+        echo "surviving backend did not drain cleanly (status $status):" >&2
+        cat "$slog" >&2
+        return 1
+    fi
+    echo "router smoke: $failovers failover(s), zero dropped requests, clean drains"
+}
+
 stage_train() {
     echo "== stage: train (labeled tests, then determinism rerun with CPT_THREADS=2) =="
     local dir="$ROOT/build-check-train"
@@ -242,7 +372,7 @@ stage_scale() {
     (cd "$dir/bench" && ./bench_scale --pops=50000 --assert-rss-mb=200)
 }
 
-all_stages=(werror tidy annotate sa ubsan asan tsan simd quant serve train scale)
+all_stages=(werror tidy annotate sa ubsan asan tsan simd quant serve router train scale)
 
 run_stage() {
     case "$1" in
@@ -256,6 +386,7 @@ run_stage() {
         simd) stage_simd ;;
         quant) stage_quant ;;
         serve) stage_serve ;;
+        router) stage_router ;;
         train) stage_train ;;
         scale) stage_scale ;;
         *)

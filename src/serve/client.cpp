@@ -1,14 +1,16 @@
 #include "client.hpp"
 
-#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+#include "net.hpp"
 
 namespace cpt::serve {
 
@@ -18,49 +20,17 @@ namespace {
     throw std::runtime_error(std::string("serve: ") + what + ": " + std::strerror(errno));
 }
 
-sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-        throw std::runtime_error("serve: bad IPv4 address '" + host + "'");
-    }
-    return addr;
-}
-
 }  // namespace
 
-// ---- TcpServer -------------------------------------------------------------
+// ---- ThreadedTcpServer -----------------------------------------------------
 
-TcpServer::TcpServer(Server& server, const std::string& host, std::uint16_t port)
-    : server_(server) {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) throw_errno("socket");
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr = make_addr(host, port);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-        const int err = errno;
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        errno = err;
-        throw_errno("bind");
-    }
-    if (::listen(listen_fd_, 64) < 0) {
-        const int err = errno;
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        errno = err;
-        throw_errno("listen");
-    }
-    socklen_t len = sizeof(addr);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
-        throw_errno("getsockname");
-    }
-    port_ = ntohs(addr.sin_port);
+ThreadedTcpServer::ThreadedTcpServer(Service& service, const std::string& host,
+                                     std::uint16_t port, std::size_t max_connections)
+    : service_(service), max_connections_(max_connections) {
+    listen_fd_ = net::listen_socket(host, port, /*backlog=*/64, &port_);
 }
 
-TcpServer::~TcpServer() {
+ThreadedTcpServer::~ThreadedTcpServer() {
     stop();
     // serve_forever joins connection threads; if it was never run (or exited
     // early), join whatever is left here.
@@ -74,7 +44,7 @@ TcpServer::~TcpServer() {
     }
 }
 
-void TcpServer::serve_forever(const std::function<bool()>& interrupt) {
+void ThreadedTcpServer::serve_forever(const std::function<bool()>& interrupt) {
     for (;;) {
         int lfd = -1;
         {
@@ -100,6 +70,14 @@ void TcpServer::serve_forever(const std::function<bool()>& interrupt) {
             ::close(fd);
             break;
         }
+        if (conn_fds_.size() >= max_connections_) {
+            // Every connection costs a full thread stack; past the budget the
+            // kindest failure is an immediate close so the client sees EOF
+            // rather than an unbounded accept queue. (The epoll server exists
+            // precisely to lift this cap.)
+            ::close(fd);
+            continue;
+        }
         conn_fds_.push_back(fd);
         conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
     }
@@ -116,7 +94,7 @@ void TcpServer::serve_forever(const std::function<bool()>& interrupt) {
     }
 }
 
-void TcpServer::stop() {
+void ThreadedTcpServer::stop() {
     util::LockGuard lk(mu_);
     if (stopping_) return;
     stopping_ = true;
@@ -128,7 +106,7 @@ void TcpServer::stop() {
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
 }
 
-void TcpServer::handle_connection(int fd) {
+void ThreadedTcpServer::handle_connection(int fd) {
     std::vector<std::uint8_t> payload;
     try {
         while (read_frame(fd, payload)) {
@@ -136,11 +114,14 @@ void TcpServer::handle_connection(int fd) {
             switch (peek_type(payload)) {
                 case MsgType::kGenerateRequest: {
                     const GenerateRequest req = decode_generate_request(payload);
-                    reply = encode_generate_response(server_.generate(req));
+                    reply = encode_generate_response(service_.generate(req));
                     break;
                 }
                 case MsgType::kStatsRequest:
-                    reply = encode_stats_response(server_.stats_json());
+                    reply = encode_stats_response(service_.stats_json());
+                    break;
+                case MsgType::kHealthRequest:
+                    reply = encode_health_response(service_.health());
                     break;
                 default:
                     throw std::runtime_error("serve: client sent a response-typed frame");
@@ -163,10 +144,11 @@ void TcpServer::handle_connection(int fd) {
 
 // ---- TcpClient -------------------------------------------------------------
 
-TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+TcpClient::TcpClient(const std::string& host, std::uint16_t port)
+    : peer_(host + ":" + std::to_string(port)) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) throw_errno("socket");
-    sockaddr_in addr = make_addr(host, port);
+    sockaddr_in addr = net::make_addr(host, port);
     int rc;
     do {
         rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
@@ -175,8 +157,10 @@ TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
         const int err = errno;
         ::close(fd_);
         fd_ = -1;
-        errno = err;
-        throw_errno("connect");
+        const auto kind = err == ECONNREFUSED ? TransportError::Kind::kConnectRefused
+                                              : TransportError::Kind::kConnectFailed;
+        throw TransportError(kind, peer_, err, /*response_started=*/false,
+                             "serve: connect to " + peer_ + " failed: " + std::strerror(err));
     }
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -186,20 +170,81 @@ TcpClient::~TcpClient() {
     if (fd_ >= 0) ::close(fd_);
 }
 
-GenerateResponse TcpClient::generate(const GenerateRequest& request) {
-    write_frame(fd_, encode_generate_request(request));
-    if (!read_frame(fd_, frame_)) {
-        throw std::runtime_error("serve: server closed connection before replying");
+void TcpClient::set_io_timeout(std::chrono::milliseconds timeout) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+        ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+        throw_errno("setsockopt(SO_RCVTIMEO)");
     }
-    return decode_generate_response(frame_);
+}
+
+// Maps a framing failure onto the typed client error. `response_started` is
+// true only for failures on the read side after the first response byte
+// arrived — exactly the failures the router must not retry.
+const std::vector<std::uint8_t>& TcpClient::roundtrip(
+    const std::vector<std::uint8_t>& request) {
+    bool reading = false;
+    try {
+        write_frame(fd_, request);
+        reading = true;
+        if (!read_frame(fd_, frame_)) {
+            throw TransportError(TransportError::Kind::kClosed, peer_, 0,
+                                 /*response_started=*/false,
+                                 "serve: " + peer_ + " closed connection before replying");
+        }
+        return frame_;
+    } catch (const FrameError& e) {
+        const bool response_started = reading && e.midstream();
+        TransportError::Kind kind;
+        switch (e.kind()) {
+            case FrameError::Kind::kClosed:
+                kind = TransportError::Kind::kClosed;
+                break;
+            case FrameError::Kind::kTimeout:
+                kind = TransportError::Kind::kTimeout;
+                break;
+            case FrameError::Kind::kBadLength:
+                kind = TransportError::Kind::kProtocol;
+                break;
+            case FrameError::Kind::kRecv:
+            case FrameError::Kind::kSend:
+            default:
+                kind = (e.errno_code() == ECONNRESET || e.errno_code() == EPIPE)
+                           ? TransportError::Kind::kReset
+                           : TransportError::Kind::kProtocol;
+                break;
+        }
+        throw TransportError(kind, peer_, e.errno_code(), response_started,
+                             std::string(e.what()) + " (peer " + peer_ + ")");
+    }
+}
+
+GenerateResponse TcpClient::generate(const GenerateRequest& request) {
+    return decode_generate_response(roundtrip(encode_generate_request(request)));
 }
 
 std::string TcpClient::stats_json() {
-    write_frame(fd_, encode_stats_request());
-    if (!read_frame(fd_, frame_)) {
-        throw std::runtime_error("serve: server closed connection before replying");
+    return decode_stats_response(roundtrip(encode_stats_request()));
+}
+
+HealthInfo TcpClient::health() {
+    return decode_health_response(roundtrip(encode_health_request()));
+}
+
+// ---- connect_with_backoff --------------------------------------------------
+
+std::unique_ptr<TcpClient> connect_with_backoff(const std::string& host, std::uint16_t port,
+                                                const util::Backoff& backoff) {
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return std::make_unique<TcpClient>(host, port);
+        } catch (const TransportError&) {
+            if (!backoff.should_retry(attempt)) throw;
+            backoff.sleep(attempt);
+        }
     }
-    return decode_stats_response(frame_);
 }
 
 }  // namespace cpt::serve

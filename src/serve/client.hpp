@@ -1,9 +1,18 @@
-// TCP transport for cpt-serve: a blocking accept-loop server that exposes a
-// serve::Server over the length-prefixed protocol (protocol.hpp), and a
-// matching client. One OS thread per connection; each connection processes
+// Blocking TCP transport pieces for cpt-serve: the compat thread-per-
+// connection server (ThreadedTcpServer), the client (TcpClient) with typed
+// transport errors, and a bounded reconnect helper (connect_with_backoff) the
+// router's failover path reuses.
+//
+// The production listener is the epoll TcpServer in event_loop.hpp (included
+// below so existing `serve/client.hpp` users keep compiling); the threaded
+// server is retained as the baseline for bench_serve's transport comparison
+// and as the simplest-possible reference implementation of the protocol.
+//
+// ThreadedTcpServer: one OS thread per connection; each connection processes
 // its frames in order (a generate frame blocks that connection until the
-// engine answers), so pipelined load needs multiple connections — which is
-// what serve_loadtest does.
+// engine answers), so pipelined load needs multiple connections. Connection
+// count is capped at `max_connections` — each costs a full thread stack, so
+// the cap is the thread budget; excess accepts are closed immediately.
 //
 // Shutdown: stop() closes the listening socket and shuts down every live
 // connection, so serve_forever() returns after joining the connection
@@ -12,27 +21,107 @@
 // installs handlers without SA_RESTART precisely so this works) reports true.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "server.hpp"
+#include "service.hpp"
+#include "util/backoff.hpp"
 #include "util/sync.hpp"
 
 namespace cpt::serve {
 
-class TcpServer {
+// Typed client-side transport failure. Carries the peer address, the errno
+// that caused it, and — the bit the router's failover logic keys on —
+// whether any byte of the response had already arrived. A refused connect or
+// a request that died before the first response byte is safe to retry
+// against another backend (generation is idempotent for deterministic
+// requests); a partially-streamed response is not.
+class TransportError : public std::runtime_error {
+public:
+    enum class Kind {
+        kConnectRefused,  // ECONNREFUSED: nothing is listening on the peer
+        kConnectFailed,   // any other connect(2) failure
+        kClosed,          // peer closed the connection (EOF)
+        kReset,           // ECONNRESET / EPIPE mid-conversation
+        kTimeout,         // configured I/O timeout expired
+        kProtocol,        // malformed frame or payload from the peer
+    };
+
+    TransportError(Kind kind, std::string peer, int errno_code, bool response_started,
+                   const std::string& what)
+        : std::runtime_error(what),
+          kind_(kind),
+          peer_(std::move(peer)),
+          errno_(errno_code),
+          response_started_(response_started) {}
+
+    Kind kind() const { return kind_; }
+    const std::string& peer() const { return peer_; }  // "host:port"
+    int errno_code() const { return errno_; }
+    bool response_started() const { return response_started_; }
+
+private:
+    Kind kind_;
+    std::string peer_;
+    int errno_;
+    bool response_started_;
+};
+
+class TcpClient {
+public:
+    // Connects to host:port; throws TransportError on failure
+    // (kConnectRefused when nothing is listening).
+    TcpClient(const std::string& host, std::uint16_t port);
+    ~TcpClient();
+
+    TcpClient(const TcpClient&) = delete;
+    TcpClient& operator=(const TcpClient&) = delete;
+
+    // Peer address as "host:port" (for error messages and logs).
+    const std::string& peer() const { return peer_; }
+
+    // Bounds every subsequent send/recv (SO_SNDTIMEO/SO_RCVTIMEO); an
+    // expired timeout surfaces as TransportError::Kind::kTimeout. Zero
+    // restores blocking I/O.
+    void set_io_timeout(std::chrono::milliseconds timeout);
+
+    // Round-trips one request frame. Throws TransportError on transport or
+    // protocol errors; service-level failures come back in the response
+    // status instead.
+    GenerateResponse generate(const GenerateRequest& request);
+    std::string stats_json();
+    HealthInfo health();
+
+private:
+    const std::vector<std::uint8_t>& roundtrip(const std::vector<std::uint8_t>& request);
+
+    int fd_ = -1;
+    std::string peer_;
+    std::vector<std::uint8_t> frame_;  // reused receive buffer
+};
+
+// Connects with bounded, deterministic backoff: retries refused/unreachable
+// connects per `policy`, rethrowing the last TransportError when attempts
+// are exhausted. Protocol-level errors are never retried here.
+std::unique_ptr<TcpClient> connect_with_backoff(const std::string& host, std::uint16_t port,
+                                                const util::Backoff& backoff);
+
+class ThreadedTcpServer {
 public:
     // Binds and listens on host:port; port 0 picks an ephemeral port (read it
     // back with port()). Throws std::runtime_error on socket errors.
-    TcpServer(Server& server, const std::string& host = "127.0.0.1",
-              std::uint16_t port = 0);
-    ~TcpServer();
+    ThreadedTcpServer(Service& service, const std::string& host = "127.0.0.1",
+                      std::uint16_t port = 0, std::size_t max_connections = 256);
+    ~ThreadedTcpServer();
 
-    TcpServer(const TcpServer&) = delete;
-    TcpServer& operator=(const TcpServer&) = delete;
+    ThreadedTcpServer(const ThreadedTcpServer&) = delete;
+    ThreadedTcpServer& operator=(const ThreadedTcpServer&) = delete;
 
     std::uint16_t port() const { return port_; }
 
@@ -48,7 +137,8 @@ public:
 private:
     void handle_connection(int fd) CPT_EXCLUDES(mu_);
 
-    Server& server_;
+    Service& service_;
+    std::size_t max_connections_;
     std::uint16_t port_ = 0;
     util::Mutex mu_;
     // Closed and set to -1 by stop(); the accept loop re-reads it under mu_
@@ -59,24 +149,9 @@ private:
     std::vector<std::thread> conn_threads_ CPT_GUARDED_BY(mu_);
 };
 
-class TcpClient {
-public:
-    // Connects to host:port; throws std::runtime_error on failure.
-    TcpClient(const std::string& host, std::uint16_t port);
-    ~TcpClient();
-
-    TcpClient(const TcpClient&) = delete;
-    TcpClient& operator=(const TcpClient&) = delete;
-
-    // Round-trips one request frame. Throws std::runtime_error on transport
-    // or protocol errors; service-level failures come back in the response
-    // status instead.
-    GenerateResponse generate(const GenerateRequest& request);
-    std::string stats_json();
-
-private:
-    int fd_ = -1;
-    std::vector<std::uint8_t> frame_;  // reused receive buffer
-};
-
 }  // namespace cpt::serve
+
+// The epoll event-loop TcpServer — the default listener — lives in its own
+// header but is pulled in here so `serve/client.hpp` users see the complete
+// transport surface.
+#include "event_loop.hpp"  // IWYU pragma: keep

@@ -1,0 +1,61 @@
+#include "net.hpp"
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace cpt::serve::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::runtime_error(std::string("serve: ") + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw std::runtime_error("serve: bad IPv4 address '" + host + "'");
+    }
+    return addr;
+}
+
+int listen_socket(const std::string& host, std::uint16_t port, int backlog,
+                  std::uint16_t* actual_port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = make_addr(host, port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        throw_errno("bind");
+    }
+    if (::listen(fd, backlog) < 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        throw_errno("listen");
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        throw_errno("getsockname");
+    }
+    *actual_port = ntohs(addr.sin_port);
+    return fd;
+}
+
+}  // namespace cpt::serve::net

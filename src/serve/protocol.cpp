@@ -17,6 +17,7 @@ const char* status_name(Status s) {
         case Status::kNoModel: return "no_model";
         case Status::kShuttingDown: return "shutting_down";
         case Status::kBadRequest: return "bad_request";
+        case Status::kUpstream: return "upstream_error";
     }
     return "unknown";
 }
@@ -228,13 +229,47 @@ std::string decode_stats_response(std::span<const std::uint8_t> payload) {
     return json;
 }
 
+std::vector<std::uint8_t> encode_health_request() {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kHealthRequest));
+    return std::move(w.buf);
+}
+
+std::vector<std::uint8_t> encode_health_response(const HealthInfo& info) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kHealthResponse));
+    w.u8(info.ok ? 1 : 0);
+    w.u8(info.draining ? 1 : 0);
+    w.u32(info.engines);
+    w.u32(info.active_requests);
+    w.u64(info.streams_done);
+    w.f64(info.uptime_seconds);
+    return std::move(w.buf);
+}
+
+HealthInfo decode_health_response(std::span<const std::uint8_t> payload) {
+    Reader r{payload};
+    expect_type(r, MsgType::kHealthResponse);
+    HealthInfo info;
+    info.ok = r.u8() != 0;
+    info.draining = r.u8() != 0;
+    info.engines = r.u32();
+    info.active_requests = r.u32();
+    info.streams_done = r.u64();
+    info.uptime_seconds = r.f64();
+    r.expect_end();
+    return info;
+}
+
 MsgType peek_type(std::span<const std::uint8_t> payload) {
     if (payload.empty()) throw std::runtime_error("protocol: empty payload");
     const auto t = payload[0];
     if (t != static_cast<std::uint8_t>(MsgType::kGenerateRequest) &&
         t != static_cast<std::uint8_t>(MsgType::kStatsRequest) &&
+        t != static_cast<std::uint8_t>(MsgType::kHealthRequest) &&
         t != static_cast<std::uint8_t>(MsgType::kGenerateResponse) &&
-        t != static_cast<std::uint8_t>(MsgType::kStatsResponse)) {
+        t != static_cast<std::uint8_t>(MsgType::kStatsResponse) &&
+        t != static_cast<std::uint8_t>(MsgType::kHealthResponse)) {
         throw std::runtime_error("protocol: unknown message type " + std::to_string(t));
     }
     return static_cast<MsgType>(t);
@@ -242,33 +277,51 @@ MsgType peek_type(std::span<const std::uint8_t> payload) {
 
 namespace {
 
-// Full reads/writes over a possibly-interrupted socket.
-bool read_exact(int fd, std::uint8_t* dst, std::size_t n, bool eof_ok) {
+// Full reads/writes over a possibly-interrupted socket. `frame_started` is
+// true once any byte of the current frame has already moved — it propagates
+// into FrameError::midstream() so the router can tell a safe-to-retry
+// connection failure from a partially-streamed response.
+bool read_exact(int fd, std::uint8_t* dst, std::size_t n, bool eof_ok,
+                bool frame_started) {
     std::size_t got = 0;
     while (got < n) {
         const ssize_t r = ::recv(fd, dst + got, n - got, 0);
         if (r == 0) {
-            if (got == 0 && eof_ok) return false;
-            throw std::runtime_error("protocol: connection closed mid-frame");
+            if (got == 0 && !frame_started && eof_ok) return false;
+            throw FrameError(FrameError::Kind::kClosed, 0,
+                             frame_started || got > 0,
+                             "protocol: connection closed mid-frame");
         }
         if (r < 0) {
             if (errno == EINTR) continue;
-            throw std::runtime_error(std::string("protocol: recv failed: ") +
-                                     std::strerror(errno));
+            const int err = errno;
+            const bool mid = frame_started || got > 0;
+            if (err == EAGAIN || err == EWOULDBLOCK) {
+                throw FrameError(FrameError::Kind::kTimeout, err, mid,
+                                 "protocol: recv timed out");
+            }
+            throw FrameError(FrameError::Kind::kRecv, err, mid,
+                             std::string("protocol: recv failed: ") + std::strerror(err));
         }
         got += static_cast<std::size_t>(r);
     }
     return true;
 }
 
-void write_all(int fd, const std::uint8_t* src, std::size_t n) {
+void write_all(int fd, const std::uint8_t* src, std::size_t n, bool frame_started) {
     std::size_t sent = 0;
     while (sent < n) {
         const ssize_t r = ::send(fd, src + sent, n - sent, MSG_NOSIGNAL);
         if (r < 0) {
             if (errno == EINTR) continue;
-            throw std::runtime_error(std::string("protocol: send failed: ") +
-                                     std::strerror(errno));
+            const int err = errno;
+            const bool mid = frame_started || sent > 0;
+            if (err == EAGAIN || err == EWOULDBLOCK) {
+                throw FrameError(FrameError::Kind::kTimeout, err, mid,
+                                 "protocol: send timed out");
+            }
+            throw FrameError(FrameError::Kind::kSend, err, mid,
+                             std::string("protocol: send failed: ") + std::strerror(err));
         }
         sent += static_cast<std::size_t>(r);
     }
@@ -278,28 +331,29 @@ void write_all(int fd, const std::uint8_t* src, std::size_t n) {
 
 bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
     std::uint8_t hdr[4];
-    if (!read_exact(fd, hdr, 4, /*eof_ok=*/true)) return false;
+    if (!read_exact(fd, hdr, 4, /*eof_ok=*/true, /*frame_started=*/false)) return false;
     std::uint32_t len = 0;
     for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(hdr[i]) << (8 * i);
     if (len == 0 || len > kMaxFrameBytes) {
-        throw std::runtime_error("protocol: bad frame length " + std::to_string(len));
+        throw FrameError(FrameError::Kind::kBadLength, 0, /*midstream=*/true,
+                         "protocol: bad frame length " + std::to_string(len));
     }
     payload.resize(len);
-    read_exact(fd, payload.data(), len, /*eof_ok=*/false);
+    read_exact(fd, payload.data(), len, /*eof_ok=*/false, /*frame_started=*/true);
     return true;
 }
 
 void write_frame(int fd, std::span<const std::uint8_t> payload) {
     if (payload.empty() || payload.size() > kMaxFrameBytes) {
-        throw std::runtime_error("protocol: bad frame length " +
-                                 std::to_string(payload.size()));
+        throw FrameError(FrameError::Kind::kBadLength, 0, /*midstream=*/false,
+                         "protocol: bad frame length " + std::to_string(payload.size()));
     }
     std::uint8_t hdr[4];
     for (int i = 0; i < 4; ++i) {
         hdr[i] = static_cast<std::uint8_t>(payload.size() >> (8 * i));
     }
-    write_all(fd, hdr, 4);
-    write_all(fd, payload.data(), payload.size());
+    write_all(fd, hdr, 4, /*frame_started=*/false);
+    write_all(fd, payload.data(), payload.size(), /*frame_started=*/true);
 }
 
 }  // namespace cpt::serve

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,10 @@ namespace cpt::serve {
 enum class MsgType : std::uint8_t {
     kGenerateRequest = 1,
     kStatsRequest = 2,
+    kHealthRequest = 3,
     kGenerateResponse = 16,
     kStatsResponse = 17,
+    kHealthResponse = 18,
 };
 
 enum class Status : std::uint8_t {
@@ -32,6 +35,8 @@ enum class Status : std::uint8_t {
     kNoModel = 3,       // hub has no release for the requested slice
     kShuttingDown = 4,  // server is draining
     kBadRequest = 5,    // malformed or out-of-range request fields
+    kUpstream = 6,      // router: every candidate backend failed (or one died
+                        // mid-response, which is never retried)
 };
 
 const char* status_name(Status s);
@@ -56,11 +61,25 @@ struct GenerateResponse {
     std::vector<trace::Stream> streams;
 };
 
+// Liveness + open-loop load signal for the router's health checker. A backend
+// answers with its drain state and queue pressure; the router answers for
+// itself with its healthy-backend count in `engines`.
+struct HealthInfo {
+    bool ok = true;                     // accepting requests
+    bool draining = false;              // shutting down: finish in-flight only
+    std::uint32_t engines = 0;          // live slice engines (router: healthy backends)
+    std::uint32_t active_requests = 0;  // queued + in-flight requests
+    std::uint64_t streams_done = 0;     // lifetime completed streams
+    double uptime_seconds = 0.0;
+};
+
 // ---- payload encode/decode (excludes the u32 frame length) ----
 std::vector<std::uint8_t> encode_generate_request(const GenerateRequest& req);
 std::vector<std::uint8_t> encode_generate_response(const GenerateResponse& resp);
 std::vector<std::uint8_t> encode_stats_request();
 std::vector<std::uint8_t> encode_stats_response(const std::string& json);
+std::vector<std::uint8_t> encode_health_request();
+std::vector<std::uint8_t> encode_health_response(const HealthInfo& info);
 
 // First payload byte; throws std::runtime_error on an empty or unknown-typed
 // payload.
@@ -70,10 +89,40 @@ MsgType peek_type(std::span<const std::uint8_t> payload);
 GenerateRequest decode_generate_request(std::span<const std::uint8_t> payload);
 GenerateResponse decode_generate_response(std::span<const std::uint8_t> payload);
 std::string decode_stats_response(std::span<const std::uint8_t> payload);
+HealthInfo decode_health_response(std::span<const std::uint8_t> payload);
+
+// Transport failure raised by read_frame/write_frame, typed so callers
+// (TcpClient, the router's failover path) can attach the peer address and
+// decide whether a retry is safe. `midstream` is the load-bearing bit: true
+// once any byte of the current frame moved, i.e. a response partially
+// streamed — a failure the router must NOT retry.
+class FrameError : public std::runtime_error {
+public:
+    enum class Kind {
+        kClosed,     // peer closed inside a frame (EOF mid-frame)
+        kRecv,       // recv(2) failed; errno_code says why
+        kSend,       // send(2) failed; errno_code says why
+        kTimeout,    // SO_RCVTIMEO/SO_SNDTIMEO expired (EAGAIN on a blocking fd)
+        kBadLength,  // frame length 0 or above kMaxFrameBytes
+    };
+
+    FrameError(Kind kind, int errno_code, bool midstream, const std::string& what)
+        : std::runtime_error(what), kind_(kind), errno_(errno_code), midstream_(midstream) {}
+
+    Kind kind() const { return kind_; }
+    int errno_code() const { return errno_; }
+    bool midstream() const { return midstream_; }
+
+private:
+    Kind kind_;
+    int errno_;
+    bool midstream_;
+};
 
 // ---- framing over a connected socket fd ----
-// Reads one frame; returns false on clean EOF at a frame boundary, throws on
-// I/O errors, truncation mid-frame, or frames above kMaxFrameBytes.
+// Reads one frame; returns false on clean EOF at a frame boundary, throws
+// FrameError on I/O errors, truncation mid-frame, or frames above
+// kMaxFrameBytes.
 bool read_frame(int fd, std::vector<std::uint8_t>& payload);
 void write_frame(int fd, std::span<const std::uint8_t> payload);
 

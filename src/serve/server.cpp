@@ -48,32 +48,51 @@ public:
 
     ~Engine() { stop_and_join(); }
 
-    GenerateResponse submit(const GenerateRequest& req) CPT_EXCLUDES(mu_) {
-        auto rq = std::make_shared<Request>();
-        std::future<GenerateResponse> fut = rq->promise.get_future();
+    // Non-blocking submit: `done` fires from the engine worker when the
+    // request completes or expires, or synchronously here when it is rejected
+    // before admission. The callback never runs under mu_.
+    void submit_async(const GenerateRequest& req, Service::Done done) CPT_EXCLUDES(mu_) {
+        GenerateResponse reject;
+        bool rejected = false;
         {
             util::LockGuard lk(mu_);
             if (stop_) {
-                return {Status::kShuttingDown, "server is draining", {}};
-            }
-            if (queue_.size() + inflight_.size() >= cfg_->queue_capacity) {
+                reject = {Status::kShuttingDown, "server is draining", {}};
+                rejected = true;
+            } else if (queue_.size() + inflight_.size() >= cfg_->queue_capacity) {
                 ++requests_rejected_;
-                return {Status::kQueueFull,
-                        "admission queue at capacity (" +
-                            std::to_string(cfg_->queue_capacity) + ")",
-                        {}};
+                reject = {Status::kQueueFull,
+                          "admission queue at capacity (" +
+                              std::to_string(cfg_->queue_capacity) + ")",
+                          {}};
+                rejected = true;
+            } else {
+                auto rq = std::make_shared<Request>();
+                rq->req = req;
+                rq->serial = next_serial_++;
+                rq->submitted = Clock::now();
+                const std::uint32_t deadline_ms =
+                    req.deadline_ms != 0 ? req.deadline_ms : cfg_->default_deadline_ms;
+                rq->deadline = rq->submitted + std::chrono::milliseconds(deadline_ms);
+                rq->deterministic = cfg_->deterministic || req.deterministic;
+                rq->base_rng = util::Rng(req.seed);
+                rq->callback = std::move(done);
+                queue_.push_back(std::move(rq));
             }
-            rq->req = req;
-            rq->serial = next_serial_++;
-            rq->submitted = Clock::now();
-            const std::uint32_t deadline_ms =
-                req.deadline_ms != 0 ? req.deadline_ms : cfg_->default_deadline_ms;
-            rq->deadline = rq->submitted + std::chrono::milliseconds(deadline_ms);
-            rq->deterministic = cfg_->deterministic || req.deterministic;
-            rq->base_rng = util::Rng(req.seed);
-            queue_.push_back(rq);
+        }
+        if (rejected) {
+            done(std::move(reject));
+            return;
         }
         cv_.notify_one();
+    }
+
+    GenerateResponse submit(const GenerateRequest& req) CPT_EXCLUDES(mu_) {
+        auto promise = std::make_shared<std::promise<GenerateResponse>>();
+        std::future<GenerateResponse> fut = promise->get_future();
+        submit_async(req, [promise](GenerateResponse&& resp) {
+            promise->set_value(std::move(resp));
+        });
         return fut.get();
     }
 
@@ -118,9 +137,16 @@ private:
         std::size_t admitted = 0;     // streams admitted into slots so far
         std::size_t outstanding = 0;  // admitted but neither finished nor evicted
         std::vector<std::pair<std::size_t, trace::Stream>> done;  // (index, stream)
-        std::promise<GenerateResponse> promise;
+        Service::Done callback;
     };
     using RequestPtr = std::shared_ptr<Request>;
+
+    // A completion staged under mu_ and fired after the lock is released (a
+    // callback may re-enter the service or block; neither is safe under mu_).
+    struct Fire {
+        Service::Done callback;
+        GenerateResponse resp;
+    };
 
     static core::SamplerConfig make_sampler_config(const ServeConfig& cfg,
                                                    trace::DeviceType device, int hour,
@@ -146,8 +172,9 @@ private:
     }
 
     // Completes a request: sorts its streams back into submission order and
-    // fulfils the promise. Caller holds mu_ and has already detached the
-    // request from queue_/inflight_.
+    // stages the callback on fire_ (invoked by run() after mu_ is released).
+    // Caller holds mu_ and has already detached the request from
+    // queue_/inflight_.
     void complete_locked(const RequestPtr& rq, Status status, const std::string& error)
         CPT_REQUIRES(mu_) {
         std::sort(rq->done.begin(), rq->done.end(),
@@ -163,7 +190,7 @@ private:
         } else {
             ++requests_timeout_;
         }
-        rq->promise.set_value(std::move(resp));
+        fire_.push_back(Fire{std::move(rq->callback), std::move(resp)});
     }
 
     // Evicts expired requests (queued and in-flight) at a step boundary.
@@ -252,7 +279,10 @@ private:
         core::Sampler::SlotBatch batch = sampler_.make_slot_batch(cfg_->slot_capacity);
         std::vector<core::Sampler::SlotBatch::Finished> finished;
         std::vector<core::Sampler::SlotBatch::Finished> evict_scratch;
+        std::vector<Fire> fire;  // completions drained from fire_, run unlocked
         for (;;) {
+            bool exit_loop = false;
+            bool do_step = false;
             {
                 util::LockGuard lk(mu_);
                 while (!stop_ && queue_.empty() && inflight_.empty()) cv_.wait(mu_);
@@ -260,20 +290,30 @@ private:
                 // while the lock is held (stats() reads times_ under mu_).
                 times_ = batch.stage_times();
                 if (queue_.empty() && inflight_.empty()) {
-                    if (stop_) return;
-                    continue;
+                    exit_loop = stop_;
+                } else {
+                    expire_locked(batch, Clock::now(), evict_scratch);
+                    admit_locked(batch);
+                    do_step = batch.live() > 0;  // else everything expired or queue blocked
                 }
-                expire_locked(batch, Clock::now(), evict_scratch);
-                admit_locked(batch);
-                if (batch.live() == 0) continue;  // everything expired or queue blocked
+                fire.swap(fire_);
             }
+            for (auto& f : fire) f.callback(std::move(f.resp));
+            fire.clear();
+            if (exit_loop) return;
+            if (!do_step) continue;
             // The decode step — the expensive part — runs without the lock;
             // the batch is touched only by this thread.
             finished.clear();
             batch.step(finished);
             if (!finished.empty()) {
-                util::LockGuard lk(mu_);
-                for (auto& f : finished) deliver_locked(std::move(f));
+                {
+                    util::LockGuard lk(mu_);
+                    for (auto& f : finished) deliver_locked(std::move(f));
+                    fire.swap(fire_);
+                }
+                for (auto& f : fire) f.callback(std::move(f.resp));
+                fire.clear();
             }
         }
     }
@@ -295,6 +335,8 @@ private:
     std::map<std::uint64_t, RequestPtr> inflight_ CPT_GUARDED_BY(mu_);
     // expire_locked scratch
     std::vector<RequestPtr> expired_ CPT_GUARDED_BY(mu_);
+    // completions staged by complete_locked, fired by run() outside mu_
+    std::vector<Fire> fire_ CPT_GUARDED_BY(mu_);
     bool stop_ CPT_GUARDED_BY(mu_) = false;
     std::uint64_t next_serial_ CPT_GUARDED_BY(mu_) = 0;
     util::Rng server_rng_ CPT_GUARDED_BY(mu_);
@@ -369,26 +411,70 @@ Server::Engine* Server::engine_for(trace::DeviceType device, int hour, std::stri
     return it->second.get();
 }
 
-GenerateResponse Server::generate(const GenerateRequest& request) {
+// Validates the request and resolves its slice engine. On failure fills
+// `reject` and returns nullptr.
+Server::Engine* Server::route(const GenerateRequest& request, GenerateResponse* reject) {
     if (request.count == 0 || request.count > config_.max_request_streams) {
-        return {Status::kBadRequest,
-                "count must be in [1, " + std::to_string(config_.max_request_streams) + "]",
-                {}};
+        *reject = {Status::kBadRequest,
+                   "count must be in [1, " + std::to_string(config_.max_request_streams) + "]",
+                   {}};
+        return nullptr;
     }
     if (request.hour_of_day < 0 || request.hour_of_day > 23) {
-        return {Status::kBadRequest, "hour_of_day must be in [0, 23]", {}};
+        *reject = {Status::kBadRequest, "hour_of_day must be in [0, 23]", {}};
+        return nullptr;
     }
     if (request.top_p > 1.0f) {
-        return {Status::kBadRequest, "top_p must be in (0, 1]", {}};
+        *reject = {Status::kBadRequest, "top_p must be in (0, 1]", {}};
+        return nullptr;
     }
     std::string error;
     Engine* engine = engine_for(request.device, request.hour_of_day, &error);
     if (engine == nullptr) {
         const Status s = error == "server is draining" ? Status::kShuttingDown
                                                        : Status::kNoModel;
-        return {s, error, {}};
+        *reject = {s, error, {}};
+        return nullptr;
     }
+    return engine;
+}
+
+void Server::generate_async(const GenerateRequest& request, Done done) {
+    GenerateResponse reject;
+    Engine* engine = route(request, &reject);
+    if (engine == nullptr) {
+        done(std::move(reject));
+        return;
+    }
+    engine->submit_async(request, std::move(done));
+}
+
+GenerateResponse Server::generate(const GenerateRequest& request) {
+    GenerateResponse reject;
+    Engine* engine = route(request, &reject);
+    if (engine == nullptr) return reject;
     return engine->submit(request);
+}
+
+HealthInfo Server::health() const {
+    HealthInfo h;
+    {
+        util::LockGuard lk(engines_mutex_);
+        h.draining = draining_;
+        h.ok = !draining_;
+        h.engines = static_cast<std::uint32_t>(engines_.size());
+        for (const auto& [key, engine] : engines_) {
+            const auto s = engine->stats();
+            h.active_requests += static_cast<std::uint32_t>(s.queue_depth);
+            h.streams_done += s.streams;
+        }
+        for (const auto& s : drained_stats_) h.streams_done += s.streams;
+    }
+    const auto now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+            .count());
+    h.uptime_seconds = static_cast<double>(now_ns - start_ns_) * 1e-9;
+    return h;
 }
 
 void Server::drain() {

@@ -35,6 +35,7 @@
 
 #include "core/model_hub.hpp"
 #include "protocol.hpp"
+#include "service.hpp"
 #include "util/stats.hpp"
 #include "util/sync.hpp"
 
@@ -59,21 +60,30 @@ struct ServeConfig {
     std::map<std::string, nn::Precision> slice_precision;
 };
 
-class Server {
+class Server : public Service {
 public:
     explicit Server(ServeConfig config);
-    ~Server();  // drains if the caller has not
+    ~Server() override;  // drains if the caller has not
 
     Server(const Server&) = delete;
     Server& operator=(const Server&) = delete;
 
-    // Blocking in-process entry point (the TCP transport and the in-process
-    // client both land here): enqueues the request on its slice engine and
-    // waits for completion, deadline, or rejection.
-    GenerateResponse generate(const GenerateRequest& request);
+    // Non-blocking in-process entry point (the epoll transport lands here):
+    // enqueues the request on its slice engine; `done` fires from the engine
+    // worker on completion, deadline, or rejection (or synchronously for
+    // requests rejected before admission).
+    void generate_async(const GenerateRequest& request, Done done) override;
+
+    // Blocking wrapper (the in-process client and threaded transport):
+    // enqueues and waits for completion, deadline, or rejection.
+    GenerateResponse generate(const GenerateRequest& request) override;
 
     // Current service stats as a JSON object (see DESIGN.md §10 for schema).
-    std::string stats_json() const;
+    std::string stats_json() const override;
+
+    // Liveness snapshot: drain flag, live engine count, queued + in-flight
+    // requests, lifetime completed streams.
+    HealthInfo health() const override;
 
     // Stops admission (subsequent generate() calls get kShuttingDown),
     // completes all queued and in-flight requests, and joins engine threads.
@@ -105,6 +115,8 @@ private:
     };
 
     Engine* engine_for(trace::DeviceType device, int hour, std::string* error)
+        CPT_EXCLUDES(engines_mutex_);
+    Engine* route(const GenerateRequest& request, GenerateResponse* reject)
         CPT_EXCLUDES(engines_mutex_);
 
     ServeConfig config_;

@@ -1,0 +1,18 @@
+#include "service.hpp"
+
+#include <future>
+#include <utility>
+
+namespace cpt::serve {
+
+GenerateResponse Service::generate(const GenerateRequest& request) {
+    // The shared_ptr keeps the promise alive even if the implementation runs
+    // the callback after this frame unwinds on an exception path.
+    auto promise = std::make_shared<std::promise<GenerateResponse>>();
+    std::future<GenerateResponse> fut = promise->get_future();
+    generate_async(request,
+                   [promise](GenerateResponse&& resp) { promise->set_value(std::move(resp)); });
+    return fut.get();
+}
+
+}  // namespace cpt::serve

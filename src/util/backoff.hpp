@@ -1,0 +1,55 @@
+// Deterministic bounded exponential backoff for reconnect/retry loops (the
+// serve router's failover path and TcpClient reconnect helpers).
+//
+// Delays are a pure function of the attempt index — base * multiplier^attempt
+// capped at cap_ms — with no jitter, so retry schedules are reproducible in
+// tests and the failover determinism contract (DESIGN.md §15) does not pick
+// up a hidden entropy source.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace cpt::util {
+
+class Backoff {
+public:
+    struct Policy {
+        double base_ms = 10.0;    // delay before the first retry
+        double cap_ms = 1000.0;   // upper bound on any single delay
+        double multiplier = 2.0;  // growth per attempt
+        int max_attempts = 3;     // retries after the initial try
+    };
+
+    // (Two constructors rather than one defaulted argument: GCC cannot use a
+    // nested class's member initializers in a default argument of the
+    // enclosing class.)
+    Backoff() = default;
+    explicit Backoff(const Policy& policy) : policy_(policy) {}
+
+    const Policy& policy() const { return policy_; }
+
+    // Delay before retry `attempt` (0-based: attempt 0 is the first retry).
+    double delay_ms(int attempt) const {
+        double d = policy_.base_ms;
+        for (int i = 0; i < attempt; ++i) {
+            d *= policy_.multiplier;
+            if (d >= policy_.cap_ms) return policy_.cap_ms;
+        }
+        return std::min(d, policy_.cap_ms);
+    }
+
+    bool should_retry(int attempt) const { return attempt < policy_.max_attempts; }
+
+    // Blocking sleep for delay_ms(attempt).
+    void sleep(int attempt) const {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms(attempt)));
+    }
+
+private:
+    Policy policy_;
+};
+
+}  // namespace cpt::util

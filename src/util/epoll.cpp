@@ -1,0 +1,88 @@
+#include "epoll.hpp"
+
+#include <fcntl.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace cpt::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::runtime_error(std::string("epoll: ") + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) throw_errno("fcntl(F_GETFL)");
+    if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+Epoll::Epoll() {
+    fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (fd_ < 0) throw_errno("epoll_create1");
+}
+
+Epoll::~Epoll() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void Epoll::add(int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) < 0) throw_errno("epoll_ctl(ADD)");
+}
+
+void Epoll::mod(int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) < 0) throw_errno("epoll_ctl(MOD)");
+}
+
+void Epoll::del(int fd) {
+    if (::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr) < 0 && errno != EBADF &&
+        errno != ENOENT) {
+        throw_errno("epoll_ctl(DEL)");
+    }
+}
+
+int Epoll::wait(epoll_event* out, int capacity, int timeout_ms) {
+    const int n = ::epoll_wait(fd_, out, capacity, timeout_ms);
+    if (n < 0) {
+        if (errno == EINTR) return 0;
+        throw_errno("epoll_wait");
+    }
+    return n;
+}
+
+WakeFd::WakeFd() {
+    fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (fd_ < 0) throw_errno("eventfd");
+}
+
+WakeFd::~WakeFd() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void WakeFd::notify() {
+    const std::uint64_t one = 1;
+    // A full counter (EAGAIN) already guarantees the loop will wake.
+    [[maybe_unused]] const ssize_t r = ::write(fd_, &one, sizeof(one));
+}
+
+void WakeFd::drain() {
+    std::uint64_t value = 0;
+    while (::read(fd_, &value, sizeof(value)) > 0) {
+    }
+}
+
+}  // namespace cpt::util

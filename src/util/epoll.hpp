@@ -1,0 +1,67 @@
+// Thin RAII wrappers over Linux epoll(7) and eventfd(2) for the serving
+// event loops (DESIGN.md §15).
+//
+// Epoll owns one epoll instance. It carries no lock: the project convention
+// is that an epoll set is owned by exactly one event-loop thread — the only
+// cross-thread signal into a loop is a WakeFd registered in the set, and the
+// data the wake-up points at lives behind a util::Mutex-guarded mailbox on
+// the loop object. add/mod/del/wait from the owning thread need no
+// synchronization; epoll_wait itself is kernel-side thread-safe against the
+// WakeFd writes.
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+
+namespace cpt::util {
+
+// Switches a descriptor to O_NONBLOCK; throws std::runtime_error on failure.
+void set_nonblocking(int fd);
+
+// One epoll instance (EPOLL_CLOEXEC). Registered fds carry themselves in
+// event.data.fd.
+class Epoll {
+public:
+    Epoll();  // throws std::runtime_error if epoll_create1 fails
+    ~Epoll();
+
+    Epoll(const Epoll&) = delete;
+    Epoll& operator=(const Epoll&) = delete;
+
+    void add(int fd, std::uint32_t events);
+    void mod(int fd, std::uint32_t events);
+    // Deregisters; ignores EBADF/ENOENT so callers may close first.
+    void del(int fd);
+
+    // Blocks up to timeout_ms (-1 = forever). Returns the number of ready
+    // events written to `out`; 0 on timeout *or* EINTR (callers poll their
+    // stop conditions each iteration anyway). Throws on other errors.
+    int wait(epoll_event* out, int capacity, int timeout_ms);
+
+    int fd() const { return fd_; }
+
+private:
+    int fd_ = -1;
+};
+
+// Cross-thread wake-up for an epoll loop: an eventfd registered EPOLLIN in
+// the loop's set. notify() is cheap and may be called from any thread; the
+// loop calls drain() once woken so the level-triggered fd goes quiet again.
+class WakeFd {
+public:
+    WakeFd();  // throws std::runtime_error if eventfd fails
+    ~WakeFd();
+
+    WakeFd(const WakeFd&) = delete;
+    WakeFd& operator=(const WakeFd&) = delete;
+
+    void notify();
+    void drain();
+    int fd() const { return fd_; }
+
+private:
+    int fd_ = -1;
+};
+
+}  // namespace cpt::util

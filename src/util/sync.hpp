@@ -24,6 +24,7 @@
 //   while (!ready_) cv_.wait(mu_);   // ready_ is CPT_GUARDED_BY(mu_)
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -112,6 +113,15 @@ public:
         std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
         cv_.wait(native);
         native.release();  // ownership stays with the caller's guard
+    }
+
+    // Timed wait; returns false when the timeout elapsed before a notify.
+    // Same discipline as wait(): hold `mu`, re-check the predicate in a loop.
+    bool wait_for(Mutex& mu, std::chrono::milliseconds timeout) CPT_REQUIRES(mu) {
+        std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+        const auto status = cv_.wait_for(native, timeout);
+        native.release();  // ownership stays with the caller's guard
+        return status == std::cv_status::no_timeout;
     }
 
     void notify_one() noexcept { cv_.notify_one(); }
