@@ -146,9 +146,19 @@ void ThreadedTcpServer::handle_connection(int fd) {
 
 TcpClient::TcpClient(const std::string& host, std::uint16_t port)
     : peer_(host + ":" + std::to_string(port)) {
+    // Parse before creating the socket: if the host is not an IPv4 literal
+    // the constructor exits by exception and the destructor never runs, so
+    // an fd created first would leak. Callers are also promised a
+    // TransportError, not the parser's runtime_error.
+    sockaddr_in addr{};
+    try {
+        addr = net::make_addr(host, port);
+    } catch (const std::exception& e) {
+        throw TransportError(TransportError::Kind::kConnectFailed, peer_, 0,
+                             /*response_started=*/false, e.what());
+    }
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) throw_errno("socket");
-    sockaddr_in addr = net::make_addr(host, port);
     int rc;
     do {
         rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
@@ -221,16 +231,38 @@ const std::vector<std::uint8_t>& TcpClient::roundtrip(
     }
 }
 
+namespace {
+
+// A decode failure after a complete frame arrived means the peer spoke the
+// framing but not the payload schema: a protocol-level TransportError with
+// response_started=true, so the router never retries it elsewhere.
+template <typename DecodeFn>
+auto decode_response(const std::string& peer, DecodeFn&& decode)
+    -> decltype(decode()) {
+    try {
+        return decode();
+    } catch (const std::exception& e) {
+        throw TransportError(TransportError::Kind::kProtocol, peer, 0,
+                             /*response_started=*/true,
+                             std::string(e.what()) + " (peer " + peer + ")");
+    }
+}
+
+}  // namespace
+
 GenerateResponse TcpClient::generate(const GenerateRequest& request) {
-    return decode_generate_response(roundtrip(encode_generate_request(request)));
+    const auto& frame = roundtrip(encode_generate_request(request));
+    return decode_response(peer_, [&] { return decode_generate_response(frame); });
 }
 
 std::string TcpClient::stats_json() {
-    return decode_stats_response(roundtrip(encode_stats_request()));
+    const auto& frame = roundtrip(encode_stats_request());
+    return decode_response(peer_, [&] { return decode_stats_response(frame); });
 }
 
 HealthInfo TcpClient::health() {
-    return decode_health_response(roundtrip(encode_health_request()));
+    const auto& frame = roundtrip(encode_health_request());
+    return decode_response(peer_, [&] { return decode_health_response(frame); });
 }
 
 // ---- connect_with_backoff --------------------------------------------------

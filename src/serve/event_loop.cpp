@@ -26,6 +26,18 @@ using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kReadChunk = 64 * 1024;
 
+// Read-side backpressure caps. A client that pipelines faster than the
+// engine answers must be throttled at the socket (TCP flow control), not
+// buffered without bound in userspace: reading pauses — EPOLLIN dropped —
+// while a generate is in flight or these caps are exceeded, and resumes
+// once dispatch drains the queue.
+constexpr std::size_t kMaxQueuedFrames = 64;                  // parsed frames awaiting dispatch
+constexpr std::size_t kMaxBufferedReadBytes = 1 * 1024 * 1024;  // unparsed inbound bytes
+// One hot connection also must not monopolize its worker: after this many
+// full chunks per wake-up the loop moves on (level-triggered EPOLLIN
+// re-fires while bytes remain).
+constexpr int kMaxReadsPerEvent = 4;
+
 }  // namespace
 
 // ---- Worker: one event loop owning a set of connections --------------------
@@ -46,10 +58,17 @@ public:
 
     ~Worker() { join(); }
 
-    // Acceptor handoff: the worker owns `fd` from here on.
+    // Acceptor handoff: the worker owns `fd` from here on. A socket handed
+    // over after the worker began stopping is closed right here — the
+    // worker's run() may already be past its final mailbox sweep, and an fd
+    // parked in a dead mailbox would leak.
     void adopt(int fd) {
         {
             util::LockGuard lk(mail_->mu);
+            if (mail_->stopping) {
+                ::close(fd);
+                return;
+            }
             mail_->incoming.push_back(fd);
         }
         mail_->wake.notify();
@@ -97,14 +116,35 @@ private:
         std::size_t wpos = 0;
         bool busy = false;         // a generate_async is in flight
         bool want_write = false;   // EPOLLOUT armed
+        bool paused = false;       // EPOLLIN dropped (backpressure; see interest())
         bool peer_closed = false;  // EOF seen; reap once in-flight work resolves
+        std::uint32_t armed = 0;   // events mask currently registered with epoll
         Clock::time_point last_active;
     };
 
     std::uint32_t interest(const Conn& c) const {
-        std::uint32_t ev = EPOLLIN | EPOLLRDHUP;
+        std::uint32_t ev = 0;
+        // Backpressure: while paused, bytes park in the kernel socket buffer
+        // and TCP flow control pushes back on the peer. Once EOF was seen
+        // there is nothing left to read either — dropping the read-side mask
+        // also stops a level-triggered EOF from re-waking a busy connection
+        // every tick.
+        if (!c.paused && !c.peer_closed) ev |= EPOLLIN | EPOLLRDHUP;
         if (c.want_write) ev |= EPOLLOUT;
         return ev;
+    }
+
+    // Recomputes the pause state from the backpressure caps and re-arms the
+    // epoll mask when it changed. Level-triggered epoll re-fires on re-arm,
+    // so readable bytes that arrived while paused are not lost.
+    void update_interest(int fd, Conn& c) {
+        c.paused = c.busy || c.frames.size() >= kMaxQueuedFrames ||
+                   c.rbuf.size() - c.rpos >= kMaxBufferedReadBytes;
+        const std::uint32_t ev = interest(c);
+        if (ev != c.armed) {
+            c.armed = ev;
+            epoll_.mod(fd, ev);
+        }
     }
 
     void add_conn(int fd) {
@@ -115,7 +155,8 @@ private:
         c.serial = next_serial_++;
         c.last_active = Clock::now();
         serial_to_fd_[c.serial] = fd;
-        epoll_.add(fd, interest(c));
+        c.armed = interest(c);
+        epoll_.add(fd, c.armed);
         util::LockGuard lk(mail_->mu);
         ++mail_->conn_count;
     }
@@ -159,7 +200,7 @@ private:
             if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
                 if (!c.want_write) {
                     c.want_write = true;
-                    epoll_.mod(fd, interest(c));
+                    update_interest(fd, c);
                 }
                 return true;  // kernel buffer full; resume on EPOLLOUT
             }
@@ -170,7 +211,7 @@ private:
         c.wpos = 0;
         if (c.want_write) {
             c.want_write = false;
-            epoll_.mod(fd, interest(c));
+            update_interest(fd, c);
         }
         return true;
     }
@@ -201,6 +242,9 @@ private:
     // Runs queued frames in order until one goes async (generate) or the
     // queue empties. Returns false when the connection was closed.
     bool dispatch(int fd, Conn& c) {
+        // Drain contract: once the worker is stopping, in-flight generates
+        // finish and flush but queued or newly read frames never start.
+        if (draining_) return true;
         while (!c.busy && !c.frames.empty()) {
             std::vector<std::uint8_t> frame = std::move(c.frames.front());
             c.frames.pop_front();
@@ -251,11 +295,12 @@ private:
 
     void handle_readable(int fd, Conn& c) {
         std::uint8_t chunk[kReadChunk];
-        for (;;) {
+        for (int reads = 0; reads < kMaxReadsPerEvent;) {
             const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
             if (n > 0) {
                 c.rbuf.insert(c.rbuf.end(), chunk, chunk + n);
                 if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+                ++reads;  // full chunk: more may be waiting, but bounded per event
                 continue;
             }
             if (n == 0) {
@@ -275,7 +320,11 @@ private:
         if (!dispatch(fd, c)) return;
         // EOF with nothing left to do: reap now. A busy connection stays
         // until its completion arrives (response is then discarded).
-        if (c.peer_closed && !c.busy && c.wpos >= c.wbuf.size()) close_conn(fd);
+        if (c.peer_closed && !c.busy && c.wpos >= c.wbuf.size()) {
+            close_conn(fd);
+            return;
+        }
+        update_interest(fd, c);
     }
 
     void handle_event(int fd, std::uint32_t events) {
@@ -297,6 +346,7 @@ private:
                 close_conn(fd);
                 return;
             }
+            update_interest(fd, c);
         }
         if (events & (EPOLLIN | EPOLLRDHUP)) handle_readable(fd, c);
     }
@@ -315,7 +365,10 @@ private:
             return;
         }
         if (!queue_write(fd, c, encode_generate_response(resp))) return;
-        dispatch(fd, c);
+        if (!dispatch(fd, c)) return;
+        // The generate that paused reading is done: resume (unless dispatch
+        // immediately started the next one).
+        update_interest(fd, c);
     }
 
     void sweep_idle(const Clock::time_point& now) {
@@ -355,6 +408,7 @@ private:
                 done.swap(mail_->done);
                 if (mail_->stopping && !stopping) {
                     stopping = true;
+                    draining_ = true;  // gates dispatch(): no new frames start
                     drain_deadline = Clock::now() + std::chrono::milliseconds(
                                                         opts_.drain_timeout_ms);
                 }
@@ -366,10 +420,11 @@ private:
                 sweep_idle(now);
                 continue;
             }
-            // Draining: no new sockets, no new frame dispatch (dispatch is
-            // gated on busy connections finishing naturally — queued frames
-            // that never started are dropped with the connection, same as
-            // the threaded transport at shutdown).
+            // Draining: no new sockets, and dispatch() is gated on
+            // draining_, so queued or newly read frames never start — only
+            // the generates already in flight finish and flush. Queued
+            // frames that never started are dropped with the connection,
+            // same as the threaded transport at shutdown.
             for (const int fd : incoming) ::close(fd);
             bool flushed = true;
             for (const auto& [fd, c] : conns_) {
@@ -387,6 +442,12 @@ private:
                 fds.reserve(conns_.size());
                 for (const auto& [fd, c] : conns_) fds.push_back(fd);
                 for (const int fd : fds) close_conn(fd);
+                // Sockets the acceptor handed over after this iteration's
+                // mailbox swap are closed by adopt() itself (it sees
+                // stopping); sweep anything that raced in regardless.
+                util::LockGuard lk(mail_->mu);
+                for (const int ifd : mail_->incoming) ::close(ifd);
+                mail_->incoming.clear();
                 return;
             }
         }
@@ -402,6 +463,7 @@ private:
     std::map<std::uint64_t, int> serial_to_fd_;
     std::uint64_t next_serial_ = 1;
     std::size_t busy_count_ = 0;
+    bool draining_ = false;  // set once stopping is observed; gates dispatch()
 
     std::thread thread_;  // last member: starts after every field it reads
 };
@@ -449,6 +511,7 @@ void TcpServer::serve_forever(const std::function<bool()>& interrupt) {
     accept_epoll.add(lfd, EPOLLIN);
     epoll_event ev{};
     std::size_t next_worker = 0;
+    Clock::time_point last_accept_warn{};
     for (;;) {
         {
             util::LockGuard lk(mu_);
@@ -463,8 +526,17 @@ void TcpServer::serve_forever(const std::function<bool()>& interrupt) {
                 if (errno == EINTR) continue;
                 if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) break;
                 // Transient resource exhaustion (EMFILE and friends): drop
-                // this readiness batch rather than killing the daemon.
-                util::warnf("serve: accept failed: %s", std::strerror(errno));
+                // this readiness batch rather than killing the daemon. The
+                // level-triggered listen fd would re-wake us instantly and
+                // re-fail, so back off for a tick and rate-limit the log
+                // line instead of busy-spinning until fds free up.
+                const auto now = Clock::now();
+                if (now - last_accept_warn >= std::chrono::seconds(1)) {
+                    util::warnf("serve: accept failed: %s (backing off %d ms)",
+                                std::strerror(errno), opts_.tick_ms);
+                    last_accept_warn = now;
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(opts_.tick_ms));
                 break;
             }
             workers_[next_worker]->adopt(fd);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -129,7 +130,27 @@ Router::Router(RouterConfig config) : config_(std::move(config)), ring_(config_.
             Backend b;
             b.name = name;
             b.host = name.substr(0, colon);
-            b.port = static_cast<std::uint16_t>(std::stoi(name.substr(colon + 1)));
+            int port = 0;
+            try {
+                port = std::stoi(name.substr(colon + 1));
+            } catch (const std::exception&) {
+                port = -1;
+            }
+            if (port <= 0 || port > 65535) {
+                throw std::runtime_error("serve::Router: backend '" + name +
+                                         "' has a bad port");
+            }
+            b.port = static_cast<std::uint16_t>(port);
+            // Reject hostnames/bad literals now rather than at forward time:
+            // TcpClient only connects to IPv4 literals, and a config error
+            // should fail fast instead of surfacing per-request.
+            try {
+                (void)net::make_addr(b.host, b.port);
+            } catch (const std::exception& e) {
+                throw std::runtime_error("serve::Router: backend '" + name +
+                                         "': " + e.what() +
+                                         " (IPv4 literals only)");
+            }
             // Optimistically up: the first probe pass (below) corrects this,
             // and a down backend in the ring just fails over to the next
             // candidate until the probe removes it.
@@ -269,6 +290,16 @@ void Router::forward(Job&& job) {
             }
             // Safe to retry only when zero response bytes arrived.
             retriable = !e.response_started();
+        } catch (const std::exception& e) {
+            // Anything non-transport (a decoder bug, an allocation failure)
+            // must not unwind through the forwarder thread — that would
+            // std::terminate the whole router and leak the backend's
+            // inflight counters. Record it as a non-retriable upstream
+            // failure instead.
+            last_error = "backend " + name + ": " + e.what();
+            retriable = false;
+            util::LockGuard lk(mu_);
+            ++backends_.at(name).consecutive_failures;
         }
         {
             util::LockGuard lk(mu_);

@@ -273,6 +273,40 @@ TEST_F(EpollFixture, SlowReaderDrainsBackpressuredResponseIntact) {
     ::close(fd);
 }
 
+TEST_F(EpollFixture, PipelineBurstBeyondFrameCapAnswersCompletely) {
+    serve::Server server(server_config());
+    serve::TcpServer::Options opts;
+    opts.workers = 1;
+    LiveServer live(server, opts);
+
+    // One generate parks the connection busy, then a burst of stats frames
+    // larger than the worker's queued-frame cap lands behind it. The loop
+    // must pause reading (bounded memory) instead of queueing unboundedly,
+    // then resume once the generate completes and answer every frame in
+    // order — a response per request, nothing dropped.
+    constexpr int kBurst = 100;  // > kMaxQueuedFrames (64)
+    std::vector<std::uint8_t> wire =
+        frame_bytes(serve::encode_generate_request(pinned_request(606, "burst")));
+    const auto stats_frame = frame_bytes(serve::encode_stats_request());
+    for (int i = 0; i < kBurst; ++i) {
+        wire.insert(wire.end(), stats_frame.begin(), stats_frame.end());
+    }
+
+    const int fd = raw_connect(live.tcp.port());
+    send_all(fd, wire.data(), wire.size());
+
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(serve::read_frame(fd, payload));
+    ASSERT_EQ(serve::peek_type(payload), serve::MsgType::kGenerateResponse);
+    serve::GenerateResponse got = serve::decode_generate_response(payload);
+    ASSERT_EQ(got.status, serve::Status::kOk) << got.error;
+    for (int i = 0; i < kBurst; ++i) {
+        ASSERT_TRUE(serve::read_frame(fd, payload)) << "stats reply " << i;
+        ASSERT_EQ(serve::peek_type(payload), serve::MsgType::kStatsResponse) << i;
+    }
+    ::close(fd);
+}
+
 TEST_F(EpollFixture, IdleConnectionsAreReaped) {
     serve::Server server(server_config());
     serve::TcpServer::Options opts;

@@ -151,6 +151,20 @@ TEST(PlanRoute, AllUnavailableReturnsEnd) {
     EXPECT_EQ(serve::plan_route(c, 8), c.size());
 }
 
+// ---- config validation -----------------------------------------------------
+
+TEST(RouterConfig, RejectsHostnamesAndBadPortsAtConstruction) {
+    // TcpClient only dials IPv4 literals; a hostname must fail fast at
+    // config time, not throw per-request inside a forwarder thread.
+    for (const char* backend :
+         {"localhost:7400", "127.0.0.1:notaport", "127.0.0.1:70000", "127.0.0.1:0",
+          "127.0.0.1", ":7400", "127.0.0.1:"}) {
+        serve::RouterConfig rc;
+        rc.backends = {backend};
+        EXPECT_THROW(serve::Router{rc}, std::runtime_error) << backend;
+    }
+}
+
 // ---- live failover ---------------------------------------------------------
 
 core::CptGptConfig tiny_config() {

@@ -3,6 +3,7 @@
 // contract that admission timing cannot perturb stream content), the wire
 // protocol, and the Server/TcpServer end-to-end paths.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -13,6 +14,7 @@
 #include "core/model_hub.hpp"
 #include "core/sampler.hpp"
 #include "serve/client.hpp"
+#include "serve/net.hpp"
 #include "serve/server.hpp"
 #include "trace/synthetic.hpp"
 
@@ -434,6 +436,62 @@ TEST_F(ServeFixture, TcpTransportMatchesInProcess) {
     tcp.stop();
     accept_thread.join();
     server.drain();
+}
+
+TEST(TcpClientTest, BadHostThrowsTypedErrorWithoutLeakingFds) {
+    const auto count_fds = [] {
+        std::size_t n = 0;
+        for (const auto& entry : std::filesystem::directory_iterator("/proc/self/fd")) {
+            (void)entry;
+            ++n;
+        }
+        return n;
+    };
+    const std::size_t before = count_fds();
+    // The router's health probe constructs a TcpClient every interval and
+    // swallows the exception; a leak here exhausts the fd table in seconds.
+    for (int i = 0; i < 32; ++i) {
+        try {
+            serve::TcpClient client("not-an-ip", 1);
+            FAIL() << "connecting to a hostname should have thrown";
+        } catch (const serve::TransportError& e) {
+            EXPECT_EQ(e.kind(), serve::TransportError::Kind::kConnectFailed);
+            EXPECT_FALSE(e.response_started());
+            EXPECT_NE(std::string(e.what()).find("not-an-ip"), std::string::npos);
+        }
+    }
+    EXPECT_EQ(count_fds(), before);
+}
+
+TEST(TcpClientTest, GarbagePayloadIsNonRetriableProtocolError) {
+    std::uint16_t port = 0;
+    const int lfd = serve::net::listen_socket("127.0.0.1", 0, 4, &port);
+    std::thread peer([lfd] {
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd < 0) return;
+        std::uint8_t buf[4096];
+        (void)::recv(fd, buf, sizeof(buf), 0);  // discard the request frame
+        // Well-framed junk: length prefix 3, then a payload no decoder
+        // accepts. The client must surface this as a typed protocol error
+        // (response started, never retriable), not a bare runtime_error.
+        const std::uint8_t junk[] = {3, 0, 0, 0, 0xEE, 0xBA, 0xAD};
+        (void)::send(fd, junk, sizeof(junk), 0);
+        ::close(fd);
+    });
+    try {
+        serve::TcpClient client("127.0.0.1", port);
+        serve::GenerateRequest req;
+        req.device = trace::DeviceType::kPhone;
+        req.hour_of_day = 9;
+        req.count = 1;
+        (void)client.generate(req);
+        FAIL() << "junk payload should have thrown";
+    } catch (const serve::TransportError& e) {
+        EXPECT_EQ(e.kind(), serve::TransportError::Kind::kProtocol);
+        EXPECT_TRUE(e.response_started());
+    }
+    peer.join();
+    ::close(lfd);
 }
 
 }  // namespace
