@@ -5,16 +5,76 @@
 // first offender, optionally per-UE summaries or JSON). Exits 1 when the
 // trace contains at least one violating event, so it can gate pipelines.
 //
+// --surprises=N additionally ranks the N least-expected transitions under the
+// trace's own conditional n-gram statistics (--ngram=M context length,
+// default 2): each event's probability given its preceding events is looked
+// up via NgramIndex::next_event_distribution, and the lowest-probability
+// transitions are printed. Low-probability transitions are where
+// state-machine violations and generator artifacts concentrate, so this is a
+// cheap triage list even for traces the 3GPP linter passes.
+//
 // Usage:
 //   cpt_lint --trace=path/to/trace.csv [--json] [--per-ue] [--top-k=N]
+//            [--surprises=N [--ngram=M]]
 //   cpt_lint --demo [--ues=N]      # lint a freshly generated synthetic world
+#include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "lint/trace_lint.hpp"
 #include "trace/io.hpp"
+#include "trace/ngram.hpp"
 #include "trace/synthetic.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+// Prints the `count` transitions with the lowest conditional probability
+// under the dataset's own n-gram statistics. Ties (and streams never seen in
+// a matching context) order deterministically by (probability, stream, pos).
+void print_surprises(const cpt::trace::Dataset& ds, std::size_t n, std::size_t count) {
+    using namespace cpt;
+    const trace::NgramIndex index(ds, n);
+    struct Surprise {
+        double p;
+        std::size_t stream;
+        std::size_t pos;
+    };
+    std::vector<Surprise> found;
+    std::vector<double> probs;
+    std::vector<cellular::EventId> ctx;
+    for (std::size_t si = 0; si < ds.streams.size(); ++si) {
+        const auto& events = ds.streams[si].events;
+        ctx.clear();
+        ctx.reserve(events.size());
+        for (const auto& e : events) ctx.push_back(e.type);
+        for (std::size_t k = n - 1; k < events.size(); ++k) {
+            if (!index.next_event_distribution(
+                    std::span<const cellular::EventId>(ctx.data(), k), probs)) {
+                continue;
+            }
+            found.push_back({probs[events[k].type], si, k});
+        }
+    }
+    std::sort(found.begin(), found.end(), [](const Surprise& a, const Surprise& b) {
+        if (a.p != b.p) return a.p < b.p;
+        if (a.stream != b.stream) return a.stream < b.stream;
+        return a.pos < b.pos;
+    });
+    const auto& vocab = cellular::vocabulary(ds.generation);
+    std::printf("least-expected transitions (n=%zu, %zu scored):\n", n, found.size());
+    for (std::size_t i = 0; i < std::min(count, found.size()); ++i) {
+        const auto& s = found[i];
+        const auto& stream = ds.streams[s.stream];
+        std::printf("  p=%.5f  %s[%zu]  %s -> %s\n", s.p, stream.ue_id.c_str(), s.pos,
+                    vocab.name(stream.events[s.pos - 1].type).c_str(),
+                    vocab.name(stream.events[s.pos].type).c_str());
+    }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace cpt;
@@ -49,6 +109,11 @@ int main(int argc, char** argv) {
         std::printf("%s\n", report.to_json().c_str());
     } else {
         std::fputs(report.render().c_str(), stdout);
+    }
+    const auto surprises = static_cast<std::size_t>(opt.get_int("surprises", 0));
+    if (surprises > 0) {
+        const auto n = std::max<std::size_t>(2, static_cast<std::size_t>(opt.get_int("ngram", 2)));
+        print_surprises(ds, n, surprises);
     }
     return report.violating_events > 0 ? 1 : 0;
 }

@@ -16,6 +16,7 @@
 #   scripts/check.sh router      # 2 backends + router; kill one mid-load, assert clean failover
 #   scripts/check.sh train       # train-labeled tests, then rerun determinism with CPT_THREADS=2
 #   scripts/check.sh scale       # scale-labeled tests + 50k-UE streaming smoke under an RSS bound
+#   scripts/check.sh spec        # spec-labeled tests (speculative-decode identities) per SIMD tier
 #
 # Any subset may be requested by name (`scripts/check.sh sa tsan`). Each stage
 # configures into its own build directory (build-check-<stage>) so repeat runs
@@ -359,6 +360,28 @@ stage_train() {
     CPT_THREADS=2 run_ctest "$dir" -R 'TrainDeterminism'
 }
 
+stage_spec() {
+    echo "== stage: spec (speculative-decode identity suite per forced tier and thread count) =="
+    local dir="$ROOT/build-check-simd"
+    configure_and_build "$dir"
+    local tiers
+    tiers="$(host_simd_tiers)"
+    echo "host tiers: $tiers"
+    # The spec label pins byte-identities (forced all-reject vs plain, greedy
+    # at every spec_k, SlotBatch vs generate_batch, KV rollback) that must
+    # hold on every SIMD tier — the rejection rule and rollback are pure
+    # bookkeeping over tier-shared math, so a tier-dependent failure means a
+    # real divergence, not tolerance noise. CPT_THREADS=2 reruns the suite
+    # with the pool engaged: row-partitioned kernels must keep the same
+    # identities when rows are split across workers (DESIGN.md §16).
+    for t in $tiers; do
+        echo "-- CPT_SIMD=$t: spec-labeled tests"
+        CPT_SIMD="$t" run_ctest "$dir" -L spec
+    done
+    echo "-- CPT_THREADS=2: spec-labeled tests"
+    CPT_THREADS=2 run_ctest "$dir" -L spec
+}
+
 stage_scale() {
     echo "== stage: scale (scale-labeled tests + 50k-UE streaming smoke with RSS bound) =="
     local dir="$ROOT/build-check-scale"
@@ -372,7 +395,7 @@ stage_scale() {
     (cd "$dir/bench" && ./bench_scale --pops=50000 --assert-rss-mb=200)
 }
 
-all_stages=(werror tidy annotate sa ubsan asan tsan simd quant serve router train scale)
+all_stages=(werror tidy annotate sa ubsan asan tsan simd quant serve router train scale spec)
 
 run_stage() {
     case "$1" in
@@ -389,6 +412,7 @@ run_stage() {
         router) stage_router ;;
         train) stage_train ;;
         scale) stage_scale ;;
+        spec) stage_spec ;;
         *)
             echo "unknown stage '$1' (expected: ${all_stages[*]})" >&2
             exit 2

@@ -58,13 +58,17 @@ nn::TransformerDecoder CptGpt::make_decoder(std::size_t batch) const {
     return nn::TransformerDecoder(backbone_, batch);
 }
 
-nn::TransformerDecoder CptGpt::make_decoder(std::size_t batch, nn::Precision precision) const {
-    if (precision == nn::Precision::kFp32) return make_decoder(batch);
-    CPT_CHECK(quant_ != nullptr,
-              "make_decoder: int8 decoding requires quantize_weights() or a quantized checkpoint");
+nn::TransformerDecoder CptGpt::make_decoder(std::size_t batch, nn::Precision precision,
+                                            std::size_t max_window) const {
     nn::DecodeOptions opts;
-    opts.quant = &quant_->backbone;
-    opts.kv_fp16 = true;
+    opts.max_window = max_window;
+    if (precision != nn::Precision::kFp32) {
+        CPT_CHECK(quant_ != nullptr,
+                  "make_decoder: int8 decoding requires quantize_weights() or a quantized "
+                  "checkpoint");
+        opts.quant = &quant_->backbone;
+        opts.kv_fp16 = true;
+    }
     return nn::TransformerDecoder(backbone_, batch, opts);
 }
 
@@ -115,7 +119,18 @@ CptGpt::DecodeScratch CptGpt::make_decode_scratch(std::size_t batch,
 const CptGpt::DecodeOutput& CptGpt::decode_step(nn::TransformerDecoder& decoder,
                                                 const nn::Tensor& tokens,
                                                 DecodeScratch& scratch) const {
-    const nn::Tensor& hidden = decoder.step(tokens);  // [B, d_model]
+    return run_heads(decoder.step(tokens), scratch);
+}
+
+const CptGpt::DecodeOutput& CptGpt::decode_window(nn::TransformerDecoder& decoder,
+                                                  const nn::Tensor& tokens,
+                                                  std::span<const std::size_t> counts,
+                                                  DecodeScratch& scratch) const {
+    return run_heads(decoder.step_window(tokens, counts), scratch);
+}
+
+const CptGpt::DecodeOutput& CptGpt::run_heads(const nn::Tensor& hidden,
+                                              DecodeScratch& scratch) const {
     const std::size_t b = hidden.dim(0);
     CPT_CHECK_LE(b, scratch.capacity, " CptGpt::decode_step: batch exceeds scratch capacity");
     if (scratch.batch != b) {

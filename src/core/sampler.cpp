@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "spec_drafter.hpp"
 #include "trace/columnar.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -36,6 +37,15 @@ Sampler::Sampler(const CptGpt& model, const Tokenizer& tokenizer,
     config_.max_stream_len = std::min(config_.max_stream_len, model.config().max_seq_len);
     CPT_CHECK_GE(config_.max_stream_len, std::size_t{2},
                  " Sampler: max_stream_len must be >= 2 (after clamping to max_seq_len)");
+    if (config_.spec_k > 1) {
+        CPT_CHECK(config_.drafter != nullptr, "Sampler: spec_k > 1 requires a drafter");
+        CPT_CHECK(model.config().distribution_head,
+                  "Sampler: speculative decode requires the distribution head (the Δt "
+                  "rejection test needs the predicted normal, not a point estimate)");
+        // More than one round's worth of drafts per stream is pure waste; the
+        // clamp also keeps the verify window within the decoder context.
+        config_.spec_k = std::min(config_.spec_k, config_.max_stream_len);
+    }
 }
 
 namespace {
@@ -48,8 +58,18 @@ struct SampleScratch {
 };
 
 // Samples from logits with temperature and nucleus (top-p) truncation.
+// temperature == 0 is exact greedy decoding: the argmax index (lowest index
+// on ties), consuming no randomness — the byte-stable mode the speculative
+// decode identity tests pin against.
 std::size_t sample_logits(std::span<const float> logits, double temperature, double top_p,
                           util::Rng& rng, SampleScratch& scratch) {
+    if (temperature <= 0.0) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < logits.size(); ++i) {
+            if (logits[i] > logits[best]) best = i;
+        }
+        return best;
+    }
     auto& probs = scratch.probs;
     probs.resize(logits.size());
     double mx = -1e30;
@@ -99,10 +119,12 @@ RowSample sample_row(const CptGpt::DecodeOutput& pred, std::size_t i, std::size_
 
     const float mu = pred.ia_mu[i];
     double scaled;
-    if (dist_head) {
+    if (dist_head && temperature > 0.0) {
         const double sigma = std::exp(0.5 * static_cast<double>(pred.ia_logvar[i]));
         scaled = rng.normal(static_cast<double>(mu), sigma);
     } else {
+        // Ablation mode, or greedy decoding (temperature == 0): the
+        // predicted mean, no draw.
         scaled = static_cast<double>(mu);
     }
     out.interarrival = tokenizer.unscale_interarrival(scaled);
@@ -133,43 +155,161 @@ private:
     std::chrono::steady_clock::time_point t0_;
 };
 
+// One in-flight stream of a batched decode. `next_token` holds the last
+// committed token, fed to the decoder on the next round.
+struct ActiveStream {
+    trace::Stream stream;
+    util::Rng rng;
+    std::vector<float> next_token;
+    double t = 0.0;
+};
+
+ActiveStream bootstrap_stream(const Tokenizer& tokenizer, std::span<const double> initial_dist,
+                              const SamplerConfig& config, util::Rng rng,
+                              const std::string& ue_prefix, std::size_t serial) {
+    ActiveStream a{.stream = {}, .rng = rng, .next_token = {}, .t = 0.0};
+    char id[64];
+    std::snprintf(id, sizeof(id), "%s-%06zu", ue_prefix.c_str(), serial);
+    a.stream.ue_id = id;
+    a.stream.device = config.device;
+    a.stream.hour_of_day = config.hour_of_day;
+    // Bootstrap token (§4.5): sampled initial event, interarrival 0, stop 0.
+    const std::size_t d_token = tokenizer.d_token();
+    const auto first_event = static_cast<cellular::EventId>(a.rng.categorical(initial_dist));
+    a.next_token.resize(d_token, 0.0f);
+    tokenizer.encode_token(first_event, 0.0, false,
+                           std::span<float>(a.next_token.data(), d_token));
+    a.stream.events.push_back({0.0, first_event});
+    return a;
+}
+
+// ---- Speculative decode (DESIGN.md §16) ------------------------------------
+
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr double kSqrt2Pi = 2.5066282746310002;
+
+// Target model's Δt measure at a clamped scaled value v: the clamp-atom
+// probability mass when v sits on a boundary, the normal density otherwise —
+// the same atom/interior split SpecDrafter::ia_proposal uses, so accept
+// ratios always compare mass to mass or density to density.
+double ia_target(double mu, double sigma, double v, bool atom) {
+    if (atom) {
+        if (v <= 0.0) return 0.5 * std::erfc(mu / (sigma * kSqrt2));    // P(z <= 0)
+        return 0.5 * std::erfc((1.0 - mu) / (sigma * kSqrt2));          // P(z >= 1)
+    }
+    const double z = (v - mu) / sigma;
+    return std::exp(-0.5 * z * z) / (sigma * kSqrt2Pi);
+}
+
+// Residual Δt draw after a rejected proposal: iterative rejection against the
+// leftover measure max(0, p - q). Each try draws z from the target and keeps
+// it with probability 1 - q(x)/p(x) at x = clamp(z). Capped at 16 tries: the
+// per-try acceptance equals the proposal's total rejection mass, which is
+// exactly the probability this path runs at all, so chains long enough to hit
+// the cap mean q ≈ p pointwise and the final draw is already close to
+// target-distributed; the cap keeps the draw deterministically bounded.
+double residual_ia(double mu, double sigma, const SpecDrafter& drafter, cellular::EventId prev,
+                   cellular::EventId next, util::Rng& rng) {
+    double z = 0.0;
+    for (int iter = 0; iter < 16; ++iter) {
+        z = rng.normal(mu, sigma);
+        const double x = std::clamp(z, 0.0, 1.0);
+        const bool atom = x <= 0.0 || x >= 1.0;
+        const double p = ia_target(mu, sigma, x, atom);
+        if (p <= 0.0) continue;
+        const double w = 1.0 - drafter.ia_proposal(prev, next, x, nullptr) / p;
+        if (w > 0.0 && rng.uniform() < w) break;
+    }
+    return z;
+}
+
+// One position of the speculative accept chain: draws the committed token
+// from row `i` of `pred` and reports whether it reproduced `candidate` (the
+// drafted token), so the chain can continue. candidate == nullptr is a plain
+// draw (the bonus position after a fully accepted window) consuming
+// randomness exactly like sample_row.
+//
+// The event and stop components use the sample-and-compare form of
+// speculative rejection, valid because the drafter's proposal for them is
+// deterministic: sampling e ~ p and accepting iff e == e_draft accepts with
+// probability p(e_draft), and the law conditioned on a mismatch is exactly
+// the rejection-sampling residual — so the committed event is the sampled
+// one in both outcomes and the output distribution is untouched. Δt has a
+// continuous proposal, so it runs the standard accept test u < p(v)/q(v)
+// against the drafter's density and falls back to residual_ia() on
+// rejection. The draft never proposes stop, so a sampled stop simply ends
+// the chain (and the stream) at the current event.
+struct SpecSample {
+    RowSample s;
+    bool accepted = false;
+};
+
+SpecSample spec_sample_position(const CptGpt::DecodeOutput& pred, std::size_t i,
+                                std::size_t num_events, const Tokenizer& tokenizer,
+                                double temperature, double top_p, const SpecDrafter& drafter,
+                                const SpecDrafter::Draft* candidate, cellular::EventId prev,
+                                util::Rng& rng, SampleScratch& scratch) {
+    SpecSample out;
+    const auto ev_logits = pred.event_logits.data().subspan(i * num_events, num_events);
+    out.s.event = static_cast<cellular::EventId>(
+        sample_logits(ev_logits, temperature, top_p, rng, scratch));
+    const bool ev_ok = candidate != nullptr && out.s.event == candidate->event;
+
+    const double mu = static_cast<double>(pred.ia_mu[i]);
+    const double sigma = std::exp(0.5 * static_cast<double>(pred.ia_logvar[i]));
+    bool ia_ok = false;
+    double scaled;
+    if (ev_ok) {
+        const double v = static_cast<double>(candidate->scaled_ia);
+        const double p = ia_target(mu, sigma, v, candidate->atom);
+        ia_ok = rng.uniform() * candidate->q < p;  // u < p/q without the divide; q > 0
+        scaled = ia_ok ? v : residual_ia(mu, sigma, drafter, prev, out.s.event, rng);
+    } else {
+        scaled = rng.normal(mu, sigma);
+    }
+    out.s.interarrival = tokenizer.unscale_interarrival(scaled);
+
+    const auto stop_logits = pred.stop_logits.data().subspan(i * 2, 2);
+    out.s.stop = sample_logits(stop_logits, temperature, top_p, rng, scratch) == 1;
+    out.accepted = ev_ok && ia_ok && !out.s.stop;
+    return out;
+}
+
+// Drafts `d` tokens ahead of `stream`'s committed events; later drafts
+// condition on earlier ones (`ctx` carries the rolling event window).
+void draft_row(const SpecDrafter& drafter, const trace::Stream& stream, std::size_t d,
+               util::Rng& rng, SpecDrafter::Scratch& scratch,
+               std::vector<cellular::EventId>& ctx, SpecDrafter::Draft* out) {
+    ctx.clear();
+    const std::size_t have = stream.events.size();
+    const std::size_t take = std::min(drafter.order(), have);
+    for (std::size_t k = have - take; k < have; ++k) ctx.push_back(stream.events[k].type);
+    for (std::size_t j = 0; j < d; ++j) {
+        out[j] = drafter.draft(std::span<const cellular::EventId>(ctx), rng, scratch);
+        ctx.push_back(out[j].event);
+        if (ctx.size() > drafter.order()) ctx.erase(ctx.begin());
+    }
+}
+
 }  // namespace
 
 std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
                                                    const std::string& ue_prefix,
                                                    std::size_t first_serial,
                                                    StageTimes* times) const {
+    if (spec_enabled()) return generate_batch_spec(rngs, ue_prefix, first_serial, times);
     const std::size_t batch = rngs.size();
     const std::size_t d_token = tokenizer_->d_token();
     const std::size_t num_events = tokenizer_->num_event_types();
     const bool dist_head = model_->config().distribution_head;
 
-    struct Active {
-        trace::Stream stream;
-        util::Rng rng;
-        std::vector<float> next_token;  // the token to feed on the next step
-        double t = 0.0;
-    };
-    std::vector<Active> active;
+    std::vector<ActiveStream> active;
     active.reserve(batch);
     {
         StageTimer timer(times ? &times->bootstrap : nullptr);
         for (std::size_t i = 0; i < batch; ++i) {
-            Active a{.stream = {}, .rng = rngs[i], .next_token = {}, .t = 0.0};
-            char id[64];
-            std::snprintf(id, sizeof(id), "%s-%06zu", ue_prefix.c_str(), first_serial + i);
-            a.stream.ue_id = id;
-            a.stream.device = config_.device;
-            a.stream.hour_of_day = config_.hour_of_day;
-            // Bootstrap token (§4.5): sampled initial event, interarrival 0,
-            // stop 0.
-            const auto first_event = static_cast<cellular::EventId>(
-                a.rng.categorical(std::span<const double>(initial_event_dist_)));
-            a.next_token.resize(d_token, 0.0f);
-            tokenizer_->encode_token(first_event, 0.0, false,
-                                     std::span<float>(a.next_token.data(), d_token));
-            a.stream.events.push_back({0.0, first_event});
-            active.push_back(std::move(a));
+            active.push_back(bootstrap_stream(*tokenizer_, initial_event_dist_, config_,
+                                              rngs[i], ue_prefix, first_serial + i));
         }
     }
 
@@ -209,7 +349,7 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
         {
             StageTimer timer(times ? &times->sample : nullptr);
             for (std::size_t i = 0; i < b; ++i) {
-                Active& a = active[i];
+                ActiveStream& a = active[i];
                 const RowSample s = sample_row(*pred, i, num_events, dist_head, *tokenizer_,
                                                config_.temperature, config_.top_p, a.rng,
                                                sample_scratch);
@@ -236,6 +376,224 @@ std::vector<trace::Stream> Sampler::generate_batch(std::span<util::Rng> rngs,
     return done;
 }
 
+std::vector<trace::Stream> Sampler::generate_batch_spec(std::span<util::Rng> rngs,
+                                                        const std::string& ue_prefix,
+                                                        std::size_t first_serial,
+                                                        StageTimes* times) const {
+    const std::size_t batch = rngs.size();
+    const std::size_t d_token = tokenizer_->d_token();
+    const std::size_t num_events = tokenizer_->num_event_types();
+    const bool dist_head = model_->config().distribution_head;
+    const std::size_t max_t = model_->config().max_seq_len;
+    const std::size_t d = config_.spec_k - 1;  // drafted tokens per round
+    const SpecDrafter& drafter = *config_.drafter;
+
+    std::vector<ActiveStream> active;
+    active.reserve(batch);
+    {
+        StageTimer timer(times ? &times->bootstrap : nullptr);
+        for (std::size_t i = 0; i < batch; ++i) {
+            active.push_back(bootstrap_stream(*tokenizer_, initial_event_dist_, config_,
+                                              rngs[i], ue_prefix, first_serial + i));
+        }
+    }
+
+    nn::TransformerDecoder decoder = model_->make_decoder(batch, config_.precision, d);
+    CptGpt::DecodeScratch decode_scratch =
+        model_->make_decode_scratch(batch * d, config_.precision);
+    SampleScratch sample_scratch;
+    SpecDrafter::Scratch draft_scratch;
+    nn::Tensor input_full({batch, d_token});
+    nn::Tensor input = input_full;
+    nn::Tensor window_full({batch * d, d_token});
+    std::vector<SpecDrafter::Draft> drafts(batch * d);
+    std::vector<std::size_t> counts;
+    std::vector<std::uint8_t> drafted(batch);
+    std::vector<std::uint8_t> matched(batch);
+    std::vector<std::uint8_t> finished(batch);
+    std::vector<cellular::EventId> ctx;
+    std::vector<std::size_t> keep_rows;
+    keep_rows.reserve(batch);
+    std::vector<trace::Stream> done;
+    done.reserve(batch);
+
+    while (!active.empty()) {
+        const std::size_t b = active.size();
+        // ---- Draft: propose d tokens per eligible row. Rows decoding
+        // greedily (temperature == 0), rows one commit from their cap, and
+        // rows whose verify window would overflow the KV context sit the
+        // round out as plain one-token rows.
+        {
+            StageTimer timer(times ? &times->draft : nullptr);
+            for (std::size_t i = 0; i < b; ++i) {
+                ActiveStream& a = active[i];
+                const std::size_t events = a.stream.events.size();
+                const bool eligible = config_.temperature > 0.0 &&
+                                      events + 1 < config_.max_stream_len &&
+                                      events + d <= max_t;
+                drafted[i] = eligible ? 1 : 0;
+                if (!eligible) continue;
+                if (config_.spec_force_reject) {
+                    // Keep the stream RNG byte-identical to the plain path:
+                    // these drafts only exist to exercise verify + rollback.
+                    util::Rng throwaway(0x5eed);
+                    draft_row(drafter, a.stream, d, throwaway, draft_scratch, ctx,
+                              &drafts[i * d]);
+                } else {
+                    draft_row(drafter, a.stream, d, a.rng, draft_scratch, ctx, &drafts[i * d]);
+                }
+                if (times) times->spec_proposed += d;
+            }
+        }
+
+        // ---- Pass A: the regular one-token step — bit-exact with the plain
+        // path since the GEMM shapes are identical — doubling as the
+        // verifier of the first draft.
+        if (input.dim(0) != b) input = input_full.first_rows(b);
+        {
+            auto dst = input.data();
+            for (std::size_t i = 0; i < b; ++i) {
+                std::copy(active[i].next_token.begin(), active[i].next_token.end(),
+                          dst.begin() + static_cast<std::ptrdiff_t>(i * d_token));
+            }
+        }
+        const CptGpt::DecodeOutput* pred = nullptr;
+        {
+            StageTimer timer(times ? &times->decode : nullptr);
+            pred = &model_->decode_step(decoder, input, decode_scratch);
+        }
+        if (times) ++times->steps;
+
+        {
+            StageTimer timer(times ? &times->sample : nullptr);
+            for (std::size_t i = 0; i < b; ++i) {
+                ActiveStream& a = active[i];
+                SpecSample r;
+                if (drafted[i] != 0 && !config_.spec_force_reject) {
+                    r = spec_sample_position(*pred, i, num_events, *tokenizer_,
+                                             config_.temperature, config_.top_p, drafter,
+                                             &drafts[i * d], a.stream.events.back().type,
+                                             a.rng, sample_scratch);
+                } else {
+                    r.s = sample_row(*pred, i, num_events, dist_head, *tokenizer_,
+                                     config_.temperature, config_.top_p, a.rng,
+                                     sample_scratch);
+                }
+                a.t += r.s.interarrival;
+                a.stream.events.push_back({a.t, r.s.event});
+                finished[i] =
+                    r.s.stop || a.stream.events.size() >= config_.max_stream_len ? 1 : 0;
+                matched[i] = r.accepted && finished[i] == 0 ? 1 : 0;
+                if (matched[i] != 0 && times) ++times->spec_accepted;
+                if (finished[i] == 0) {
+                    tokenizer_->encode_token(r.s.event, r.s.interarrival, false,
+                                             std::span<float>(a.next_token.data(), d_token));
+                }
+            }
+        }
+
+        // ---- Pass B: one packed multi-token forward verifies the remaining
+        // drafts of every row whose pass-A token matched its first draft.
+        counts.assign(b, 0);
+        std::size_t wrows = 0;
+        for (std::size_t i = 0; i < b; ++i) {
+            const bool verify = matched[i] != 0 ||
+                                (config_.spec_verify_all && drafted[i] != 0 &&
+                                 finished[i] == 0);
+            if (verify) {
+                counts[i] = d;
+                wrows += d;
+            }
+        }
+        const CptGpt::DecodeOutput* pred_w = nullptr;
+        if (wrows > 0) {
+            StageTimer timer(times ? &times->verify : nullptr);
+            nn::Tensor window = window_full.first_rows(wrows);
+            auto dst = window.data();
+            std::size_t wb = 0;
+            for (std::size_t i = 0; i < b; ++i) {
+                if (counts[i] == 0) continue;
+                for (std::size_t j = 0; j < d; ++j) {
+                    const SpecDrafter::Draft& c = drafts[i * d + j];
+                    tokenizer_->encode_token(
+                        c.event,
+                        tokenizer_->unscale_interarrival(static_cast<double>(c.scaled_ia)),
+                        false, dst.subspan((wb + j) * d_token, d_token));
+                }
+                wb += d;
+            }
+            pred_w = &model_->decode_window(decoder, window, counts, decode_scratch);
+            if (times) ++times->verify_steps;
+        }
+        if (wrows > 0) {
+            StageTimer timer(times ? &times->sample : nullptr);
+            std::size_t base = 0;
+            for (std::size_t i = 0; i < b; ++i) {
+                if (counts[i] == 0) continue;
+                ActiveStream& a = active[i];
+                const std::size_t len_a = decoder.row_length(i) - d;  // before the window
+                if (matched[i] == 0) {
+                    decoder.rollback_row(i, len_a);  // verify_all row: discard everything
+                    base += d;
+                    continue;
+                }
+                // Sequential accept chain over window positions: position j's
+                // logits follow draft j; its candidate is draft j+1, except
+                // the last position, which samples a free bonus token.
+                std::size_t valid = 1;  // draft 0 was committed in pass A and stays fed
+                for (std::size_t j = 0; j < d; ++j) {
+                    const SpecDrafter::Draft* cand =
+                        j + 1 < d ? &drafts[i * d + j + 1] : nullptr;
+                    const SpecSample r = spec_sample_position(
+                        *pred_w, base + j, num_events, *tokenizer_, config_.temperature,
+                        config_.top_p, drafter, cand, drafts[i * d + j].event, a.rng,
+                        sample_scratch);
+                    a.t += r.s.interarrival;
+                    a.stream.events.push_back({a.t, r.s.event});
+                    finished[i] =
+                        r.s.stop || a.stream.events.size() >= config_.max_stream_len ? 1 : 0;
+                    if (r.accepted) {
+                        valid = j + 2;
+                        if (times) ++times->spec_accepted;
+                    } else {
+                        valid = j + 1;
+                    }
+                    if (finished[i] != 0) break;
+                    if (!r.accepted) {
+                        // Rejected (or the bonus position): this token is the
+                        // new pending token; later drafts are dead context.
+                        tokenizer_->encode_token(
+                            r.s.event, r.s.interarrival, false,
+                            std::span<float>(a.next_token.data(), d_token));
+                        break;
+                    }
+                }
+                if (finished[i] == 0) decoder.rollback_row(i, len_a + valid);
+                base += d;
+            }
+        }
+
+        // ---- Retire finished rows and compact the survivors.
+        keep_rows.clear();
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < b; ++i) {
+            if (finished[i] != 0) {
+                done.push_back(std::move(active[i].stream));
+                continue;
+            }
+            keep_rows.push_back(i);
+            if (live != i) active[live] = std::move(active[i]);
+            ++live;
+        }
+        if (live != b) {
+            StageTimer timer(times ? &times->compact : nullptr);
+            decoder.compact(keep_rows);
+            active.resize(live);
+        }
+    }
+    return done;
+}
+
 // ---- SlotBatch: continuous-batching decode session -------------------------
 
 struct Sampler::SlotBatch::Impl {
@@ -253,22 +611,44 @@ struct Sampler::SlotBatch::Impl {
     explicit Impl(const Sampler& s, std::size_t cap)
         : sampler(&s),
           capacity(cap),
-          decoder(s.model_->make_decoder(cap, s.config_.precision)),
-          scratch(s.model_->make_decode_scratch(cap, s.config_.precision)),
+          spec_w(s.spec_enabled() ? s.config_.spec_k - 1 : 1),
+          decoder(s.model_->make_decoder(cap, s.config_.precision, spec_w)),
+          scratch(s.model_->make_decode_scratch(cap * spec_w, s.config_.precision)),
           input_full({cap, s.tokenizer_->d_token()}),
-          input(input_full) {
+          input(input_full),
+          window_full({cap * spec_w, s.tokenizer_->d_token()}) {
         decoder.reset();  // start with every slot free
         slots.reserve(cap);
         keep_rows.reserve(cap);
+        if (s.spec_enabled()) {
+            drafts.resize(cap * spec_w);
+            drafted.resize(cap);
+            matched.resize(cap);
+            finished.resize(cap);
+        }
     }
+
+    // Speculative variant of step(), taken when the sampler has spec_k > 1:
+    // the same draft + verify + rollback round as generate_batch_spec, with
+    // per-slot temperature / top_p / max_len (DESIGN.md §16).
+    std::size_t step_spec(std::vector<Finished>& out);
 
     const Sampler* sampler;
     std::size_t capacity;
+    std::size_t spec_w;  // verify window = spec_k - 1 (1 when not speculating)
     nn::TransformerDecoder decoder;
     CptGpt::DecodeScratch scratch;
     SampleScratch sample_scratch;
     nn::Tensor input_full;
     nn::Tensor input;
+    nn::Tensor window_full;  // packed verify-window tokens (spec only)
+    std::vector<SpecDrafter::Draft> drafts;
+    std::vector<std::size_t> counts;
+    std::vector<std::uint8_t> drafted;
+    std::vector<std::uint8_t> matched;
+    std::vector<std::uint8_t> finished;
+    std::vector<cellular::EventId> ctx;
+    SpecDrafter::Scratch draft_scratch;
     std::vector<Slot> slots;  // index == decoder row
     std::vector<std::size_t> keep_rows;
     StageTimes times;  // accumulated over every step(); see stage_times()
@@ -288,20 +668,16 @@ std::size_t Sampler::SlotBatch::live() const { return impl_->slots.size(); }
 std::size_t Sampler::SlotBatch::free_slots() const { return impl_->capacity - live(); }
 
 std::size_t Sampler::SlotBatch::admissible_len() const {
-    const std::size_t cap = impl_->sampler->config_.max_stream_len;
-    if (impl_->slots.empty()) return cap;  // admit() rewinds the context first
-    // A stream of length L admitted at position s consumes positions
-    // s .. s+L-2, so it fits iff L <= max_seq_len - s + 1.
-    const std::size_t max_t = impl_->sampler->model_->config().max_seq_len;
-    const std::size_t s = impl_->decoder.length();
-    return std::min(cap, max_t - s + 1);
+    // Every decoder row owns an independent KV context starting at local
+    // position 0 (nn/infer.hpp), so a fresh slot always has the full config
+    // cap available — invariant in batch occupancy and residents' progress.
+    return impl_->sampler->config_.max_stream_len;
 }
 
 void Sampler::SlotBatch::admit(util::Rng rng, std::string ue_id, std::uint64_t ticket,
                                AdmitParams params) {
     Impl& im = *impl_;
     CPT_CHECK_GT(free_slots(), std::size_t{0}, " SlotBatch::admit: no free slot");
-    if (im.slots.empty() && im.decoder.length() > 0) im.decoder.reset();
     const std::size_t max_len = std::min(params.max_len, im.sampler->config_.max_stream_len);
     CPT_CHECK_GE(max_len, std::size_t{2}, " SlotBatch::admit: max_len must be >= 2");
     CPT_CHECK_LE(max_len, admissible_len(),
@@ -336,6 +712,7 @@ void Sampler::SlotBatch::admit(util::Rng rng, std::string ue_id, std::uint64_t t
 std::size_t Sampler::SlotBatch::step(std::vector<Finished>& out) {
     Impl& im = *impl_;
     if (im.slots.empty()) return 0;
+    if (im.sampler->spec_enabled()) return im.step_spec(out);
     const Sampler& s = *im.sampler;
     const std::size_t b = im.slots.size();
     const std::size_t d_token = s.tokenizer_->d_token();
@@ -387,6 +764,176 @@ std::size_t Sampler::SlotBatch::step(std::vector<Finished>& out) {
         im.slots.resize(live);
     }
     return finished;
+}
+
+std::size_t Sampler::SlotBatch::Impl::step_spec(std::vector<Finished>& out) {
+    const Sampler& s = *sampler;
+    const SamplerConfig& cfg = s.config_;
+    const std::size_t b = slots.size();
+    const std::size_t d_token = s.tokenizer_->d_token();
+    const std::size_t num_events = s.tokenizer_->num_event_types();
+    const bool dist_head = s.model_->config().distribution_head;
+    const std::size_t max_t = s.model_->config().max_seq_len;
+    const std::size_t d = spec_w;
+    const SpecDrafter& drafter = *cfg.drafter;
+
+    // ---- Draft (same eligibility as generate_batch_spec, per-slot knobs).
+    {
+        StageTimer timer(&times.draft);
+        for (std::size_t i = 0; i < b; ++i) {
+            Slot& slot = slots[i];
+            const std::size_t events = slot.stream.events.size();
+            const bool eligible =
+                slot.temperature > 0.0 && events + 1 < slot.max_len && events + d <= max_t;
+            drafted[i] = eligible ? 1 : 0;
+            if (!eligible) continue;
+            if (cfg.spec_force_reject) {
+                util::Rng throwaway(0x5eed);
+                draft_row(drafter, slot.stream, d, throwaway, draft_scratch, ctx,
+                          &drafts[i * d]);
+            } else {
+                draft_row(drafter, slot.stream, d, slot.rng, draft_scratch, ctx,
+                          &drafts[i * d]);
+            }
+            times.spec_proposed += d;
+        }
+    }
+
+    // ---- Pass A.
+    if (input.dim(0) != b) input = input_full.first_rows(b);
+    {
+        auto dst = input.data();
+        for (std::size_t i = 0; i < b; ++i) {
+            std::copy(slots[i].next_token.begin(), slots[i].next_token.end(),
+                      dst.begin() + static_cast<std::ptrdiff_t>(i * d_token));
+        }
+    }
+    const CptGpt::DecodeOutput* pred = nullptr;
+    {
+        StageTimer timer(&times.decode);
+        pred = &s.model_->decode_step(decoder, input, scratch);
+    }
+    ++times.steps;
+
+    {
+        StageTimer timer(&times.sample);
+        for (std::size_t i = 0; i < b; ++i) {
+            Slot& slot = slots[i];
+            SpecSample r;
+            if (drafted[i] != 0 && !cfg.spec_force_reject) {
+                r = spec_sample_position(*pred, i, num_events, *s.tokenizer_,
+                                         slot.temperature, slot.top_p, drafter,
+                                         &drafts[i * d], slot.stream.events.back().type,
+                                         slot.rng, sample_scratch);
+            } else {
+                r.s = sample_row(*pred, i, num_events, dist_head, *s.tokenizer_,
+                                 slot.temperature, slot.top_p, slot.rng, sample_scratch);
+            }
+            slot.t += r.s.interarrival;
+            slot.stream.events.push_back({slot.t, r.s.event});
+            finished[i] = r.s.stop || slot.stream.events.size() >= slot.max_len ? 1 : 0;
+            matched[i] = r.accepted && finished[i] == 0 ? 1 : 0;
+            if (matched[i] != 0) ++times.spec_accepted;
+            if (finished[i] == 0) {
+                s.tokenizer_->encode_token(r.s.event, r.s.interarrival, false,
+                                           std::span<float>(slot.next_token.data(), d_token));
+            }
+        }
+    }
+
+    // ---- Pass B.
+    counts.assign(b, 0);
+    std::size_t wrows = 0;
+    for (std::size_t i = 0; i < b; ++i) {
+        const bool verify = matched[i] != 0 ||
+                            (cfg.spec_verify_all && drafted[i] != 0 && finished[i] == 0);
+        if (verify) {
+            counts[i] = d;
+            wrows += d;
+        }
+    }
+    const CptGpt::DecodeOutput* pred_w = nullptr;
+    if (wrows > 0) {
+        StageTimer timer(&times.verify);
+        nn::Tensor window = window_full.first_rows(wrows);
+        auto dst = window.data();
+        std::size_t wb = 0;
+        for (std::size_t i = 0; i < b; ++i) {
+            if (counts[i] == 0) continue;
+            for (std::size_t j = 0; j < d; ++j) {
+                const SpecDrafter::Draft& c = drafts[i * d + j];
+                s.tokenizer_->encode_token(
+                    c.event,
+                    s.tokenizer_->unscale_interarrival(static_cast<double>(c.scaled_ia)),
+                    false, dst.subspan((wb + j) * d_token, d_token));
+            }
+            wb += d;
+        }
+        pred_w = &s.model_->decode_window(decoder, window, counts, scratch);
+        ++times.verify_steps;
+    }
+    if (wrows > 0) {
+        StageTimer timer(&times.sample);
+        std::size_t base = 0;
+        for (std::size_t i = 0; i < b; ++i) {
+            if (counts[i] == 0) continue;
+            Slot& slot = slots[i];
+            const std::size_t len_a = decoder.row_length(i) - d;  // before the window
+            if (matched[i] == 0) {
+                decoder.rollback_row(i, len_a);  // verify_all row: discard everything
+                base += d;
+                continue;
+            }
+            std::size_t valid = 1;  // draft 0 was committed in pass A and stays fed
+            for (std::size_t j = 0; j < d; ++j) {
+                const SpecDrafter::Draft* cand = j + 1 < d ? &drafts[i * d + j + 1] : nullptr;
+                const SpecSample r = spec_sample_position(
+                    *pred_w, base + j, num_events, *s.tokenizer_, slot.temperature,
+                    slot.top_p, drafter, cand, drafts[i * d + j].event, slot.rng,
+                    sample_scratch);
+                slot.t += r.s.interarrival;
+                slot.stream.events.push_back({slot.t, r.s.event});
+                finished[i] = r.s.stop || slot.stream.events.size() >= slot.max_len ? 1 : 0;
+                if (r.accepted) {
+                    valid = j + 2;
+                    ++times.spec_accepted;
+                } else {
+                    valid = j + 1;
+                }
+                if (finished[i] != 0) break;
+                if (!r.accepted) {
+                    s.tokenizer_->encode_token(
+                        r.s.event, r.s.interarrival, false,
+                        std::span<float>(slot.next_token.data(), d_token));
+                    break;
+                }
+            }
+            if (finished[i] == 0) decoder.rollback_row(i, len_a + valid);
+            base += d;
+        }
+    }
+
+    // ---- Retire finished streams and compact the survivors.
+    keep_rows.clear();
+    std::size_t done = 0;
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < b; ++i) {
+        Slot& slot = slots[i];
+        if (finished[i] != 0) {
+            out.push_back({std::move(slot.stream), slot.ticket, false});
+            ++done;
+            continue;
+        }
+        keep_rows.push_back(i);
+        if (live != i) slots[live] = std::move(slot);
+        ++live;
+    }
+    if (live != b) {
+        StageTimer timer(&times.compact);
+        decoder.compact(keep_rows);
+        slots.resize(live);
+    }
+    return done;
 }
 
 const Sampler::StageTimes& Sampler::SlotBatch::stage_times() const { return impl_->times; }

@@ -48,9 +48,15 @@ class ColumnarWriter;
 
 namespace cpt::core {
 
+class SpecDrafter;
+
 struct SamplerConfig {
     std::size_t max_stream_len = 500;  // hard cap, matching training (§5.1)
-    double temperature = 1.0;          // categorical sampling temperature
+    // Categorical sampling temperature. Exactly 0 selects greedy decoding:
+    // event and stop take the argmax (lowest index on ties), the
+    // interarrival takes the predicted mean, and no randomness is consumed
+    // after the bootstrap draw.
+    double temperature = 1.0;
     double top_p = 1.0;                // nucleus truncation; 1.0 disables
     std::size_t batch = 32;            // streams generated per batched forward
     trace::DeviceType device = trace::DeviceType::kPhone;  // label for streams
@@ -60,6 +66,27 @@ struct SamplerConfig {
     // must have quantized weights (quantize_weights() or a quantized
     // checkpoint) before the Sampler is built.
     nn::Precision precision = nn::Precision::kFp32;
+    // Speculative multi-token decode (DESIGN.md §16): spec_k > 1 drafts
+    // spec_k - 1 candidate tokens per round from `drafter` (borrowed; must
+    // outlive the sampler) and verifies them in one batched forward,
+    // committing up to spec_k tokens per decode round via rejection
+    // sampling — the output distribution is exactly the plain path's.
+    // spec_k <= 1 is the plain one-token path, bit-exactly. Requires the
+    // distribution head. Rows decoding greedily (temperature == 0) never
+    // speculate — a continuous Δt proposal cannot reproduce the
+    // deterministic mean — so argmax decoding is byte-identical to the
+    // plain path at every spec_k.
+    std::size_t spec_k = 1;
+    const SpecDrafter* drafter = nullptr;
+    // Test-only knobs (KV-rollback property test, DESIGN.md §16):
+    // spec_force_reject rejects every draft while consuming randomness
+    // exactly like the plain path (drafting runs off a throwaway RNG), so
+    // output must be byte-identical to spec_k = 1; spec_verify_all runs the
+    // verify forward — and the full KV rollback — even for rows whose
+    // pass-A token missed the draft, so the rollback path is exercised
+    // while remaining observationally inert.
+    bool spec_force_reject = false;
+    bool spec_verify_all = false;
 };
 
 class Sampler {
@@ -74,18 +101,34 @@ public:
     // draws and next-token re-encoding, `compact` the KV-cache compaction of
     // finished rows. bench_e2e_generate uses this to attribute tier-to-tier
     // differences to a stage instead of guessing from end-to-end totals.
+    // Speculative decode (spec_k > 1) adds two stages and three counters:
+    // `draft` covers the n-gram proposals, `verify` the batched multi-token
+    // verify forwards (window encoding + GEMMs), `verify_steps` how many of
+    // those forwards ran, and spec_proposed / spec_accepted the drafted
+    // tokens offered vs committed verbatim — their ratio is the acceptance
+    // rate cpt-serve reports per slice.
     struct StageTimes {
         double bootstrap = 0.0;
         double decode = 0.0;
         double sample = 0.0;
         double compact = 0.0;
-        std::size_t steps = 0;  // decode steps executed
+        double draft = 0.0;
+        double verify = 0.0;
+        std::size_t steps = 0;         // pass-A decode steps executed
+        std::size_t verify_steps = 0;  // batched verify forwards executed
+        std::size_t spec_proposed = 0;
+        std::size_t spec_accepted = 0;
         StageTimes& operator+=(const StageTimes& o) {
             bootstrap += o.bootstrap;
             decode += o.decode;
             sample += o.sample;
             compact += o.compact;
+            draft += o.draft;
+            verify += o.verify;
             steps += o.steps;
+            verify_steps += o.verify_steps;
+            spec_proposed += o.spec_proposed;
+            spec_accepted += o.spec_accepted;
             return *this;
         }
     };
@@ -150,9 +193,11 @@ public:
         std::size_t live() const;
         std::size_t free_slots() const;
 
-        // Longest stream a newly admitted slot could still produce before
-        // the shared KV context fills. Recovers to the full config cap once
-        // every slot drains (the decoder is then rewound).
+        // Longest stream a newly admitted slot could still produce. Rows own
+        // independent per-row KV contexts (nn/infer.hpp), so a fresh slot
+        // always has the full config cap available regardless of how far the
+        // current residents have decoded — this is an invariant, not a
+        // function of batch occupancy.
         std::size_t admissible_len() const;
 
         // Per-stream sampling overrides; negative fields fall back to the
@@ -203,6 +248,16 @@ private:
     // of streams kept.
     std::size_t generate_impl(std::size_t n, util::Rng& rng, const std::string& ue_prefix,
                               const std::function<void(trace::Stream&&)>& sink) const;
+
+    // Speculative variant of generate_batch (taken when spec_k > 1): same
+    // contract, decodes up to spec_k tokens per round via draft + batched
+    // verify + KV rollback (DESIGN.md §16).
+    std::vector<trace::Stream> generate_batch_spec(std::span<util::Rng> rngs,
+                                                   const std::string& ue_prefix,
+                                                   std::size_t first_serial,
+                                                   StageTimes* times) const;
+
+    bool spec_enabled() const { return config_.spec_k > 1 && config_.drafter != nullptr; }
 
     const CptGpt* model_;
     const Tokenizer* tokenizer_;

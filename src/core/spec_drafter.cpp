@@ -1,0 +1,178 @@
+#include "spec_drafter.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cpt::core {
+
+namespace {
+
+// Transitions with fewer observations than this fall back to the per-next
+// (then global) histogram: a 4-sample histogram is mostly holes, and holes
+// turn into rejections.
+constexpr std::uint64_t kMinPairCount = 8;
+
+}  // namespace
+
+SpecDrafter SpecDrafter::fit(const trace::Dataset& ds, const Tokenizer& tokenizer,
+                             const Options& opts) {
+    CPT_CHECK(!ds.streams.empty(), "SpecDrafter::fit: empty dataset");
+    SpecDrafter d;
+    d.order_ = std::max<std::size_t>(opts.order, 1);
+    d.buckets_ = std::max<std::size_t>(opts.buckets, 1);
+    d.num_events_ = tokenizer.num_event_types();
+    const std::size_t e = d.num_events_;
+
+    // Event model: longest context first so draft() can back off in order.
+    d.indexes_.reserve(d.order_);
+    for (std::size_t n = d.order_ + 1; n >= 2; --n) {
+        d.indexes_.emplace_back(ds, n);
+    }
+    d.unigram_.assign(e, 0.0);
+
+    // Δt model: accumulate raw counts, then normalize every histogram.
+    const auto blank = [&] {
+        IaHist h;
+        h.mass.assign(d.buckets_, 0.0);
+        return h;
+    };
+    d.pair_.assign(e * e, blank());
+    d.next_.assign(e, blank());
+    d.global_ = blank();
+    const auto tally = [&](IaHist& h, double scaled) {
+        if (scaled <= 0.0) {
+            h.atom0 += 1.0;
+        } else if (scaled >= 1.0) {
+            h.atom1 += 1.0;
+        } else {
+            const auto b = std::min<std::size_t>(
+                d.buckets_ - 1, static_cast<std::size_t>(scaled * static_cast<double>(d.buckets_)));
+            h.mass[b] += 1.0;
+        }
+        ++h.count;
+    };
+    double total_events = 0.0;
+    for (const auto& s : ds.streams) {
+        const auto ia = s.interarrivals();
+        for (std::size_t k = 0; k < s.events.size(); ++k) {
+            const cellular::EventId ev = s.events[k].type;
+            CPT_CHECK_LT(std::size_t{ev}, e, " SpecDrafter::fit: event id outside vocabulary");
+            d.unigram_[ev] += 1.0;
+            total_events += 1.0;
+            if (k == 0) continue;  // the first token's Δt is defined 0 — never drafted
+            const cellular::EventId prev = s.events[k - 1].type;
+            const double scaled = tokenizer.scale_interarrival(ia[k]);
+            tally(d.pair_[std::size_t{prev} * e + ev], scaled);
+            tally(d.next_[ev], scaled);
+            tally(d.global_, scaled);
+        }
+    }
+    if (total_events > 0.0) {
+        for (double& u : d.unigram_) u /= total_events;
+    }
+    const auto normalize = [](IaHist& h) {
+        if (h.count == 0) return;
+        const double inv = 1.0 / static_cast<double>(h.count);
+        h.atom0 *= inv;
+        h.atom1 *= inv;
+        for (double& m : h.mass) m *= inv;
+    };
+    for (auto& h : d.pair_) normalize(h);
+    for (auto& h : d.next_) normalize(h);
+    normalize(d.global_);
+    return d;
+}
+
+const SpecDrafter::IaHist& SpecDrafter::hist_for(cellular::EventId prev,
+                                                 cellular::EventId next) const {
+    const IaHist& p = pair_[std::size_t{prev} * num_events_ + next];
+    if (p.count >= kMinPairCount) return p;
+    const IaHist& n = next_[next];
+    if (n.count >= kMinPairCount) return n;
+    return global_;
+}
+
+double SpecDrafter::ia_proposal(cellular::EventId prev, cellular::EventId next, double v,
+                                bool* atom) const {
+    const IaHist& h = hist_for(prev, next);
+    if (v <= 0.0) {
+        if (atom != nullptr) *atom = true;
+        return h.atom0;
+    }
+    if (v >= 1.0) {
+        if (atom != nullptr) *atom = true;
+        return h.atom1;
+    }
+    if (atom != nullptr) *atom = false;
+    const auto b = std::min<std::size_t>(
+        buckets_ - 1, static_cast<std::size_t>(v * static_cast<double>(buckets_)));
+    return h.mass[b] * static_cast<double>(buckets_);
+}
+
+SpecDrafter::Draft SpecDrafter::draft(std::span<const cellular::EventId> context,
+                                      util::Rng& rng, Scratch& scratch) const {
+    CPT_CHECK(!context.empty(), "SpecDrafter::draft: empty context");
+
+    // Event: longest matching context wins; ties inside a distribution go to
+    // the lowest event id (NgramIndex fills probs by id).
+    Draft out;
+    const double* probs = nullptr;
+    std::size_t probs_len = 0;
+    for (const auto& index : indexes_) {
+        if (index.next_event_distribution(context, scratch.probs)) {
+            probs = scratch.probs.data();
+            probs_len = scratch.probs.size();
+            break;
+        }
+    }
+    if (probs == nullptr) {
+        probs = unigram_.data();
+        probs_len = unigram_.size();
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < probs_len; ++i) {
+        if (probs[i] > probs[best]) best = i;
+    }
+    out.event = static_cast<cellular::EventId>(best);
+
+    // Δt: one categorical walk over {atom0, buckets..., atom1} plus a
+    // within-bucket uniform for interior draws. q is re-evaluated through
+    // ia_proposal() so the reported density always matches the bucket the
+    // drawn value actually lands in.
+    const cellular::EventId prev = context.back();
+    const IaHist& h = hist_for(prev, out.event);
+    double v;
+    if (h.count == 0) {
+        // Degenerate (empty bootstrap histograms): propose the lower atom
+        // with q = 1 so the rejection test simply consults the model.
+        v = 0.0;
+    } else {
+        double r = rng.uniform();
+        if (r < h.atom0) {
+            v = 0.0;
+        } else {
+            r -= h.atom0;
+            v = 1.0;  // falls through to the upper atom when no bucket absorbs r
+            const double width = 1.0 / static_cast<double>(buckets_);
+            for (std::size_t b = 0; b < buckets_; ++b) {
+                if (r < h.mass[b]) {
+                    v = (static_cast<double>(b) + rng.uniform()) * width;
+                    // Guard the open interval: a within-bucket draw of
+                    // exactly 0 or a rounding to the next boundary would
+                    // reclassify the value as an atom / neighbor bucket.
+                    v = std::clamp(v, width * 1e-9, 1.0 - width * 1e-9);
+                    break;
+                }
+                r -= h.mass[b];
+            }
+        }
+    }
+    out.scaled_ia = static_cast<float>(v);
+    bool atom = false;
+    out.q = h.count == 0 ? 1.0 : ia_proposal(prev, out.event, out.scaled_ia, &atom);
+    out.atom = atom;
+    return out;
+}
+
+}  // namespace cpt::core

@@ -1,0 +1,109 @@
+// Speculative-decode drafter (DESIGN.md §16): a context-conditioned n-gram
+// table that proposes the next (event, Δt) token for pennies, so the
+// transformer can verify several positions per forward instead of one.
+//
+// No extra NN training is involved. The event model is the conditional
+// next-event distribution of trace::NgramIndex with backoff (longest matching
+// event context wins, down to the unigram marginal), taken at its argmax —
+// a deterministic proposal, so the verifier's acceptance probability for the
+// event component is simply the target model's probability of that event.
+// The Δt model is a per-transition histogram over the tokenizer's scaled
+// interarrival space: discrete atoms at the clamp boundaries {0, 1} plus
+// uniform-density interior buckets. Proposals are drawn from that mixture
+// with the caller's per-stream RNG, and ia_proposal() evaluates the proposal
+// density q(v) (or atom mass) the verifier's rejection test and residual
+// sampling need.
+//
+// The drafter is fit either on training traces or on a small set of streams
+// the target model itself generated (self-bootstrap — what cpt-serve does at
+// slice spin-up, where no training data is available). The latter makes q
+// track the model's own conditionals, which is what maximizes acceptance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tokenizer.hpp"
+#include "trace/ngram.hpp"
+#include "util/rng.hpp"
+
+namespace cpt::core {
+
+class SpecDrafter {
+public:
+    struct Options {
+        std::size_t order = 2;     // longest event context the event model conditions on
+        std::size_t buckets = 24;  // interior Δt histogram buckets (scaled space)
+    };
+
+    // Builds the n-gram tables from `ds` (every stream, every position).
+    // Interarrivals are mapped through `tokenizer`'s scaling so the
+    // histograms live in the same clamped space the model's tokens do.
+    static SpecDrafter fit(const trace::Dataset& ds, const Tokenizer& tokenizer,
+                           const Options& opts);
+    static SpecDrafter fit(const trace::Dataset& ds, const Tokenizer& tokenizer) {
+        return fit(ds, tokenizer, Options());
+    }
+
+    // One proposed token. `scaled_ia` is the clamped scaled interarrival the
+    // token would carry (the sampler unscales it to seconds when committing);
+    // `q` is the proposal density (interior) or mass (atom) at scaled_ia.
+    struct Draft {
+        cellular::EventId event = 0;
+        float scaled_ia = 0.0f;
+        double q = 0.0;
+        bool atom = false;
+    };
+
+    // Reusable per-caller buffers so drafting stays allocation-free in the
+    // decode hot loop.
+    struct Scratch {
+        std::vector<double> probs;
+    };
+
+    // Proposes the token following `context` (committed event types, most
+    // recent last; must be non-empty). Deterministic given the context and
+    // the RNG state; consumes 1 draw for an atom proposal, 2 for an interior
+    // one.
+    Draft draft(std::span<const cellular::EventId> context, util::Rng& rng,
+                Scratch& scratch) const;
+
+    // Proposal density (interior) or mass (atom) of the Δt model for
+    // transition prev->next at scaled value v; `*atom` reports which case
+    // applied. This is the q(·) in the verifier's accept ratio min(1, p/q)
+    // and residual weight 1 - q/p.
+    double ia_proposal(cellular::EventId prev, cellular::EventId next, double v,
+                       bool* atom) const;
+
+    std::size_t order() const { return order_; }
+    std::size_t num_event_types() const { return num_events_; }
+
+private:
+    // Δt histogram in scaled space: clamp atoms + uniform interior buckets.
+    // Masses sum to 1 once count > 0.
+    struct IaHist {
+        double atom0 = 0.0;
+        double atom1 = 0.0;
+        std::vector<double> mass;
+        std::uint64_t count = 0;
+    };
+
+    SpecDrafter() = default;
+    const IaHist& hist_for(cellular::EventId prev, cellular::EventId next) const;
+
+    std::size_t order_ = 2;
+    std::size_t buckets_ = 24;
+    std::size_t num_events_ = 0;
+    // Event model: n-gram indexes for n = order_+1 down to 2 (longest first)
+    // plus the unigram marginal as the final fallback.
+    std::vector<trace::NgramIndex> indexes_;
+    std::vector<double> unigram_;
+    // Δt model: per-(prev, next) transition histograms with per-next and
+    // global backoff for thin transitions.
+    std::vector<IaHist> pair_;  // [num_events_ * num_events_]
+    std::vector<IaHist> next_;  // [num_events_]
+    IaHist global_;
+};
+
+}  // namespace cpt::core

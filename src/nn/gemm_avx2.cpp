@@ -150,6 +150,71 @@ void gemm_nt_row(const float* arow, const float* b, float* crow, std::size_t k_d
     for (; j0 < n_dim; ++j0) crow[j0] += dot_fma(arow, b + j0 * k_dim, k_dim);
 }
 
+// M A rows x two B rows per k-step: the B stream is shared across all M rows,
+// so weight traffic for an M-row tile matches a single GEMV pass instead of
+// scaling with M. Every element still gets the canonical chain (one 8-wide
+// FMA chain in ascending k, hsum8, scalar fma tail), so the result is
+// bit-identical to M separate gemm_nt_row calls. M <= 7 keeps the register
+// budget at M*2 accumulators + one A + two B vectors.
+template <std::size_t M>
+void nt_tile_cols(const float* a, const float* b, float* c, std::size_t k_dim, std::size_t n_dim,
+                  std::size_t j0, std::size_t j1) {
+    const std::size_t k8 = k_dim & ~std::size_t{7};
+    std::size_t j = j0;
+    for (; j + 2 <= j1; j += 2) {
+        const float* b0 = b + j * k_dim;
+        const float* b1 = b0 + k_dim;
+        __m256 acc[M][2];
+        for (std::size_t r = 0; r < M; ++r) acc[r][0] = acc[r][1] = _mm256_setzero_ps();
+        for (std::size_t i = 0; i < k8; i += 8) {
+            const __m256 vb0 = _mm256_loadu_ps(b0 + i);
+            const __m256 vb1 = _mm256_loadu_ps(b1 + i);
+            for (std::size_t r = 0; r < M; ++r) {
+                const __m256 va = _mm256_loadu_ps(a + r * k_dim + i);
+                acc[r][0] = _mm256_fmadd_ps(va, vb0, acc[r][0]);
+                acc[r][1] = _mm256_fmadd_ps(va, vb1, acc[r][1]);
+            }
+        }
+        for (std::size_t r = 0; r < M; ++r) {
+            const float* arow = a + r * k_dim;
+            float s0 = hsum8(acc[r][0]);
+            float s1 = hsum8(acc[r][1]);
+            for (std::size_t t = k8; t < k_dim; ++t) {
+                s0 = std::fma(arow[t], b0[t], s0);
+                s1 = std::fma(arow[t], b1[t], s1);
+            }
+            c[r * n_dim + j] += s0;
+            c[r * n_dim + j + 1] += s1;
+        }
+    }
+    for (; j < j1; ++j) {
+        const float* brow = b + j * k_dim;
+        for (std::size_t r = 0; r < M; ++r) {
+            c[r * n_dim + j] += dot_fma(a + r * k_dim, brow, k_dim);
+        }
+    }
+}
+
+// Column slice [j0, j1) of an m_dim < 8 NT product in a single row tile, so
+// each B row in the slice is streamed exactly once regardless of m. The A
+// broadcast register is consumed immediately after its two FMAs, so the live
+// set is 2m accumulators + two B vectors + one A vector — 17 registers at
+// m == 7, close enough that any spill stays L1-resident and cheap next to
+// the weight traffic this saves.
+void nt_small_cols(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
+                   std::size_t n_dim, std::size_t j0, std::size_t j1) {
+    switch (m_dim) {
+        case 7: nt_tile_cols<7>(a, b, c, k_dim, n_dim, j0, j1); break;
+        case 6: nt_tile_cols<6>(a, b, c, k_dim, n_dim, j0, j1); break;
+        case 5: nt_tile_cols<5>(a, b, c, k_dim, n_dim, j0, j1); break;
+        case 4: nt_tile_cols<4>(a, b, c, k_dim, n_dim, j0, j1); break;
+        case 3: nt_tile_cols<3>(a, b, c, k_dim, n_dim, j0, j1); break;
+        case 2: nt_tile_cols<2>(a, b, c, k_dim, n_dim, j0, j1); break;
+        case 1: nt_tile_cols<1>(a, b, c, k_dim, n_dim, j0, j1); break;
+        default: break;
+    }
+}
+
 }  // namespace
 
 void gemm_nn_avx2(const float* a, const float* b, float* c, std::size_t m_dim, std::size_t k_dim,
@@ -170,11 +235,15 @@ void gemm_nt_avx2(const float* a, const float* b, float* c, std::size_t m_dim, s
                   std::size_t n_dim, util::ThreadPool& pool) {
     if (m_dim < 8) {
         // Too few rows to amortise a B transpose (the pack is ~1/m of the
-        // packed path's work); dot kernels read B once.
-        pool.parallel_for(m_dim, row_grain(k_dim, n_dim), [&](std::size_t r0, std::size_t r1) {
-            for (std::size_t m = r0; m < r1; ++m) {
-                gemm_nt_row(a + m * k_dim, b, c + m * n_dim, k_dim, n_dim);
-            }
+        // packed path's work). Decode at these shapes is weight-bandwidth
+        // bound, so parallelise over columns and let each thread stream its
+        // B slice once for the whole row tile: the speculative decode window
+        // (DESIGN.md §16) lives here, and per-row B re-reads would make an
+        // m-row window cost ~m GEMVs. Bits match the per-row dot kernels,
+        // so this branch stays interchangeable with gemm_nt_row.
+        const std::size_t col_grain = util::grain_for(2 * k_dim * m_dim, kMinChunkFlops);
+        pool.parallel_for(n_dim, col_grain, [&](std::size_t j0, std::size_t j1) {
+            nt_small_cols(a, b, c, m_dim, k_dim, n_dim, j0, j1);
         });
         return;
     }

@@ -16,9 +16,11 @@ TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t bat
 TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t batch,
                                        const DecodeOptions& opts)
     : model_(&model), quant_(opts.quant), kv_fp16_(opts.kv_fp16), capacity_(batch),
-      batch_(batch) {
+      batch_(batch), max_window_(std::max<std::size_t>(opts.max_window, 1)) {
     const auto& cfg = model.config();
     CPT_CHECK_GT(batch, std::size_t{0}, " TransformerDecoder: batch must be > 0");
+    CPT_CHECK_LE(max_window_, cfg.max_seq_len,
+                 " TransformerDecoder: max_window exceeds max_seq_len");
     if (quant_ != nullptr) {
         CPT_CHECK_EQ(quant_->blocks.size(), cfg.blocks,
                      " TransformerDecoder: quantized weights do not match the model");
@@ -26,7 +28,7 @@ TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t bat
                      " TransformerDecoder: quantized weights do not match the model");
     }
     caches_.resize(cfg.blocks);
-    start_.assign(batch, 0);
+    len_.assign(batch, 0);
     phys_.resize(batch);
     for (std::size_t r = 0; r < batch; ++r) phys_[r] = r;
     free_.reserve(batch);
@@ -44,25 +46,37 @@ TransformerDecoder::TransformerDecoder(const Transformer& model, std::size_t bat
     for (const auto& block : model.blocks()) {
         mlp_hidden = std::max(mlp_hidden, block->mlp().fc1().out_features());
     }
-    hstate_full_ = Tensor({batch, cfg.d_model});
-    q_full_ = Tensor({batch, cfg.d_model});
-    kv_full_ = Tensor({batch, cfg.d_model});
-    attn_full_ = Tensor({batch, cfg.d_model});
-    scratch_full_ = Tensor({batch, cfg.d_model});
-    mlp_hidden_full_ = Tensor({batch, mlp_hidden});
-    rebind_views();
+    const std::size_t arena_rows = batch * max_window_;
+    hstate_full_ = Tensor({arena_rows, cfg.d_model});
+    q_full_ = Tensor({arena_rows, cfg.d_model});
+    kv_full_ = Tensor({arena_rows, cfg.d_model});
+    attn_full_ = Tensor({arena_rows, cfg.d_model});
+    scratch_full_ = Tensor({arena_rows, cfg.d_model});
+    mlp_hidden_full_ = Tensor({arena_rows, mlp_hidden});
+    ones_.assign(batch, 1);
+    wrow_.reserve(arena_rows);
+    wpos_.reserve(arena_rows);
+    bind_rows(batch_);
     // One score row per chunk the attention loop can produce; grain 1 bounds
-    // the chunk count from above for any grain step() later picks.
-    scores_.resize(util::global_pool().num_chunks(batch * cfg.heads, 1) * cfg.max_seq_len);
+    // the chunk count from above for any grain a later call picks.
+    scores_.resize(util::global_pool().num_chunks(arena_rows * cfg.heads, 1) * cfg.max_seq_len);
 }
 
-void TransformerDecoder::rebind_views() {
-    hstate_ = hstate_full_.first_rows(batch_);
-    q_ = q_full_.first_rows(batch_);
-    kv_ = kv_full_.first_rows(batch_);
-    attn_out_ = attn_full_.first_rows(batch_);
-    scratch_ = scratch_full_.first_rows(batch_);
-    mlp_hidden_ = mlp_hidden_full_.first_rows(batch_);
+void TransformerDecoder::bind_rows(std::size_t rows) {
+    if (bound_rows_ == rows && hstate_.numel() > 0) return;
+    hstate_ = hstate_full_.first_rows(rows);
+    q_ = q_full_.first_rows(rows);
+    kv_ = kv_full_.first_rows(rows);
+    attn_out_ = attn_full_.first_rows(rows);
+    scratch_ = scratch_full_.first_rows(rows);
+    mlp_hidden_ = mlp_hidden_full_.first_rows(rows);
+    bound_rows_ = rows;
+}
+
+std::size_t TransformerDecoder::length() const {
+    std::size_t longest = 0;
+    for (std::size_t r = 0; r < batch_; ++r) longest = std::max(longest, len_[r]);
+    return longest;
 }
 
 const Tensor& TransformerDecoder::step(const Tensor& x) {
@@ -70,32 +84,68 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
     CPT_CHECK(x.rank() == 2 && x.dim(0) == batch_ && x.dim(1) == cfg.d_token,
               "TransformerDecoder::step: expected [", batch_, ", ", cfg.d_token, "], got ",
               shape_to_string(x.shape()));
-    CPT_CHECK_LT(len_, cfg.max_seq_len, " TransformerDecoder::step: context full");
+    return step_window(x, std::span<const std::size_t>(ones_.data(), batch_));
+}
+
+const Tensor& TransformerDecoder::step_window(const Tensor& x,
+                                              std::span<const std::size_t> counts) {
+    const auto& cfg = model_->config();
+    CPT_CHECK_EQ(counts.size(), batch_,
+                 " TransformerDecoder::step_window: one window count per live row");
+    // Pack the (row, in-window position) map for every incoming token and
+    // detect the lockstep fast path (every row advancing one token from the
+    // same position — the plain step() case).
+    wrow_.clear();
+    wpos_.clear();
+    bool lockstep = batch_ > 0;
+    std::size_t max_n = 0;  // longest attention window this call reads
+    for (std::size_t r = 0; r < batch_; ++r) {
+        const std::size_t c = counts[r];
+        CPT_CHECK_LE(c, max_window_,
+                     " TransformerDecoder::step_window: window exceeds max_window");
+        CPT_CHECK_LE(len_[r] + c, cfg.max_seq_len, " TransformerDecoder::step: context full");
+        lockstep = lockstep && c == 1 && len_[r] == len_[0];
+        if (c == 0) continue;
+        max_n = std::max(max_n, len_[r] + c);
+        for (std::size_t j = 0; j < c; ++j) {
+            wrow_.push_back(r);
+            wpos_.push_back(j);
+        }
+    }
+    const std::size_t m = wrow_.size();
+    CPT_CHECK_GT(m, std::size_t{0}, " TransformerDecoder::step_window: empty window batch");
+    CPT_CHECK(x.rank() == 2 && x.dim(0) == m && x.dim(1) == cfg.d_token,
+              "TransformerDecoder::step_window: expected [", m, ", ", cfg.d_token, "], got ",
+              shape_to_string(x.shape()));
     const std::size_t d = cfg.d_model;
     const std::size_t h = cfg.heads;
     const std::size_t dh = d / h;
     const std::size_t max_t = cfg.max_seq_len;
-    const std::size_t t = len_;  // position of the incoming token
     util::ThreadPool& pool = util::global_pool();
+    bind_rows(m);
     float* ph = hstate_.data().data();
     float* pscratch = scratch_.data().data();
+    const std::size_t* wrow = wrow_.data();
+    const std::size_t* wpos = wpos_.data();
 
     // Input projection + positional embedding. The embedding is indexed by
-    // the row-local position (t - row_start), so a row admitted mid-decode
-    // sees exactly the embeddings a fresh decode would; when every row
-    // started at 0 the uniform fast path adds one shared bias row.
+    // the row-local position len(r)+j, so a row admitted mid-decode (or
+    // fed a multi-token window) sees exactly the embeddings a fresh
+    // sequential decode would; in lockstep the fast path adds one shared
+    // bias row.
     if (quant_ != nullptr) {
-        quant_->input_proj.forward_rows(x.data().data(), ph, batch_, qscratch_, &pool);
+        quant_->input_proj.forward_rows(x.data().data(), ph, m, qscratch_, &pool);
     } else {
-        model_->input_proj().forward_rows(x.data().data(), ph, batch_, &pool);
+        model_->input_proj().forward_rows(x.data().data(), ph, m, &pool);
     }
     const float* pos = model_->positions()->value.data().data();
-    if (uniform_start_) {
-        kernels::add_bias_rows(ph, pos + t * d, batch_, d, &pool);
+    if (lockstep) {
+        kernels::add_bias_rows(ph, pos + len_[0] * d, m, d, &pool);
     } else {
-        pool.parallel_for(batch_, util::grain_for(4 * d), [&](std::size_t r0, std::size_t r1) {
-            for (std::size_t r = r0; r < r1; ++r) {
-                kernels::add_bias_rows(ph + r * d, pos + (t - start_[r]) * d, 1, d, nullptr);
+        pool.parallel_for(m, util::grain_for(4 * d), [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                kernels::add_bias_rows(ph + i * d, pos + (len_[wrow[i]] + wpos[i]) * d, 1, d,
+                                       nullptr);
             }
         });
     }
@@ -108,23 +158,26 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
         const auto proj = [&](const Linear& fp, const QuantLinear* q, const float* in,
                               float* out) {
             if (q != nullptr) {
-                q->forward_rows(in, out, batch_, qscratch_, &pool);
+                q->forward_rows(in, out, m, qscratch_, &pool);
             } else {
-                fp.forward_rows(in, out, batch_, &pool);
+                fp.forward_rows(in, out, m, &pool);
             }
         };
-        // Scatter the fresh K or V rows into the cache at position t,
-        // converting to fp16 when the cache is half-precision (encoding is
-        // round-to-nearest-even — the same bits on every tier).
+        // Scatter the fresh K or V rows into the cache at each token's
+        // row-local position len(r)+j, converting to fp16 when the cache is
+        // half-precision (encoding is round-to-nearest-even — the same bits
+        // on every tier).
         const auto append_kv = [&](const float* src_rows, float* dst32, std::uint16_t* dst16) {
-            pool.parallel_for(batch_ * h, util::grain_for(dh),
+            pool.parallel_for(m * h, util::grain_for(dh),
                               [&](std::size_t i0, std::size_t i1) {
                                   for (std::size_t i = i0; i < i1; ++i) {
-                                      const std::size_t r = i / h;
+                                      const std::size_t tok = i / h;
                                       const std::size_t head = i % h;
+                                      const std::size_t r = wrow[tok];
+                                      const std::size_t p = len_[r] + wpos[tok];
                                       const std::size_t off =
-                                          ((phys_[r] * h + head) * max_t + t) * dh;
-                                      const float* src = src_rows + r * d + head * dh;
+                                          ((phys_[r] * h + head) * max_t + p) * dh;
+                                      const float* src = src_rows + tok * d + head * dh;
                                       if (dst16 != nullptr) {
                                           kernels::fp16_encode(src, dst16 + off, dh);
                                       } else {
@@ -136,10 +189,12 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
 
         // ---- attention branch: ln1 -> qkv -> cached causal attention -> wo
         kernels::layer_norm_rows(ph, pscratch, block.ln1().gain()->value.data().data(),
-                                 block.ln1().bias()->value.data().data(), batch_, d, 1e-5f,
+                                 block.ln1().bias()->value.data().data(), m, d, 1e-5f,
                                  nullptr, &pool);
         proj(block.attn().wq(), qb != nullptr ? &qb->wq : nullptr, pscratch, q_.data().data());
-        // New K/V rows go straight into the cache at position t.
+        // New K/V rows go straight into the cache — the whole window before
+        // attention runs, so window token j can attend to the window tokens
+        // appended before it.
         {
             proj(block.attn().wk(), qb != nullptr ? &qb->wk : nullptr, pscratch,
                  kv_.data().data());
@@ -150,14 +205,14 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
             append_kv(kv_.data().data(), kv_fp16_ ? nullptr : cache.v.data().data(),
                       kv_fp16_ ? cache.vh.data() : nullptr);
         }
-        // Per-row, per-head attention over the row's own window [start, t].
-        // Rows constructed together have start 0 (the full causal prefix);
-        // rows admitted mid-decode never read positions before their start,
-        // so their math — dot order, softmax length, axpy order — is
-        // bit-identical to a fresh decode of the same stream. Each (row,
-        // head) pair is independent; the score rows live in the arena, one
-        // row per chunk, so concurrent lanes never share one and the hot
-        // loop stays allocation-free.
+        // Per-token, per-head attention over the row's own causal window
+        // [0, len(r)+j]. K/V live at row-local positions, so the math —
+        // dot order, softmax length, axpy order — is bit-identical to a
+        // fresh sequential decode of the same stream regardless of when the
+        // row was admitted or how the other rows advance. Each (token, head)
+        // pair is independent; the score rows live in the arena, one row per
+        // chunk, so concurrent lanes never share one and the hot loop stays
+        // allocation-free.
         {
             const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
             const float* pq = q_.data().data();
@@ -166,44 +221,35 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
             const std::uint16_t* ckh = kv_fp16_ ? cache.kh.data() : nullptr;
             const std::uint16_t* cvh = kv_fp16_ ? cache.vh.data() : nullptr;
             float* ctx = pscratch;  // reuse as context output
-            const std::size_t grain = util::grain_for(4 * (t + 1) * dh);
-            const std::size_t chunks = pool.num_chunks(batch_ * h, grain);
+            const std::size_t grain = util::grain_for(4 * max_n * dh);
+            const std::size_t chunks = pool.num_chunks(m * h, grain);
             if (scores_.size() < chunks * max_t) scores_.resize(chunks * max_t);
             float* all_scores = scores_.data();
             pool.parallel_chunks(
-                batch_ * h, grain, [&](std::size_t chunk, std::size_t i0, std::size_t i1) {
+                m * h, grain, [&](std::size_t chunk, std::size_t i0, std::size_t i1) {
                     float* scores = all_scores + chunk * max_t;
                     for (std::size_t i = i0; i < i1; ++i) {
-                        const std::size_t r = i / h;
+                        const std::size_t tok = i / h;
                         const std::size_t head = i % h;
-                        const std::size_t n = t - start_[r] + 1;  // window length
-                        const std::size_t cache_row = (phys_[r] * h + head) * max_t;
-                        const std::size_t win = (cache_row + start_[r]) * dh;
-                        const float* qrow = pq + r * d + head * dh;
+                        const std::size_t r = wrow[tok];
+                        const std::size_t n = len_[r] + wpos[tok] + 1;  // window length
+                        const std::size_t win = (phys_[r] * h + head) * max_t * dh;
+                        const float* qrow = pq + tok * d + head * dh;
+                        // The batched kernels are defined as these per-key
+                        // dot/axpy loops (kernels.hpp): one dispatch per
+                        // (token, head) instead of per key, same bits.
                         if (kv_fp16_) {
-                            const std::uint16_t* krows = ckh + win;
-                            for (std::size_t p = 0; p < n; ++p) {
-                                scores[p] = kernels::dot_f16(qrow, krows + p * dh, dh) * scale;
-                            }
+                            kernels::attn_scores_f16(qrow, ckh + win, scores, n, dh, scale);
                         } else {
-                            const float* krows = ck + win;
-                            for (std::size_t p = 0; p < n; ++p) {
-                                scores[p] = kernels::dot(qrow, krows + p * dh, dh) * scale;
-                            }
+                            kernels::attn_scores(qrow, ck + win, scores, n, dh, scale);
                         }
                         kernels::softmax_row(scores, scores, n, n);
-                        float* crow = ctx + r * d + head * dh;
+                        float* crow = ctx + tok * d + head * dh;
                         std::fill_n(crow, dh, 0.0f);
                         if (kv_fp16_) {
-                            const std::uint16_t* vrows = cvh + win;
-                            for (std::size_t p = 0; p < n; ++p) {
-                                kernels::axpy_f16(scores[p], vrows + p * dh, crow, dh);
-                            }
+                            kernels::attn_mix_f16(scores, cvh + win, crow, n, dh);
                         } else {
-                            const float* vrows = cv + win;
-                            for (std::size_t p = 0; p < n; ++p) {
-                                kernels::axpy(scores[p], vrows + p * dh, crow, dh);
-                            }
+                            kernels::attn_mix(scores, cv + win, crow, n, dh);
                         }
                     }
                 });
@@ -214,24 +260,31 @@ const Tensor& TransformerDecoder::step(const Tensor& x) {
 
         // ---- MLP branch: ln2 -> fc1 -> fused bias+gelu -> fc2
         kernels::layer_norm_rows(ph, pscratch, block.ln2().gain()->value.data().data(),
-                                 block.ln2().bias()->value.data().data(), batch_, d, 1e-5f,
+                                 block.ln2().bias()->value.data().data(), m, d, 1e-5f,
                                  nullptr, &pool);
         // attn_out_ doubles as the MLP output buffer.
         if (qb != nullptr) {
             qb->mlp.forward_rows(pscratch, mlp_hidden_.data().data(), attn_out_.data().data(),
-                                 batch_, qscratch_, &pool);
+                                 m, qscratch_, &pool);
         } else {
             block.mlp().forward_rows(pscratch, mlp_hidden_.data().data(), attn_out_.data().data(),
-                                     batch_, &pool);
+                                     m, &pool);
         }
         hstate_.add_(attn_out_);
     }
 
     kernels::layer_norm_rows(ph, ph, model_->final_ln().gain()->value.data().data(),
-                             model_->final_ln().bias()->value.data().data(), batch_, d, 1e-5f,
+                             model_->final_ln().bias()->value.data().data(), m, d, 1e-5f,
                              nullptr, &pool);
-    ++len_;
+    for (std::size_t r = 0; r < batch_; ++r) len_[r] += counts[r];
     return hstate_;
+}
+
+void TransformerDecoder::rollback_row(std::size_t r, std::size_t new_len) {
+    CPT_CHECK_LT(r, batch_, " TransformerDecoder::rollback_row: row out of range");
+    CPT_CHECK_LE(new_len, len_[r],
+                 " TransformerDecoder::rollback_row: cannot extend a row's context");
+    len_[r] = new_len;
 }
 
 std::size_t TransformerDecoder::kv_bytes() const {
@@ -258,21 +311,17 @@ void TransformerDecoder::compact(const std::vector<std::size_t>& keep_rows) {
     // nearly every step boundary, so moving KV data here — O(batch * maxT * d)
     // per call — would tax continuous batching far more than the occasional
     // end-of-round compact a drain scheduler performs.
-    bool uniform = true;
     std::size_t next_keep = 0;
     for (std::size_t i = 0; i < batch_; ++i) {
         if (next_keep < new_batch && keep_rows[next_keep] == i) {
-            start_[next_keep] = start_[i];
+            len_[next_keep] = len_[i];
             phys_[next_keep] = phys_[i];
-            uniform = uniform && start_[next_keep] == 0;
             ++next_keep;
         } else {
             free_.push_back(phys_[i]);
         }
     }
-    uniform_start_ = uniform;
     batch_ = new_batch;
-    rebind_views();
 }
 
 std::size_t TransformerDecoder::admit(std::size_t count) {
@@ -280,27 +329,22 @@ std::size_t TransformerDecoder::admit(std::size_t count) {
                  " TransformerDecoder::admit: live rows would exceed capacity");
     const std::size_t first = batch_;
     for (std::size_t i = 0; i < count; ++i) {
-        start_[batch_ + i] = len_;
+        len_[batch_ + i] = 0;
         // compact() returned enough physical rows to the free list: live rows
         // plus freed rows always cover the capacity.
         phys_[batch_ + i] = free_.back();
         free_.pop_back();
     }
     batch_ += count;
-    if (count > 0 && len_ > 0) uniform_start_ = false;
-    rebind_views();
     return first;
 }
 
 void TransformerDecoder::reset() {
     batch_ = 0;
-    len_ = 0;
-    std::fill(start_.begin(), start_.end(), 0);
+    std::fill(len_.begin(), len_.end(), 0);
     // Descending so admit() hands out physical rows 0, 1, 2, ... again.
     free_.clear();
     for (std::size_t r = capacity_; r > 0; --r) free_.push_back(r - 1);
-    uniform_start_ = true;
-    rebind_views();
 }
 
 }  // namespace cpt::nn

@@ -14,16 +14,26 @@
 // stay byte-identical across CPT_THREADS within a tier.
 //
 // Continuous batching: admit() re-activates freed rows mid-decode. Each row
-// carries its own start offset — attention is windowed to [row_start, t] and
-// the positional embedding is indexed by the row-local position (t -
-// row_start) — so a row's arithmetic is bit-identical to the same stream
-// decoded from position 0 in a fresh decoder, regardless of when it was
-// admitted. That invariance is what lets a serving scheduler refill slots
-// that compact() frees without perturbing the streams already in flight
-// (pinned by tests/serve_test.cpp).
+// carries its own context length and its K/V is stored at row-local
+// positions — attention for row r covers cache positions [0, len(r)] and the
+// positional embedding is indexed by len(r) — so a row's arithmetic is
+// bit-identical to the same stream decoded from position 0 in a fresh
+// decoder, regardless of when it was admitted or how other rows advance.
+// That invariance is what lets a serving scheduler refill slots that
+// compact() frees without perturbing the streams already in flight (pinned
+// by tests/serve_test.cpp).
+//
+// Speculative decoding (DESIGN.md §16) rides on two extensions: step_window()
+// feeds a variable-length token window per row in one batched forward
+// (intra-window causality falls out of the row-local positions — window
+// token j attends to [0, len(r)+j], which includes the window tokens
+// appended before it), and rollback_row() truncates a row's context in O(1)
+// so draft tokens past the first rejection are discarded without touching
+// the cache (the stale rows are simply never read again).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "modules.hpp"
@@ -36,10 +46,13 @@ namespace cpt::nn {
 // path; `kv_fp16` stores the KV cache as IEEE binary16 (encode on append,
 // widen to fp32 inside the attention dot/axpy kernels), halving KV bandwidth
 // and memory. The two are independent knobs at this layer; the public
-// Precision::kInt8W8A32 mode enables both.
+// Precision::kInt8W8A32 mode enables both. `max_window` sizes the scratch
+// arena for step_window(): the largest per-row token window a single call
+// may feed (1 = plain one-token stepping).
 struct DecodeOptions {
     const TransformerQuant* quant = nullptr;  // borrowed; must outlive the decoder
     bool kv_fp16 = false;
+    std::size_t max_window = 1;
 };
 
 class TransformerDecoder {
@@ -53,12 +66,38 @@ public:
     // Feeds one token per row (x: [B, d_token]) and returns the final-layer
     // hidden state for that position ([B, d_model]). The returned tensor is
     // a view into the decoder's arena: it is overwritten by the next step()
-    // (clone it to keep it). Throws when the context is full
-    // (length() == max_seq_len).
+    // (clone it to keep it). Throws when any row's context is full
+    // (row_length() == max_seq_len). Equivalent to step_window() with a
+    // one-token window per row (bit-identical by construction: it is that
+    // call).
     const Tensor& step(const Tensor& x);
 
-    // Tokens consumed so far (shared context position).
-    std::size_t length() const { return len_; }
+    // Feeds counts[r] consecutive tokens for each row in one batched
+    // forward. `x` holds the windows packed row-major in ascending row
+    // order: sum(counts) rows of d_token (rows with counts[r] == 0
+    // contribute nothing). Returns the final-layer hidden states in the
+    // same packed layout ([sum(counts), d_model], a view overwritten by the
+    // next call). Window token j of row r is processed at context position
+    // len(r)+j and attends to cache positions [0, len(r)+j] — the window
+    // tokens before it included — which is exactly the causal mask a
+    // sequential decode would apply. Each counts[r] must be <= the
+    // construction-time max_window and fit the row's remaining context.
+    // Afterwards len(r) += counts[r]; use rollback_row() to discard a
+    // rejected suffix.
+    const Tensor& step_window(const Tensor& x, std::span<const std::size_t> counts);
+
+    // Truncates row r's context to new_len tokens (new_len <= row_length(r)).
+    // O(1): the KV entries past new_len stay in place and are overwritten by
+    // the next append before ever being read.
+    void rollback_row(std::size_t r, std::size_t new_len);
+
+    // Longest live row context (tokens consumed); 0 when no rows are live.
+    // Rows advance independently under step_window(), so per-row
+    // row_length() is the precise notion; this remains the lockstep value
+    // when every row advances one token per step.
+    std::size_t length() const;
+    // Tokens consumed by row r (its local context length).
+    std::size_t row_length(std::size_t r) const { return len_[r]; }
     std::size_t batch() const { return batch_; }
     std::size_t capacity() const { return capacity_; }
 
@@ -70,27 +109,25 @@ public:
     // fp16 mode; reported by the benches alongside weight bytes.
     std::size_t kv_bytes() const;
 
-    // Position at which row r was admitted; 0 for construction-time rows.
-    std::size_t row_start(std::size_t r) const { return start_[r]; }
-    // Steps row r has decoded so far (its local context length).
-    std::size_t row_length(std::size_t r) const { return len_ - start_[r]; }
-
     // Keeps only the given rows (ascending, unique); used to drop finished
     // streams mid-generation. O(batch): rows are indirected through a
     // logical->physical map, so no KV data moves — dropped physical rows are
     // recycled to admit(). No reallocation.
     void compact(const std::vector<std::size_t>& keep_rows);
 
-    // Activates `count` additional rows (append after the live ones) whose
-    // context starts at the current position: they attend only to tokens fed
-    // from the next step() on, and their positional embedding restarts at 0.
-    // Returns the index of the first new row. Requires batch() + count <=
-    // capacity(). The stale K/V those rows inherit is never read.
+    // Activates `count` additional rows (append after the live ones) with an
+    // empty context: their K/V is stored at row-local positions starting at
+    // 0 and their positional embedding restarts at 0, so each admitted row
+    // has the full max_seq_len of context regardless of how far the other
+    // rows have decoded. Returns the index of the first new row. Requires
+    // batch() + count <= capacity(). The stale K/V those rows inherit is
+    // never read.
     std::size_t admit(std::size_t count);
 
-    // Forgets all rows and rewinds the shared context to position 0, so the
-    // decoder can be reused once every row has drained (a serving scheduler
-    // does this when the shared context fills up). O(1): no buffer is touched.
+    // Forgets all rows, so the decoder can be reused from a clean slate.
+    // O(capacity): only the row metadata and the physical-row free list are
+    // rebuilt (descending, so admit() hands out rows 0, 1, 2, ... again); no
+    // cache buffer is touched.
     void reset();
 
 private:
@@ -104,8 +141,9 @@ private:
         std::vector<std::uint16_t> vh;
     };
 
-    // Re-points the batch-sized arena views at the first batch_ rows.
-    void rebind_views();
+    // Re-points the arena views at the first `rows` rows of the full
+    // buffers (no-op when already bound to that count).
+    void bind_rows(std::size_t rows);
 
     const Transformer* model_;
     // Numeric mode (fixed at construction). quant_ borrows the caller's
@@ -116,12 +154,10 @@ private:
     QuantScratch qscratch_;
     std::size_t capacity_ = 0;
     std::size_t batch_ = 0;
-    std::size_t len_ = 0;
-    // Per-row admission position ([capacity_]; first batch_ entries live).
-    // uniform_start_ short-circuits the windowed paths when every live row
-    // started at 0 (the Sampler::generate_batch case).
-    std::vector<std::size_t> start_;
-    bool uniform_start_ = true;
+    std::size_t max_window_ = 1;
+    // Per-row context length ([capacity_]; first batch_ entries live). K/V
+    // for row r occupies cache positions [0, len_[r]) of its physical row.
+    std::vector<std::size_t> len_;
     // Logical row r's K/V lives at cache row phys_[r]; free_ holds the
     // physical rows not referenced by any live logical row. compact()
     // permutes this map instead of moving KV data, so a continuous-batching
@@ -131,15 +167,24 @@ private:
     std::vector<std::size_t> free_;
     std::vector<BlockCache> caches_;
 
-    // Scratch arena, allocated once for `capacity_` rows...
+    // All-ones window counts so step() can delegate to step_window() without
+    // touching the heap.
+    std::vector<std::size_t> ones_;
+    // Packed-token maps rebuilt by each step_window() call: logical row and
+    // in-window position of every packed row of x.
+    std::vector<std::size_t> wrow_;
+    std::vector<std::size_t> wpos_;
+
+    // Scratch arena, allocated once for `capacity_ * max_window_` rows...
     Tensor hstate_full_;
     Tensor q_full_;
     Tensor kv_full_;
     Tensor attn_full_;
     Tensor scratch_full_;
     Tensor mlp_hidden_full_;
-    // ...and the first_rows(batch_) views the step() kernels run on,
-    // rebound only when batch_ changes.
+    // ...and the first_rows(m) views the current call's kernels run on,
+    // rebound only when the packed row count changes.
+    std::size_t bound_rows_ = 0;
     Tensor hstate_;
     Tensor q_;
     Tensor kv_;

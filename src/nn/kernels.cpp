@@ -38,6 +38,60 @@ void axpy(float alpha, const float* x, float* y, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
+void attn_scores(const float* q, const float* krows, float* scores, std::size_t n,
+                 std::size_t dh, float scale) {
+    if (util::active_simd_tier() == SimdTier::kAvx2) {
+        detail::attn_scores_avx2(q, krows, scores, n, dh, scale);
+        return;
+    }
+    // Per key: the scalar dot's ascending serial accumulation, then the scale
+    // — the exact loop the decoder ran per key before this kernel existed.
+    for (std::size_t p = 0; p < n; ++p) {
+        const float* k = krows + p * dh;
+        float s = 0.0f;
+        for (std::size_t i = 0; i < dh; ++i) s += q[i] * k[i];
+        scores[p] = s * scale;
+    }
+}
+
+void attn_mix(const float* scores, const float* vrows, float* crow, std::size_t n,
+              std::size_t dh) {
+    if (util::active_simd_tier() == SimdTier::kAvx2) {
+        detail::attn_mix_avx2(scores, vrows, crow, n, dh);
+        return;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+        const float* v = vrows + p * dh;
+        for (std::size_t i = 0; i < dh; ++i) crow[i] += scores[p] * v[i];
+    }
+}
+
+void attn_scores_f16(const float* q, const std::uint16_t* krows, float* scores, std::size_t n,
+                     std::size_t dh, float scale) {
+    if (util::active_simd_tier() == SimdTier::kAvx2) {
+        detail::attn_scores_f16_avx2(q, krows, scores, n, dh, scale);
+        return;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::uint16_t* k = krows + p * dh;
+        float s = 0.0f;
+        for (std::size_t i = 0; i < dh; ++i) s += q[i] * fp16_decode_one(k[i]);
+        scores[p] = s * scale;
+    }
+}
+
+void attn_mix_f16(const float* scores, const std::uint16_t* vrows, float* crow, std::size_t n,
+                  std::size_t dh) {
+    if (util::active_simd_tier() == SimdTier::kAvx2) {
+        detail::attn_mix_f16_avx2(scores, vrows, crow, n, dh);
+        return;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::uint16_t* v = vrows + p * dh;
+        for (std::size_t i = 0; i < dh; ++i) crow[i] += scores[p] * fp16_decode_one(v[i]);
+    }
+}
+
 void fp16_encode(const float* src, std::uint16_t* dst, std::size_t n) {
     if (util::active_simd_tier() == SimdTier::kAvx2) {
         detail::fp16_encode_avx2(src, dst, n);

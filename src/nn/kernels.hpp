@@ -42,6 +42,24 @@ inline float gelu_grad_scalar(float x) {
 float dot(const float* a, const float* b, std::size_t n);
 void axpy(float alpha, const float* x, float* y, std::size_t n);
 
+// Batched attention inner loops. Each call is defined as the per-key loop it
+// replaces — scores[p] = dot(q, krows + p*dh) * scale for p in [0, n), and
+// crow += scores[p] * vrows[p*dh..] applied in ascending p — with the SAME
+// per-element operation order as n separate dot/axpy calls on every tier, so
+// swapping the loops for these kernels is unobservable in decoder output.
+// They exist because the per-key calls pay a tier dispatch per key and leave
+// the dot's FMA chain latency-bound; the batched forms dispatch once, run
+// several independent key chains in flight, and keep the context row in
+// registers across keys (dh <= 64, the decoder head sizes).
+void attn_scores(const float* q, const float* krows, float* scores, std::size_t n,
+                 std::size_t dh, float scale);
+void attn_mix(const float* scores, const float* vrows, float* crow, std::size_t n,
+              std::size_t dh);
+void attn_scores_f16(const float* q, const std::uint16_t* krows, float* scores, std::size_t n,
+                     std::size_t dh, float scale);
+void attn_mix_f16(const float* scores, const std::uint16_t* vrows, float* crow, std::size_t n,
+                  std::size_t dh);
+
 // fp16-storage KV-cache kernels (infer.cpp). Encoding rounds fp32 to
 // nearest-even binary16 — the SAME bits on every tier (software converter on
 // scalar/sse2, VCVTPS2PH or the identical software fallback on avx2), so the

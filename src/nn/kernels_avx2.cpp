@@ -29,6 +29,101 @@ void axpy_avx2(float alpha, const float* x, float* y, std::size_t n) {
     for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
 }
 
+void attn_scores_avx2(const float* q, const float* krows, float* scores, std::size_t n,
+                      std::size_t dh, float scale) {
+    // Four keys in flight, each with its own dot_fma-shaped accumulator pair
+    // (16-element main loop, 8-element step, hsum8 of acc0+acc1, std::fma
+    // tail), so scores[p] carries exactly the bits of dot_fma(q, key_p) *
+    // scale while the q loads are shared and the FMA chains overlap instead
+    // of serialising on one chain's latency.
+    std::size_t p = 0;
+    for (; p + 4 <= n; p += 4) {
+        const float* k0 = krows + p * dh;
+        const float* k1 = k0 + dh;
+        const float* k2 = k1 + dh;
+        const float* k3 = k2 + dh;
+        __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+        __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+        __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+        __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+        std::size_t i = 0;
+        for (; i + 16 <= dh; i += 16) {
+            const __m256 q0 = _mm256_loadu_ps(q + i);
+            const __m256 q1 = _mm256_loadu_ps(q + i + 8);
+            a00 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(k0 + i), a00);
+            a01 = _mm256_fmadd_ps(q1, _mm256_loadu_ps(k0 + i + 8), a01);
+            a10 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(k1 + i), a10);
+            a11 = _mm256_fmadd_ps(q1, _mm256_loadu_ps(k1 + i + 8), a11);
+            a20 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(k2 + i), a20);
+            a21 = _mm256_fmadd_ps(q1, _mm256_loadu_ps(k2 + i + 8), a21);
+            a30 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(k3 + i), a30);
+            a31 = _mm256_fmadd_ps(q1, _mm256_loadu_ps(k3 + i + 8), a31);
+        }
+        for (; i + 8 <= dh; i += 8) {
+            const __m256 q0 = _mm256_loadu_ps(q + i);
+            a00 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(k0 + i), a00);
+            a10 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(k1 + i), a10);
+            a20 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(k2 + i), a20);
+            a30 = _mm256_fmadd_ps(q0, _mm256_loadu_ps(k3 + i), a30);
+        }
+        float s0 = hsum8(_mm256_add_ps(a00, a01));
+        float s1 = hsum8(_mm256_add_ps(a10, a11));
+        float s2 = hsum8(_mm256_add_ps(a20, a21));
+        float s3 = hsum8(_mm256_add_ps(a30, a31));
+        for (; i < dh; ++i) {
+            s0 = std::fma(q[i], k0[i], s0);
+            s1 = std::fma(q[i], k1[i], s1);
+            s2 = std::fma(q[i], k2[i], s2);
+            s3 = std::fma(q[i], k3[i], s3);
+        }
+        scores[p] = s0 * scale;
+        scores[p + 1] = s1 * scale;
+        scores[p + 2] = s2 * scale;
+        scores[p + 3] = s3 * scale;
+    }
+    for (; p < n; ++p) scores[p] = dot_fma(q, krows + p * dh, dh) * scale;
+}
+
+namespace {
+
+// Context row held in NB ymm registers across the whole key loop; per
+// element this is the identical ascending-p FMA sequence n axpy calls
+// perform, minus their per-key load/store round trips through memory.
+template <std::size_t NB>
+inline void attn_mix_reg(const float* scores, const float* vrows, float* crow, std::size_t n,
+                         std::size_t dh) {
+    __m256 acc[NB];
+    for (std::size_t b = 0; b < NB; ++b) acc[b] = _mm256_loadu_ps(crow + 8 * b);
+    for (std::size_t p = 0; p < n; ++p) {
+        const __m256 s = _mm256_set1_ps(scores[p]);
+        const float* v = vrows + p * dh;
+        for (std::size_t b = 0; b < NB; ++b) {
+            acc[b] = _mm256_fmadd_ps(s, _mm256_loadu_ps(v + 8 * b), acc[b]);
+        }
+    }
+    for (std::size_t b = 0; b < NB; ++b) _mm256_storeu_ps(crow + 8 * b, acc[b]);
+}
+
+}  // namespace
+
+void attn_mix_avx2(const float* scores, const float* vrows, float* crow, std::size_t n,
+                   std::size_t dh) {
+    if ((dh & 7) == 0 && dh >= 8 && dh <= 64) {
+        switch (dh >> 3) {
+            case 1: attn_mix_reg<1>(scores, vrows, crow, n, dh); return;
+            case 2: attn_mix_reg<2>(scores, vrows, crow, n, dh); return;
+            case 3: attn_mix_reg<3>(scores, vrows, crow, n, dh); return;
+            case 4: attn_mix_reg<4>(scores, vrows, crow, n, dh); return;
+            case 5: attn_mix_reg<5>(scores, vrows, crow, n, dh); return;
+            case 6: attn_mix_reg<6>(scores, vrows, crow, n, dh); return;
+            case 7: attn_mix_reg<7>(scores, vrows, crow, n, dh); return;
+            case 8: attn_mix_reg<8>(scores, vrows, crow, n, dh); return;
+            default: break;
+        }
+    }
+    for (std::size_t p = 0; p < n; ++p) axpy_avx2(scores[p], vrows + p * dh, crow, dh);
+}
+
 float reduce_max_avx2(const float* x, std::size_t n) {
     // max is exact under any association; no ordering constraints here.
     std::size_t i = 0;
@@ -174,6 +269,109 @@ void axpy_f16_avx2(float alpha, const std::uint16_t* x, float* y, std::size_t n)
     for (std::size_t i = 0; i < n; ++i) y[i] = std::fma(alpha, fp16_decode_one(x[i]), y[i]);
 }
 
+void attn_scores_f16_avx2(const float* q, const std::uint16_t* krows, float* scores,
+                          std::size_t n, std::size_t dh, float scale) {
+#if defined(__F16C__)
+    if (host_has_f16c()) {
+        // Four keys in flight, each chain shaped exactly like dot_f16_avx2
+        // (single accumulator, 8-wide steps, hsum8, scalar widen tail).
+        const std::size_t d8 = dh & ~std::size_t{7};
+        std::size_t p = 0;
+        for (; p + 4 <= n; p += 4) {
+            const std::uint16_t* k0 = krows + p * dh;
+            const std::uint16_t* k1 = k0 + dh;
+            const std::uint16_t* k2 = k1 + dh;
+            const std::uint16_t* k3 = k2 + dh;
+            __m256 a0 = _mm256_setzero_ps();
+            __m256 a1 = _mm256_setzero_ps();
+            __m256 a2 = _mm256_setzero_ps();
+            __m256 a3 = _mm256_setzero_ps();
+            for (std::size_t i = 0; i < d8; i += 8) {
+                const __m256 qv = _mm256_loadu_ps(q + i);
+                a0 = _mm256_fmadd_ps(
+                    qv,
+                    _mm256_cvtph_ps(_mm_loadu_si128(reinterpret_cast<const __m128i*>(k0 + i))),
+                    a0);
+                a1 = _mm256_fmadd_ps(
+                    qv,
+                    _mm256_cvtph_ps(_mm_loadu_si128(reinterpret_cast<const __m128i*>(k1 + i))),
+                    a1);
+                a2 = _mm256_fmadd_ps(
+                    qv,
+                    _mm256_cvtph_ps(_mm_loadu_si128(reinterpret_cast<const __m128i*>(k2 + i))),
+                    a2);
+                a3 = _mm256_fmadd_ps(
+                    qv,
+                    _mm256_cvtph_ps(_mm_loadu_si128(reinterpret_cast<const __m128i*>(k3 + i))),
+                    a3);
+            }
+            float s0 = hsum8(a0);
+            float s1 = hsum8(a1);
+            float s2 = hsum8(a2);
+            float s3 = hsum8(a3);
+            for (std::size_t i = d8; i < dh; ++i) {
+                s0 = std::fma(q[i], fp16_decode_one(k0[i]), s0);
+                s1 = std::fma(q[i], fp16_decode_one(k1[i]), s1);
+                s2 = std::fma(q[i], fp16_decode_one(k2[i]), s2);
+                s3 = std::fma(q[i], fp16_decode_one(k3[i]), s3);
+            }
+            scores[p] = s0 * scale;
+            scores[p + 1] = s1 * scale;
+            scores[p + 2] = s2 * scale;
+            scores[p + 3] = s3 * scale;
+        }
+        for (; p < n; ++p) scores[p] = dot_f16_avx2(q, krows + p * dh, dh) * scale;
+        return;
+    }
+#endif
+    for (std::size_t p = 0; p < n; ++p) scores[p] = dot_f16_avx2(q, krows + p * dh, dh) * scale;
+}
+
+#if defined(__F16C__)
+namespace {
+
+// f16 counterpart of attn_mix_reg: same register-resident ascending-p FMA
+// sequence, with each V block widened exactly as axpy_f16_avx2 widens it.
+template <std::size_t NB>
+inline void attn_mix_f16_reg(const float* scores, const std::uint16_t* vrows, float* crow,
+                             std::size_t n, std::size_t dh) {
+    __m256 acc[NB];
+    for (std::size_t b = 0; b < NB; ++b) acc[b] = _mm256_loadu_ps(crow + 8 * b);
+    for (std::size_t p = 0; p < n; ++p) {
+        const __m256 s = _mm256_set1_ps(scores[p]);
+        const std::uint16_t* v = vrows + p * dh;
+        for (std::size_t b = 0; b < NB; ++b) {
+            const __m256 xv = _mm256_cvtph_ps(
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 8 * b)));
+            acc[b] = _mm256_fmadd_ps(s, xv, acc[b]);
+        }
+    }
+    for (std::size_t b = 0; b < NB; ++b) _mm256_storeu_ps(crow + 8 * b, acc[b]);
+}
+
+}  // namespace
+#endif
+
+void attn_mix_f16_avx2(const float* scores, const std::uint16_t* vrows, float* crow,
+                       std::size_t n, std::size_t dh) {
+#if defined(__F16C__)
+    if (host_has_f16c() && (dh & 7) == 0 && dh >= 8 && dh <= 64) {
+        switch (dh >> 3) {
+            case 1: attn_mix_f16_reg<1>(scores, vrows, crow, n, dh); return;
+            case 2: attn_mix_f16_reg<2>(scores, vrows, crow, n, dh); return;
+            case 3: attn_mix_f16_reg<3>(scores, vrows, crow, n, dh); return;
+            case 4: attn_mix_f16_reg<4>(scores, vrows, crow, n, dh); return;
+            case 5: attn_mix_f16_reg<5>(scores, vrows, crow, n, dh); return;
+            case 6: attn_mix_f16_reg<6>(scores, vrows, crow, n, dh); return;
+            case 7: attn_mix_f16_reg<7>(scores, vrows, crow, n, dh); return;
+            case 8: attn_mix_f16_reg<8>(scores, vrows, crow, n, dh); return;
+            default: break;
+        }
+    }
+#endif
+    for (std::size_t p = 0; p < n; ++p) axpy_f16_avx2(scores[p], vrows + p * dh, crow, dh);
+}
+
 void softmax_backward_row_avx2(const float* y, const float* g, float* dx, std::size_t n) {
     const float dot = dot_fma(y, g, n);
     const __m256 vdot = _mm256_set1_ps(dot);
@@ -312,6 +510,17 @@ namespace {
 
 float dot_avx2(const float*, const float*, std::size_t) { missing(); }
 void axpy_avx2(float, const float*, float*, std::size_t) { missing(); }
+void attn_scores_avx2(const float*, const float*, float*, std::size_t, std::size_t, float) {
+    missing();
+}
+void attn_mix_avx2(const float*, const float*, float*, std::size_t, std::size_t) { missing(); }
+void attn_scores_f16_avx2(const float*, const std::uint16_t*, float*, std::size_t, std::size_t,
+                          float) {
+    missing();
+}
+void attn_mix_f16_avx2(const float*, const std::uint16_t*, float*, std::size_t, std::size_t) {
+    missing();
+}
 float reduce_max_avx2(const float*, std::size_t) { missing(); }
 void scale_avx2(float*, std::size_t, float) { missing(); }
 void layer_norm_row_avx2(const float*, float*, const float*, const float*, std::size_t, float,

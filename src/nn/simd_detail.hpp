@@ -38,6 +38,17 @@ void gemv_nt_avx2(const float* a, const float* b, float* c, std::size_t k_dim, s
 // Fused elementwise helpers used by kernels.cpp's per-row dispatch.
 float dot_avx2(const float* a, const float* b, std::size_t n);
 void axpy_avx2(float alpha, const float* x, float* y, std::size_t n);
+// Batched attention inner loops (kernels.hpp documents the per-key
+// equivalence contract): n key chains per dispatch, each chain the canonical
+// dot_fma / axpy sequence for its key.
+void attn_scores_avx2(const float* q, const float* krows, float* scores, std::size_t n,
+                      std::size_t dh, float scale);
+void attn_mix_avx2(const float* scores, const float* vrows, float* crow, std::size_t n,
+                   std::size_t dh);
+void attn_scores_f16_avx2(const float* q, const std::uint16_t* krows, float* scores,
+                          std::size_t n, std::size_t dh, float scale);
+void attn_mix_f16_avx2(const float* scores, const std::uint16_t* vrows, float* crow,
+                       std::size_t n, std::size_t dh);
 float reduce_max_avx2(const float* x, std::size_t n);
 void scale_avx2(float* x, std::size_t n, float s);
 // One LayerNorm row: out = (in - mean) * inv * gain + bias; writes the

@@ -8,7 +8,9 @@
 #include <thread>
 
 #include "core/sampler.hpp"
+#include "core/spec_drafter.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/sync.hpp"
 
@@ -23,6 +25,11 @@ using Clock = std::chrono::steady_clock;
 constexpr std::uint64_t kStreamIndexBits = 20;
 constexpr std::uint64_t kStreamIndexMask = (1ULL << kStreamIndexBits) - 1;
 
+// Streams a speculating slice generates from its own model at spin-up to fit
+// the n-gram drafter (DESIGN.md §16). Enough for stable bigram statistics on
+// the released vocabularies; one-time cost of a few batched decodes.
+constexpr std::size_t kDrafterBootstrapStreams = 128;
+
 std::string slice_name(trace::DeviceType device, int hour) {
     return std::string(trace::to_string(device)) + "/h" + std::to_string(hour);
 }
@@ -34,15 +41,18 @@ std::string slice_name(trace::DeviceType device, int hour) {
 class Server::Engine {
 public:
     Engine(const ServeConfig& cfg, core::CptGpt::Package pkg, trace::DeviceType device,
-           int hour, nn::Precision precision)
+           int hour, nn::Precision precision, std::size_t spec_k)
         : cfg_(&cfg),
           device_(device),
           hour_(hour),
           precision_(pkg.quantized ? nn::Precision::kInt8W8A32 : precision),
           pkg_(std::move(pkg)),
+          drafter_(make_drafter(cfg, pkg_, device, hour, precision_, spec_k)),
+          spec_k_(drafter_ != nullptr ? spec_k : 1),
           sampler_(prepare_model(*pkg_.model, precision_), pkg_.tokenizer,
                    pkg_.initial_event_dist,
-                   make_sampler_config(cfg, device, hour, precision_)),
+                   make_sampler_config(cfg, device, hour, precision_, spec_k_,
+                                       drafter_.get())),
           server_rng_(cfg.server_seed ^ (static_cast<std::uint64_t>(device) * 24 + hour)),
           worker_([this] { run(); }) {}
 
@@ -116,6 +126,11 @@ public:
         s.precision = precision_;
         s.decode_seconds = times_.decode;
         s.steps = times_.steps;
+        s.spec_k = spec_k_;
+        s.spec_proposed = times_.spec_proposed;
+        s.spec_accepted = times_.spec_accepted;
+        s.verify_seconds = times_.verify;
+        s.verify_steps = times_.verify_steps;
         s.streams = streams_done_;
         s.tokens = tokens_done_;
         s.requests_done = requests_done_;
@@ -150,14 +165,48 @@ private:
 
     static core::SamplerConfig make_sampler_config(const ServeConfig& cfg,
                                                    trace::DeviceType device, int hour,
-                                                   nn::Precision precision) {
+                                                   nn::Precision precision,
+                                                   std::size_t spec_k,
+                                                   const core::SpecDrafter* drafter) {
         core::SamplerConfig sc;
         sc.batch = cfg.slot_capacity;
         sc.device = device;
         sc.hour_of_day = hour;
         sc.max_stream_len = std::min<std::size_t>(500, cfg.model.max_seq_len);
         sc.precision = precision;
+        sc.spec_k = drafter != nullptr ? spec_k : 1;
+        sc.drafter = drafter;
         return sc;
+    }
+
+    // Self-bootstrapped drafter (DESIGN.md §16): the consume side has no
+    // training traces, so a slice with spec_k > 1 generates a small sample
+    // of its own streams at spin-up and fits the n-gram drafter on those —
+    // the proposal then tracks the model's own conditionals, which is what
+    // maximizes acceptance. The seed derives from the slice alone, so the
+    // drafter (and thus every deterministic response) is independent of
+    // request arrival order.
+    static std::unique_ptr<core::SpecDrafter> make_drafter(const ServeConfig& cfg,
+                                                           core::CptGpt::Package& pkg,
+                                                           trace::DeviceType device, int hour,
+                                                           nn::Precision precision,
+                                                           std::size_t spec_k) {
+        if (spec_k <= 1) return nullptr;
+        if (!cfg.model.distribution_head) {
+            util::warnf("cpt-serve: slice %s requested spec_k=%zu but the model has no "
+                        "distribution head; speculation disabled",
+                        slice_name(device, hour).c_str(), spec_k);
+            return nullptr;
+        }
+        core::Sampler boot(prepare_model(*pkg.model, precision), pkg.tokenizer,
+                           pkg.initial_event_dist,
+                           make_sampler_config(cfg, device, hour, precision, 1, nullptr));
+        util::Rng rng(cfg.server_seed ^ 0x9e3779b97f4a7c15ULL ^
+                      (static_cast<std::uint64_t>(device) * 24 +
+                       static_cast<std::uint64_t>(hour)));
+        const trace::Dataset ds = boot.generate(kDrafterBootstrapStreams, rng, "spec-boot");
+        if (ds.streams.empty()) return nullptr;
+        return std::make_unique<core::SpecDrafter>(core::SpecDrafter::fit(ds, pkg.tokenizer));
     }
 
     // Ensures the quantized mirror exists before the Sampler (which asserts
@@ -239,13 +288,9 @@ private:
             if (rq->req.max_stream_len != 0) params.max_len = rq->req.max_stream_len;
             params.temperature = rq->req.temperature;
             params.top_p = rq->req.top_p;
-            const std::size_t want =
-                std::min<std::size_t>(params.max_len, sampler_.config().max_stream_len);
-            if (batch.live() > 0 && want > batch.admissible_len()) {
-                // The head stream no longer fits the shared context; let the
-                // batch drain (admit() rewinds the context once it empties).
-                break;
-            }
+            // Per-row KV contexts make admissible_len() an invariant equal to
+            // the config cap, so a clamped max_len always fits — no need to
+            // wait for the batch to drain before admitting the head stream.
             const std::size_t idx = rq->admitted;
             util::Rng rng = rq->deterministic ? rq->base_rng.fork(idx)
                                               : server_rng_.fork(stream_salt_++);
@@ -323,6 +368,10 @@ private:
     int hour_;
     nn::Precision precision_;
     core::CptGpt::Package pkg_;
+    // Slice-local n-gram drafter (DESIGN.md §16); null when not speculating.
+    // Declared before sampler_, which borrows it via SamplerConfig::drafter.
+    std::unique_ptr<core::SpecDrafter> drafter_;
+    std::size_t spec_k_;
     core::Sampler sampler_;
     // Snapshot of the batch's stage clock (folded in run(), read by stats()).
     core::Sampler::StageTimes times_ CPT_GUARDED_BY(mu_);
@@ -403,9 +452,12 @@ Server::Engine* Server::engine_for(trace::DeviceType device, int hour, std::stri
         nn::Precision precision = config_.precision;
         const auto pit = config_.slice_precision.find(slice_name(device, serve_hour));
         if (pit != config_.slice_precision.end()) precision = pit->second;
+        std::size_t spec_k = config_.spec_k;
+        const auto kit = config_.slice_spec_k.find(slice_name(device, serve_hour));
+        if (kit != config_.slice_spec_k.end()) spec_k = kit->second;
         it = engines_
                  .emplace(key, std::make_unique<Engine>(config_, std::move(pkg), device,
-                                                        serve_hour, precision))
+                                                        serve_hour, precision, spec_k))
                  .first;
     }
     return it->second.get();
@@ -509,7 +561,7 @@ std::string Server::stats_json() const {
     util::LatencyHistogram latency;
     std::uint64_t requests_done = 0, requests_timeout = 0, requests_rejected = 0;
     std::size_t queue_depth = 0;
-    char buf[384];
+    char buf[512];
     std::string json = "{\n";
     std::snprintf(buf, sizeof(buf), "  \"uptime_seconds\": %.3f,\n  \"slices\": [", uptime);
     json += buf;
@@ -522,11 +574,20 @@ std::string Server::stats_json() const {
         queue_depth += s.queue_depth;
         const double decode_ms_per_step =
             s.steps > 0 ? s.decode_seconds * 1e3 / static_cast<double>(s.steps) : 0.0;
+        const double verify_ms_per_step =
+            s.verify_steps > 0 ? s.verify_seconds * 1e3 / static_cast<double>(s.verify_steps)
+                               : 0.0;
+        const double acceptance =
+            s.spec_proposed > 0
+                ? static_cast<double>(s.spec_accepted) / static_cast<double>(s.spec_proposed)
+                : 0.0;
         std::snprintf(buf, sizeof(buf),
                       "%s\n    {\"device\": \"%.*s\", \"hour\": %d, \"precision\": \"%s\", "
                       "\"streams\": %llu, "
                       "\"tokens\": %llu, \"streams_per_sec\": %.2f, \"tokens_per_sec\": %.2f, "
                       "\"decode_ms_per_step\": %.3f, \"steps\": %llu, "
+                      "\"spec_k\": %zu, \"spec_proposed\": %llu, \"spec_accepted\": %llu, "
+                      "\"spec_acceptance\": %.3f, \"verify_ms_per_step\": %.3f, "
                       "\"queue_depth\": %zu}",
                       i == 0 ? "" : ",",
                       static_cast<int>(trace::to_string(s.device).size()),
@@ -536,7 +597,10 @@ std::string Server::stats_json() const {
                       static_cast<unsigned long long>(s.tokens),
                       static_cast<double>(s.streams) / rate_div,
                       static_cast<double>(s.tokens) / rate_div, decode_ms_per_step,
-                      static_cast<unsigned long long>(s.steps), s.queue_depth);
+                      static_cast<unsigned long long>(s.steps), s.spec_k,
+                      static_cast<unsigned long long>(s.spec_proposed),
+                      static_cast<unsigned long long>(s.spec_accepted), acceptance,
+                      verify_ms_per_step, s.queue_depth);
         json += buf;
     }
     json += slices.empty() ? "],\n" : "\n  ],\n";

@@ -58,6 +58,17 @@ struct ServeConfig {
     // serve int8 regardless of these knobs (their fp32 weights never existed).
     nn::Precision precision = nn::Precision::kFp32;
     std::map<std::string, nn::Precision> slice_precision;
+    // Speculative multi-token decode (DESIGN.md §16): `spec_k` is the
+    // default tokens-per-round target for every slice; `slice_spec_k`
+    // overrides individual slices by name ("<device>/h<hour>"). A slice
+    // with spec_k > 1 self-bootstraps an n-gram drafter at spin-up from a
+    // fixed-seed sample of its own output. The rejection rule is exact, so
+    // speculation never changes the output *distribution*; the per-seed
+    // byte stream of deterministic requests does differ from spec_k = 1,
+    // so replicas sharing deterministic traffic must agree on spec_k.
+    // Ignored (with a warning) when the model has no distribution head.
+    std::size_t spec_k = 1;
+    std::map<std::string, std::size_t> slice_spec_k;
 };
 
 class Server : public Service {
@@ -111,6 +122,14 @@ private:
         // spent in the KV-cached decode across `steps` step() calls.
         double decode_seconds = 0.0;
         std::uint64_t steps = 0;
+        // Speculative decode (DESIGN.md §16): the slice's active spec_k,
+        // drafted tokens proposed vs committed verbatim, and seconds spent
+        // in the batched verify forwards across `verify_steps` of them.
+        std::size_t spec_k = 1;
+        std::uint64_t spec_proposed = 0;
+        std::uint64_t spec_accepted = 0;
+        double verify_seconds = 0.0;
+        std::uint64_t verify_steps = 0;
         util::LatencyHistogram latency;
     };
 

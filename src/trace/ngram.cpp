@@ -44,9 +44,30 @@ std::vector<Ngram> extract_ngrams(const Dataset& ds, std::size_t n) {
 
 NgramIndex::NgramIndex(const Dataset& training, std::size_t n) : n_(n) {
     for (auto& g : extract_ngrams(training, n)) {
+        const cellular::EventId next = g.events.back();
+        num_events_ = std::max(num_events_, std::size_t{next} + 1);
+        auto& counts = next_counts_[std::string(g.events.begin(), g.events.end() - 1)];
+        if (counts.size() <= next) counts.resize(std::size_t{next} + 1, 0);
+        ++counts[next];
         buckets_[signature(g.events)].push_back(std::move(g.interarrivals));
         ++total_;
     }
+}
+
+bool NgramIndex::next_event_distribution(std::span<const cellular::EventId> context,
+                                         std::vector<double>& probs) const {
+    probs.assign(num_events_, 0.0);
+    if (n_ == 0 || context.size() + 1 < n_) return false;
+    const cellular::EventId* tail = context.data() + (context.size() - (n_ - 1));
+    const auto it = next_counts_.find(std::string(tail, tail + (n_ - 1)));
+    if (it == next_counts_.end()) return false;
+    std::uint64_t total = 0;
+    for (const std::uint32_t c : it->second) total += c;
+    if (total == 0) return false;
+    for (std::size_t e = 0; e < it->second.size(); ++e) {
+        probs[e] = static_cast<double>(it->second[e]) / static_cast<double>(total);
+    }
+    return true;
 }
 
 bool NgramIndex::has_match(const Ngram& g, double epsilon) const {

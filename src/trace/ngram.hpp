@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,11 +38,29 @@ public:
     // sequence and all interarrivals within relative tolerance `epsilon`.
     bool has_match(const Ngram& g, double epsilon) const;
 
+    // One more than the largest event id seen by the index (0 for an empty
+    // training set); the length next_event_distribution fills.
+    std::size_t num_event_types() const { return num_events_; }
+
+    // Conditional next-event distribution: counts of every indexed n-gram
+    // whose leading n-1 events equal the trailing n-1 events of `context`,
+    // normalized to probabilities over event ids [0, num_event_types()).
+    // `probs` is resized to num_event_types(). The output is indexed by
+    // event id, so any downstream argmax resolves ties to the lowest id —
+    // the deterministic ordering the speculative drafter and cpt_lint rely
+    // on. Returns false (probs zeroed) when the context has fewer than n-1
+    // events or was never seen in training.
+    bool next_event_distribution(std::span<const cellular::EventId> context,
+                                 std::vector<double>& probs) const;
+
 private:
     std::size_t n_;
     std::size_t total_ = 0;
+    std::size_t num_events_ = 0;
     // signature -> list of interarrival vectors.
     std::unordered_map<std::string, std::vector<std::vector<double>>> buckets_;
+    // (n-1)-event prefix signature -> next-event counts indexed by event id.
+    std::unordered_map<std::string, std::vector<std::uint32_t>> next_counts_;
 };
 
 // All n-grams of a dataset (streams shorter than n contribute none).

@@ -205,24 +205,35 @@ TEST_F(ServeFixture, EvictReturnsPartialStreamsMarkedEvicted) {
     EXPECT_EQ(batch.live(), 0u);
 }
 
-TEST_F(ServeFixture, AdmissibleLenShrinksAndRecoversOnDrain) {
+TEST_F(ServeFixture, AdmissibleLenIsInvariantUnderOccupancy) {
+    // Decoder rows own independent per-row KV contexts, so a fresh slot can
+    // always host a full-length stream no matter how far the current
+    // residents have decoded: admissible_len() is an invariant, equal to the
+    // sampler's max_stream_len cap.
     const auto pkg = load_package();
     const core::Sampler sampler(*pkg.model, pkg.tokenizer, pkg.initial_event_dist,
                                 slice_sampler_config(2));
     auto batch = sampler.make_slot_batch(2);
     const std::size_t full = batch.admissible_len();
+    EXPECT_EQ(full, sampler.config().max_stream_len);
     EXPECT_GE(full, 2u);
     util::Rng root(5);
     batch.admit(root.fork(0), "a", 0);
     std::vector<core::Sampler::SlotBatch::Finished> fin;
     batch.step(fin);
-    batch.step(fin);  // two steps: context length 2 eats into admissible length
+    batch.step(fin);  // resident advances; a fresh slot is unaffected
+    EXPECT_EQ(batch.admissible_len(), full);
     if (batch.live() > 0) {
-        EXPECT_LT(batch.admissible_len(), full);  // shared context advanced
+        // A late joiner really can run to the full cap beside the resident.
+        batch.admit(root.fork(1), "b", 1,
+                    core::Sampler::SlotBatch::AdmitParams{.max_len = full,
+                                                          .temperature = -1.0,
+                                                          .top_p = -1.0});
+        batch.step(fin);
     }
     std::vector<core::Sampler::SlotBatch::Finished> evicted;
     batch.evict([](std::uint64_t) { return true; }, evicted);
-    EXPECT_EQ(batch.admissible_len(), full);  // empty batch rewinds the context
+    EXPECT_EQ(batch.admissible_len(), full);
 }
 
 // ---- wire protocol ----------------------------------------------------------
